@@ -1,0 +1,56 @@
+//! Classifier throughput: feature extraction, training, and inference —
+//! the §2.2 SchemaPile-scale classification workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snails_naturalness::{
+    Classifier, FeatureConfig, HeuristicClassifier, SoftmaxClassifier, TrainConfig,
+};
+use std::hint::black_box;
+
+fn bench_classifier(c: &mut Criterion) {
+    let data = snails_data::schemapile::labeled_identifiers(0xBE, 2_000);
+    let texts: Vec<&str> = data.iter().map(|l| l.text.as_str()).take(500).collect();
+
+    c.bench_function("featurize_500_identifiers", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(snails_naturalness::featurize(t, FeatureConfig::default()));
+            }
+        })
+    });
+
+    c.bench_function("softmax_train_2000x10", |b| {
+        b.iter(|| {
+            let config = TrainConfig { epochs: 10, ..Default::default() };
+            black_box(SoftmaxClassifier::train("bench", &data, config))
+        })
+    });
+
+    let clf = SoftmaxClassifier::train("bench", &data, TrainConfig::default());
+    c.bench_function("softmax_classify_500", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(clf.classify(t));
+            }
+        })
+    });
+
+    let heuristic = HeuristicClassifier::default();
+    c.bench_function("heuristic_classify_100", |b| {
+        b.iter(|| {
+            for t in texts.iter().take(100) {
+                black_box(heuristic.classify(t));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_classifier
+}
+criterion_main!(benches);

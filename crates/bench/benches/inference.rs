@@ -1,0 +1,44 @@
+//! Simulated-inference throughput: prompt construction, linking, and SQL
+//! synthesis per model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snails_llm::{build_prompt, infer, ModelKind, SchemaView};
+use snails_naturalness::category::SchemaVariant;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let db = snails_data::build_database("KIS");
+    let native = SchemaView::new(&db, SchemaVariant::Native);
+    let least = SchemaView::new(&db, SchemaVariant::Least);
+
+    c.bench_function("schema_view_build", |b| {
+        b.iter(|| black_box(SchemaView::new(&db, SchemaVariant::Least)))
+    });
+
+    c.bench_function("prompt_build", |b| {
+        b.iter(|| black_box(build_prompt(&native, &db.questions[0].question)))
+    });
+
+    for (label, view) in [("native", &native), ("least", &least)] {
+        for model in [ModelKind::Gpt4o, ModelKind::CodeS] {
+            let config = model.config();
+            c.bench_function(&format!("infer_40q_{}_{label}", config.name), |b| {
+                b.iter(|| {
+                    for q in &db.questions {
+                        black_box(infer(&config, &db, view, q, 7));
+                    }
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_inference
+}
+criterion_main!(benches);

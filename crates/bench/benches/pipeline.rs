@@ -1,0 +1,59 @@
+//! End-to-end pipeline throughput: database construction and full
+//! per-question evaluation (the unit of the 12,072-inference benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snails_core::pipeline::{evaluate_question, run_benchmark_on, BenchmarkConfig};
+use snails_llm::{ModelKind, SchemaView, Workflow};
+use snails_naturalness::category::SchemaVariant;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("build_database_cwo", |b| {
+        b.iter(|| black_box(snails_data::build_database("CWO")))
+    });
+
+    let db = snails_data::build_database("CWO");
+    let view = SchemaView::new(&db, SchemaVariant::Low);
+
+    c.bench_function("evaluate_question_zero_shot", |b| {
+        b.iter(|| {
+            black_box(evaluate_question(
+                Workflow::ZeroShot(ModelKind::Gpt35),
+                &db,
+                &view,
+                &db.questions[5],
+                7,
+            ))
+        })
+    });
+
+    c.bench_function("evaluate_question_din_sql", |b| {
+        b.iter(|| {
+            black_box(evaluate_question(Workflow::DinSql, &db, &view, &db.questions[5], 7))
+        })
+    });
+
+    let collection = vec![snails_data::build_database("CWO")];
+    c.bench_function("benchmark_40q_x2variants_x2workflows", |b| {
+        let config = BenchmarkConfig {
+            seed: 7,
+            databases: vec!["CWO".into()],
+            variants: vec![SchemaVariant::Native, SchemaVariant::Least],
+            workflows: vec![
+                Workflow::ZeroShot(ModelKind::Gpt4o),
+                Workflow::ZeroShot(ModelKind::CodeS),
+            ],
+        };
+        b.iter(|| black_box(run_benchmark_on(&collection, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Parser throughput: lexing, parsing, identifier extraction, tagging, and
+//! denaturalization over the SNAILS gold queries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let db = snails_data::build_database("NTSB");
+    let sqls: Vec<String> = db.questions.iter().map(|q| q.sql.clone()).collect();
+
+    c.bench_function("parse_100_gold_queries", |b| {
+        b.iter(|| {
+            for sql in &sqls {
+                black_box(snails_sql::parse(sql).unwrap());
+            }
+        })
+    });
+
+    let stmts: Vec<snails_sql::Statement> =
+        sqls.iter().map(|s| snails_sql::parse(s).unwrap()).collect();
+
+    c.bench_function("extract_identifiers_100", |b| {
+        b.iter(|| {
+            for stmt in &stmts {
+                black_box(snails_sql::extract_identifiers(stmt));
+            }
+        })
+    });
+
+    c.bench_function("clause_profile_100", |b| {
+        b.iter(|| {
+            for stmt in &stmts {
+                black_box(snails_sql::clause_profile(stmt));
+            }
+        })
+    });
+
+    c.bench_function("render_100", |b| {
+        b.iter(|| {
+            for stmt in &stmts {
+                black_box(stmt.to_string());
+            }
+        })
+    });
+
+    let map = db
+        .crosswalk
+        .variant_to_native(snails_naturalness::category::SchemaVariant::Least);
+    let fwd = db
+        .crosswalk
+        .native_to_variant(snails_naturalness::category::SchemaVariant::Least);
+    let least_sqls: Vec<String> = sqls
+        .iter()
+        .map(|s| snails_sql::denaturalize_query(s, &fwd).unwrap())
+        .collect();
+    c.bench_function("denaturalize_100", |b| {
+        b.iter_batched(
+            || least_sqls.clone(),
+            |qs| {
+                for q in qs {
+                    black_box(snails_sql::denaturalize_query(&q, &map).unwrap());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parser
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Tokenizer throughput: BPE training and encoding (the appendix B.9
+//! token-ratio analyses touch every identifier in every schema).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snails_tokenize::{
+    token_character_ratio, tokenizer_for, BpeTrainer, TokenizerProfile,
+};
+use std::hint::black_box;
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let data = snails_data::schemapile::labeled_identifiers(0x70, 1_000);
+    let texts: Vec<&str> = data.iter().map(|l| l.text.as_str()).collect();
+
+    c.bench_function("bpe_train_800_merges", |b| {
+        let corpus = snails_tokenize::corpus::english_training_corpus();
+        b.iter(|| black_box(BpeTrainer::new(800).train(&corpus)))
+    });
+
+    let gpt = tokenizer_for(TokenizerProfile::GptLike);
+    c.bench_function("bpe_encode_1000_identifiers", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(gpt.encode(t));
+            }
+        })
+    });
+
+    c.bench_function("tcr_1000_identifiers", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(token_character_ratio(gpt, t));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tokenizer
+}
+criterion_main!(benches);

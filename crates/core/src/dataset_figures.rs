@@ -1,0 +1,540 @@
+//! Dataset-level tables and figures (no benchmark run required):
+//! Tables 1–5, Figures 2/3/5, and the appendix B/C analyses.
+
+use snails_data::schemapile;
+use snails_data::SnailsDatabase;
+use snails_eval::report::{fmt2, TextTable};
+use snails_lexicon::mean_token_in_dictionary;
+use snails_naturalness::category::Naturalness;
+use snails_naturalness::{
+    evaluate_classifier, Classifier, FeatureConfig, FewShotClassifier, HeuristicClassifier,
+    LabeledIdentifier, NaturalnessProfile, SoftmaxClassifier, TrainConfig,
+};
+use snails_tokenize::{token_character_ratio, tokenizer_for, Tokenizer, TokenizerProfile};
+
+/// Table 1: example identifiers per naturalness level.
+pub fn table1() -> String {
+    let data = schemapile::labeled_identifiers(0x7AB1E, 4000);
+    let mut table = TextTable::new(&["Regular", "Low", "Least"]);
+    let pick = |level: Naturalness, k: usize| -> Vec<String> {
+        data.iter()
+            .filter(|l| l.label == level)
+            .take(k)
+            .map(|l| l.text.clone())
+            .collect()
+    };
+    let (r, l, s) = (
+        pick(Naturalness::Regular, 5),
+        pick(Naturalness::Low, 5),
+        pick(Naturalness::Least, 5),
+    );
+    for i in 0..5 {
+        table.row(vec![r[i].clone(), l[i].clone(), s[i].clone()]);
+    }
+    format!(
+        "Table 1: Example identifiers and their naturalness levels (from the \
+         labeled dataset, Artifact 2).\n{}",
+        table.render()
+    )
+}
+
+/// Figure 2: mean token-in-dictionary by naturalness category.
+pub fn figure2() -> String {
+    let data = schemapile::labeled_identifiers(0xF162, 6000);
+    let mut table = TextTable::new(&["Category", "Mean token-in-dictionary", "n"]);
+    for level in Naturalness::ALL {
+        let scores: Vec<f64> = data
+            .iter()
+            .filter(|l| l.label == level)
+            .map(|l| mean_token_in_dictionary(&l.text))
+            .collect();
+        let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+        table.row(vec![
+            level.display_name().to_owned(),
+            fmt2(mean),
+            scores.len().to_string(),
+        ]);
+    }
+    format!(
+        "Figure 2: Mean token-in-dictionary by naturalness category — the \
+         proportion of identifier tokens matching an English word decreases \
+         with naturalness level.\n{}",
+        table.render()
+    )
+}
+
+/// The reference classifier (the paper's CANINE-based model): softmax with
+/// character-tagging features trained on Collection 2.
+pub fn reference_classifier() -> SoftmaxClassifier {
+    let collection2 = schemapile::labeled_identifiers(0xC2, 17_226);
+    let train: Vec<LabeledIdentifier> = collection2[..10_327].to_vec();
+    SoftmaxClassifier::train("CANINE-Seq+TG-C2", &train, TrainConfig::default())
+}
+
+/// Figure 3 / Figure 23: naturalness proportions of SNAILS vs Spider-sim vs
+/// BIRD vs SchemaPile-sim, classified with the reference classifier.
+pub fn figure3(collection: &[SnailsDatabase]) -> String {
+    let clf = reference_classifier();
+    let mut table = TextTable::new(&["Collection", "Regular", "Low", "Least"]);
+
+    // SNAILS: gold labels, averaged per database so SBOD's 93k identifiers
+    // do not drown the other eight schemas (the paper's bar chart treats
+    // collections as distributions over schemas).
+    let mut snails_props = [0.0f64; 3];
+    for db in collection {
+        let profile = NaturalnessProfile::from_labels(
+            db.identifier_levels().into_iter().map(|(_, l)| l),
+        );
+        for level in Naturalness::ALL {
+            snails_props[level.index()] += profile.proportion(level);
+        }
+    }
+    for p in &mut snails_props {
+        *p /= collection.len().max(1) as f64;
+    }
+    table.row(vec![
+        "SNAILS".into(),
+        fmt2(snails_props[0]),
+        fmt2(snails_props[1]),
+        fmt2(snails_props[2]),
+    ]);
+
+    // Spider-sim: classify the Spider-like collection.
+    let spider_dbs = snails_data::spider::build_spider();
+    let mut spider_labels = Vec::new();
+    for db in &spider_dbs {
+        for name in db.db.identifier_names() {
+            spider_labels.push(clf.classify(&name));
+        }
+    }
+    let spider = NaturalnessProfile::from_labels(spider_labels);
+    table.row(vec![
+        "Spider (sim)".into(),
+        fmt2(spider.proportion(Naturalness::Regular)),
+        fmt2(spider.proportion(Naturalness::Low)),
+        fmt2(spider.proportion(Naturalness::Least)),
+    ]);
+
+    // BIRD: reference proportions (appendix A.3 classification).
+    let bird = schemapile::benchmark_reference_proportions("BIRD").expect("BIRD reference");
+    table.row(vec!["BIRD (ref)".into(), fmt2(bird[0]), fmt2(bird[1]), fmt2(bird[2])]);
+
+    // SchemaPile-sim: aggregate proportions.
+    let stats = schemapile::corpus_stats(&schemapile::generate_corpus(42, 22_000));
+    table.row(vec![
+        "SchemaPile (sim)".into(),
+        fmt2(stats.proportions[0]),
+        fmt2(stats.proportions[1]),
+        fmt2(stats.proportions[2]),
+    ]);
+
+    format!(
+        "Figure 3: SNAILS naturalness proportions are biased toward less \
+         natural identifiers and align with SchemaPile more than Spider/BIRD.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 5 / Figure 24: per-database naturalness proportions and combined
+/// naturalness (gold labels).
+pub fn figure5(collection: &[SnailsDatabase]) -> String {
+    let mut table =
+        TextTable::new(&["Database", "Regular", "Low", "Least", "Combined", "Identifiers"]);
+    for db in collection {
+        let levels: Vec<Naturalness> =
+            db.identifier_levels().into_iter().map(|(_, l)| l).collect();
+        let profile = NaturalnessProfile::from_labels(levels.iter().copied());
+        table.row(vec![
+            db.spec.name.to_owned(),
+            fmt2(profile.proportion(Naturalness::Regular)),
+            fmt2(profile.proportion(Naturalness::Low)),
+            fmt2(profile.proportion(Naturalness::Least)),
+            fmt2(profile.combined()),
+            profile.total().to_string(),
+        ]);
+    }
+    format!(
+        "Figure 5: Proportion of identifiers in each naturalness category \
+         within the SNAILS collection; markers = combined naturalness.\n{}",
+        table.render()
+    )
+}
+
+/// Table 2: the real-world database schemas.
+pub fn table2(collection: &[SnailsDatabase]) -> String {
+    let mut table = TextTable::new(&["Database", "Tables", "Columns", "Questions", "Org"]);
+    for db in collection {
+        table.row(vec![
+            db.spec.name.to_owned(),
+            db.db.table_count().to_string(),
+            db.db.column_count().to_string(),
+            db.questions.len().to_string(),
+            db.spec.org.to_owned(),
+        ]);
+    }
+    format!("Table 2: SNAILS Real-World Database Schemas.\n{}", table.render())
+}
+
+/// Table 3: gold query clause counts per database.
+pub fn table3(collection: &[SnailsDatabase]) -> String {
+    let mut table = TextTable::new(&[
+        "Database", "Qs", "Top", "Function", "Join", "CK Join", "Exists", "Subquery",
+        "Where", "Negation", "Group By", "Order By", "Having",
+    ]);
+    for db in collection {
+        let mut top = 0;
+        let mut function = 0;
+        let mut join = 0;
+        let mut ck = 0;
+        let mut exists = 0;
+        let mut sub = 0;
+        let mut wh = 0;
+        let mut neg = 0;
+        let mut gb = 0;
+        let mut ob = 0;
+        let mut hav = 0;
+        for q in &db.questions {
+            let p = snails_sql::clause_profile(&snails_sql::parse(&q.sql).expect("gold parses"));
+            top += usize::from(p.top);
+            function += usize::from(p.functions > 0);
+            join += usize::from(p.joins > 0);
+            ck += usize::from(p.composite_key_joins > 0);
+            exists += usize::from(p.exists > 0);
+            sub += usize::from(p.subqueries > 0);
+            wh += usize::from(p.where_clause);
+            neg += usize::from(p.negation);
+            gb += usize::from(p.group_by);
+            ob += usize::from(p.order_by);
+            hav += usize::from(p.having);
+        }
+        table.row(
+            vec![
+                db.spec.name.to_owned(),
+                db.questions.len().to_string(),
+                top.to_string(),
+                function.to_string(),
+                join.to_string(),
+                ck.to_string(),
+                exists.to_string(),
+                sub.to_string(),
+                wh.to_string(),
+                neg.to_string(),
+                gb.to_string(),
+                ob.to_string(),
+                hav.to_string(),
+            ],
+        );
+    }
+    format!(
+        "Table 3: Gold query clause counts (count of gold queries containing \
+         each clause type).\n{}",
+        table.render()
+    )
+}
+
+/// Table 4: SBOD module schemas (module assignment of the 2,588 tables; the
+/// paper's question allocation per module).
+pub fn table4(sbod: &SnailsDatabase) -> String {
+    assert_eq!(sbod.spec.name, "SBOD", "table4 requires the SBOD database");
+    // The paper's per-module question allocation (Table 4).
+    let questions = [10usize, 10, 10, 10, 20, 10, 10, 10, 10];
+    let mut table = TextTable::new(&["Module", "Tables", "Columns", "Questions"]);
+    for (i, (module, tables)) in sbod.modules.iter().enumerate() {
+        let columns: usize = tables
+            .iter()
+            .filter_map(|t| sbod.db.table(t))
+            .map(|t| t.schema.columns.len())
+            .sum();
+        table.row(vec![
+            module.clone(),
+            tables.len().to_string(),
+            columns.to_string(),
+            questions.get(i).copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    format!(
+        "Table 4: SBO Demo module schemas (full module assignment; prompts \
+         use the pruned {}-table subset).\n{}",
+        sbod.prompt_tables.len(),
+        table.render()
+    )
+}
+
+/// Table 5: naturalness-classifier comparison on Collections 1 and 2.
+pub fn table5() -> String {
+    // Collection 2 (17,226) with the paper's split sizes; Collection 1 is
+    // its first 1,648 identifiers (959/356/333 split). Labels carry the
+    // ≈9% ambiguity of the paper's hand-labeled data (appendix B.3 reports
+    // 90.1% weak-supervision agreement), which caps classifier ceilings at
+    // the paper's ≈0.89.
+    let collection2 = schemapile::labeled_identifiers_noisy(0xC2, 17_226, 0.09);
+    let c2_train = &collection2[..10_327];
+    let c2_test = &collection2[13_784..]; // final 3,442 as held-out test
+    let collection1 = &collection2[..1_648];
+    let c1_train = &collection1[..959];
+    let c1_test = &collection1[1_315..]; // final 333
+
+    let mut rows: Vec<(String, snails_naturalness::ClassifierReport)> = Vec::new();
+    let mut eval = |clf: &dyn Classifier, test: &[LabeledIdentifier]| {
+        let report = evaluate_classifier(clf, test);
+        rows.push((clf.name().to_owned(), report));
+    };
+
+    // Heuristic baseline (appendix B.1).
+    eval(&HeuristicClassifier::default(), c2_test);
+    // Few-shot prompting: the stronger model (GPT-4) digests the full 25
+    // examples; the weaker one effectively uses fewer.
+    let plain = FeatureConfig { char_tagging: false, tokenizer: false };
+    let fs_weak = FewShotClassifier::from_examples("GPT-3.5-FewShot", c1_train, 10, plain);
+    eval(&fs_weak, c2_test);
+    let fs_strong = FewShotClassifier::from_examples("GPT-4-FewShot", c1_train, 25, plain);
+    eval(&fs_strong, c2_test);
+    // Finetuned on Collection 1.
+    let c1_cfg = TrainConfig { features: plain, ..Default::default() };
+    eval(&SoftmaxClassifier::train("CANINE-Seq C1", c1_train, c1_cfg), c1_test);
+    let c1_cfg_tg = TrainConfig::default();
+    eval(&SoftmaxClassifier::train("CANINE-Seq+TG C1", c1_train, c1_cfg_tg), c1_test);
+    // Finetuned on Collection 2.
+    let c2_cfg = TrainConfig { features: plain, ..Default::default() };
+    eval(&SoftmaxClassifier::train("GPT-3.5-FineTune", c2_train, c2_cfg), c2_test);
+    eval(
+        &SoftmaxClassifier::train("CANINE-Seq+TG C2", c2_train, TrainConfig::default()),
+        c2_test,
+    );
+
+    let mut table = TextTable::new(&["Model", "Accuracy", "Precision", "Recall", "F1"]);
+    for (name, r) in &rows {
+        table.row(vec![
+            name.clone(),
+            fmt2(r.accuracy),
+            fmt2(r.precision),
+            fmt2(r.recall),
+            fmt2(r.f1),
+        ]);
+    }
+    format!(
+        "Table 5: Classifier comparison for database-identifier naturalness \
+         (heuristic < few-shot < finetuned; +TG = character tagging).\n{}",
+        table.render()
+    )
+}
+
+/// Figure 26: identifier character-count distribution by naturalness level.
+pub fn figure26() -> String {
+    let data = schemapile::labeled_identifiers(0xF26, 6000);
+    let mut table = TextTable::new(&["Category", "p25 chars", "median", "p75", "mean"]);
+    for level in Naturalness::ALL {
+        let mut lens: Vec<usize> = data
+            .iter()
+            .filter(|l| l.label == level)
+            .map(|l| l.text.chars().count())
+            .collect();
+        lens.sort_unstable();
+        let q = |p: f64| lens[((lens.len() - 1) as f64 * p) as usize];
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len().max(1) as f64;
+        table.row(vec![
+            level.display_name().to_owned(),
+            q(0.25).to_string(),
+            q(0.5).to_string(),
+            q(0.75).to_string(),
+            fmt2(mean),
+        ]);
+    }
+    format!(
+        "Figure 26: More natural (less abbreviated) identifiers have more \
+         characters.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 27: token-count distribution by level, per tokenizer.
+pub fn figure27() -> String {
+    let data = schemapile::labeled_identifiers(0xF27, 3000);
+    let mut table = TextTable::new(&["Tokenizer", "Regular mean tokens", "Low", "Least"]);
+    for profile in TokenizerProfile::ALL {
+        let t: &dyn Tokenizer = tokenizer_for(profile);
+        let mean = |level: Naturalness| {
+            let counts: Vec<usize> = data
+                .iter()
+                .filter(|l| l.label == level)
+                .map(|l| t.token_count(&l.text))
+                .collect();
+            counts.iter().sum::<usize>() as f64 / counts.len().max(1) as f64
+        };
+        table.row(vec![
+            profile.display_name().to_owned(),
+            fmt2(mean(Naturalness::Regular)),
+            fmt2(mean(Naturalness::Low)),
+            fmt2(mean(Naturalness::Least)),
+        ]);
+    }
+    format!(
+        "Figure 27: Token counts by naturalness level per tokenizer — token \
+         count alone is not very sensitive to naturalness.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 28: token-to-character ratio by level, per tokenizer.
+pub fn figure28() -> String {
+    let data = schemapile::labeled_identifiers(0xF28, 3000);
+    let mut table = TextTable::new(&["Tokenizer", "Regular mean TCR", "Low", "Least"]);
+    for profile in TokenizerProfile::ALL {
+        let t: &dyn Tokenizer = tokenizer_for(profile);
+        let mean = |level: Naturalness| {
+            let scores: Vec<f64> = data
+                .iter()
+                .filter(|l| l.label == level)
+                .map(|l| token_character_ratio(t, &l.text))
+                .collect();
+            scores.iter().sum::<f64>() / scores.len().max(1) as f64
+        };
+        table.row(vec![
+            profile.display_name().to_owned(),
+            fmt2(mean(Naturalness::Regular)),
+            fmt2(mean(Naturalness::Low)),
+            fmt2(mean(Naturalness::Least)),
+        ]);
+    }
+    format!(
+        "Figure 28: More natural identifiers contain fewer tokens per \
+         character (higher in-vocabulary share).\n{}",
+        table.render()
+    )
+}
+
+/// §2.2: SchemaPile-scale naturalness statistics.
+pub fn schemapile_report() -> String {
+    let corpus = schemapile::generate_corpus(42, 22_000);
+    let stats = schemapile::corpus_stats(&corpus);
+    format!(
+        "SchemaPile-sim (§2.2): {} schemas, {} tables, {} columns.\n\
+         Schemas with ≥10% Least identifiers: {} ({:.0}%).\n\
+         Schemas with combined naturalness ≤ 0.7: {} — of which {} have \
+         Low+Least outnumbering Regular.\n",
+        stats.schemas,
+        stats.tables,
+        stats.columns,
+        stats.least_heavy,
+        100.0 * stats.least_heavy as f64 / stats.schemas as f64,
+        stats.low_combined,
+        stats.low_combined_minority_regular,
+    )
+}
+
+/// §6 "Other Naming Patterns in Real-World Schemas": whitespace identifiers
+/// and the word `table` embedded in identifier names — LLM-unfriendly
+/// patterns the paper quantifies in SchemaPile and observes in SNAILS.
+pub fn naming_patterns_report(collection: &[SnailsDatabase]) -> String {
+    let mut total = 0usize;
+    let mut whitespace = 0usize;
+    let mut table_word = 0usize;
+    for db in collection {
+        for name in db.db.identifier_names() {
+            total += 1;
+            if name.contains(' ') {
+                whitespace += 1;
+            }
+            let has_table_word = snails_lexicon::split_identifier(&name).iter().any(|t| {
+                let lower = t.text.to_ascii_lowercase();
+                lower == "table" || lower == "tbl" || lower == "tlu"
+            });
+            if has_table_word {
+                table_word += 1;
+            }
+        }
+    }
+    format!(
+        "§6 naming patterns across the SNAILS collection ({total} identifiers):\n\
+         - whitespace in identifier: {whitespace} ({:.2}%) — the paper found \
+         148 of ~19,000 (<1%) in SNAILS and 808 columns / 63 tables in \
+         SchemaPile; LLMs tend to hallucinate these into snake/camel case \
+         instead of bracket-quoting them (modeled in the simulator).\n\
+         - word `table` embedded in the name: {table_word} ({:.2}%) — the \
+         paper found 700+ such identifiers in SchemaPile; some LLMs drop the \
+         word during inference (e.g. table_employee → employee).\n",
+        100.0 * whitespace as f64 / total.max(1) as f64,
+        100.0 * table_word as f64 / total.max(1) as f64,
+    )
+}
+
+/// Appendix C: modifier quality — abbreviator level-correctness (per the
+/// reference classifier) and expander round-trip accuracy.
+pub fn modifier_report() -> String {
+    let words: Vec<&str> = snails_lexicon::dictionary()
+        .iter()
+        .filter(|w| w.len() >= 5 && w.len() <= 12)
+        .collect();
+    let mut sorted = words.clone();
+    sorted.sort_unstable();
+    let sample: Vec<&str> = sorted.iter().step_by(7).take(200).copied().collect();
+
+    let expander = snails_modify::Expander::new();
+    let mut low_round_trip = 0usize;
+    for w in &sample {
+        let low = snails_modify::abbreviate_word(w, Naturalness::Low);
+        let expanded = expander.expand_identifier(&low);
+        if expanded == *w {
+            low_round_trip += 1;
+        }
+    }
+    format!(
+        "Appendix C (modifier quality): over {} sampled dictionary words, \
+         expander(abbreviator(word, Low)) recovered the original word for \
+         {} ({:.0}%). Least-level skeletons require metadata lookup, which \
+         the RAG expander provides per database (see `snails-modify`).\n",
+        sample.len(),
+        low_round_trip,
+        100.0 * low_round_trip as f64 / sample.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_rows() {
+        let t = table1();
+        assert!(t.contains("Table 1"));
+        assert_eq!(t.lines().count(), 8); // caption + header + sep + 5 rows
+    }
+
+    #[test]
+    fn figure2_is_monotone() {
+        let f = figure2();
+        // Extract the three means and check ordering.
+        let means: Vec<f64> = f
+            .lines()
+            .skip(3)
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert_eq!(means.len(), 3, "{f}");
+        assert!(means[0] > means[1] && means[1] > means[2], "{f}");
+    }
+
+    #[test]
+    fn figure26_monotone_char_counts() {
+        let f = figure26();
+        let medians: Vec<f64> = f
+            .lines()
+            .skip(3)
+            .filter_map(|l| l.split_whitespace().nth(2)?.parse().ok())
+            .collect();
+        assert_eq!(medians.len(), 3);
+        assert!(medians[0] > medians[2], "{f}");
+    }
+
+    #[test]
+    fn schemapile_report_mentions_thresholds() {
+        let r = schemapile_report();
+        assert!(r.contains("22000 schemas") || r.contains("22,000") || r.contains("22000"));
+        assert!(r.contains("≥10%"));
+    }
+
+    #[test]
+    fn modifier_report_reports_round_trip() {
+        let r = modifier_report();
+        assert!(r.contains("recovered"));
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # snails-core
+//!
+//! Experiment orchestration: the paper's benchmarking pipeline (Figures 6
+//! and 7) and the reproduction functions for every table and figure.
+//!
+//! The pipeline runs, for each (workflow × database × schema variant ×
+//! question): prompt naturalization, simulated NL-to-SQL inference, query
+//! denaturalization, execution on the native instance, result set-superset
+//! matching, semantic audit, and schema-linking measurement. Records carry
+//! the per-query naturalness measures used by the Kendall-τ analyses.
+//!
+//! * [`pipeline`] — [`pipeline::run_benchmark`] and the [`pipeline::QueryRecord`] schema;
+//! * [`measures`] — per-query naturalness and token-ratio measures;
+//! * [`dataset_figures`] — Tables 1–5, Figures 2/3/5 and appendix B/C
+//!   figures (no benchmark run required);
+//! * [`result_figures`] — Figures 8–13, Figure 30, and the Kendall-τ tables
+//!   (31a–47b), computed from a [`pipeline::BenchmarkRun`].
+
+pub mod ablation;
+pub mod dataset_figures;
+pub mod measures;
+pub mod pipeline;
+pub mod result_figures;
+
+pub use pipeline::{run_benchmark, BenchmarkConfig, BenchmarkRun, QueryRecord};

@@ -1,0 +1,102 @@
+//! Per-query naturalness and token-ratio measures.
+//!
+//! Each gold query carries measures of the identifiers *as displayed* at the
+//! active schema variant: the proportions of Regular/Low/Least identifiers,
+//! the combined naturalness (Equation 5), and the mean token-to-character
+//! ratio under the GPT-style tokenizer (Equation 6). These are the x-axes of
+//! the Kendall-τ tables.
+
+use snails_data::SnailsDatabase;
+use snails_naturalness::category::{Naturalness, SchemaVariant};
+use snails_naturalness::NaturalnessProfile;
+use snails_sql::QueryIdentifiers;
+use snails_tokenize::{token_character_ratio, tokenizer_for, TokenizerProfile};
+
+/// The per-query measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMeasures {
+    /// Proportion of displayed gold identifiers at Regular naturalness.
+    pub prop_regular: f64,
+    /// Proportion at Low.
+    pub prop_low: f64,
+    /// Proportion at Least.
+    pub prop_least: f64,
+    /// Combined naturalness of the displayed gold identifiers.
+    pub combined: f64,
+    /// Mean token-to-character ratio of the displayed gold identifiers
+    /// (GPT-style BPE).
+    pub mean_tcr: f64,
+}
+
+/// Compute measures for a gold identifier set at a variant.
+pub fn query_measures(
+    db: &SnailsDatabase,
+    variant: SchemaVariant,
+    gold: &QueryIdentifiers,
+) -> QueryMeasures {
+    let tokenizer = tokenizer_for(TokenizerProfile::GptLike);
+    let mut levels: Vec<Naturalness> = Vec::new();
+    let mut tcr_sum = 0.0;
+    let mut n = 0usize;
+    for id in gold.all() {
+        let Some(entry) = db.crosswalk.entry(&id) else { continue };
+        let level = variant.target_level().unwrap_or(entry.native_level);
+        levels.push(level);
+        let displayed = entry.rendering(variant);
+        tcr_sum += token_character_ratio(tokenizer, displayed);
+        n += 1;
+    }
+    let profile = NaturalnessProfile::from_labels(levels.iter().copied());
+    QueryMeasures {
+        prop_regular: profile.proportion(Naturalness::Regular),
+        prop_low: profile.proportion(Naturalness::Low),
+        prop_least: profile.proportion(Naturalness::Least),
+        combined: profile.combined(),
+        mean_tcr: if n == 0 { 0.0 } else { tcr_sum / n as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snails_data::build_database;
+    use snails_sql::{extract_identifiers, parse};
+
+    #[test]
+    fn modified_variants_have_uniform_levels() {
+        let db = build_database("CWO");
+        let gold = extract_identifiers(&parse(&db.questions[0].sql).unwrap());
+        let m = query_measures(&db, SchemaVariant::Least, &gold);
+        assert_eq!(m.prop_least, 1.0);
+        assert_eq!(m.combined, 0.0);
+        let m = query_measures(&db, SchemaVariant::Regular, &gold);
+        assert_eq!(m.prop_regular, 1.0);
+        assert_eq!(m.combined, 1.0);
+    }
+
+    #[test]
+    fn native_variant_mixes_levels() {
+        let db = build_database("NTSB");
+        // Aggregate over all questions: the native proportions must be
+        // non-degenerate for a mixed-naturalness schema.
+        let mut combined_sum = 0.0;
+        for q in &db.questions {
+            let gold = extract_identifiers(&parse(&q.sql).unwrap());
+            let m = query_measures(&db, SchemaVariant::Native, &gold);
+            combined_sum += m.combined;
+            let total = m.prop_regular + m.prop_low + m.prop_least;
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        let mean = combined_sum / db.questions.len() as f64;
+        assert!(mean > 0.2 && mean < 0.95, "mean combined {mean}");
+    }
+
+    #[test]
+    fn tcr_higher_at_least_level() {
+        let db = build_database("CWO");
+        let gold = extract_identifiers(&parse(&db.questions[0].sql).unwrap());
+        let regular = query_measures(&db, SchemaVariant::Regular, &gold);
+        let least = query_measures(&db, SchemaVariant::Least, &gold);
+        assert!(least.mean_tcr > regular.mean_tcr, "{} !> {}", least.mean_tcr, regular.mean_tcr);
+    }
+}

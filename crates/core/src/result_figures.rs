@@ -1,0 +1,580 @@
+//! Result figures and tables computed from a benchmark run:
+//! Figures 8–13, Figure 30, and the Kendall-τ tables (31a–47b).
+
+use crate::pipeline::{BenchmarkRun, QueryRecord};
+use snails_data::SnailsDatabase;
+use snails_eval::report::{fmt2, fmt6, fmt_p, TextTable};
+use snails_eval::stats::{kendall_tau_b, mean_confidence_interval};
+use snails_eval::IdentifierTally;
+use snails_naturalness::category::{Naturalness, SchemaVariant};
+use snails_sql::QueryIdentifiers;
+use std::collections::BTreeSet;
+
+fn workflows_in(run: &BenchmarkRun) -> Vec<&'static str> {
+    let mut seen = Vec::new();
+    for r in &run.records {
+        if !seen.contains(&r.workflow) {
+            seen.push(r.workflow);
+        }
+    }
+    seen
+}
+
+fn variants_in(run: &BenchmarkRun) -> Vec<SchemaVariant> {
+    SchemaVariant::ALL
+        .into_iter()
+        .filter(|v| run.records.iter().any(|r| r.variant == *v))
+        .collect()
+}
+
+/// Figure 8: execution accuracy by model and schema naturalness level.
+pub fn figure8(run: &BenchmarkRun) -> String {
+    let variants = variants_in(run);
+    let mut header = vec!["Model"];
+    header.extend(variants.iter().map(|v| v.display_name()));
+    let mut table = TextTable::new(&header);
+    for wf in workflows_in(run) {
+        let mut row = vec![wf.to_owned()];
+        for &v in &variants {
+            let acc = BenchmarkRun::exec_accuracy(
+                run.records.iter().filter(|r| r.workflow == wf && r.variant == v),
+            );
+            row.push(fmt2(acc));
+        }
+        table.row(row);
+    }
+    format!(
+        "Figure 8: Execution accuracy (proportion of correct queries) by \
+         model and naturalness level.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 9: Native IdentifierRecall by model and naturalness level, with
+/// 95% confidence intervals.
+pub fn figure9(run: &BenchmarkRun, collection: &[SnailsDatabase]) -> String {
+    let level_of = |database: &str, identifier: &str| -> Option<Naturalness> {
+        collection
+            .iter()
+            .find(|d| d.spec.name.eq_ignore_ascii_case(database))
+            .and_then(|d| d.crosswalk.entry(identifier))
+            .map(|e| e.native_level)
+    };
+    let mut table = TextTable::new(&[
+        "Model", "Regular recall (±95% CI)", "Low", "Least",
+    ]);
+    for wf in workflows_in(run) {
+        // Tally identifier recall per database over Native-variant records.
+        let mut per_level: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for db in collection {
+            let mut tally = IdentifierTally::new();
+            for r in run.records.iter().filter(|r| {
+                r.workflow == wf
+                    && r.variant == SchemaVariant::Native
+                    && r.database == db.spec.name
+                    && r.parse_ok
+            }) {
+                let gold = to_qi(&r.gold_ids);
+                let pred = to_qi(&r.pred_ids);
+                tally.record(&gold, &pred);
+            }
+            for (id, recall, _) in tally.recalls() {
+                if let Some(level) = level_of(db.spec.name, &id) {
+                    per_level[level.index()].push(recall);
+                }
+            }
+        }
+        let mut row = vec![wf.to_owned()];
+        for level in Naturalness::ALL {
+            let (mean, ci) = mean_confidence_interval(&per_level[level.index()], 0.95);
+            row.push(format!("{} (±{})", fmt2(mean), fmt2(ci)));
+        }
+        table.row(row);
+    }
+    format!(
+        "Figure 9: Native identifier recall by model and naturalness level \
+         (identifiers in lower naturalness categories yield lower recall).\n{}",
+        table.render()
+    )
+}
+
+/// Sets stored in records are plain name sets; rebuild a
+/// [`QueryIdentifiers`] treating everything as columns (the union is what
+/// the metrics consume).
+fn to_qi(ids: &BTreeSet<String>) -> QueryIdentifiers {
+    QueryIdentifiers { tables: BTreeSet::new(), columns: ids.clone(), aliases: BTreeSet::new() }
+}
+
+/// Figure 10: QueryRecall by model and schema naturalness level.
+pub fn figure10(run: &BenchmarkRun) -> String {
+    let variants = variants_in(run);
+    let mut header = vec!["Model"];
+    header.extend(variants.iter().map(|v| v.display_name()));
+    let mut table = TextTable::new(&header);
+    for wf in workflows_in(run) {
+        let mut row = vec![format!("{wf}-ZS")];
+        if wf == "DINSQL" || wf == "CodeS" {
+            row = vec![wf.to_owned()];
+        }
+        for &v in &variants {
+            let recall = BenchmarkRun::mean_recall(
+                run.records.iter().filter(|r| r.workflow == wf && r.variant == v),
+            );
+            row.push(fmt2(recall));
+        }
+        table.row(row);
+    }
+    format!(
+        "Figure 10: Schema linking (QueryRecall) across schema naturalness \
+         levels.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 11: QueryRecall drill-down for selected databases.
+pub fn figure11(run: &BenchmarkRun, databases: &[&str]) -> String {
+    let variants = variants_in(run);
+    let mut out = String::from(
+        "Figure 11: Schema linking performance (QueryRecall) across native \
+         and virtual schemas of selected databases.\n",
+    );
+    for db in databases {
+        let mut header = vec!["Model"];
+        header.extend(variants.iter().map(|v| v.display_name()));
+        let mut table = TextTable::new(&header);
+        for wf in workflows_in(run) {
+            let mut row = vec![wf.to_owned()];
+            for &v in &variants {
+                let recall = BenchmarkRun::mean_recall(run.records.iter().filter(|r| {
+                    r.workflow == wf && r.variant == v && r.database.eq_ignore_ascii_case(db)
+                }));
+                row.push(fmt2(recall));
+            }
+            table.row(row);
+        }
+        out.push_str(&format!("\n[{db}]\n{}", table.render()));
+    }
+    out
+}
+
+/// Figure 12: schema-subsetting recall / precision / F1 by workflow and
+/// naturalness level (DIN-SQL and CodeS only).
+pub fn figure12(run: &BenchmarkRun) -> String {
+    let variants = variants_in(run);
+    let mut table = TextTable::new(&["Workflow", "Measure", "Native", "Regular", "Low", "Least"]);
+    for wf in ["DINSQL", "CodeS"] {
+        for (mi, measure) in ["Recall", "Precision", "F1"].iter().enumerate() {
+            let mut row = vec![wf.to_owned(), measure.to_string()];
+            for &v in &SchemaVariant::ALL {
+                if !variants.contains(&v) {
+                    row.push("-".into());
+                    continue;
+                }
+                let vals: Vec<f64> = run
+                    .records
+                    .iter()
+                    .filter(|r| r.workflow == wf && r.variant == v)
+                    .filter_map(|r| r.subset)
+                    .map(|(rec, prec, f1)| [rec, prec, f1][mi])
+                    .collect();
+                if vals.is_empty() {
+                    row.push("-".into());
+                } else {
+                    row.push(fmt2(vals.iter().sum::<f64>() / vals.len() as f64));
+                }
+            }
+            table.row(row);
+        }
+    }
+    format!(
+        "Figure 12: Schema subsetting performance varies by naturalness \
+         level for both DIN SQL and CodeS.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 13: QueryRecall and execution accuracy over the Spider-sim dev set
+/// modified with the SNAILS renaming artifacts.
+pub fn figure13(spider_run: &BenchmarkRun) -> String {
+    let variants = variants_in(spider_run);
+    let mut table = TextTable::new(&["Measure", "Native", "Regular", "Low", "Least"]);
+    for (label, f) in [
+        ("QueryRecall", true),
+        ("Execution accuracy", false),
+    ] {
+        let mut row = vec![label.to_string()];
+        for &v in &SchemaVariant::ALL {
+            if !variants.contains(&v) {
+                row.push("-".into());
+                continue;
+            }
+            let records = spider_run.records.iter().filter(|r| r.variant == v);
+            let value = if f {
+                BenchmarkRun::mean_recall(records)
+            } else {
+                BenchmarkRun::exec_accuracy(records)
+            };
+            row.push(fmt2(value));
+        }
+        table.row(row);
+    }
+    format!(
+        "Figure 13: Spider-sim dev set renamed with the SNAILS artifacts — \
+         effects are largest between Low and Least.\n{}",
+        table.render()
+    )
+}
+
+/// Figure 30: execution accuracy by database, model, and naturalness level.
+pub fn figure30(run: &BenchmarkRun, collection: &[SnailsDatabase]) -> String {
+    let mut header = vec!["Model".to_owned(), "Category".to_owned()];
+    let dbs: Vec<&str> = collection
+        .iter()
+        .map(|d| d.spec.name)
+        .filter(|n| run.records.iter().any(|r| &r.database == n))
+        .collect();
+    for d in &dbs {
+        let combined = collection
+            .iter()
+            .find(|c| &c.spec.name == d)
+            .map(|c| c.combined_naturalness())
+            .unwrap_or(0.0);
+        header.push(format!("{d} ({combined:.2})"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+    for wf in workflows_in(run) {
+        for v in variants_in(run) {
+            let mut row = vec![wf.to_owned(), v.display_name().to_owned()];
+            for d in &dbs {
+                let acc = BenchmarkRun::exec_accuracy(run.records.iter().filter(|r| {
+                    r.workflow == wf && r.variant == v && &r.database == d
+                }));
+                row.push(fmt2(acc));
+            }
+            table.row(row);
+        }
+    }
+    format!(
+        "Figure 30: Execution accuracy by database and language model \
+         (column headers show native combined naturalness).\n{}",
+        table.render()
+    )
+}
+
+/// Appendix (Figures 48–49 companions): QueryF1 and QueryPrecision by model
+/// and schema naturalness level — "Precision and F1 are available, but less
+/// helpful, due to penalization for additional predicted columns".
+pub fn figure_f1_precision(run: &BenchmarkRun) -> String {
+    let variants = variants_in(run);
+    let mut out = String::new();
+    for (label, pick) in [
+        ("QueryF1", 0usize),
+        ("QueryPrecision", 1usize),
+    ] {
+        let mut header = vec!["Model"];
+        header.extend(variants.iter().map(|v| v.display_name()));
+        let mut table = TextTable::new(&header);
+        for wf in workflows_in(run) {
+            let mut row = vec![wf.to_owned()];
+            for &v in &variants {
+                let scores: Vec<f64> = run
+                    .records
+                    .iter()
+                    .filter(|r| r.workflow == wf && r.variant == v)
+                    .filter_map(|r| r.linking.map(|l| if pick == 0 { l.f1 } else { l.precision }))
+                    .collect();
+                let mean = if scores.is_empty() {
+                    0.0
+                } else {
+                    scores.iter().sum::<f64>() / scores.len() as f64
+                };
+                row.push(fmt2(mean));
+            }
+            table.row(row);
+        }
+        out.push_str(&format!("[{label}]\n{}\n", table.render()));
+    }
+    format!(
+        "Appendix F.2 companion: schema linking F1 and Precision across \
+         naturalness levels (precision is depressed by tolerated extra \
+         columns, as the paper notes).\n{out}"
+    )
+}
+
+/// Quartiles of a sample (assumes non-empty after the caller's check).
+fn quartiles(mut v: Vec<f64>) -> (f64, f64, f64) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let q = |p: f64| v[((v.len() - 1) as f64 * p).round() as usize];
+    (q(0.25), q(0.5), q(0.75))
+}
+
+/// Figures 48–51: per-database box-plot statistics of QueryRecall across
+/// naturalness levels (median and interquartile range per model).
+pub fn figures_48_51(run: &BenchmarkRun, databases: &[&str]) -> String {
+    let variants = variants_in(run);
+    let mut out = String::from(
+        "Figures 48–51: database-level QueryRecall distributions (median \
+         [q1–q3]) across schema naturalness levels.\n",
+    );
+    for db in databases {
+        let mut header = vec!["Model"];
+        header.extend(variants.iter().map(|v| v.display_name()));
+        let mut table = TextTable::new(&header);
+        for wf in workflows_in(run) {
+            let mut row = vec![wf.to_owned()];
+            for &v in &variants {
+                let scores: Vec<f64> = run
+                    .records
+                    .iter()
+                    .filter(|r| {
+                        r.workflow == wf
+                            && r.variant == v
+                            && r.database.eq_ignore_ascii_case(db)
+                    })
+                    .filter_map(|r| r.linking.map(|l| l.recall))
+                    .collect();
+                if scores.is_empty() {
+                    row.push("-".into());
+                } else {
+                    let (q1, median, q3) = quartiles(scores);
+                    row.push(format!("{} [{}-{}]", fmt2(median), fmt2(q1), fmt2(q3)));
+                }
+            }
+            table.row(row);
+        }
+        out.push_str(&format!("\n[{db}]\n{}", table.render()));
+    }
+    out
+}
+
+/// The per-query x-measures of the Kendall-τ tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TauMeasure {
+    /// Mean token-to-character ratio (tables 31a/31b).
+    MeanTcr,
+    /// Combined query naturalness (tables 32a–34b, 47a/47b).
+    Combined,
+    /// Proportion of Regular identifiers.
+    PropRegular,
+    /// Proportion of Low identifiers.
+    PropLow,
+    /// Proportion of Least identifiers.
+    PropLeast,
+}
+
+impl TauMeasure {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TauMeasure::MeanTcr => "Mean token-to-character ratio",
+            TauMeasure::Combined => "Query combined naturalness",
+            TauMeasure::PropRegular => "Regular identifier proportion",
+            TauMeasure::PropLow => "Low identifier proportion",
+            TauMeasure::PropLeast => "Least identifier proportion",
+        }
+    }
+
+    fn of(&self, r: &QueryRecord) -> f64 {
+        match self {
+            TauMeasure::MeanTcr => r.measures.mean_tcr,
+            TauMeasure::Combined => r.measures.combined,
+            TauMeasure::PropRegular => r.measures.prop_regular,
+            TauMeasure::PropLow => r.measures.prop_low,
+            TauMeasure::PropLeast => r.measures.prop_least,
+        }
+    }
+}
+
+/// The y-outcomes of the Kendall-τ tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TauOutcome {
+    /// QueryRecall (parse failures excluded).
+    Recall,
+    /// QueryF1.
+    F1,
+    /// QueryPrecision.
+    Precision,
+    /// Execution accuracy (all records).
+    ExecAccuracy,
+}
+
+impl TauOutcome {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TauOutcome::Recall => "Query Recall",
+            TauOutcome::F1 => "Query F1",
+            TauOutcome::Precision => "Query Precision",
+            TauOutcome::ExecAccuracy => "Execution Accuracy",
+        }
+    }
+
+    fn of(&self, r: &QueryRecord) -> Option<f64> {
+        match self {
+            TauOutcome::Recall => r.linking.map(|l| l.recall),
+            TauOutcome::F1 => r.linking.map(|l| l.f1),
+            TauOutcome::Precision => r.linking.map(|l| l.precision),
+            TauOutcome::ExecAccuracy => Some(f64::from(u8::from(r.exec_correct))),
+        }
+    }
+}
+
+/// One Kendall-τ table: per-model correlation between a measure and an
+/// outcome, over native schemas only or all schemas.
+pub fn tau_table(
+    run: &BenchmarkRun,
+    measure: TauMeasure,
+    outcome: TauOutcome,
+    native_only: bool,
+) -> String {
+    let mut table = TextTable::new(&["Model", "Kendall-Tau", "P Value", "n"]);
+    for wf in workflows_in(run) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for r in run.records.iter().filter(|r| {
+            r.workflow == wf && (!native_only || r.variant == SchemaVariant::Native)
+        }) {
+            if let Some(y) = outcome.of(r) {
+                xs.push(measure.of(r));
+                ys.push(y);
+            }
+        }
+        match kendall_tau_b(&xs, &ys) {
+            Some(k) => {
+                table.row(vec![wf.to_owned(), fmt6(k.tau), fmt_p(k.p_value), k.n.to_string()]);
+            }
+            None => {
+                table.row(vec![wf.to_owned(), "n/a".into(), "n/a".into(), xs.len().to_string()]);
+            }
+        }
+    }
+    let scope = if native_only { "Native schemas" } else { "All schemas (native + modified)" };
+    format!(
+        "Kendall-Tau correlations between {} and {} — {}.\n{}",
+        measure.name(),
+        outcome.name(),
+        scope,
+        table.render()
+    )
+}
+
+/// All Kendall-τ tables of the appendix (figures 31a–47b).
+pub fn all_tau_tables(run: &BenchmarkRun) -> String {
+    let mut out = String::new();
+    let combos: Vec<(TauMeasure, TauOutcome)> = vec![
+        (TauMeasure::MeanTcr, TauOutcome::Recall),
+        (TauMeasure::Combined, TauOutcome::Recall),
+        (TauMeasure::Combined, TauOutcome::F1),
+        (TauMeasure::Combined, TauOutcome::Precision),
+        (TauMeasure::PropRegular, TauOutcome::Recall),
+        (TauMeasure::PropLow, TauOutcome::Recall),
+        (TauMeasure::PropLeast, TauOutcome::Recall),
+        (TauMeasure::PropRegular, TauOutcome::F1),
+        (TauMeasure::PropLow, TauOutcome::F1),
+        (TauMeasure::PropLeast, TauOutcome::F1),
+        (TauMeasure::PropRegular, TauOutcome::Precision),
+        (TauMeasure::PropLow, TauOutcome::Precision),
+        (TauMeasure::PropLeast, TauOutcome::Precision),
+        (TauMeasure::PropRegular, TauOutcome::ExecAccuracy),
+        (TauMeasure::PropLow, TauOutcome::ExecAccuracy),
+        (TauMeasure::PropLeast, TauOutcome::ExecAccuracy),
+        (TauMeasure::Combined, TauOutcome::ExecAccuracy),
+    ];
+    for (m, o) in combos {
+        for native_only in [true, false] {
+            out.push_str(&tau_table(run, m, o, native_only));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_benchmark_on, BenchmarkConfig};
+    use snails_llm::{ModelKind, Workflow};
+
+    fn mini_run() -> (Vec<SnailsDatabase>, BenchmarkRun) {
+        let collection = vec![snails_data::build_database("CWO")];
+        let config = BenchmarkConfig {
+            seed: 3,
+            databases: vec!["CWO".into()],
+            variants: vec![SchemaVariant::Native, SchemaVariant::Regular, SchemaVariant::Least],
+            workflows: vec![Workflow::ZeroShot(ModelKind::Gpt35), Workflow::CodeS],
+        };
+        let run = run_benchmark_on(&collection, &config);
+        (collection, run)
+    }
+
+    #[test]
+    fn figure8_has_model_rows() {
+        let (_, run) = mini_run();
+        let f = figure8(&run);
+        assert!(f.contains("gpt-3.5"));
+        assert!(f.contains("CodeS"));
+        assert!(f.contains("Native"));
+    }
+
+    #[test]
+    fn figure9_has_level_columns() {
+        let (collection, run) = mini_run();
+        let f = figure9(&run, &collection);
+        assert!(f.contains("Regular recall"));
+        assert!(f.contains("±"));
+    }
+
+    #[test]
+    fn figure10_and_11_render() {
+        let (_, run) = mini_run();
+        assert!(figure10(&run).contains("QueryRecall"));
+        let f11 = figure11(&run, &["CWO"]);
+        assert!(f11.contains("[CWO]"));
+    }
+
+    #[test]
+    fn figure12_shows_codes_subsetting() {
+        let (_, run) = mini_run();
+        let f = figure12(&run);
+        assert!(f.contains("CodeS"));
+        assert!(f.contains("Recall"));
+    }
+
+    #[test]
+    fn figure30_includes_combined_score() {
+        let (collection, run) = mini_run();
+        let f = figure30(&run, &collection);
+        assert!(f.contains("CWO (0.8"), "{f}");
+    }
+
+    #[test]
+    fn tau_tables_have_expected_signs() {
+        let (_, run) = mini_run();
+        // Least proportion should correlate NEGATIVELY with recall.
+        let t = tau_table(&run, TauMeasure::PropLeast, TauOutcome::Recall, false);
+        let first_tau: f64 = t
+            .lines()
+            .nth(3)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::NAN);
+        assert!(first_tau < 0.0, "{t}");
+        // Combined naturalness should correlate POSITIVELY.
+        let t2 = tau_table(&run, TauMeasure::Combined, TauOutcome::Recall, false);
+        let tau2: f64 = t2
+            .lines()
+            .nth(3)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::NAN);
+        assert!(tau2 > 0.0, "{t2}");
+    }
+
+    #[test]
+    fn all_tau_tables_render_34_tables() {
+        let (_, run) = mini_run();
+        let all = all_tau_tables(&run);
+        assert_eq!(all.matches("Kendall-Tau correlations").count(), 34);
+    }
+}

@@ -1,0 +1,600 @@
+//! Database construction: core tables, filler schema, rows, crosswalk, and
+//! the data dictionary.
+
+use crate::concept::Concept;
+use crate::core_schema::{CoreHandles, CoreRole};
+use crate::pools::DomainVocab;
+use crate::spec::DbSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snails_engine::{DataType, Database, TableSchema, Value};
+use snails_modify::crosswalk::{Crosswalk, CrosswalkEntry};
+use snails_naturalness::Naturalness;
+use std::collections::HashMap;
+
+/// Number of core columns (5 core tables).
+pub const CORE_COLUMNS: usize = 23;
+/// Number of core tables.
+pub const CORE_TABLES: usize = 5;
+
+/// Row-count profile of the populated core instance.
+pub const ENTITY_ROWS: usize = 16;
+/// See [`ENTITY_ROWS`].
+pub const EVENT_ROWS: usize = 240;
+
+/// Everything the builder produces besides questions.
+pub struct BuiltSchema {
+    /// The populated engine database (native identifiers).
+    pub db: Database,
+    /// Core table/column handles.
+    pub core: CoreHandles,
+    /// The Artifact-4 crosswalk over every schema identifier.
+    pub crosswalk: Crosswalk,
+    /// Generated data dictionary text (expander metadata).
+    pub data_dictionary: String,
+    /// Module assignment per table (used by SBOD; single module otherwise).
+    pub modules: Vec<(String, Vec<String>)>,
+    /// Literal values present in the instance, for gold-query parameters.
+    pub literals: InstanceLiterals,
+}
+
+/// Literal values guaranteed present in the generated instance.
+#[derive(Debug, Clone)]
+pub struct InstanceLiterals {
+    /// Entity categories in use.
+    pub categories: Vec<String>,
+    /// Event statuses in use.
+    pub statuses: Vec<String>,
+    /// Location regions in use.
+    pub regions: Vec<String>,
+    /// Location codes in use.
+    pub location_codes: Vec<String>,
+    /// Entity codes with at least one event.
+    pub active_entity_codes: Vec<String>,
+    /// Years covered by event dates.
+    pub years: Vec<i64>,
+    /// Detail conditions in use.
+    pub conditions: Vec<String>,
+    /// Subdetail grades in use.
+    pub grades: Vec<String>,
+}
+
+/// Draw a naturalness level from Figure 5 proportions.
+pub fn sample_level(rng: &mut StdRng, proportions: [f64; 3]) -> Naturalness {
+    let x: f64 = rng.gen();
+    if x < proportions[0] {
+        Naturalness::Regular
+    } else if x < proportions[0] + proportions[1] {
+        Naturalness::Low
+    } else {
+        Naturalness::Least
+    }
+}
+
+/// Build the full schema + instance for a spec.
+pub fn build_schema(spec: &DbSpec) -> BuiltSchema {
+    let vocab = spec.domain.vocab();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // --- Core concepts -----------------------------------------------------
+    let proportions = spec.proportions;
+    let core = {
+        let rng = &mut rng;
+        CoreHandles::build(&vocab, move || sample_level(rng, proportions))
+    };
+
+    // Concept registry: native name → concept (collision-safe generation).
+    let mut registry: HashMap<String, Concept> = HashMap::new();
+    let mut entries: Vec<CrosswalkEntry> = Vec::new();
+    let register = |c: &Concept, is_table: bool, entries: &mut Vec<CrosswalkEntry>,
+                        registry: &mut HashMap<String, Concept>|
+     -> bool {
+        let native = c.native();
+        match registry.get(&native.to_ascii_uppercase()) {
+            Some(existing) => existing.words == c.words,
+            None => {
+                registry.insert(native.to_ascii_uppercase(), c.clone());
+                entries.push(c.crosswalk_entry(is_table));
+                true
+            }
+        }
+    };
+
+    for (role, concept) in core.distinct_concepts() {
+        register(concept, role.is_table(), &mut entries, &mut registry);
+    }
+
+    // --- Core table schemas -------------------------------------------------
+    let mut db = Database::new(spec.name);
+    let n = |r: CoreRole| core.native(r);
+    db.create_table(
+        TableSchema::new(&n(CoreRole::EntityTable))
+            .column(&n(CoreRole::EntityCode), DataType::Varchar)
+            .column(&n(CoreRole::EntityName), DataType::Varchar)
+            .column(&n(CoreRole::EntityCategory), DataType::Varchar)
+            .column(&n(CoreRole::EntityScore), DataType::Float),
+    );
+    db.create_table(
+        TableSchema::new(&n(CoreRole::LocationTable))
+            .column(&n(CoreRole::LocCode), DataType::Varchar)
+            .column(&n(CoreRole::LocName), DataType::Varchar)
+            .column(&n(CoreRole::LocType), DataType::Varchar)
+            .column(&n(CoreRole::LocRegion), DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new(&n(CoreRole::EventTable))
+            .column(&n(CoreRole::EventId), DataType::Int)
+            .column(&n(CoreRole::EventEntityCode), DataType::Varchar)
+            .column(&n(CoreRole::EventLocCode), DataType::Varchar)
+            .column(&n(CoreRole::EventDate), DataType::Date)
+            .column(&n(CoreRole::EventTotal), DataType::Int)
+            .column(&n(CoreRole::EventStatus), DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new(&n(CoreRole::DetailTable))
+            .column(&n(CoreRole::DetailEventId), DataType::Int)
+            .column(&n(CoreRole::DetailNo), DataType::Int)
+            .column(&n(CoreRole::DetailAmount), DataType::Int)
+            .column(&n(CoreRole::DetailCondition), DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new(&n(CoreRole::SubdetailTable))
+            .column(&n(CoreRole::SubEventId), DataType::Int)
+            .column(&n(CoreRole::SubDetailNo), DataType::Int)
+            .column(&n(CoreRole::SubSeq), DataType::Int)
+            .column(&n(CoreRole::SubValue), DataType::Float)
+            .column(&n(CoreRole::SubGrade), DataType::Varchar),
+    );
+
+    // --- Filler tables -------------------------------------------------------
+    let filler_tables = spec.tables.saturating_sub(CORE_TABLES);
+    let filler_columns = spec.columns.saturating_sub(CORE_COLUMNS);
+    let per_table = filler_columns.checked_div(filler_tables).unwrap_or(0);
+    let mut remainder = filler_columns.saturating_sub(per_table * filler_tables);
+
+    // Candidate filler table names: noun×suffix, then modifier×noun×suffix.
+    let mut table_candidates: Vec<Vec<&str>> = Vec::new();
+    for noun in vocab.table_nouns {
+        for suffix in vocab.table_suffixes {
+            table_candidates.push(vec![noun, suffix]);
+        }
+    }
+    for modifier in vocab.table_modifiers {
+        for noun in vocab.table_nouns {
+            for suffix in vocab.table_suffixes {
+                table_candidates.push(vec![modifier, noun, suffix]);
+            }
+        }
+    }
+
+    let mut created = 0usize;
+    let mut candidate_iter = table_candidates.iter();
+    while created < filler_tables {
+        let Some(words) = candidate_iter.next() else {
+            panic!(
+                "{}: filler table pool exhausted at {created}/{filler_tables}",
+                spec.name
+            );
+        };
+        let level = sample_level(&mut rng, proportions);
+        // §6 "other naming patterns": NPS-style schemas occasionally embed
+        // the word `table` in table names (`table_employee`, `tbl_...`) — a
+        // pattern the paper flags because some LLMs drop the word during
+        // inference.
+        let mut words_vec: Vec<&str> = words.clone();
+        if matches!(
+            spec.domain,
+            crate::pools::Domain::Herps
+                | crate::pools::Domain::Vegetation
+                | crate::pools::Domain::Wildlife
+                | crate::pools::Domain::Invasive
+                | crate::pools::Domain::Fire
+                | crate::pools::Domain::Birds
+        ) && words_vec.len() == 2
+            && rng.gen::<f64>() < 0.22
+        {
+            words_vec.insert(0, "table");
+        }
+        let concept = Concept::new(&words_vec, vocab.style, level);
+        if !register(&concept, true, &mut entries, &mut registry) {
+            continue;
+        }
+        let native_table = concept.native();
+        // If the generated table name collides with a core table, skip.
+        if db.table(&native_table).is_some() {
+            continue;
+        }
+
+        let mut cols = per_table;
+        if remainder > 0 {
+            cols += 1;
+            remainder -= 1;
+        }
+        let mut schema = TableSchema::new(&native_table);
+        let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let mut attr_idx = rng.gen_range(0..vocab.column_attrs.len());
+        let mut qual_idx = rng.gen_range(0..vocab.column_qualifiers.len());
+        let mut attempts = 0usize;
+        while schema.columns.len() < cols {
+            attempts += 1;
+            assert!(
+                attempts < 10_000,
+                "{}: column pool exhausted for table {native_table}",
+                spec.name
+            );
+            let attr = vocab.column_attrs[attr_idx % vocab.column_attrs.len()];
+            let words: Vec<&str> = if schema.columns.len() < vocab.column_attrs.len() / 2 {
+                vec![attr]
+            } else {
+                let qual = vocab.column_qualifiers[qual_idx % vocab.column_qualifiers.len()];
+                qual_idx += 1;
+                vec![qual, attr]
+            };
+            attr_idx += 1;
+            let level = sample_level(&mut rng, proportions);
+            // §3.1: a sliver of real-world identifiers contain whitespace
+            // (the paper found 148 of ~19,000, <1%); they exercise the
+            // bracket-quoting path end to end.
+            let style = if rng.gen::<f64>() < 0.008 {
+                snails_modify::abbrev::RenderStyle::Spaced
+            } else {
+                vocab.style
+            };
+            let concept = Concept::new(&words, style, level);
+            let native = concept.native();
+            if !used.insert(native.to_ascii_uppercase()) {
+                continue;
+            }
+            if !register(&concept, false, &mut entries, &mut registry) {
+                continue;
+            }
+            let ty = match attr {
+                "date" | "year" => DataType::Date,
+                "count" | "total" | "number" | "quantity" | "age" => DataType::Int,
+                "value" | "amount" | "rate" | "score" | "percent" | "price" => DataType::Float,
+                _ => DataType::Varchar,
+            };
+            schema = schema.column(&native, ty);
+        }
+        db.create_table(schema);
+        created += 1;
+    }
+
+    // --- Rows ---------------------------------------------------------------
+    let literals = populate_core(&mut db, &core, &vocab, &mut rng);
+
+    // --- Modules (Table 4 support) -------------------------------------------
+    let modules = assign_modules(spec, &db, &core);
+
+    // --- Data dictionary -----------------------------------------------------
+    let data_dictionary = build_data_dictionary(spec, &entries, &registry);
+
+    BuiltSchema {
+        db,
+        core,
+        crosswalk: Crosswalk::new(entries),
+        data_dictionary,
+        modules,
+        literals,
+    }
+}
+
+fn populate_core(
+    db: &mut Database,
+    core: &CoreHandles,
+    vocab: &DomainVocab,
+    rng: &mut StdRng,
+) -> InstanceLiterals {
+    let entity_table = core.native(CoreRole::EntityTable);
+    let location_table = core.native(CoreRole::LocationTable);
+    let event_table = core.native(CoreRole::EventTable);
+    let detail_table = core.native(CoreRole::DetailTable);
+    let subdetail_table = core.native(CoreRole::SubdetailTable);
+
+    // Entities: pool names extended with numbered variants; the final two
+    // entities never appear in events (NOT EXISTS support).
+    let mut entity_codes = Vec::new();
+    for i in 0..ENTITY_ROWS {
+        let code = format!("E{:02}", i + 1);
+        let name = if i < vocab.entity_names.len() {
+            vocab.entity_names[i].to_owned()
+        } else {
+            format!("{} {}", vocab.entity_names[i % vocab.entity_names.len()], i + 1)
+        };
+        let category = vocab.categories[i % vocab.categories.len()].to_owned();
+        let score = 1.0 + (i as f64 * 7.3) % 9.0;
+        db.insert(
+            &entity_table,
+            vec![
+                Value::from(code.clone()),
+                Value::from(name),
+                Value::from(category),
+                Value::Float((score * 10.0).round() / 10.0),
+            ],
+        )
+        .expect("entity arity");
+        entity_codes.push(code);
+    }
+
+    // Locations: 12 sites cycling through every region (so every region
+    // literal used by the question templates has locations and events).
+    let loc_types = ["field", "forest", "shore", "ridge"];
+    let mut location_codes = Vec::new();
+    for i in 0..12usize {
+        let region = vocab.regions[i % vocab.regions.len()];
+        let ty = loc_types[(i / vocab.regions.len()) % loc_types.len()];
+        let code = format!("L{:02}", i + 1);
+        db.insert(
+            &location_table,
+            vec![
+                Value::from(code.clone()),
+                Value::from(format!("{region} {ty}")),
+                Value::from(ty),
+                Value::from(region),
+            ],
+        )
+        .expect("location arity");
+        location_codes.push(code);
+    }
+
+    // Events: round-robin over entities (minus the NOT EXISTS holdouts),
+    // locations, statuses, and years, so every literal combination occurs.
+    let active_entities = &entity_codes[..entity_codes.len() - 2];
+    let years: Vec<i64> = vec![2019, 2020, 2021, 2022];
+    for i in 0..EVENT_ROWS {
+        let id = 1001 + i as i64;
+        let entity = &active_entities[i % active_entities.len()];
+        let loc = &location_codes[i % location_codes.len()];
+        let year = years[i % years.len()];
+        let month = 1 + (i % 12);
+        let day = 1 + (i % 28);
+        let date = format!("{year}-{month:02}-{day:02}");
+        let total = 1 + ((i as i64 * 13) % 40) + rng.gen_range(0..3);
+        let status = vocab.statuses[i % vocab.statuses.len()];
+        db.insert(
+            &event_table,
+            vec![
+                Value::Int(id),
+                Value::from(entity.clone()),
+                Value::from(loc.clone()),
+                Value::from(date),
+                Value::Int(total),
+                Value::from(status),
+            ],
+        )
+        .expect("event arity");
+    }
+
+    // Details: first 120 events get 1–3 detail rows.
+    let conditions = ["good", "fair", "poor"];
+    let mut detail_keys = Vec::new();
+    for i in 0..120usize {
+        let event_id = 1001 + i as i64;
+        let n_details = 1 + (i % 3);
+        for d in 0..n_details {
+            let amount = 1 + ((i + d) as i64 * 7) % 25;
+            let condition = conditions[(i + d) % conditions.len()];
+            db.insert(
+                &detail_table,
+                vec![
+                    Value::Int(event_id),
+                    Value::Int(d as i64 + 1),
+                    Value::Int(amount),
+                    Value::from(condition),
+                ],
+            )
+            .expect("detail arity");
+            detail_keys.push((event_id, d as i64 + 1));
+        }
+    }
+
+    // Subdetails: one or two per detail row.
+    let grades = ["A", "B", "C", "D"];
+    for (i, (event_id, detail_no)) in detail_keys.iter().enumerate() {
+        let n_sub = 1 + (i % 2);
+        for s in 0..n_sub {
+            let value = ((i + s) as f64 * 3.7) % 50.0;
+            db.insert(
+                &subdetail_table,
+                vec![
+                    Value::Int(*event_id),
+                    Value::Int(*detail_no),
+                    Value::Int(s as i64 + 1),
+                    Value::Float((value * 10.0).round() / 10.0),
+                    Value::from(grades[(i + s) % grades.len()]),
+                ],
+            )
+            .expect("subdetail arity");
+        }
+    }
+
+    InstanceLiterals {
+        categories: vocab.categories.iter().map(|s| s.to_string()).collect(),
+        statuses: vocab.statuses.iter().map(|s| s.to_string()).collect(),
+        regions: vocab.regions.iter().map(|s| s.to_string()).collect(),
+        location_codes,
+        active_entity_codes: active_entities.to_vec(),
+        years,
+        conditions: conditions.iter().map(|s| s.to_string()).collect(),
+        grades: grades.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Assign tables to modules. SBOD uses the Table 4 module names with the
+/// core tables in "General"; everything else is a single module.
+fn assign_modules(
+    spec: &DbSpec,
+    db: &Database,
+    core: &CoreHandles,
+) -> Vec<(String, Vec<String>)> {
+    let core_tables: std::collections::HashSet<String> = CoreRole::ALL
+        .iter()
+        .filter(|r| r.is_table())
+        .map(|r| core.native(*r).to_ascii_uppercase())
+        .collect();
+    if spec.name != "SBOD" {
+        return vec![(
+            "Main".to_owned(),
+            db.tables().map(|t| t.schema.name.clone()).collect(),
+        )];
+    }
+    // Table 4 module names.
+    let module_names = [
+        "Banking",
+        "Business Partners",
+        "Finance",
+        "General",
+        "Human Resources",
+        "Inventory and Prod.",
+        "Reports",
+        "Sales Opportunities",
+        "Service",
+    ];
+    let mut modules: Vec<(String, Vec<String>)> = module_names
+        .iter()
+        .map(|m| ((*m).to_owned(), Vec::new()))
+        .collect();
+    let general = 3usize;
+    let mut next = 0usize;
+    for t in db.tables() {
+        let name = t.schema.name.clone();
+        if core_tables.contains(&name.to_ascii_uppercase()) {
+            modules[general].1.push(name);
+        } else {
+            // Keep General smaller (it already holds the queried core).
+            if next % module_names.len() == general {
+                next += 1;
+            }
+            modules[next % module_names.len()].1.push(name);
+            next += 1;
+        }
+    }
+    modules
+}
+
+fn build_data_dictionary(
+    spec: &DbSpec,
+    entries: &[CrosswalkEntry],
+    registry: &HashMap<String, Concept>,
+) -> String {
+    let mut doc = String::new();
+    doc.push_str(&format!(
+        "Data dictionary for the {} database ({}).\n",
+        spec.name, spec.org
+    ));
+    for e in entries {
+        let concept = &registry[&e.native.to_ascii_uppercase()];
+        let kind = if e.is_table { "table" } else { "column" };
+        doc.push_str(&format!(
+            "{}: the {} {} recorded in this dataset\n",
+            e.native,
+            concept.phrase(),
+            kind
+        ));
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::spec;
+
+    fn asis() -> BuiltSchema {
+        build_schema(spec("ASIS").unwrap())
+    }
+
+    #[test]
+    fn table_and_column_counts_match_spec() {
+        let s = spec("ASIS").unwrap();
+        let built = asis();
+        assert_eq!(built.db.table_count(), s.tables);
+        assert_eq!(built.db.column_count(), s.columns);
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let a = asis();
+        let b = asis();
+        assert_eq!(a.db.identifier_names(), b.db.identifier_names());
+        assert_eq!(a.crosswalk, b.crosswalk);
+    }
+
+    #[test]
+    fn core_tables_populated() {
+        let built = asis();
+        let event_table = built.core.native(CoreRole::EventTable);
+        let t = built.db.table(&event_table).expect("event table exists");
+        assert_eq!(t.row_count(), EVENT_ROWS);
+    }
+
+    #[test]
+    fn crosswalk_covers_schema() {
+        let built = asis();
+        for name in built.db.identifier_names() {
+            assert!(
+                built.crosswalk.entry(&name).is_some(),
+                "no crosswalk entry for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn crosswalk_native_matches_schema() {
+        let built = asis();
+        for e in built.crosswalk.entries() {
+            assert_eq!(
+                e.rendering(snails_naturalness::category::SchemaVariant::Native),
+                e.native
+            );
+            // Entry at native level equals the native spelling.
+            assert_eq!(e.renderings[e.native_level.index()], e.native);
+        }
+    }
+
+    #[test]
+    fn combined_naturalness_near_target() {
+        let s = spec("ASIS").unwrap();
+        let built = asis();
+        let labels: Vec<_> = built
+            .db
+            .identifier_names()
+            .iter()
+            .map(|n| built.crosswalk.entry(n).unwrap().native_level)
+            .collect();
+        let combined = snails_naturalness::combined_naturalness(labels);
+        assert!(
+            (combined - s.target_combined()).abs() < 0.06,
+            "combined {combined} vs target {}",
+            s.target_combined()
+        );
+    }
+
+    #[test]
+    fn holdout_entities_have_no_events() {
+        let built = asis();
+        let entity_table = built.core.native(CoreRole::EntityTable);
+        let code_col = built.core.native(CoreRole::EntityCode);
+        let event_table = built.core.native(CoreRole::EventTable);
+        let sql = format!(
+            "SELECT COUNT(*) FROM {entity_table} e WHERE NOT EXISTS \
+             (SELECT 1 FROM {event_table} o WHERE o.{code_col} = e.{code_col})"
+        );
+        let rs = snails_engine::run_sql(&built.db, &sql).unwrap();
+        assert_eq!(rs.scalar().and_then(Value::as_i64), Some(2));
+    }
+
+    #[test]
+    fn data_dictionary_mentions_identifiers() {
+        let built = asis();
+        let entity_name = built.core.native(CoreRole::EntityName);
+        assert!(built.data_dictionary.contains(&entity_name));
+    }
+
+    #[test]
+    fn single_module_for_non_sbod() {
+        let built = asis();
+        assert_eq!(built.modules.len(), 1);
+        assert_eq!(built.modules[0].1.len(), built.db.table_count());
+    }
+}

@@ -1,0 +1,159 @@
+//! Semantic identifier concepts.
+//!
+//! Every identifier in a SNAILS database is generated from a *concept*: the
+//! sequence of English words naming the thing, a rendering style, and the
+//! identifier's Native naturalness level. Renderings at each level derive
+//! deterministically from the words via the Artifact-5 abbreviator, so the
+//! benchmark gets a perfect Artifact-4 crosswalk (the paper's was
+//! human-validated) and ground-truth labels for classifier training.
+
+use snails_modify::abbrev::{abbreviate_word, RenderStyle};
+use snails_modify::crosswalk::CrosswalkEntry;
+use snails_naturalness::Naturalness;
+
+/// A semantic identifier concept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    /// The English words naming the concept, lowercase.
+    pub words: Vec<String>,
+    /// Rendering style of the identifier in the source schema.
+    pub style: RenderStyle,
+    /// The Native identifier's naturalness level.
+    pub native_level: Naturalness,
+}
+
+impl Concept {
+    /// Build from word list.
+    pub fn new(words: &[&str], style: RenderStyle, native_level: Naturalness) -> Self {
+        Concept {
+            words: words.iter().map(|w| w.to_ascii_lowercase()).collect(),
+            style,
+            native_level,
+        }
+    }
+
+    /// Word parts at a naturalness level.
+    ///
+    /// Regular keeps every word; Least abbreviates every word; Low mirrors
+    /// real-world partial abbreviation (`AccountChk`, `IsueFrDate`): odd
+    /// positions and long words are abbreviated, the rest stay full — which
+    /// also reproduces the Figure 2 property that Low identifiers have an
+    /// intermediate mean token-in-dictionary.
+    fn parts(&self, level: Naturalness) -> Vec<String> {
+        match level {
+            Naturalness::Regular => self.words.clone(),
+            Naturalness::Least => self
+                .words
+                .iter()
+                .map(|w| abbreviate_word(w, Naturalness::Least))
+                .collect(),
+            Naturalness::Low => {
+                if self.words.len() == 1 {
+                    return vec![abbreviate_word(&self.words[0], Naturalness::Low)];
+                }
+                self.words
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| {
+                        if i % 2 == 1 || w.len() > 8 {
+                            abbreviate_word(w, Naturalness::Low)
+                        } else {
+                            w.clone()
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The identifier rendered at a naturalness level.
+    pub fn rendering(&self, level: Naturalness) -> String {
+        let parts = self.parts(level);
+        match level {
+            // Regular renderings are always snake_case full words: this is
+            // what the expander produces and what the natural views expose.
+            Naturalness::Regular => RenderStyle::Snake.join(&parts),
+            _ => self.style.join(&parts),
+        }
+    }
+
+    /// The identifier as it exists in the source schema.
+    pub fn native(&self) -> String {
+        // Native keeps the schema's own style even at Regular level.
+        self.style.join(&self.parts(self.native_level))
+    }
+
+    /// The Regular-naturalness phrase used in NL questions ("vegetation
+    /// height").
+    pub fn phrase(&self) -> String {
+        self.words.join(" ")
+    }
+
+    /// Crosswalk entry for this concept.
+    pub fn crosswalk_entry(&self, is_table: bool) -> CrosswalkEntry {
+        let native = self.native();
+        let mut renderings = [
+            self.rendering(Naturalness::Regular),
+            self.rendering(Naturalness::Low),
+            self.rendering(Naturalness::Least),
+        ];
+        // The native identifier maps to itself at its own level (§2.3).
+        renderings[self.native_level.index()] = native.clone();
+        CrosswalkEntry { native, native_level: self.native_level, renderings, is_table }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderings_per_level() {
+        let c = Concept::new(
+            &["vegetation", "height"],
+            RenderStyle::Pascal,
+            Naturalness::Low,
+        );
+        assert_eq!(c.rendering(Naturalness::Regular), "vegetation_height");
+        assert_eq!(c.rendering(Naturalness::Least), "VgHt");
+        assert_eq!(c.native(), c.rendering(Naturalness::Low));
+        assert_eq!(c.phrase(), "vegetation height");
+    }
+
+    #[test]
+    fn native_regular_keeps_style() {
+        let c = Concept::new(&["model", "year"], RenderStyle::Pascal, Naturalness::Regular);
+        assert_eq!(c.native(), "ModelYear");
+        // But the Regular *rendering* (used by virtual schemas and natural
+        // views) is snake_case.
+        assert_eq!(c.rendering(Naturalness::Regular), "model_year");
+    }
+
+    #[test]
+    fn crosswalk_entry_self_maps_native_level() {
+        let c = Concept::new(&["service", "name"], RenderStyle::Snake, Naturalness::Regular);
+        let e = c.crosswalk_entry(false);
+        assert_eq!(e.native, "service_name");
+        assert_eq!(e.renderings[Naturalness::Regular.index()], "service_name");
+        assert_eq!(e.native_level, Naturalness::Regular);
+        assert!(!e.is_table);
+    }
+
+    #[test]
+    fn least_native_concept() {
+        let c = Concept::new(
+            &["default", "slope"],
+            RenderStyle::Pascal,
+            Naturalness::Least,
+        );
+        let native = c.native();
+        assert!(native.len() <= 8, "{native}");
+        assert_eq!(c.crosswalk_entry(false).renderings[2], native);
+    }
+
+    #[test]
+    fn word_normalization() {
+        let c = Concept::new(&["Species", "CODE"], RenderStyle::Snake, Naturalness::Regular);
+        assert_eq!(c.words, vec!["species", "code"]);
+    }
+}

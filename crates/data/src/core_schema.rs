@@ -1,0 +1,268 @@
+//! The core star schema shared by all nine databases.
+//!
+//! Gold queries run against five *core* tables present in every database
+//! (with domain-flavoured names): an entity lookup, a location lookup, an
+//! event fact table, a composite-keyed detail table, and a composite-keyed
+//! subdetail table. The remaining tables of each database are schema
+//! *filler* — realistic distractors that match the paper's table/column
+//! counts and naturalness mix but hold no benchmark data (mirroring the
+//! paper's pruning of empty SBOD tables).
+
+use crate::concept::Concept;
+use crate::pools::DomainVocab;
+use snails_naturalness::Naturalness;
+use std::collections::BTreeMap;
+
+/// Roles of the core tables and columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum CoreRole {
+    // Tables.
+    EntityTable,
+    LocationTable,
+    EventTable,
+    DetailTable,
+    SubdetailTable,
+    // Entity columns.
+    EntityCode,
+    EntityName,
+    EntityCategory,
+    EntityScore,
+    // Location columns.
+    LocCode,
+    LocName,
+    LocType,
+    LocRegion,
+    // Event columns.
+    EventId,
+    EventEntityCode,
+    EventLocCode,
+    EventDate,
+    EventTotal,
+    EventStatus,
+    // Detail columns (composite key: EventId + DetailNo).
+    DetailEventId,
+    DetailNo,
+    DetailAmount,
+    DetailCondition,
+    // Subdetail columns (composite key: EventId + DetailNo).
+    SubEventId,
+    SubDetailNo,
+    SubSeq,
+    SubValue,
+    SubGrade,
+}
+
+impl CoreRole {
+    /// All roles.
+    pub const ALL: [CoreRole; 28] = [
+        CoreRole::EntityTable,
+        CoreRole::LocationTable,
+        CoreRole::EventTable,
+        CoreRole::DetailTable,
+        CoreRole::SubdetailTable,
+        CoreRole::EntityCode,
+        CoreRole::EntityName,
+        CoreRole::EntityCategory,
+        CoreRole::EntityScore,
+        CoreRole::LocCode,
+        CoreRole::LocName,
+        CoreRole::LocType,
+        CoreRole::LocRegion,
+        CoreRole::EventId,
+        CoreRole::EventEntityCode,
+        CoreRole::EventLocCode,
+        CoreRole::EventDate,
+        CoreRole::EventTotal,
+        CoreRole::EventStatus,
+        CoreRole::DetailEventId,
+        CoreRole::DetailNo,
+        CoreRole::DetailAmount,
+        CoreRole::DetailCondition,
+        CoreRole::SubEventId,
+        CoreRole::SubDetailNo,
+        CoreRole::SubSeq,
+        CoreRole::SubValue,
+        CoreRole::SubGrade,
+    ];
+
+    /// True for the five table roles.
+    pub fn is_table(&self) -> bool {
+        matches!(
+            self,
+            CoreRole::EntityTable
+                | CoreRole::LocationTable
+                | CoreRole::EventTable
+                | CoreRole::DetailTable
+                | CoreRole::SubdetailTable
+        )
+    }
+}
+
+/// Resolved core concepts for one database.
+#[derive(Debug, Clone)]
+pub struct CoreHandles {
+    concepts: BTreeMap<CoreRole, Concept>,
+}
+
+/// Last word of a multi-word noun ("plant species" → "species").
+fn head(noun: &str) -> &str {
+    noun.rsplit(' ').next().unwrap_or(noun)
+}
+
+impl CoreHandles {
+    /// Build core concepts from the domain vocabulary. `level_for` assigns
+    /// each concept's native naturalness (drawn from the database's Figure 5
+    /// proportions by the caller).
+    pub fn build(vocab: &DomainVocab, mut level_for: impl FnMut() -> Naturalness) -> Self {
+        let n = vocab.nouns;
+        let entity = head(n.entity);
+        let event = head(n.event);
+        let location = head(n.location);
+        let detail = head(n.detail);
+        let sub = head(n.subdetail);
+
+        let style = vocab.style;
+        let mut concepts = BTreeMap::new();
+        let mut add = |role: CoreRole, words: Vec<&str>| {
+            concepts.insert(role, Concept::new(&words, style, level_for()));
+        };
+
+        add(CoreRole::EntityTable, n.entity.split(' ').collect());
+        add(CoreRole::LocationTable, n.location.split(' ').collect());
+        add(CoreRole::EventTable, n.event.split(' ').collect());
+        add(CoreRole::DetailTable, n.detail.split(' ').collect());
+        add(CoreRole::SubdetailTable, n.subdetail.split(' ').collect());
+
+        add(CoreRole::EntityCode, vec![entity, "code"]);
+        add(CoreRole::EntityName, vec![entity, "name"]);
+        add(CoreRole::EntityCategory, vec![entity, "category"]);
+        add(CoreRole::EntityScore, vec![entity, "score"]);
+
+        add(CoreRole::LocCode, vec![location, "code"]);
+        add(CoreRole::LocName, vec![location, "name"]);
+        add(CoreRole::LocType, vec![location, "type"]);
+        add(CoreRole::LocRegion, vec![location, "region"]);
+
+        add(CoreRole::EventId, vec![event, "number"]);
+        add(CoreRole::EventEntityCode, vec![entity, "code"]);
+        add(CoreRole::EventLocCode, vec![location, "code"]);
+        add(CoreRole::EventDate, vec![event, "date"]);
+        add(CoreRole::EventTotal, vec![event, "total"]);
+        add(CoreRole::EventStatus, vec![event, "status"]);
+
+        add(CoreRole::DetailEventId, vec![event, "number"]);
+        add(CoreRole::DetailNo, vec![detail, "number"]);
+        add(CoreRole::DetailAmount, vec![detail, "amount"]);
+        add(CoreRole::DetailCondition, vec![detail, "condition"]);
+
+        add(CoreRole::SubEventId, vec![event, "number"]);
+        add(CoreRole::SubDetailNo, vec![detail, "number"]);
+        add(CoreRole::SubSeq, vec![sub, "sequence"]);
+        add(CoreRole::SubValue, vec![sub, "value"]);
+        add(CoreRole::SubGrade, vec![sub, "grade"]);
+
+        // Foreign keys must spell exactly like the keys they reference so
+        // the generated join predicates stay semantically coherent; copy the
+        // referenced concepts (same words AND same level → same identifier).
+        let copy_pairs = [
+            (CoreRole::EntityCode, CoreRole::EventEntityCode),
+            (CoreRole::LocCode, CoreRole::EventLocCode),
+            (CoreRole::EventId, CoreRole::DetailEventId),
+            (CoreRole::EventId, CoreRole::SubEventId),
+            (CoreRole::DetailNo, CoreRole::SubDetailNo),
+        ];
+        for (from, to) in copy_pairs {
+            let c = concepts[&from].clone();
+            concepts.insert(to, c);
+        }
+
+        CoreHandles { concepts }
+    }
+
+    /// The concept filling a role.
+    pub fn concept(&self, role: CoreRole) -> &Concept {
+        &self.concepts[&role]
+    }
+
+    /// The native identifier for a role.
+    pub fn native(&self, role: CoreRole) -> String {
+        self.concepts[&role].native()
+    }
+
+    /// The Regular NL phrase for a role.
+    pub fn phrase(&self, role: CoreRole) -> String {
+        self.concepts[&role].phrase()
+    }
+
+    /// All distinct concepts (for crosswalk construction), keyed by native
+    /// name.
+    pub fn distinct_concepts(&self) -> Vec<(&CoreRole, &Concept)> {
+        let mut seen = std::collections::HashSet::new();
+        self.concepts
+            .iter()
+            .filter(|(_, c)| seen.insert(c.native()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pools::Domain;
+
+    fn handles() -> CoreHandles {
+        let vocab = Domain::Vegetation.vocab();
+        CoreHandles::build(&vocab, || Naturalness::Regular)
+    }
+
+    #[test]
+    fn foreign_keys_match_referenced_keys() {
+        let h = handles();
+        assert_eq!(h.native(CoreRole::EntityCode), h.native(CoreRole::EventEntityCode));
+        assert_eq!(h.native(CoreRole::EventId), h.native(CoreRole::DetailEventId));
+        assert_eq!(h.native(CoreRole::DetailNo), h.native(CoreRole::SubDetailNo));
+    }
+
+    #[test]
+    fn table_roles_flagged() {
+        assert!(CoreRole::EntityTable.is_table());
+        assert!(!CoreRole::EntityCode.is_table());
+        let tables = CoreRole::ALL.iter().filter(|r| r.is_table()).count();
+        assert_eq!(tables, 5);
+    }
+
+    #[test]
+    fn phrases_are_regular_words() {
+        let h = handles();
+        assert_eq!(h.phrase(CoreRole::EntityTable), "plant species");
+        assert_eq!(h.phrase(CoreRole::EventDate), "visit date");
+    }
+
+    #[test]
+    fn multi_word_nouns_use_head_for_columns() {
+        let h = handles();
+        // entity noun "plant species" → columns keyed on "species".
+        assert_eq!(h.phrase(CoreRole::EntityCode), "species code");
+    }
+
+    #[test]
+    fn distinct_concepts_dedup_fk_copies() {
+        let h = handles();
+        let distinct = h.distinct_concepts().len();
+        // 28 roles minus 5 FK copies = 23 distinct concepts... unless the
+        // domain nouns collide; Vegetation does not collide.
+        assert_eq!(distinct, 23);
+    }
+
+    #[test]
+    fn levels_affect_native_names() {
+        let vocab = Domain::Vegetation.vocab();
+        let least = CoreHandles::build(&vocab, || Naturalness::Least);
+        let regular = CoreHandles::build(&vocab, || Naturalness::Regular);
+        assert_ne!(
+            least.native(CoreRole::EntityName),
+            regular.native(CoreRole::EntityName)
+        );
+    }
+}

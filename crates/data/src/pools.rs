@@ -1,0 +1,373 @@
+//! Domain vocabulary pools.
+//!
+//! Each SNAILS database draws its identifier concepts, entity names, and
+//! literal values from a domain pool. Every pool word is in the embedded
+//! dictionary, so Regular renderings are fully natural by construction.
+
+use snails_modify::abbrev::RenderStyle;
+
+/// Application domains of the nine databases (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// ASIS — amphibian and reptile inventory.
+    Herps,
+    /// ATBI — plot vegetation monitoring.
+    Vegetation,
+    /// CWO — wildlife observations.
+    Wildlife,
+    /// KIS — exotic and invasive plants.
+    Invasive,
+    /// NPFM — fire management flora.
+    Fire,
+    /// PILB — landbird monitoring.
+    Birds,
+    /// NTSB — crash investigation sampling.
+    Transport,
+    /// NYSED — school report cards.
+    Education,
+    /// SBOD — enterprise resource planning.
+    Business,
+}
+
+/// Static vocabulary for one domain.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainVocab {
+    /// Nouns used to build filler table names.
+    pub table_nouns: &'static [&'static str],
+    /// Suffix words combined with nouns for filler tables.
+    pub table_suffixes: &'static [&'static str],
+    /// Modifier words for three-word table names (large schemas).
+    pub table_modifiers: &'static [&'static str],
+    /// Attribute words for filler columns.
+    pub column_attrs: &'static [&'static str],
+    /// Qualifier words paired with attributes for two-word columns.
+    pub column_qualifiers: &'static [&'static str],
+    /// Category literal values (entity classes).
+    pub categories: &'static [&'static str],
+    /// Status literal values.
+    pub statuses: &'static [&'static str],
+    /// Region / area literal values.
+    pub regions: &'static [&'static str],
+    /// Entity display names (species, vehicle makes, schools, products).
+    pub entity_names: &'static [&'static str],
+    /// The dominant identifier style of the source schema.
+    pub style: RenderStyle,
+    /// Domain nouns for NL phrasing: (entity, event, location, detail, subdetail).
+    pub nouns: CoreNouns,
+}
+
+/// The NL nouns for the core star schema.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreNouns {
+    /// What the entity table holds ("species", "vehicle", "school").
+    pub entity: &'static str,
+    /// What the event table holds ("observation", "crash", "assessment").
+    pub event: &'static str,
+    /// What the location table holds ("site", "region", "district").
+    pub location: &'static str,
+    /// What the detail table holds ("sample", "unit", "enrollment").
+    pub detail: &'static str,
+    /// What the subdetail table holds ("measurement", "occupant", "result").
+    pub subdetail: &'static str,
+}
+
+const NATURE_ATTRS: &[&str] = &[
+    "code", "name", "date", "status", "type", "count", "total", "value", "note", "source",
+    "method", "observer", "weather", "temperature", "humidity", "elevation", "slope",
+    "aspect", "canopy", "cover", "density", "height", "width", "length", "weight", "age",
+    "stage", "condition", "quality", "area", "radius", "depth", "moisture", "substrate",
+    "habitat", "season", "visit", "duration", "frequency", "comment",
+];
+
+const NATURE_QUALIFIERS: &[&str] = &[
+    "start", "end", "mean", "maximum", "minimum", "plot", "sample", "survey", "field",
+    "record", "entry", "ground",
+];
+
+const NATURE_REGIONS: &[&str] =
+    &["North Ridge", "South Marsh", "East Shore", "West Valley", "Central Plain"];
+
+fn nature_vocab(nouns: CoreNouns, style: RenderStyle, entity_names: &'static [&'static str],
+    categories: &'static [&'static str], table_nouns: &'static [&'static str]) -> DomainVocab {
+    DomainVocab {
+        table_nouns,
+        table_suffixes: &[
+            "survey", "event", "log", "history", "lookup", "detail", "summary", "archive",
+            "type", "location", "result", "record",
+        ],
+        table_modifiers: &["field", "annual", "master", "legacy"],
+        column_attrs: NATURE_ATTRS,
+        column_qualifiers: NATURE_QUALIFIERS,
+        categories,
+        statuses: &["active", "inactive", "verified", "pending"],
+        regions: NATURE_REGIONS,
+        entity_names,
+        style,
+        nouns,
+    }
+}
+
+impl Domain {
+    /// The vocabulary for this domain.
+    pub fn vocab(&self) -> DomainVocab {
+        match self {
+            Domain::Herps => nature_vocab(
+                CoreNouns {
+                    entity: "species",
+                    event: "observation",
+                    location: "site",
+                    detail: "trap check",
+                    subdetail: "capture",
+                },
+                RenderStyle::Pascal,
+                &["Fowler Toad", "Green Frog", "Box Turtle", "Black Racer", "Spring Peeper",
+                  "Snapping Turtle", "Red Salamander", "Garter Snake"],
+                &["frog", "toad", "turtle", "snake", "salamander", "lizard"],
+                &["frog", "toad", "turtle", "snake", "trap", "pond", "marsh", "beach",
+                  "transect", "weather", "observer", "protocol", "permit", "habitat"],
+            ),
+            Domain::Vegetation => nature_vocab(
+                CoreNouns {
+                    entity: "plant species",
+                    event: "plot visit",
+                    location: "plot",
+                    detail: "stem tally",
+                    subdetail: "measurement",
+                },
+                RenderStyle::Snake,
+                &["Red Maple", "White Oak", "Eastern Hemlock", "Fraser Fir", "Yellow Birch",
+                  "Mountain Laurel", "Tulip Poplar", "Red Spruce"],
+                &["tree", "shrub", "herb", "vine", "fern", "moss"],
+                &["overstory", "understory", "seedling", "sapling", "deadwood", "soil",
+                  "litter", "canopy", "module", "quadrant", "transect", "taxonomy"],
+            ),
+            Domain::Wildlife => nature_vocab(
+                CoreNouns {
+                    entity: "species",
+                    event: "sighting",
+                    location: "area",
+                    detail: "group",
+                    subdetail: "individual",
+                },
+                RenderStyle::Snake,
+                &["Mule Deer", "Coyote", "Badger", "Bobcat", "Pronghorn", "Elk",
+                  "Ground Squirrel", "Red Fox"],
+                &["mammal", "bird", "reptile", "amphibian", "insect", "fish"],
+                &["mammal", "bird", "reptile", "visitor", "ranger", "trail", "monument",
+                  "observer", "camera", "season", "permit"],
+            ),
+            Domain::Invasive => nature_vocab(
+                CoreNouns {
+                    entity: "invasive plant",
+                    event: "monitoring event",
+                    location: "management unit",
+                    detail: "treatment",
+                    subdetail: "assessment",
+                },
+                RenderStyle::Pascal,
+                &["Cheatgrass", "Yellow Starthistle", "Scotch Broom", "Knapweed",
+                  "Canada Thistle", "Medusahead", "Dyers Woad", "Leafy Spurge"],
+                &["grass", "forb", "shrub", "tree", "aquatic", "vine"],
+                &["infestation", "treatment", "herbicide", "crew", "project", "zone",
+                  "watershed", "species", "survey", "cover"],
+            ),
+            Domain::Fire => nature_vocab(
+                CoreNouns {
+                    entity: "fuel type",
+                    event: "burn unit visit",
+                    location: "burn unit",
+                    detail: "fuel load sample",
+                    subdetail: "reading",
+                },
+                RenderStyle::Snake,
+                &["Mixed Grass", "Ponderosa Litter", "Shrub Fuel", "Timber Understory",
+                  "Slash Blowdown", "Short Grass", "Brush Fuel", "Hardwood Litter"],
+                &["grass", "litter", "shrub", "timber", "slash", "duff"],
+                &["fire", "fuel", "burn", "plot", "crew", "weather", "smoke", "overstory",
+                  "grass", "monitoring", "treatment"],
+            ),
+            Domain::Birds => nature_vocab(
+                CoreNouns {
+                    entity: "landbird species",
+                    event: "point count",
+                    location: "station",
+                    detail: "detection",
+                    subdetail: "distance record",
+                },
+                RenderStyle::Pascal,
+                &["Apapane", "Hawaii Amakihi", "Warbling Silverbill", "Zebra Dove",
+                  "Japanese Whiteeye", "Northern Cardinal", "House Finch", "Iiwi"],
+                &["forest", "shore", "wetland", "grassland", "urban", "alpine"],
+                &["transect", "station", "observer", "weather", "island", "habitat",
+                  "survey", "detection", "protocol", "training"],
+            ),
+            Domain::Transport => DomainVocab {
+                table_nouns: &[
+                    "crash", "vehicle", "occupant", "driver", "passenger", "injury",
+                    "airbag", "seat", "belt", "wheel", "engine", "brake", "tire", "road",
+                    "weather", "event", "damage", "tow", "inspection", "violation",
+                ],
+                table_suffixes: &[
+                    "detail", "history", "lookup", "record", "summary", "code", "type",
+                    "factor", "report", "condition",
+                ],
+                table_modifiers: &["general", "sample", "annual", "federal"],
+                column_attrs: &[
+                    "number", "code", "date", "year", "make", "model", "type", "severity",
+                    "speed", "weight", "age", "sex", "position", "restraint", "deployment",
+                    "damage", "direction", "angle", "surface", "lighting", "weather",
+                    "count", "status", "region", "state", "county", "route", "lane",
+                    "occupancy", "mileage", "condition", "source", "factor", "outcome",
+                ],
+                column_qualifiers: &[
+                    "case", "unit", "person", "event", "vehicle", "crash", "maximum",
+                    "initial", "final", "posted", "reported", "primary",
+                ],
+                categories: &["passenger car", "pickup", "van", "motorcycle", "truck", "bus"],
+                statuses: &["minor", "moderate", "serious", "fatal"],
+                regions: &["Northeast", "South", "Midwest", "West", "Pacific"],
+                entity_names: &["Sedan LX", "Pickup 1500", "Minivan GL", "Cruiser 750",
+                  "Boxtruck 26", "Transit 350", "Coupe RS", "Wagon SE"],
+                style: RenderStyle::UpperFlat,
+                nouns: CoreNouns {
+                    entity: "vehicle model",
+                    event: "crash case",
+                    location: "region",
+                    detail: "vehicle unit",
+                    subdetail: "occupant",
+                },
+            },
+            Domain::Education => DomainVocab {
+                table_nouns: &[
+                    "school", "district", "student", "teacher", "grade", "exam", "course",
+                    "enrollment", "attendance", "graduation", "funding", "staff",
+                    "assessment", "program", "cohort", "suspension",
+                ],
+                table_suffixes: &[
+                    "summary", "detail", "history", "lookup", "result", "report", "rate",
+                    "count", "demographic", "annual",
+                ],
+                table_modifiers: &["state", "county", "public", "annual"],
+                column_attrs: &[
+                    "code", "name", "year", "grade", "level", "score", "rate", "count",
+                    "percent", "total", "number", "status", "type", "category", "subject",
+                    "proficiency", "enrollment", "attendance", "graduation", "funding",
+                    "salary", "experience", "ratio", "rank", "region", "county",
+                ],
+                column_qualifiers: &[
+                    "school", "district", "student", "teacher", "exam", "state", "mean",
+                    "reported", "weighted", "annual", "cohort", "subgroup",
+                ],
+                categories: &["elementary", "middle", "high", "charter", "magnet", "special"],
+                statuses: &["good standing", "focus", "priority", "closed"],
+                regions: &["Capital", "Western", "Central", "Hudson", "Long Island"],
+                entity_names: &["Lincoln Elementary", "Washington Middle", "Roosevelt High",
+                  "Franklin Academy", "Jefferson Prep", "Madison Charter", "Monroe School",
+                  "Adams Central"],
+                style: RenderStyle::UpperSnake,
+                nouns: CoreNouns {
+                    entity: "school",
+                    event: "assessment",
+                    location: "district",
+                    detail: "subgroup result",
+                    subdetail: "grade result",
+                },
+            },
+            Domain::Business => DomainVocab {
+                table_nouns: &[
+                    "order", "invoice", "customer", "vendor", "item", "warehouse",
+                    "payment", "delivery", "account", "journal", "budget", "employee",
+                    "team", "contract", "quote", "return", "credit", "price", "discount",
+                    "tax", "currency", "bank", "asset", "project", "service", "campaign",
+                    "lead", "opportunity", "shipment", "batch",
+                ],
+                table_suffixes: &[
+                    "header", "line", "detail", "history", "type", "group", "master",
+                    "log", "setup", "link", "code", "entry", "map", "status", "balance",
+                ],
+                table_modifiers: &[
+                    "draft", "posted", "open", "closed", "archive", "periodic", "monthly",
+                    "annual", "internal", "external", "primary", "secondary",
+                ],
+                column_attrs: &[
+                    "code", "name", "date", "number", "amount", "total", "balance",
+                    "status", "type", "group", "currency", "rate", "price", "quantity",
+                    "discount", "tax", "cost", "margin", "weight", "volume", "address",
+                    "city", "country", "phone", "email", "remark", "reference", "series",
+                    "branch", "project", "account", "period", "entry", "line", "document",
+                ],
+                column_qualifiers: &[
+                    "document", "posting", "due", "delivery", "base", "gross", "net",
+                    "open", "paid", "foreign", "local", "header",
+                ],
+                categories: &["hardware", "software", "service", "material", "labor", "freight"],
+                statuses: &["open", "closed", "canceled", "draft"],
+                regions: &["Americas", "Europe", "Asia Pacific", "Middle East", "Africa"],
+                entity_names: &["Office Desk 200", "Server Rack 42U", "Laptop Pro 15",
+                  "Cable Bundle", "Support Plan Gold", "Printer Jet 9", "Monitor 27",
+                  "Dock Station"],
+                style: RenderStyle::UpperFlat,
+                nouns: CoreNouns {
+                    entity: "item",
+                    event: "order",
+                    location: "warehouse",
+                    detail: "order line",
+                    subdetail: "allocation",
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snails_lexicon::is_dictionary_word;
+
+    const ALL: [Domain; 9] = [
+        Domain::Herps,
+        Domain::Vegetation,
+        Domain::Wildlife,
+        Domain::Invasive,
+        Domain::Fire,
+        Domain::Birds,
+        Domain::Transport,
+        Domain::Education,
+        Domain::Business,
+    ];
+
+    #[test]
+    fn all_pool_words_in_dictionary() {
+        for d in ALL {
+            let v = d.vocab();
+            for list in [v.table_nouns, v.table_suffixes, v.table_modifiers, v.column_attrs, v.column_qualifiers] {
+                for w in list {
+                    assert!(is_dictionary_word(w), "{d:?}: pool word not in dictionary: {w}");
+                }
+            }
+            for n in [v.nouns.entity, v.nouns.event, v.nouns.location, v.nouns.detail, v.nouns.subdetail] {
+                for w in n.split(' ') {
+                    assert!(is_dictionary_word(w), "{d:?}: core noun word not in dictionary: {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pools_are_large_enough() {
+        for d in ALL {
+            let v = d.vocab();
+            assert!(v.table_nouns.len() >= 8, "{d:?}");
+            assert!(v.column_attrs.len() >= 20, "{d:?}");
+            assert!(v.entity_names.len() >= 8, "{d:?}");
+            assert!(v.categories.len() >= 4, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn business_pool_supports_sbod_scale() {
+        let v = Domain::Business.vocab();
+        let capacity = v.table_nouns.len() * v.table_suffixes.len() * (1 + v.table_modifiers.len());
+        assert!(capacity >= 2600, "only {capacity} filler table names available");
+    }
+}

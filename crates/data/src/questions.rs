@@ -1,0 +1,554 @@
+//! Gold NL-question / SQL-query pair generation (Artifact 6).
+//!
+//! Each database gets its Table 2 question count, drawn from a per-database
+//! mix of 19 query templates whose clause profiles reproduce the Table 3
+//! distribution (TOP / functions / joins / composite-key joins / EXISTS /
+//! subqueries / WHERE / negation / GROUP BY / ORDER BY / HAVING). Template
+//! parameters rotate through literal values that are guaranteed present in
+//! the generated instance, so every gold query returns a non-empty result —
+//! the paper's invariant for Artifact 6.
+
+use crate::builder::BuiltSchema;
+use crate::core_schema::CoreRole;
+use crate::spec::DbSpec;
+
+/// One NL-question / gold-SQL pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldPair {
+    /// Sequential id within the database (1-based).
+    pub id: usize,
+    /// Database name.
+    pub database: String,
+    /// The natural-language question.
+    pub question: String,
+    /// The gold query (native identifiers, T-SQL).
+    pub sql: String,
+    /// Generating template, for analysis.
+    pub template: Template,
+}
+
+/// The query templates (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Template {
+    SimpleProjWhere,
+    CountWhere,
+    GroupCount,
+    JoinGroupCount,
+    TopOrderScore,
+    HavingCount,
+    NotExists,
+    ExistsWhere,
+    InSubquery,
+    AvgScalarSub,
+    CompositeKeyJoin,
+    JoinSumGroup,
+    YearCount,
+    NegWhere,
+    DistinctType,
+    OrderAgg,
+    ThreeJoinWhere,
+    MaxTotal,
+    TopJoinOrder,
+}
+
+impl Template {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Template::SimpleProjWhere => "proj-where",
+            Template::CountWhere => "count-where",
+            Template::GroupCount => "group-count",
+            Template::JoinGroupCount => "join-group-count",
+            Template::TopOrderScore => "top-order",
+            Template::HavingCount => "having",
+            Template::NotExists => "not-exists",
+            Template::ExistsWhere => "exists",
+            Template::InSubquery => "in-subquery",
+            Template::AvgScalarSub => "avg-subquery",
+            Template::CompositeKeyJoin => "ck-join",
+            Template::JoinSumGroup => "join-sum-group",
+            Template::YearCount => "year-count",
+            Template::NegWhere => "neg-where",
+            Template::DistinctType => "distinct",
+            Template::OrderAgg => "order-agg",
+            Template::ThreeJoinWhere => "three-join",
+            Template::MaxTotal => "max",
+            Template::TopJoinOrder => "top-join-order",
+        }
+    }
+}
+
+/// Per-database template mixes, tuned to the Table 3 clause distribution.
+pub fn template_mix(db_name: &str) -> Vec<(Template, usize)> {
+    use Template::*;
+    match db_name {
+        "ASIS" => vec![
+            (SimpleProjWhere, 6), (CountWhere, 6), (GroupCount, 4), (JoinGroupCount, 5),
+            (JoinSumGroup, 4), (YearCount, 4), (MaxTotal, 3), (CompositeKeyJoin, 1),
+            (ThreeJoinWhere, 3), (InSubquery, 2), (TopJoinOrder, 1), (DistinctType, 1),
+        ],
+        "ATBI" => vec![
+            (SimpleProjWhere, 5), (CountWhere, 3), (JoinGroupCount, 5), (JoinSumGroup, 4),
+            (ThreeJoinWhere, 4), (InSubquery, 3), (AvgScalarSub, 2), (ExistsWhere, 1),
+            (NegWhere, 2), (TopOrderScore, 3), (TopJoinOrder, 2), (HavingCount, 1),
+            (GroupCount, 2), (OrderAgg, 1), (DistinctType, 1), (MaxTotal, 1),
+        ],
+        "CWO" => vec![
+            (SimpleProjWhere, 6), (CountWhere, 5), (YearCount, 3), (NegWhere, 5),
+            (NotExists, 3), (ExistsWhere, 2), (InSubquery, 6), (AvgScalarSub, 3),
+            (CompositeKeyJoin, 1), (JoinGroupCount, 2), (HavingCount, 1), (OrderAgg, 2),
+            (TopJoinOrder, 1),
+        ],
+        "KIS" => vec![
+            (SimpleProjWhere, 5), (CountWhere, 5), (GroupCount, 3), (JoinGroupCount, 4),
+            (JoinSumGroup, 3), (YearCount, 3), (TopOrderScore, 4), (TopJoinOrder, 4),
+            (ThreeJoinWhere, 4), (InSubquery, 2), (NegWhere, 1), (MaxTotal, 2),
+        ],
+        "NPFM" => vec![
+            (SimpleProjWhere, 5), (CountWhere, 4), (GroupCount, 3), (JoinGroupCount, 6),
+            (JoinSumGroup, 5), (YearCount, 4), (ThreeJoinWhere, 5), (TopOrderScore, 3),
+            (TopJoinOrder, 2), (InSubquery, 1), (MaxTotal, 2),
+        ],
+        "NTSB" => vec![
+            (SimpleProjWhere, 6), (CountWhere, 12), (GroupCount, 8), (JoinGroupCount, 6),
+            (CompositeKeyJoin, 21), (JoinSumGroup, 4), (YearCount, 8), (NegWhere, 4),
+            (InSubquery, 4), (AvgScalarSub, 2), (TopOrderScore, 4), (TopJoinOrder, 4),
+            (OrderAgg, 8), (HavingCount, 4), (MaxTotal, 5),
+        ],
+        "NYSED" => vec![
+            (SimpleProjWhere, 8), (CountWhere, 8), (YearCount, 5), (InSubquery, 10),
+            (AvgScalarSub, 6), (ExistsWhere, 1), (NegWhere, 1), (JoinGroupCount, 4),
+            (CompositeKeyJoin, 4), (TopOrderScore, 6), (TopJoinOrder, 4), (HavingCount, 1),
+            (GroupCount, 3), (OrderAgg, 2),
+        ],
+        "PILB" => vec![
+            (SimpleProjWhere, 4), (CountWhere, 3), (GroupCount, 2), (JoinGroupCount, 7),
+            (JoinSumGroup, 5), (ThreeJoinWhere, 4), (YearCount, 2), (TopOrderScore, 3),
+            (TopJoinOrder, 3), (InSubquery, 3), (HavingCount, 2), (OrderAgg, 2),
+        ],
+        "SBOD" => vec![
+            (SimpleProjWhere, 29), (CountWhere, 14), (JoinGroupCount, 12),
+            (JoinSumGroup, 10), (ThreeJoinWhere, 14), (YearCount, 8), (GroupCount, 5),
+            (TopJoinOrder, 2), (MaxTotal, 6),
+        ],
+        other if other.starts_with("SPIDER_") => crate::spider::spider_template_mix(),
+        other => panic!("no template mix for database {other}"),
+    }
+}
+
+/// Generate the gold pairs for one database.
+pub fn generate_questions(spec: &DbSpec, built: &BuiltSchema) -> Vec<GoldPair> {
+    let mut pairs = Vec::with_capacity(spec.questions);
+    let mix = template_mix(spec.name);
+    let mut id = 1usize;
+    for (template, count) in mix {
+        for k in 0..count {
+            let (question, sql) = instantiate(template, k, built);
+            pairs.push(GoldPair {
+                id,
+                database: spec.name.to_owned(),
+                question,
+                sql,
+                template,
+            });
+            id += 1;
+        }
+    }
+    assert_eq!(
+        pairs.len(),
+        spec.questions,
+        "{}: template mix yields {} questions, spec wants {}",
+        spec.name,
+        pairs.len(),
+        spec.questions
+    );
+    pairs
+}
+
+/// Instantiate one template with the `k`-th parameter rotation.
+fn instantiate(template: Template, k: usize, built: &BuiltSchema) -> (String, String) {
+    use CoreRole as R;
+    let c = &built.core;
+    let lit = &built.literals;
+    // Identifiers are bracket-quoted when they collide with SQL keywords
+    // (e.g. a Business `order` table) or otherwise need escaping.
+    let n = |r: CoreRole| snails_sql::render::quoted(&c.native(r));
+    let p = |r: CoreRole| c.phrase(r);
+
+    let entity = n(R::EntityTable);
+    let event = n(R::EventTable);
+    let location = n(R::LocationTable);
+    let detail = n(R::DetailTable);
+    let subdetail = n(R::SubdetailTable);
+
+    let ecode = n(R::EntityCode);
+    let ename = n(R::EntityName);
+    let ecat = n(R::EntityCategory);
+    let escore = n(R::EntityScore);
+    let lcode = n(R::LocCode);
+    let lname = n(R::LocName);
+    let ltype = n(R::LocType);
+    let lregion = n(R::LocRegion);
+    let evid = n(R::EventId);
+    let evdate = n(R::EventDate);
+    let evtotal = n(R::EventTotal);
+    let evstatus = n(R::EventStatus);
+    let dno = n(R::DetailNo);
+    let dcond = n(R::DetailCondition);
+    let sgrade = n(R::SubGrade);
+
+    let category = &lit.categories[k % lit.categories.len()];
+    let status = &lit.statuses[k % lit.statuses.len()];
+    let region = &lit.regions[k % lit.regions.len()];
+    let loc = &lit.location_codes[k % lit.location_codes.len()];
+    let year = lit.years[k % lit.years.len()];
+    let condition = &lit.conditions[k % lit.conditions.len()];
+    let top_k = 3 + (k % 5);
+    let threshold = 5 + (k % 4) as i64;
+
+    match template {
+        Template::SimpleProjWhere => {
+            if k.is_multiple_of(2) {
+                (
+                    format!(
+                        "List the {} of every {} whose {} is '{category}'.",
+                        p(R::EntityName),
+                        p(R::EntityTable),
+                        p(R::EntityCategory)
+                    ),
+                    format!("SELECT {ename} FROM {entity} WHERE {ecat} = '{category}'"),
+                )
+            } else {
+                let min_score = 2 + (k % 5) as i64;
+                (
+                    format!(
+                        "List the {} of {}s with a {} greater than {min_score}.",
+                        p(R::EntityName),
+                        p(R::EntityTable),
+                        p(R::EntityScore)
+                    ),
+                    format!("SELECT {ename} FROM {entity} WHERE {escore} > {min_score}"),
+                )
+            }
+        }
+        Template::CountWhere => {
+            if k.is_multiple_of(2) {
+                (
+                    format!(
+                        "How many {}s have a {} of '{status}'?",
+                        p(R::EventTable),
+                        p(R::EventStatus)
+                    ),
+                    format!("SELECT COUNT(*) FROM {event} WHERE {evstatus} = '{status}'"),
+                )
+            } else {
+                (
+                    format!(
+                        "How many {}s were recorded at {} {loc}?",
+                        p(R::EventTable),
+                        p(R::LocCode)
+                    ),
+                    format!("SELECT COUNT(*) FROM {event} WHERE {lcode} = '{loc}'"),
+                )
+            }
+        }
+        Template::GroupCount => {
+            let (col, phrase) = if k.is_multiple_of(2) {
+                (&evstatus, p(R::EventStatus))
+            } else {
+                (&lcode, p(R::LocCode))
+            };
+            (
+                format!("Show the number of {}s for each {phrase}.", p(R::EventTable)),
+                format!("SELECT {col}, COUNT(*) FROM {event} GROUP BY {col}"),
+            )
+        }
+        Template::JoinGroupCount => (
+            format!(
+                "For each {}, how many {}s were recorded?",
+                p(R::EntityCategory),
+                p(R::EventTable)
+            ),
+            format!(
+                "SELECT e.{ecat}, COUNT(*) FROM {entity} e \
+                 JOIN {event} o ON e.{ecode} = o.{ecode} GROUP BY e.{ecat}"
+            ),
+        ),
+        Template::TopOrderScore => (
+            format!(
+                "What are the top {top_k} {}s by {}? Show the {} and the {}.",
+                p(R::EntityTable),
+                p(R::EntityScore),
+                p(R::EntityName),
+                p(R::EntityScore)
+            ),
+            format!(
+                "SELECT TOP {top_k} {ename}, {escore} FROM {entity} ORDER BY {escore} DESC"
+            ),
+        ),
+        Template::HavingCount => (
+            format!(
+                "Which {} values have more than {threshold} {}s? Show the {} and the count.",
+                p(R::LocCode),
+                p(R::EventTable),
+                p(R::LocCode)
+            ),
+            format!(
+                "SELECT {lcode}, COUNT(*) FROM {event} GROUP BY {lcode} \
+                 HAVING COUNT(*) > {threshold}"
+            ),
+        ),
+        Template::NotExists => (
+            format!(
+                "Which {}s have no recorded {}s? Show the {}.",
+                p(R::EntityTable),
+                p(R::EventTable),
+                p(R::EntityName)
+            ),
+            format!(
+                "SELECT {ename} FROM {entity} e WHERE NOT EXISTS \
+                 (SELECT {evid} FROM {event} o WHERE o.{ecode} = e.{ecode})"
+            ),
+        ),
+        Template::ExistsWhere => (
+            format!(
+                "Show the {} of {}s that have at least one {} with {} '{status}'.",
+                p(R::EntityName),
+                p(R::EntityTable),
+                p(R::EventTable),
+                p(R::EventStatus)
+            ),
+            format!(
+                "SELECT {ename} FROM {entity} e WHERE EXISTS \
+                 (SELECT {evid} FROM {event} o WHERE o.{ecode} = e.{ecode} \
+                 AND o.{evstatus} = '{status}')"
+            ),
+        ),
+        Template::InSubquery => (
+            format!(
+                "List the {} of {}s observed at {} {loc}.",
+                p(R::EntityName),
+                p(R::EntityTable),
+                p(R::LocCode)
+            ),
+            format!(
+                "SELECT {ename} FROM {entity} WHERE {ecode} IN \
+                 (SELECT {ecode} FROM {event} WHERE {lcode} = '{loc}')"
+            ),
+        ),
+        Template::AvgScalarSub => (
+            format!(
+                "Which {}s have a {} above the average {}? Show the {}.",
+                p(R::EventTable),
+                p(R::EventTotal),
+                p(R::EventTotal),
+                p(R::EventId)
+            ),
+            format!(
+                "SELECT {evid} FROM {event} WHERE {evtotal} > \
+                 (SELECT AVG({evtotal}) FROM {event})"
+            ),
+        ),
+        Template::CompositeKeyJoin => (
+            format!(
+                "For each {}, count the {} records whose {} is '{condition}'.",
+                p(R::SubGrade),
+                p(R::SubdetailTable),
+                p(R::DetailCondition)
+            ),
+            format!(
+                "SELECT s.{sgrade}, COUNT(*) FROM {detail} d \
+                 JOIN {subdetail} s ON d.{evid} = s.{evid} AND d.{dno} = s.{dno} \
+                 WHERE d.{dcond} = '{condition}' GROUP BY s.{sgrade}"
+            ),
+        ),
+        Template::JoinSumGroup => (
+            format!(
+                "What is the total {} per {}?",
+                p(R::EventTotal),
+                p(R::LocRegion)
+            ),
+            format!(
+                "SELECT l.{lregion}, SUM(o.{evtotal}) FROM {event} o \
+                 JOIN {location} l ON o.{lcode} = l.{lcode} GROUP BY l.{lregion}"
+            ),
+        ),
+        Template::YearCount => (
+            format!("How many {}s were recorded in {year}?", p(R::EventTable)),
+            format!("SELECT COUNT(*) FROM {event} WHERE YEAR({evdate}) = {year}"),
+        ),
+        Template::NegWhere => (
+            format!(
+                "Show the {} of {}s whose {} is not '{status}' and whose {} exceeds {threshold}.",
+                p(R::EventId),
+                p(R::EventTable),
+                p(R::EventStatus),
+                p(R::EventTotal)
+            ),
+            format!(
+                "SELECT {evid} FROM {event} WHERE {evstatus} <> '{status}' \
+                 AND {evtotal} > {threshold}"
+            ),
+        ),
+        Template::DistinctType => (
+            format!(
+                "What distinct {} values appear among the {}s?",
+                p(R::LocType),
+                p(R::LocationTable)
+            ),
+            format!("SELECT DISTINCT {ltype} FROM {location}"),
+        ),
+        Template::OrderAgg => (
+            format!(
+                "Rank each {} by its total {}, highest first.",
+                p(R::LocCode),
+                p(R::EventTotal)
+            ),
+            format!(
+                "SELECT {lcode}, SUM({evtotal}) AS total_sum FROM {event} \
+                 GROUP BY {lcode} ORDER BY total_sum DESC"
+            ),
+        ),
+        Template::ThreeJoinWhere => (
+            format!(
+                "Show the {} and {} for {}s recorded in the {region} {}.",
+                p(R::EntityName),
+                p(R::LocName),
+                p(R::EventTable),
+                p(R::LocRegion)
+            ),
+            format!(
+                "SELECT e.{ename}, l.{lname} FROM {event} o \
+                 JOIN {entity} e ON o.{ecode} = e.{ecode} \
+                 JOIN {location} l ON o.{lcode} = l.{lcode} \
+                 WHERE l.{lregion} = '{region}'"
+            ),
+        ),
+        Template::MaxTotal => {
+            let (func, word) = match k % 3 {
+                0 => ("MAX", "largest"),
+                1 => ("MIN", "smallest"),
+                _ => ("AVG", "average"),
+            };
+            (
+                format!(
+                    "What is the {word} {} across all {}s?",
+                    p(R::EventTotal),
+                    p(R::EventTable)
+                ),
+                format!("SELECT {func}({evtotal}) FROM {event}"),
+            )
+        }
+        Template::TopJoinOrder => (
+            format!(
+                "Show the top {top_k} {}s by {} in the {region} {}, with their {}.",
+                p(R::EventTable),
+                p(R::EventTotal),
+                p(R::LocRegion),
+                p(R::EventId)
+            ),
+            format!(
+                "SELECT TOP {top_k} o.{evid}, o.{evtotal} FROM {event} o \
+                 JOIN {location} l ON o.{lcode} = l.{lcode} \
+                 WHERE l.{lregion} = '{region}' ORDER BY o.{evtotal} DESC"
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build_schema;
+    use crate::spec::spec;
+
+    fn pairs_for(name: &str) -> (Vec<GoldPair>, crate::builder::BuiltSchema) {
+        let s = spec(name).unwrap();
+        let built = build_schema(s);
+        let pairs = generate_questions(s, &built);
+        (pairs, built)
+    }
+
+    #[test]
+    fn question_counts_match_spec() {
+        for name in ["ASIS", "CWO"] {
+            let s = spec(name).unwrap();
+            let (pairs, _) = pairs_for(name);
+            assert_eq!(pairs.len(), s.questions);
+            assert_eq!(pairs[0].id, 1);
+            assert_eq!(pairs.last().unwrap().id, s.questions);
+        }
+    }
+
+    #[test]
+    fn all_mixes_sum_to_spec_counts() {
+        for s in &crate::spec::SPECS {
+            let total: usize = template_mix(s.name).iter().map(|(_, n)| n).sum();
+            assert_eq!(total, s.questions, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn gold_queries_parse() {
+        let (pairs, _) = pairs_for("ASIS");
+        for p in &pairs {
+            snails_sql::parse(&p.sql)
+                .unwrap_or_else(|e| panic!("{} q{}: {e}\n{}", p.database, p.id, p.sql));
+        }
+    }
+
+    #[test]
+    fn gold_queries_return_rows() {
+        // The paper's Artifact-6 invariant: all gold queries return valid
+        // non-null results from the target databases.
+        let (pairs, built) = pairs_for("CWO");
+        for p in &pairs {
+            let rs = snails_engine::run_sql(&built.db, &p.sql)
+                .unwrap_or_else(|e| panic!("{} q{}: {e}\n{}", p.database, p.id, p.sql));
+            assert!(!rs.is_empty(), "{} q{} empty: {}", p.database, p.id, p.sql);
+        }
+    }
+
+    #[test]
+    fn questions_are_nonempty_text() {
+        let (pairs, _) = pairs_for("ASIS");
+        for p in &pairs {
+            assert!(p.question.len() > 10);
+            assert!(p.question.ends_with('?') || p.question.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn parameter_rotation_varies_questions() {
+        let (pairs, _) = pairs_for("ASIS");
+        let texts: std::collections::HashSet<&str> =
+            pairs.iter().map(|p| p.question.as_str()).collect();
+        // Most questions are distinct.
+        assert!(texts.len() * 10 >= pairs.len() * 7, "{} / {}", texts.len(), pairs.len());
+    }
+
+    #[test]
+    fn composite_key_join_has_two_equalities() {
+        let (pairs, _) = pairs_for("CWO");
+        let ck = pairs
+            .iter()
+            .find(|p| p.template == Template::CompositeKeyJoin)
+            .expect("CWO mix has a CK join");
+        let profile = snails_sql::clause_profile(&snails_sql::parse(&ck.sql).unwrap());
+        assert_eq!(profile.composite_key_joins, 1);
+    }
+
+    #[test]
+    fn template_labels_unique() {
+        use Template::*;
+        let all = [
+            SimpleProjWhere, CountWhere, GroupCount, JoinGroupCount, TopOrderScore,
+            HavingCount, NotExists, ExistsWhere, InSubquery, AvgScalarSub,
+            CompositeKeyJoin, JoinSumGroup, YearCount, NegWhere, DistinctType, OrderAgg,
+            ThreeJoinWhere, MaxTotal, TopJoinOrder,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-database specifications (Table 2 + Figure 5 targets).
+
+use crate::pools::Domain;
+
+/// The generation spec for one SNAILS database.
+#[derive(Debug, Clone, Copy)]
+pub struct DbSpec {
+    /// Benchmark name (Table 2).
+    pub name: &'static str,
+    /// Source organization (Table 2).
+    pub org: &'static str,
+    /// Application domain.
+    pub domain: Domain,
+    /// Target table count (Table 2).
+    pub tables: usize,
+    /// Target total column count (Table 2).
+    pub columns: usize,
+    /// NL question count (Table 2).
+    pub questions: usize,
+    /// Native naturalness proportions `[Regular, Low, Least]` (Figure 5 /
+    /// Figure 11 percentages).
+    pub proportions: [f64; 3],
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl DbSpec {
+    /// The combined naturalness implied by the proportions (Equation 5).
+    pub fn target_combined(&self) -> f64 {
+        self.proportions[0] + 0.5 * self.proportions[1]
+    }
+}
+
+/// Specs for the nine databases.
+///
+/// Table/column/question counts are Table 2 verbatim. Naturalness
+/// proportions come from Figure 11 where stated (PILB 65/22/13,
+/// NTSB 42/34/24, SBOD 24/49/27) and otherwise solve Figure 5's combined
+/// scores (appendix A: ASIS 0.77, ATBI 0.70, CWO 0.84, KIS 0.79, NPFM 0.70,
+/// NYSED 0.68).
+pub const SPECS: [DbSpec; 9] = [
+    DbSpec {
+        name: "ASIS",
+        org: "NPS",
+        domain: Domain::Herps,
+        tables: 36,
+        columns: 245,
+        questions: 40,
+        proportions: [0.62, 0.30, 0.08],
+        seed: 0xA515,
+    },
+    DbSpec {
+        name: "ATBI",
+        org: "NPS",
+        domain: Domain::Vegetation,
+        tables: 28,
+        columns: 192,
+        questions: 40,
+        proportions: [0.52, 0.36, 0.12],
+        seed: 0xA7B1,
+    },
+    DbSpec {
+        name: "CWO",
+        org: "NPS",
+        domain: Domain::Wildlife,
+        tables: 13,
+        columns: 71,
+        questions: 40,
+        proportions: [0.72, 0.24, 0.04],
+        seed: 0xC0,
+    },
+    DbSpec {
+        name: "KIS",
+        org: "NPS",
+        domain: Domain::Invasive,
+        tables: 18,
+        columns: 157,
+        questions: 40,
+        proportions: [0.64, 0.30, 0.06],
+        seed: 0x715,
+    },
+    DbSpec {
+        name: "NPFM",
+        org: "NPS",
+        domain: Domain::Fire,
+        tables: 27,
+        columns: 190,
+        questions: 40,
+        proportions: [0.52, 0.36, 0.12],
+        seed: 0xF14E,
+    },
+    DbSpec {
+        name: "NTSB",
+        org: "NHTSA",
+        domain: Domain::Transport,
+        tables: 40,
+        columns: 1611,
+        questions: 100,
+        proportions: [0.42, 0.34, 0.24],
+        seed: 0x7547,
+    },
+    DbSpec {
+        name: "NYSED",
+        org: "NYSED",
+        domain: Domain::Education,
+        tables: 27,
+        columns: 423,
+        questions: 63,
+        proportions: [0.50, 0.36, 0.14],
+        seed: 0x5ED,
+    },
+    DbSpec {
+        name: "PILB",
+        org: "NPS",
+        domain: Domain::Birds,
+        tables: 21,
+        columns: 196,
+        questions: 40,
+        proportions: [0.65, 0.22, 0.13],
+        seed: 0xB14D,
+    },
+    DbSpec {
+        name: "SBOD",
+        org: "SAP",
+        domain: Domain::Business,
+        tables: 2588,
+        columns: 90_477,
+        questions: 100,
+        proportions: [0.24, 0.49, 0.27],
+        seed: 0x5B0D,
+    },
+];
+
+/// Look up a spec by name (case-insensitive).
+pub fn spec(name: &str) -> Option<&'static DbSpec> {
+    SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table_2() {
+        let total_questions: usize = SPECS.iter().map(|s| s.questions).sum();
+        assert_eq!(total_questions, 503);
+        assert_eq!(spec("NTSB").unwrap().columns, 1611);
+        assert_eq!(spec("sbod").unwrap().tables, 2588);
+        assert!(spec("XXXX").is_none());
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        for s in &SPECS {
+            let sum: f64 = s.proportions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", s.name);
+        }
+    }
+
+    #[test]
+    fn combined_targets_match_appendix_a() {
+        let expect = [
+            ("ASIS", 0.77),
+            ("ATBI", 0.70),
+            ("CWO", 0.84),
+            ("KIS", 0.79),
+            ("NPFM", 0.70),
+            ("NTSB", 0.59),
+            ("NYSED", 0.68),
+            ("PILB", 0.76),
+            ("SBOD", 0.485),
+        ];
+        for (name, target) in expect {
+            let got = spec(name).unwrap().target_combined();
+            assert!(
+                (got - target).abs() < 0.011,
+                "{name}: combined {got} vs paper {target}"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's question-file format (appendix A.2).
+//!
+//! Artifact 6 ships as executable `.sql` files: the NL question as a SQL
+//! comment, the gold query beneath it, a `;` terminator, and optional `HINT`
+//! / `NOTE` annotation lines. This module serializes a database's gold pairs
+//! to that format and parses it back (the `load_nl_questions.py` equivalent).
+
+use crate::questions::{GoldPair, Template};
+
+/// Serialize gold pairs to the `.sql` question-file format.
+pub fn to_sql_file(pairs: &[GoldPair]) -> String {
+    let mut out = String::new();
+    if let Some(first) = pairs.first() {
+        out.push_str(&format!(
+            "-- SNAILS NL question / gold query pairs for the {} database.\n\
+             -- Format: `-- <id>: <question>` then the gold T-SQL query.\n\n",
+            first.database
+        ));
+    }
+    for p in pairs {
+        out.push_str(&format!("-- {}: {}\n", p.id, p.question));
+        out.push_str(&format!("-- TEMPLATE: {}\n", p.template.label()));
+        out.push_str(&p.sql);
+        out.push_str("\n;\n\n");
+    }
+    out
+}
+
+/// Parse a question file back into gold pairs.
+///
+/// Annotation lines (`HINT`, `NOTE`) are tolerated and ignored, as in the
+/// paper's loader. Unknown template labels fall back to
+/// [`Template::SimpleProjWhere`].
+pub fn parse_sql_file(text: &str, database: &str) -> Result<Vec<GoldPair>, String> {
+    let mut pairs = Vec::new();
+    let mut current_id: Option<usize> = None;
+    let mut current_question = String::new();
+    let mut current_template = Template::SimpleProjWhere;
+    let mut sql_lines: Vec<&str> = Vec::new();
+
+    let flush = |id: Option<usize>,
+                     question: &str,
+                     template: Template,
+                     sql_lines: &mut Vec<&str>,
+                     pairs: &mut Vec<GoldPair>|
+     -> Result<(), String> {
+        let Some(id) = id else { return Ok(()) };
+        let sql = sql_lines.join("\n").trim().trim_end_matches(';').trim().to_owned();
+        if sql.is_empty() {
+            return Err(format!("question {id} has no SQL"));
+        }
+        snails_sql::parse(&sql).map_err(|e| format!("question {id}: {e}"))?;
+        pairs.push(GoldPair {
+            id,
+            database: database.to_owned(),
+            question: question.to_owned(),
+            sql,
+            template,
+        });
+        sql_lines.clear();
+        Ok(())
+    };
+
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(comment) = trimmed.strip_prefix("--") {
+            let comment = comment.trim();
+            if let Some(label) = comment.strip_prefix("TEMPLATE:") {
+                current_template = template_from_label(label.trim());
+                continue;
+            }
+            if comment.starts_with("HINT") || comment.starts_with("NOTE") {
+                continue;
+            }
+            // `<id>: <question>` starts a new entry.
+            if let Some((id_part, q_part)) = comment.split_once(':') {
+                if let Ok(id) = id_part.trim().parse::<usize>() {
+                    flush(
+                        current_id.take(),
+                        &current_question,
+                        current_template,
+                        &mut sql_lines,
+                        &mut pairs,
+                    )?;
+                    current_id = Some(id);
+                    current_question = q_part.trim().to_owned();
+                    current_template = Template::SimpleProjWhere;
+                }
+            }
+            continue;
+        }
+        if trimmed == ";" {
+            continue; // terminator; SQL already collected
+        }
+        if !trimmed.is_empty() && current_id.is_some() {
+            sql_lines.push(line);
+        }
+    }
+    flush(current_id, &current_question, current_template, &mut sql_lines, &mut pairs)?;
+    Ok(pairs)
+}
+
+fn template_from_label(label: &str) -> Template {
+    use Template::*;
+    const ALL: [Template; 19] = [
+        SimpleProjWhere, CountWhere, GroupCount, JoinGroupCount, TopOrderScore, HavingCount,
+        NotExists, ExistsWhere, InSubquery, AvgScalarSub, CompositeKeyJoin, JoinSumGroup,
+        YearCount, NegWhere, DistinctType, OrderAgg, ThreeJoinWhere, MaxTotal, TopJoinOrder,
+    ];
+    ALL.into_iter()
+        .find(|t| t.label() == label)
+        .unwrap_or(SimpleProjWhere)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::databases::build_database;
+
+    #[test]
+    fn round_trip_preserves_pairs() {
+        let db = build_database("CWO");
+        let file = to_sql_file(&db.questions);
+        let parsed = parse_sql_file(&file, "CWO").expect("parses");
+        assert_eq!(parsed.len(), db.questions.len());
+        for (orig, back) in db.questions.iter().zip(&parsed) {
+            assert_eq!(orig.id, back.id);
+            assert_eq!(orig.question, back.question);
+            assert_eq!(orig.template, back.template);
+            // SQL is preserved up to normalization.
+            assert_eq!(
+                snails_sql::normalize(&orig.sql).unwrap(),
+                snails_sql::normalize(&back.sql).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_style_file_parses() {
+        // The ASIS example from appendix A.2, with an annotation line.
+        let text = "\
+-- 8: show how many minnows of each stage were counted at the location ASIS_HERPS_20H
+-- HINT: location codes look like ASIS_HERPS_nnX
+SELECT stage, sum(cnt) minnowCountSum
+FROM tblFieldDataMinnowTrapSurveys
+WHERE locationID = 'ASIS_HERPS_20H'
+GROUP BY stage
+;
+";
+        let pairs = parse_sql_file(text, "ASIS").unwrap();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].id, 8);
+        assert!(pairs[0].question.starts_with("show how many minnows"));
+        assert!(pairs[0].sql.contains("GROUP BY stage"));
+    }
+
+    #[test]
+    fn invalid_sql_is_rejected() {
+        let text = "-- 1: broken\nSELECT FROM nothing at all\n;\n";
+        assert!(parse_sql_file(text, "X").is_err());
+    }
+
+    #[test]
+    fn empty_file_yields_no_pairs() {
+        assert_eq!(parse_sql_file("", "X").unwrap().len(), 0);
+        assert_eq!(parse_sql_file("-- just a comment\n", "X").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_template_label_falls_back() {
+        assert_eq!(template_from_label("nonsense"), Template::SimpleProjWhere);
+        assert_eq!(template_from_label("ck-join"), Template::CompositeKeyJoin);
+    }
+}

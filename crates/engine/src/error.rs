@@ -1,0 +1,89 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// Errors produced while executing SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The query referenced an unknown table or view.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// The query referenced an unknown column.
+    UnknownColumn {
+        /// The missing column name (possibly qualified).
+        name: String,
+    },
+    /// An unqualified column name matched multiple tables in scope.
+    AmbiguousColumn {
+        /// The ambiguous column name.
+        name: String,
+    },
+    /// A value had the wrong type for an operation.
+    TypeError {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// The SQL used a feature outside the supported subset.
+    Unsupported {
+        /// Description of the unsupported feature.
+        message: String,
+    },
+    /// The SQL failed to parse.
+    Parse {
+        /// Parser message.
+        message: String,
+    },
+    /// Row arity mismatch on insert, duplicate table creation, etc.
+    Catalog {
+        /// Description.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// Wrap a parser error.
+    pub fn from_parse(e: snails_sql::ParseError) -> Self {
+        EngineError::Parse { message: e.to_string() }
+    }
+
+    /// Convenience constructor.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        EngineError::Unsupported { message: message.into() }
+    }
+
+    /// Convenience constructor.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        EngineError::TypeError { message: message.into() }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable { name } => write!(f, "unknown table: {name}"),
+            EngineError::UnknownColumn { name } => write!(f, "unknown column: {name}"),
+            EngineError::AmbiguousColumn { name } => write!(f, "ambiguous column: {name}"),
+            EngineError::TypeError { message } => write!(f, "type error: {message}"),
+            EngineError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            EngineError::Parse { message } => write!(f, "parse: {message}"),
+            EngineError::Catalog { message } => write!(f, "catalog: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_names() {
+        let e = EngineError::UnknownTable { name: "Locs".into() };
+        assert!(e.to_string().contains("Locs"));
+        let e = EngineError::unsupported("window functions");
+        assert!(e.to_string().contains("window"));
+    }
+}

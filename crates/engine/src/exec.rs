@@ -1,0 +1,1593 @@
+//! Query execution.
+//!
+//! Volcano-style would be overkill for the SNAILS instances (small tables, a
+//! few thousand rows); the executor fully materializes each stage:
+//! FROM/JOIN → WHERE → GROUP/HAVING → projection → DISTINCT → ORDER BY → TOP.
+//! Correlated subqueries are supported through a lexical scope chain.
+
+use crate::catalog::Database;
+use crate::error::EngineError;
+use crate::result::ResultSet;
+use crate::value::Value;
+use snails_sql::{
+    BinOp, ColumnRef, Expr, FunctionArg, JoinKind, SelectItem, SelectStatement, Statement,
+    TableSource, UnaryOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Execute a statement against `db`.
+///
+/// `CREATE VIEW` requires mutation; use [`apply_ddl`] for that. `execute`
+/// returns an error for DDL to keep the read path `&Database`.
+pub fn execute(db: &Database, stmt: &Statement) -> Result<ResultSet, EngineError> {
+    match stmt {
+        Statement::Select(s) => exec_select(db, s, None),
+        Statement::CreateView { .. } => Err(EngineError::unsupported(
+            "CREATE VIEW requires apply_ddl (mutable database)",
+        )),
+    }
+}
+
+/// Apply a DDL statement (currently `CREATE VIEW`) to `db`.
+pub fn apply_ddl(db: &mut Database, stmt: &Statement) -> Result<(), EngineError> {
+    match stmt {
+        Statement::CreateView { schema, name, query } => {
+            db.create_view(crate::catalog::ViewDef {
+                schema: schema.clone(),
+                name: name.clone(),
+                query: query.clone(),
+            });
+            Ok(())
+        }
+        Statement::Select(_) => Err(EngineError::unsupported("apply_ddl expects DDL")),
+    }
+}
+
+/// One named relation in scope: binding name plus its column names.
+#[derive(Debug, Clone)]
+struct Binding {
+    name: String,
+    columns: Vec<String>,
+}
+
+/// The bindings of one `FROM`/`JOIN` block and its accumulated rows.
+#[derive(Debug, Clone)]
+struct RowSet {
+    bindings: Vec<Binding>,
+    rows: Vec<Vec<Value>>,
+    width: usize,
+}
+
+impl RowSet {
+    fn empty() -> Self {
+        RowSet { bindings: Vec::new(), rows: vec![Vec::new()], width: 0 }
+    }
+}
+
+/// Lexical scope for expression evaluation: the bindings and current row of
+/// the innermost query block, with a pointer to the enclosing block.
+#[derive(Clone, Copy)]
+struct Scope<'a> {
+    bindings: &'a [Binding],
+    row: &'a [Value],
+    parent: Option<&'a Scope<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Resolve a column reference to its value.
+    fn resolve(&self, col: &ColumnRef) -> Result<Value, EngineError> {
+        if let Some(q) = &col.qualifier {
+            let mut offset = 0usize;
+            for b in self.bindings {
+                if b.name.eq_ignore_ascii_case(q) {
+                    if let Some(i) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(&col.name)) {
+                        return Ok(self.row[offset + i].clone());
+                    }
+                    // Qualifier matched but column missing: do not fall
+                    // through to the parent with the same qualifier unless
+                    // the parent also binds it.
+                    break;
+                }
+                offset += b.columns.len();
+            }
+            if let Some(p) = self.parent {
+                return p.resolve(col);
+            }
+            return Err(EngineError::UnknownColumn { name: format!("{q}.{}", col.name) });
+        }
+        // Unqualified: search all bindings at this level.
+        let mut found: Option<usize> = None;
+        let mut offset = 0usize;
+        for b in self.bindings {
+            if let Some(i) = b.columns.iter().position(|c| c.eq_ignore_ascii_case(&col.name)) {
+                if found.is_some() {
+                    return Err(EngineError::AmbiguousColumn { name: col.name.clone() });
+                }
+                found = Some(offset + i);
+            }
+            offset += b.columns.len();
+        }
+        if let Some(i) = found {
+            return Ok(self.row[i].clone());
+        }
+        if let Some(p) = self.parent {
+            return p.resolve(col);
+        }
+        Err(EngineError::UnknownColumn { name: col.name.clone() })
+    }
+}
+
+/// Truthiness under SQL three-valued logic.
+fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Null => None,
+        Value::Int(n) => Some(*n != 0),
+        Value::Float(x) => Some(*x != 0.0),
+        Value::Str(_) => Some(true),
+    }
+}
+
+fn bool_value(b: Option<bool>) -> Value {
+    match b {
+        None => Value::Null,
+        Some(true) => Value::Int(1),
+        Some(false) => Value::Int(0),
+    }
+}
+
+const AGGREGATES: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX"];
+
+fn is_aggregate_name(name: &str) -> bool {
+    AGGREGATES.contains(&name)
+}
+
+/// True when `e` contains an aggregate call at this query level (does not
+/// descend into subqueries).
+fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Function { name, args, .. } => {
+            if is_aggregate_name(name) {
+                return true;
+            }
+            args.iter().any(|a| match a {
+                FunctionArg::Expr(e) => contains_aggregate(e),
+                FunctionArg::Wildcard => false,
+            })
+        }
+        Expr::Subquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. } => false,
+        _ => {
+            let mut found = false;
+            e.visit_children(&mut |c| found |= contains_aggregate(c));
+            found
+        }
+    }
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+}
+
+/// Execute a `SELECT` with an optional enclosing scope (correlation).
+fn exec_select(
+    db: &Database,
+    stmt: &SelectStatement,
+    outer: Option<&Scope<'_>>,
+) -> Result<ResultSet, EngineError> {
+    Executor { db }.select(stmt, outer)
+}
+
+impl<'a> Executor<'a> {
+    fn select(
+        &self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<ResultSet, EngineError> {
+        // FROM and JOINs.
+        let mut rowset = match &stmt.from {
+            Some(src) => self.load_source(src)?,
+            None => RowSet::empty(),
+        };
+        for join in &stmt.joins {
+            let right = self.load_source(&join.source)?;
+            rowset = self.join(rowset, right, join.kind, join.on.as_ref(), outer)?;
+        }
+
+        // WHERE.
+        if let Some(pred) = &stmt.where_clause {
+            let mut kept = Vec::new();
+            for row in rowset.rows {
+                let scope = Scope { bindings: &rowset.bindings, row: &row, parent: outer };
+                if truth(&self.eval(pred, &scope)?) == Some(true) {
+                    kept.push(row);
+                }
+            }
+            rowset.rows = kept;
+        }
+
+        let has_aggregates = stmt.items.iter().any(|i| match i {
+            SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+            _ => false,
+        }) || stmt.having.as_ref().is_some_and(contains_aggregate)
+            || stmt.order_by.iter().any(|o| contains_aggregate(&o.expr));
+
+        let grouped = has_aggregates || !stmt.group_by.is_empty();
+
+        // Output column names.
+        let (out_columns, item_exprs) = self.projection_plan(stmt, &rowset)?;
+
+        // Units: each unit is (representative row, group rows) — for
+        // ungrouped queries every row is its own unit with a single-row group.
+        let units: Vec<(Vec<Value>, Vec<Vec<Value>>)> = if grouped {
+            if stmt.group_by.is_empty() {
+                // One global group (possibly empty).
+                let rep = rowset.rows.first().cloned().unwrap_or_else(|| {
+                    vec![Value::Null; rowset.width]
+                });
+                vec![(rep, rowset.rows.clone())]
+            } else {
+                let mut order: Vec<String> = Vec::new();
+                let mut groups: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+                for row in &rowset.rows {
+                    let scope = Scope { bindings: &rowset.bindings, row, parent: outer };
+                    let mut key = String::new();
+                    for g in &stmt.group_by {
+                        key.push_str(&self.eval(g, &scope)?.group_key());
+                        key.push('\u{1}');
+                    }
+                    groups.entry(key.clone()).or_insert_with(|| {
+                        order.push(key.clone());
+                        Vec::new()
+                    });
+                    groups.get_mut(&key).expect("just inserted").push(row.clone());
+                }
+                order
+                    .into_iter()
+                    .map(|k| {
+                        let rows = groups.remove(&k).expect("key recorded");
+                        (rows[0].clone(), rows)
+                    })
+                    .collect()
+            }
+        } else {
+            rowset.rows.iter().map(|r| (r.clone(), vec![r.clone()])).collect()
+        };
+
+        // HAVING.
+        let units: Vec<_> = if let Some(h) = &stmt.having {
+            let mut kept = Vec::new();
+            for unit in units {
+                let v = self.eval_unit(h, &unit, &rowset.bindings, outer)?;
+                if truth(&v) == Some(true) {
+                    kept.push(unit);
+                }
+            }
+            kept
+        } else {
+            units
+        };
+
+        // Projection + ORDER BY keys.
+        let alias_positions: HashMap<String, usize> = out_columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.to_ascii_uppercase(), i))
+            .collect();
+        let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(units.len());
+        for unit in &units {
+            let mut out_row = Vec::with_capacity(item_exprs.len());
+            for item in &item_exprs {
+                match item {
+                    PlanItem::Passthrough(idx) => out_row.push(unit.0[*idx].clone()),
+                    PlanItem::Expr(e) => {
+                        out_row.push(self.eval_unit(e, unit, &rowset.bindings, outer)?)
+                    }
+                }
+            }
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for o in &stmt.order_by {
+                // Alias reference?
+                if let Expr::Column(c) = &o.expr {
+                    if c.qualifier.is_none() {
+                        if let Some(&i) = alias_positions.get(&c.name.to_ascii_uppercase()) {
+                            keys.push(out_row[i].clone());
+                            continue;
+                        }
+                    }
+                }
+                keys.push(self.eval_unit(&o.expr, unit, &rowset.bindings, outer)?);
+            }
+            projected.push((out_row, keys));
+        }
+
+        // DISTINCT.
+        if stmt.distinct {
+            let mut seen = HashSet::new();
+            projected.retain(|(row, _)| {
+                let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
+                seen.insert(key)
+            });
+        }
+
+        // ORDER BY (stable).
+        if !stmt.order_by.is_empty() {
+            let descending: Vec<bool> = stmt.order_by.iter().map(|o| o.descending).collect();
+            projected.sort_by(|(_, ka), (_, kb)| {
+                for (i, desc) in descending.iter().enumerate() {
+                    let ord = ka[i].total_cmp(&kb[i]);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        // TOP.
+        let mut rows: Vec<Vec<Value>> = projected.into_iter().map(|(r, _)| r).collect();
+        if let Some(n) = stmt.top {
+            rows.truncate(n as usize);
+        }
+
+        let mut result = ResultSet { columns: out_columns, rows };
+
+        // UNION [ALL]: arity-checked concatenation, set semantics for plain
+        // UNION (column names come from the first block, as in T-SQL).
+        if let Some((kind, rhs)) = &stmt.union {
+            let rhs_rs = self.select(rhs, outer)?;
+            if rhs_rs.column_count() != result.column_count() {
+                return Err(EngineError::type_error(format!(
+                    "UNION arity mismatch: {} vs {} columns",
+                    result.column_count(),
+                    rhs_rs.column_count()
+                )));
+            }
+            result.rows.extend(rhs_rs.rows);
+            if *kind == snails_sql::UnionKind::Distinct {
+                let mut seen = HashSet::new();
+                result.rows.retain(|row| {
+                    let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
+                    seen.insert(key)
+                });
+            }
+        }
+
+        Ok(result)
+    }
+
+    /// Resolve a `FROM`/`JOIN` source into a [`RowSet`].
+    fn load_source(&self, src: &TableSource) -> Result<RowSet, EngineError> {
+        match src {
+            TableSource::Named { schema, name, alias } => {
+                let binding_name = alias.clone().unwrap_or_else(|| name.clone());
+                // Table first (dbo namespace), then view.
+                let dbo = schema.as_deref().is_none_or(|s| s.eq_ignore_ascii_case("dbo"));
+                if dbo {
+                    if let Some(t) = self.db.table(name) {
+                        let columns: Vec<String> =
+                            t.schema.column_names().map(str::to_owned).collect();
+                        let width = columns.len();
+                        return Ok(RowSet {
+                            bindings: vec![Binding { name: binding_name, columns }],
+                            rows: t.rows.clone(),
+                            width,
+                        });
+                    }
+                }
+                let view = self
+                    .db
+                    .view(schema.as_deref(), name)
+                    .or_else(|| {
+                        // Unqualified reference may still hit a namespaced
+                        // view when no table matched.
+                        if schema.is_none() {
+                            self.db.views().find(|v| v.name.eq_ignore_ascii_case(name))
+                        } else {
+                            None
+                        }
+                    })
+                    .ok_or_else(|| EngineError::UnknownTable { name: name.clone() })?;
+                let rs = self.select(&view.query.clone(), None)?;
+                let width = rs.columns.len();
+                Ok(RowSet {
+                    bindings: vec![Binding { name: binding_name, columns: rs.columns }],
+                    rows: rs.rows,
+                    width,
+                })
+            }
+            TableSource::Derived { query, alias } => {
+                let rs = self.select(query, None)?;
+                let width = rs.columns.len();
+                Ok(RowSet {
+                    bindings: vec![Binding { name: alias.clone(), columns: rs.columns }],
+                    rows: rs.rows,
+                    width,
+                })
+            }
+        }
+    }
+
+    fn join(
+        &self,
+        left: RowSet,
+        right: RowSet,
+        kind: JoinKind,
+        on: Option<&Expr>,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<RowSet, EngineError> {
+        let mut bindings = left.bindings.clone();
+        bindings.extend(right.bindings.clone());
+        let width = left.width + right.width;
+        let mut rows = Vec::new();
+
+        let on_true = |combined: &[Value]| -> Result<bool, EngineError> {
+            match on {
+                None => Ok(true),
+                Some(pred) => {
+                    let scope = Scope { bindings: &bindings, row: combined, parent: outer };
+                    Ok(truth(&self.eval(pred, &scope)?) == Some(true))
+                }
+            }
+        };
+
+        match kind {
+            JoinKind::Inner | JoinKind::Cross => {
+                for l in &left.rows {
+                    for r in &right.rows {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        if on_true(&combined)? {
+                            rows.push(combined);
+                        }
+                    }
+                }
+            }
+            JoinKind::Left => {
+                for l in &left.rows {
+                    let mut matched = false;
+                    for r in &right.rows {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        if on_true(&combined)? {
+                            rows.push(combined);
+                            matched = true;
+                        }
+                    }
+                    if !matched {
+                        let mut combined = l.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right.width));
+                        rows.push(combined);
+                    }
+                }
+            }
+            JoinKind::Right => {
+                for r in &right.rows {
+                    let mut matched = false;
+                    for l in &left.rows {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        if on_true(&combined)? {
+                            rows.push(combined);
+                            matched = true;
+                        }
+                    }
+                    if !matched {
+                        let mut combined = vec![Value::Null; left.width];
+                        combined.extend(r.iter().cloned());
+                        rows.push(combined);
+                    }
+                }
+            }
+            JoinKind::Full => {
+                let mut right_matched = vec![false; right.rows.len()];
+                for l in &left.rows {
+                    let mut matched = false;
+                    for (ri, r) in right.rows.iter().enumerate() {
+                        let mut combined = l.clone();
+                        combined.extend(r.iter().cloned());
+                        if on_true(&combined)? {
+                            rows.push(combined);
+                            matched = true;
+                            right_matched[ri] = true;
+                        }
+                    }
+                    if !matched {
+                        let mut combined = l.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right.width));
+                        rows.push(combined);
+                    }
+                }
+                for (ri, r) in right.rows.iter().enumerate() {
+                    if !right_matched[ri] {
+                        let mut combined = vec![Value::Null; left.width];
+                        combined.extend(r.iter().cloned());
+                        rows.push(combined);
+                    }
+                }
+            }
+        }
+        Ok(RowSet { bindings, rows, width })
+    }
+
+    /// Plan projection: output column names plus per-item evaluation plans.
+    fn projection_plan(
+        &self,
+        stmt: &SelectStatement,
+        rowset: &RowSet,
+    ) -> Result<(Vec<String>, Vec<PlanItem>), EngineError> {
+        let mut names = Vec::new();
+        let mut items = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Wildcard => {
+                    let mut offset = 0usize;
+                    for b in &rowset.bindings {
+                        for (ci, c) in b.columns.iter().enumerate() {
+                            names.push(c.clone());
+                            items.push(PlanItem::Passthrough(offset + ci));
+                        }
+                        offset += b.columns.len();
+                    }
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let mut offset = 0usize;
+                    let mut found = false;
+                    for b in &rowset.bindings {
+                        if b.name.eq_ignore_ascii_case(q) {
+                            for (ci, c) in b.columns.iter().enumerate() {
+                                names.push(c.clone());
+                                items.push(PlanItem::Passthrough(offset + ci));
+                            }
+                            found = true;
+                            break;
+                        }
+                        offset += b.columns.len();
+                    }
+                    if !found {
+                        return Err(EngineError::UnknownTable { name: q.clone() });
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let name = alias.clone().unwrap_or_else(|| match expr {
+                        Expr::Column(c) => c.name.clone(),
+                        Expr::Function { name, .. } => name.to_ascii_lowercase(),
+                        _ => format!("expr_{i}"),
+                    });
+                    names.push(name);
+                    items.push(PlanItem::Expr(expr.clone()));
+                }
+            }
+        }
+        Ok((names, items))
+    }
+
+    /// Evaluate an expression over a unit (group or single row).
+    fn eval_unit(
+        &self,
+        e: &Expr,
+        unit: &(Vec<Value>, Vec<Vec<Value>>),
+        bindings: &[Binding],
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Value, EngineError> {
+        let (rep, group) = unit;
+        if contains_aggregate(e) {
+            self.eval_grouped(e, rep, group, bindings, outer)
+        } else {
+            let scope = Scope { bindings, row: rep, parent: outer };
+            self.eval(e, &scope)
+        }
+    }
+
+    /// Evaluate with aggregate support: aggregate calls are computed over the
+    /// group's rows; everything else over the representative row.
+    fn eval_grouped(
+        &self,
+        e: &Expr,
+        rep: &[Value],
+        group: &[Vec<Value>],
+        bindings: &[Binding],
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Value, EngineError> {
+        match e {
+            Expr::Function { name, args, distinct } if is_aggregate_name(name) => {
+                self.eval_aggregate(name, args, *distinct, group, bindings, outer)
+            }
+            Expr::Binary { left, op, right } => {
+                let l = self.eval_grouped(left, rep, group, bindings, outer)?;
+                let r = self.eval_grouped(right, rep, group, bindings, outer)?;
+                eval_binary(&l, *op, &r)
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.eval_grouped(expr, rep, group, bindings, outer)?;
+                eval_unary(*op, &v)
+            }
+            _ => {
+                let scope = Scope { bindings, row: rep, parent: outer };
+                self.eval(e, &scope)
+            }
+        }
+    }
+
+    fn eval_aggregate(
+        &self,
+        name: &str,
+        args: &[FunctionArg],
+        distinct: bool,
+        group: &[Vec<Value>],
+        bindings: &[Binding],
+        outer: Option<&Scope<'_>>,
+    ) -> Result<Value, EngineError> {
+        // COUNT(*)
+        if name == "COUNT" && matches!(args.first(), Some(FunctionArg::Wildcard)) {
+            return Ok(Value::Int(group.len() as i64));
+        }
+        let arg = match args.first() {
+            Some(FunctionArg::Expr(e)) => e,
+            Some(FunctionArg::Wildcard) => {
+                return Err(EngineError::type_error(format!("{name}(*) is not valid")))
+            }
+            None => {
+                return Err(EngineError::type_error(format!("{name} requires an argument")))
+            }
+        };
+        let mut values = Vec::with_capacity(group.len());
+        for row in group {
+            let scope = Scope { bindings, row, parent: outer };
+            let v = self.eval(arg, &scope)?;
+            if !v.is_null() {
+                values.push(v);
+            }
+        }
+        if distinct {
+            let mut seen = HashSet::new();
+            values.retain(|v| seen.insert(v.group_key()));
+        }
+        match name {
+            "COUNT" => Ok(Value::Int(values.len() as i64)),
+            "SUM" | "AVG" => {
+                if values.is_empty() {
+                    return Ok(Value::Null);
+                }
+                let mut sum = 0.0;
+                let mut all_int = true;
+                for v in &values {
+                    all_int &= matches!(v, Value::Int(_));
+                    sum += v
+                        .as_f64()
+                        .ok_or_else(|| EngineError::type_error(format!("{name} over non-numeric")))?;
+                }
+                if name == "AVG" {
+                    Ok(Value::Float(sum / values.len() as f64))
+                } else if all_int {
+                    Ok(Value::Int(sum as i64))
+                } else {
+                    Ok(Value::Float(sum))
+                }
+            }
+            "MIN" | "MAX" => {
+                let mut best: Option<Value> = None;
+                for v in values {
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_v = match v.sql_cmp(&b) {
+                                Some(std::cmp::Ordering::Less) => name == "MIN",
+                                Some(std::cmp::Ordering::Greater) => name == "MAX",
+                                _ => false,
+                            };
+                            if keep_v {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.unwrap_or(Value::Null))
+            }
+            other => Err(EngineError::unsupported(format!("aggregate {other}"))),
+        }
+    }
+
+    /// Scalar expression evaluation.
+    fn eval(&self, e: &Expr, scope: &Scope<'_>) -> Result<Value, EngineError> {
+        match e {
+            Expr::Literal(l) => Ok(match l {
+                snails_sql::Literal::Int(n) => Value::Int(*n),
+                snails_sql::Literal::Float(x) => Value::Float(*x),
+                snails_sql::Literal::Str(s) => Value::Str(s.clone()),
+                snails_sql::Literal::Null => Value::Null,
+            }),
+            Expr::Column(c) => scope.resolve(c),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr, scope)?;
+                eval_unary(*op, &v)
+            }
+            Expr::Binary { left, op, right } => match op {
+                BinOp::And => {
+                    let l = truth(&self.eval(left, scope)?);
+                    if l == Some(false) {
+                        return Ok(bool_value(Some(false)));
+                    }
+                    let r = truth(&self.eval(right, scope)?);
+                    Ok(bool_value(match (l, r) {
+                        (Some(true), Some(true)) => Some(true),
+                        (_, Some(false)) => Some(false),
+                        _ => None,
+                    }))
+                }
+                BinOp::Or => {
+                    let l = truth(&self.eval(left, scope)?);
+                    if l == Some(true) {
+                        return Ok(bool_value(Some(true)));
+                    }
+                    let r = truth(&self.eval(right, scope)?);
+                    Ok(bool_value(match (l, r) {
+                        (Some(false), Some(false)) => Some(false),
+                        (_, Some(true)) => Some(true),
+                        _ => None,
+                    }))
+                }
+                _ => {
+                    let l = self.eval(left, scope)?;
+                    let r = self.eval(right, scope)?;
+                    eval_binary(&l, *op, &r)
+                }
+            },
+            Expr::Function { name, args, distinct } => {
+                if is_aggregate_name(name) {
+                    // Aggregate in scalar context = aggregate over the single
+                    // current row (occurs inside correlated subqueries that
+                    // have their own grouping handled by exec; treat as error
+                    // to catch planner mistakes).
+                    let _ = distinct;
+                    return Err(EngineError::type_error(format!(
+                        "aggregate {name} outside grouped context"
+                    )));
+                }
+                self.eval_scalar_fn(name, args, scope)
+            }
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, scope)?;
+                Ok(bool_value(Some(v.is_null() != *negated)))
+            }
+            Expr::InList { expr, list, negated } => {
+                let v = self.eval(expr, scope)?;
+                let mut saw_null = v.is_null();
+                let mut found = false;
+                for item in list {
+                    let iv = self.eval(item, scope)?;
+                    match v.sql_eq(&iv) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                let b = if found {
+                    Some(true)
+                } else if saw_null {
+                    None
+                } else {
+                    Some(false)
+                };
+                Ok(bool_value(b.map(|x| x != *negated)))
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                let v = self.eval(expr, scope)?;
+                let rs = exec_select(self.db, query, Some(scope))?;
+                let mut saw_null = v.is_null();
+                let mut found = false;
+                for row in &rs.rows {
+                    let Some(iv) = row.first() else { continue };
+                    match v.sql_eq(iv) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                let b = if found {
+                    Some(true)
+                } else if saw_null {
+                    None
+                } else {
+                    Some(false)
+                };
+                Ok(bool_value(b.map(|x| x != *negated)))
+            }
+            Expr::Exists { query, negated } => {
+                let rs = exec_select(self.db, query, Some(scope))?;
+                Ok(bool_value(Some(rs.is_empty() == *negated)))
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let v = self.eval(expr, scope)?;
+                let lo = self.eval(low, scope)?;
+                let hi = self.eval(high, scope)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                let b = match (ge, le) {
+                    (Some(a), Some(b)) => Some(a && b),
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    _ => None,
+                };
+                Ok(bool_value(b.map(|x| x != *negated)))
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let v = self.eval(expr, scope)?;
+                match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Str(s) => {
+                        let m = like_match(&s.to_ascii_lowercase(), &pattern.to_ascii_lowercase());
+                        Ok(bool_value(Some(m != *negated)))
+                    }
+                    other => Err(EngineError::type_error(format!("LIKE over {other:?}"))),
+                }
+            }
+            Expr::Subquery(q) => {
+                let rs = exec_select(self.db, q, Some(scope))?;
+                Ok(rs.scalar().cloned().unwrap_or(Value::Null))
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                match operand {
+                    // Simple case: compare the operand to each WHEN value.
+                    Some(op) => {
+                        let v = self.eval(op, scope)?;
+                        for (when, then) in branches {
+                            let w = self.eval(when, scope)?;
+                            if v.sql_eq(&w) == Some(true) {
+                                return self.eval(then, scope);
+                            }
+                        }
+                    }
+                    // Searched case: first true WHEN predicate wins.
+                    None => {
+                        for (when, then) in branches {
+                            if truth(&self.eval(when, scope)?) == Some(true) {
+                                return self.eval(then, scope);
+                            }
+                        }
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, scope),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Wildcard => Err(EngineError::type_error("bare * outside COUNT")),
+        }
+    }
+
+    fn eval_scalar_fn(
+        &self,
+        name: &str,
+        args: &[FunctionArg],
+        scope: &Scope<'_>,
+    ) -> Result<Value, EngineError> {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            match a {
+                FunctionArg::Wildcard => {
+                    return Err(EngineError::type_error(format!("{name}(*) is not valid")))
+                }
+                FunctionArg::Expr(e) => vals.push(self.eval(e, scope)?),
+            }
+        }
+        let arg0 = vals.first();
+        match name {
+            "YEAR" => match arg0 {
+                Some(Value::Str(s)) => {
+                    let year: String = s.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    year.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| EngineError::type_error(format!("YEAR over {s:?}")))
+                }
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(other) => Err(EngineError::type_error(format!("YEAR over {other:?}"))),
+            },
+            "UPPER" => match arg0 {
+                Some(Value::Str(s)) => Ok(Value::Str(s.to_ascii_uppercase())),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(EngineError::type_error("UPPER requires text")),
+            },
+            "LOWER" => match arg0 {
+                Some(Value::Str(s)) => Ok(Value::Str(s.to_ascii_lowercase())),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(EngineError::type_error("LOWER requires text")),
+            },
+            "LEN" => match arg0 {
+                Some(Value::Str(s)) => Ok(Value::Int(s.len() as i64)),
+                Some(Value::Null) => Ok(Value::Null),
+                _ => Err(EngineError::type_error("LEN requires text")),
+            },
+            "ABS" => match arg0.and_then(Value::as_f64) {
+                Some(x) => Ok(match arg0 {
+                    Some(Value::Int(n)) => Value::Int(n.abs()),
+                    _ => Value::Float(x.abs()),
+                }),
+                None if matches!(arg0, Some(Value::Null)) => Ok(Value::Null),
+                None => Err(EngineError::type_error("ABS requires a number")),
+            },
+            "MONTH" | "DAY" => match arg0 {
+                Some(Value::Str(s)) => {
+                    let part = s.split('-').nth(if name == "MONTH" { 1 } else { 2 });
+                    part.and_then(|p| {
+                        p.chars()
+                            .take_while(|c| c.is_ascii_digit())
+                            .collect::<String>()
+                            .parse::<i64>()
+                            .ok()
+                    })
+                    .map(Value::Int)
+                    .ok_or_else(|| EngineError::type_error(format!("{name} over {s:?}")))
+                }
+                Some(Value::Null) | None => Ok(Value::Null),
+                Some(other) => Err(EngineError::type_error(format!("{name} over {other:?}"))),
+            },
+            "COALESCE" => {
+                for v in &vals {
+                    if !v.is_null() {
+                        return Ok(v.clone());
+                    }
+                }
+                Ok(Value::Null)
+            }
+            "SUBSTRING" => match (arg0, vals.get(1), vals.get(2)) {
+                (Some(Value::Null), _, _) => Ok(Value::Null),
+                (Some(Value::Str(s)), Some(start), Some(len)) => {
+                    // T-SQL SUBSTRING is 1-based.
+                    let start = start
+                        .as_i64()
+                        .ok_or_else(|| EngineError::type_error("SUBSTRING start"))?
+                        .max(1) as usize;
+                    let len = len
+                        .as_i64()
+                        .ok_or_else(|| EngineError::type_error("SUBSTRING length"))?
+                        .max(0) as usize;
+                    Ok(Value::Str(s.chars().skip(start - 1).take(len).collect()))
+                }
+                _ => Err(EngineError::type_error("SUBSTRING(text, start, length)")),
+            },
+            "ROUND" => {
+                let x = match arg0 {
+                    Some(Value::Null) => return Ok(Value::Null),
+                    Some(v) => v
+                        .as_f64()
+                        .ok_or_else(|| EngineError::type_error("ROUND requires a number"))?,
+                    None => return Err(EngineError::type_error("ROUND requires a number")),
+                };
+                let digits = vals.get(1).and_then(Value::as_i64).unwrap_or(0);
+                let factor = 10f64.powi(digits as i32);
+                Ok(Value::Float((x * factor).round() / factor))
+            }
+            other => Err(EngineError::unsupported(format!("function {other}"))),
+        }
+    }
+}
+
+/// Evaluation plan for one projection item.
+enum PlanItem {
+    /// Copy a source column by combined-row offset (wildcard expansion).
+    Passthrough(usize),
+    /// Evaluate an expression.
+    Expr(Expr),
+}
+
+fn eval_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
+    match op {
+        UnaryOp::Not => Ok(bool_value(truth(v).map(|b| !b))),
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(n) => Ok(Value::Int(-n)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            Value::Str(_) => Err(EngineError::type_error("negation of text")),
+        },
+    }
+}
+
+fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
+    use std::cmp::Ordering;
+    if op.is_comparison() {
+        let b = l.sql_cmp(r).map(|o| match op {
+            BinOp::Eq => o == Ordering::Equal,
+            BinOp::NotEq => o != Ordering::Equal,
+            BinOp::Lt => o == Ordering::Less,
+            BinOp::LtEq => o != Ordering::Greater,
+            BinOp::Gt => o == Ordering::Greater,
+            BinOp::GtEq => o != Ordering::Less,
+            _ => unreachable!("is_comparison"),
+        });
+        return Ok(bool_value(b));
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // String + string = concatenation (T-SQL).
+            if op == BinOp::Add {
+                if let (Value::Str(a), Value::Str(b)) = (l, r) {
+                    return Ok(Value::Str(format!("{a}{b}")));
+                }
+            }
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| EngineError::type_error("arithmetic over text"))?,
+                r.as_f64().ok_or_else(|| EngineError::type_error("arithmetic over text"))?,
+            );
+            let both_int = matches!((l, r), (Value::Int(_), Value::Int(_)));
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a % b
+                }
+                _ => unreachable!(),
+            };
+            if both_int && op != BinOp::Div {
+                Ok(Value::Int(out as i64))
+            } else {
+                Ok(Value::Float(out))
+            }
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled with short-circuit"),
+        _ => unreachable!("comparisons handled above"),
+    }
+}
+
+/// `LIKE` pattern matching with `%` and `_` wildcards (inputs pre-lowercased).
+fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[u8], p: &[u8]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some(b'%') => {
+                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+            }
+            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    rec(s.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Database, TableSchema};
+    use crate::run_sql;
+    use crate::value::DataType;
+
+    /// A small two-table database used throughout the executor tests.
+    fn wildlife_db() -> Database {
+        let mut db = Database::new("wildlife");
+        db.create_table(
+            TableSchema::new("tbl_Species")
+                .column("SpeciesCode", DataType::Varchar)
+                .column("CommonName", DataType::Varchar)
+                .column("Family", DataType::Varchar),
+        );
+        db.create_table(
+            TableSchema::new("tbl_Observations")
+                .column("Obs_ID", DataType::Int)
+                .column("SpCode", DataType::Varchar)
+                .column("ObsCount", DataType::Int)
+                .column("ObsDate", DataType::Date)
+                .column("Site", DataType::Varchar),
+        );
+        let species = [
+            ("ELK", "Elk", "Cervidae"),
+            ("MDR", "Mule Deer", "Cervidae"),
+            ("CYT", "Coyote", "Canidae"),
+            ("BDG", "Badger", "Mustelidae"),
+        ];
+        for (c, n, f) in species {
+            db.insert("tbl_Species", vec![c.into(), n.into(), f.into()]).unwrap();
+        }
+        let obs: [(i64, &str, i64, &str, &str); 6] = [
+            (1, "ELK", 4, "2021-05-02", "North"),
+            (2, "ELK", 2, "2021-06-11", "South"),
+            (3, "MDR", 7, "2021-05-20", "North"),
+            (4, "CYT", 1, "2020-09-30", "East"),
+            (5, "CYT", 3, "2021-07-04", "North"),
+            (6, "ELK", 5, "2022-01-15", "South"),
+        ];
+        for (id, sp, n, d, site) in obs {
+            db.insert(
+                "tbl_Observations",
+                vec![Value::Int(id), sp.into(), Value::Int(n), d.into(), site.into()],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+        run_sql(db, sql).unwrap_or_else(|e| panic!("{sql}: {e}")).rows
+    }
+
+    #[test]
+    fn projection_and_where() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT CommonName FROM tbl_Species WHERE Family = 'Cervidae'");
+        assert_eq!(r, vec![vec![Value::from("Elk")], vec![Value::from("Mule Deer")]]);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let db = wildlife_db();
+        let rs = run_sql(&db, "SELECT * FROM tbl_Species").unwrap();
+        assert_eq!(rs.columns, ["SpeciesCode", "CommonName", "Family"]);
+        assert_eq!(rs.row_count(), 4);
+    }
+
+    #[test]
+    fn count_star_group_by_having() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT SpCode, COUNT(*) AS n FROM tbl_Observations \
+             GROUP BY SpCode HAVING COUNT(*) > 1 ORDER BY n DESC, SpCode",
+        );
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::from("ELK"), Value::Int(3)],
+                vec![Value::from("CYT"), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_without_group_by() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT COUNT(*), SUM(ObsCount), MIN(ObsCount), MAX(ObsCount), AVG(ObsCount) FROM tbl_Observations");
+        assert_eq!(
+            r,
+            vec![vec![
+                Value::Int(6),
+                Value::Int(22),
+                Value::Int(1),
+                Value::Int(7),
+                Value::Float(22.0 / 6.0),
+            ]]
+        );
+    }
+
+    #[test]
+    fn aggregates_on_empty_input() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT COUNT(*), SUM(ObsCount) FROM tbl_Observations WHERE ObsCount > 99");
+        assert_eq!(r, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT COUNT(DISTINCT SpCode) FROM tbl_Observations");
+        assert_eq!(r, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn inner_join_with_alias() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT s.CommonName, o.ObsCount FROM tbl_Species s \
+             JOIN tbl_Observations o ON s.SpeciesCode = o.SpCode \
+             WHERE o.Site = 'North' ORDER BY o.ObsCount",
+        );
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::from("Coyote"), Value::Int(3)],
+                vec![Value::from("Elk"), Value::Int(4)],
+                vec![Value::from("Mule Deer"), Value::Int(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn left_join_null_padding() {
+        let db = wildlife_db();
+        // Badger has no observations.
+        let r = rows(
+            &db,
+            "SELECT s.CommonName FROM tbl_Species s \
+             LEFT JOIN tbl_Observations o ON s.SpeciesCode = o.SpCode \
+             WHERE o.Obs_ID IS NULL",
+        );
+        assert_eq!(r, vec![vec![Value::from("Badger")]]);
+    }
+
+    #[test]
+    fn right_join_mirrors_left() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT s.CommonName FROM tbl_Observations o \
+             RIGHT JOIN tbl_Species s ON s.SpeciesCode = o.SpCode \
+             WHERE o.Obs_ID IS NULL",
+        );
+        assert_eq!(r, vec![vec![Value::from("Badger")]]);
+    }
+
+    #[test]
+    fn composite_key_join() {
+        let mut db = Database::new("ck");
+        db.create_table(
+            TableSchema::new("A")
+                .column("k1", DataType::Int)
+                .column("k2", DataType::Int)
+                .column("x", DataType::Varchar),
+        );
+        db.create_table(
+            TableSchema::new("B")
+                .column("k1", DataType::Int)
+                .column("k2", DataType::Int)
+                .column("y", DataType::Varchar),
+        );
+        db.insert("A", vec![Value::Int(1), Value::Int(1), "a11".into()]).unwrap();
+        db.insert("A", vec![Value::Int(1), Value::Int(2), "a12".into()]).unwrap();
+        db.insert("B", vec![Value::Int(1), Value::Int(2), "b12".into()]).unwrap();
+        let r = rows(&db, "SELECT A.x, B.y FROM A JOIN B ON A.k1 = B.k1 AND A.k2 = B.k2");
+        assert_eq!(r, vec![vec![Value::from("a12"), Value::from("b12")]]);
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT COUNT(*) FROM tbl_Species CROSS JOIN tbl_Observations");
+        assert_eq!(r, vec![vec![Value::Int(24)]]);
+    }
+
+    #[test]
+    fn exists_correlated() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT CommonName FROM tbl_Species s WHERE EXISTS \
+             (SELECT Obs_ID FROM tbl_Observations WHERE SpCode = s.SpeciesCode) \
+             ORDER BY CommonName",
+        );
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::from("Coyote")],
+                vec![Value::from("Elk")],
+                vec![Value::from("Mule Deer")],
+            ]
+        );
+    }
+
+    #[test]
+    fn not_exists_correlated() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT CommonName FROM tbl_Species s WHERE NOT EXISTS \
+             (SELECT 1 FROM tbl_Observations o WHERE o.SpCode = s.SpeciesCode)",
+        );
+        assert_eq!(r, vec![vec![Value::from("Badger")]]);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT CommonName FROM tbl_Species WHERE SpeciesCode IN \
+             (SELECT SpCode FROM tbl_Observations WHERE Site = 'East')",
+        );
+        assert_eq!(r, vec![vec![Value::from("Coyote")]]);
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT Obs_ID FROM tbl_Observations \
+             WHERE ObsCount > (SELECT AVG(ObsCount) FROM tbl_Observations) ORDER BY Obs_ID",
+        );
+        assert_eq!(r, vec![vec![Value::Int(1)], vec![Value::Int(3)], vec![Value::Int(6)]]);
+    }
+
+    #[test]
+    fn derived_table() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT x.SpCode FROM (SELECT SpCode, COUNT(*) AS n FROM tbl_Observations \
+             GROUP BY SpCode) x WHERE x.n = 3",
+        );
+        assert_eq!(r, vec![vec![Value::from("ELK")]]);
+    }
+
+    #[test]
+    fn top_and_order() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT TOP 2 Obs_ID FROM tbl_Observations ORDER BY ObsCount DESC");
+        assert_eq!(r, vec![vec![Value::Int(3)], vec![Value::Int(6)]]);
+    }
+
+    #[test]
+    fn distinct_dedup() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT DISTINCT Site FROM tbl_Observations ORDER BY Site");
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::from("East")],
+                vec![Value::from("North")],
+                vec![Value::from("South")],
+            ]
+        );
+    }
+
+    #[test]
+    fn year_function_and_between() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT COUNT(*) FROM tbl_Observations WHERE YEAR(ObsDate) = 2021 \
+             AND ObsCount BETWEEN 2 AND 5",
+        );
+        assert_eq!(r, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let db = wildlife_db();
+        let r = rows(&db, "SELECT CommonName FROM tbl_Species WHERE CommonName LIKE '%deer%'");
+        assert_eq!(r, vec![vec![Value::from("Mule Deer")]]);
+        let r = rows(&db, "SELECT CommonName FROM tbl_Species WHERE CommonName LIKE '_lk'");
+        assert_eq!(r, vec![vec![Value::from("Elk")]]);
+    }
+
+    #[test]
+    fn not_in_list_with_null_semantics() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT CommonName FROM tbl_Species WHERE Family NOT IN ('Cervidae', 'Canidae')",
+        );
+        assert_eq!(r, vec![vec![Value::from("Badger")]]);
+    }
+
+    #[test]
+    fn order_by_alias() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT Site, SUM(ObsCount) AS total FROM tbl_Observations \
+             GROUP BY Site ORDER BY total DESC",
+        );
+        assert_eq!(r[0][0], Value::from("North"));
+    }
+
+    #[test]
+    fn group_by_expression() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT YEAR(ObsDate) AS y, COUNT(*) FROM tbl_Observations GROUP BY YEAR(ObsDate) ORDER BY y",
+        );
+        assert_eq!(
+            r,
+            vec![
+                vec![Value::Int(2020), Value::Int(1)],
+                vec![Value::Int(2021), Value::Int(4)],
+                vec![Value::Int(2022), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn views_execute() {
+        let mut db = wildlife_db();
+        let ddl = snails_sql::parse(
+            "CREATE VIEW db_nl.species AS SELECT SpeciesCode AS species_code, \
+             CommonName AS common_name FROM tbl_Species",
+        )
+        .unwrap();
+        apply_ddl(&mut db, &ddl).unwrap();
+        let r = rows(&db, "SELECT common_name FROM db_nl.species WHERE species_code = 'ELK'");
+        assert_eq!(r, vec![vec![Value::from("Elk")]]);
+        // Unqualified also resolves (no table collision).
+        let r = rows(&db, "SELECT common_name FROM species WHERE species_code = 'ELK'");
+        assert_eq!(r, vec![vec![Value::from("Elk")]]);
+    }
+
+    #[test]
+    fn unknown_identifiers_error() {
+        let db = wildlife_db();
+        assert!(matches!(
+            run_sql(&db, "SELECT x FROM missing"),
+            Err(EngineError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            run_sql(&db, "SELECT missing FROM tbl_Species"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            run_sql(&db, "SELECT tbl_Species.Oops FROM tbl_Species"),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_errors() {
+        let db = wildlife_db();
+        // SpeciesCode only exists in one table, SpCode in the other; but a
+        // self-join makes everything ambiguous.
+        assert!(matches!(
+            run_sql(
+                &db,
+                "SELECT CommonName FROM tbl_Species a JOIN tbl_Species b ON a.SpeciesCode = b.SpeciesCode"
+            ),
+            Err(EngineError::AmbiguousColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Database::new("x");
+        let r = rows(&db, "SELECT 1 + 2 AS three");
+        assert_eq!(r, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn arithmetic_and_null_propagation() {
+        let db = Database::new("x");
+        assert_eq!(rows(&db, "SELECT 7 % 3"), vec![vec![Value::Int(1)]]);
+        assert_eq!(rows(&db, "SELECT 1 / 0"), vec![vec![Value::Null]]);
+        assert_eq!(rows(&db, "SELECT NULL + 1"), vec![vec![Value::Null]]);
+        assert_eq!(rows(&db, "SELECT 'a' + 'b'"), vec![vec![Value::from("ab")]]);
+        assert_eq!(rows(&db, "SELECT 10 / 4"), vec![vec![Value::Float(2.5)]]);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let db = Database::new("x");
+        // NULL = NULL is unknown, so the row is filtered out.
+        assert!(rows(&db, "SELECT 1 WHERE NULL = NULL").is_empty());
+        // TRUE OR NULL = TRUE.
+        assert_eq!(rows(&db, "SELECT 1 WHERE 1 = 1 OR NULL = 1").len(), 1);
+        // FALSE AND NULL = FALSE (short-circuit).
+        assert!(rows(&db, "SELECT 1 WHERE 1 = 2 AND NULL = 1").is_empty());
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let db = Database::new("x");
+        assert_eq!(rows(&db, "SELECT UPPER('elk')"), vec![vec![Value::from("ELK")]]);
+        assert_eq!(rows(&db, "SELECT LOWER('ELK')"), vec![vec![Value::from("elk")]]);
+        assert_eq!(rows(&db, "SELECT LEN('abcd')"), vec![vec![Value::Int(4)]]);
+        assert_eq!(rows(&db, "SELECT ABS(-3)"), vec![vec![Value::Int(3)]]);
+        assert_eq!(rows(&db, "SELECT ROUND(2.567, 1)"), vec![vec![Value::Float(2.6)]]);
+        assert_eq!(rows(&db, "SELECT YEAR('2021-05-02')"), vec![vec![Value::Int(2021)]]);
+    }
+
+    #[test]
+    fn like_match_unit() {
+        assert!(like_match("abc", "abc"));
+        assert!(like_match("abc", "a%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "a_c"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("abc", "b%"));
+        assert!(!like_match("abc", "____"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let db = wildlife_db();
+        let rs = run_sql(
+            &db,
+            "SELECT s.* FROM tbl_Species s JOIN tbl_Observations o ON s.SpeciesCode = o.SpCode \
+             WHERE o.Obs_ID = 1",
+        )
+        .unwrap();
+        assert_eq!(rs.columns, ["SpeciesCode", "CommonName", "Family"]);
+        assert_eq!(rs.row_count(), 1);
+    }
+
+    #[test]
+    fn case_expressions() {
+        let db = wildlife_db();
+        // Searched case.
+        let r = rows(
+            &db,
+            "SELECT Obs_ID, CASE WHEN ObsCount > 4 THEN 'many' WHEN ObsCount > 2 THEN 'some' \
+             ELSE 'few' END FROM tbl_Observations ORDER BY Obs_ID",
+        );
+        assert_eq!(r[0][1], Value::from("some")); // ObsCount 4 → 'some'
+        assert_eq!(r[2][1], Value::from("many")); // ObsCount 7
+        assert_eq!(r[3][1], Value::from("few")); // ObsCount 1
+        // Simple case with no ELSE yields NULL on no match.
+        let r = rows(&db, "SELECT CASE Site WHEN 'East' THEN 1 END FROM tbl_Observations WHERE Obs_ID = 1");
+        assert_eq!(r, vec![vec![Value::Null]]);
+        // CASE usable in GROUP BY.
+        let r = rows(
+            &db,
+            "SELECT CASE WHEN ObsCount > 3 THEN 'hi' ELSE 'lo' END AS bucket, COUNT(*) \
+             FROM tbl_Observations GROUP BY CASE WHEN ObsCount > 3 THEN 'hi' ELSE 'lo' END \
+             ORDER BY bucket",
+        );
+        assert_eq!(r, vec![
+            vec![Value::from("hi"), Value::Int(3)],
+            vec![Value::from("lo"), Value::Int(3)],
+        ]);
+    }
+
+    #[test]
+    fn union_semantics() {
+        let db = wildlife_db();
+        // UNION ALL keeps duplicates; UNION removes them.
+        let all = rows(
+            &db,
+            "SELECT Site FROM tbl_Observations WHERE Obs_ID = 1 \
+             UNION ALL SELECT Site FROM tbl_Observations WHERE Obs_ID = 3",
+        );
+        assert_eq!(all, vec![vec![Value::from("North")], vec![Value::from("North")]]);
+        let distinct = rows(
+            &db,
+            "SELECT Site FROM tbl_Observations WHERE Obs_ID = 1 \
+             UNION SELECT Site FROM tbl_Observations WHERE Obs_ID = 3",
+        );
+        assert_eq!(distinct, vec![vec![Value::from("North")]]);
+        // Arity mismatch is a clean error.
+        assert!(matches!(
+            run_sql(&db, "SELECT Site, Obs_ID FROM tbl_Observations UNION SELECT Site FROM tbl_Observations"),
+            Err(EngineError::TypeError { .. })
+        ));
+        // Column names come from the first block.
+        let rs = run_sql(&db, "SELECT SpeciesCode AS code FROM tbl_Species UNION SELECT SpCode FROM tbl_Observations").unwrap();
+        assert_eq!(rs.columns, vec!["code"]);
+        assert_eq!(rs.row_count(), 4); // ELK MDR CYT BDG (dedup across blocks)
+    }
+
+    #[test]
+    fn date_part_and_string_functions() {
+        let db = Database::new("x");
+        assert_eq!(rows(&db, "SELECT MONTH('2021-05-02')"), vec![vec![Value::Int(5)]]);
+        assert_eq!(rows(&db, "SELECT DAY('2021-05-02')"), vec![vec![Value::Int(2)]]);
+        assert_eq!(rows(&db, "SELECT COALESCE(NULL, NULL, 7)"), vec![vec![Value::Int(7)]]);
+        assert_eq!(rows(&db, "SELECT COALESCE(NULL, NULL)"), vec![vec![Value::Null]]);
+        assert_eq!(
+            rows(&db, "SELECT SUBSTRING('vegetation', 1, 3)"),
+            vec![vec![Value::from("veg")]]
+        );
+        assert_eq!(
+            rows(&db, "SELECT SUBSTRING('abc', 2, 99)"),
+            vec![vec![Value::from("bc")]]
+        );
+    }
+
+    #[test]
+    fn full_join_unions_unmatched() {
+        let mut db = Database::new("fj");
+        db.create_table(TableSchema::new("L").column("k", DataType::Int));
+        db.create_table(TableSchema::new("R").column("k", DataType::Int));
+        db.insert("L", vec![Value::Int(1)]).unwrap();
+        db.insert("L", vec![Value::Int(2)]).unwrap();
+        db.insert("R", vec![Value::Int(2)]).unwrap();
+        db.insert("R", vec![Value::Int(3)]).unwrap();
+        let r = rows(&db, "SELECT COUNT(*) FROM L FULL JOIN R ON L.k = R.k");
+        assert_eq!(r, vec![vec![Value::Int(3)]]);
+    }
+}

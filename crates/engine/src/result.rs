@@ -1,0 +1,94 @@
+//! Result sets.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A materialized query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Output column names (aliases applied; generated names for unnamed
+    /// expressions).
+    pub columns: Vec<String>,
+    /// Row data; every row has `columns.len()` values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// New result set with the given column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        ResultSet { columns, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// The values of column `i`, in row order.
+    pub fn column_values(&self, i: usize) -> Vec<Value> {
+        self.rows.iter().map(|r| r[i].clone()).collect()
+    }
+
+    /// A single scalar (first row, first column), if present.
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut rs = ResultSet::new(vec!["a".into(), "B".into()]);
+        rs.rows.push(vec![Value::Int(1), Value::from("x")]);
+        assert_eq!(rs.row_count(), 1);
+        assert_eq!(rs.column_count(), 2);
+        assert_eq!(rs.column_index("b"), Some(1));
+        assert_eq!(rs.column_values(0), vec![Value::Int(1)]);
+        assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+        assert!(!rs.is_empty());
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut rs = ResultSet::new(vec!["n".into()]);
+        rs.rows.push(vec![Value::Int(7)]);
+        let s = rs.to_string();
+        assert!(s.contains('n') && s.contains('7'));
+    }
+
+    #[test]
+    fn empty_scalar_is_none() {
+        let rs = ResultSet::new(vec!["n".into()]);
+        assert_eq!(rs.scalar(), None);
+        assert!(rs.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types (the subset used by the SNAILS schemas).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer (`int`, `bigint`).
+    Int,
+    /// 64-bit float (`float`, `decimal` approximated).
+    Float,
+    /// Variable-length text (`nvarchar`).
+    Varchar,
+    /// Calendar date, stored as ISO-8601 text (`date`, `datetime`).
+    Date,
+}
+
+impl DataType {
+    /// T-SQL type name used in prompt schema knowledge.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Varchar => "nvarchar",
+            DataType::Date => "date",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A runtime value. `Null` compares before everything (T-SQL sort order) and
+/// equals only itself in *sorting*; SQL predicate semantics (NULL-propagating
+/// comparisons) are handled by the evaluator, not by `Ord`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Text (also dates, ISO-8601).
+    Str(String),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl Value {
+    /// True when NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (Int promoted to f64), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Text view, if textual.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL,
+    /// otherwise the ordering with numeric cross-type comparison and
+    /// case-insensitive text comparison (SQL Server default collation).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => {
+                Some(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+            }
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (NULL-propagating).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total ordering for sorting and grouping: NULL first, then numerics,
+    /// then text.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) | Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a
+                .to_ascii_lowercase()
+                .cmp(&b.to_ascii_lowercase())
+                .then_with(|| a.cmp(b)),
+            _ if rank(self) == rank(other) => {
+                // Mixed Int/Float.
+                let a = self.as_f64().unwrap_or(0.0);
+                let b = other.as_f64().unwrap_or(0.0);
+                a.total_cmp(&b)
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// Grouping/dedup key: normalized string form with a type tag, so that
+    /// `1` and `1.0` group together but `1` and `'1'` do not.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "n:".to_owned(),
+            Value::Int(n) => format!("f:{}", *n as f64),
+            Value::Float(x) => format!("f:{x}"),
+            Value::Str(s) => format!("s:{}", s.to_ascii_lowercase()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal && self.is_null() == other.is_null()
+    }
+}
+
+impl Eq for Value {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_null_propagates() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn numeric_cross_type_compare() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(1).sql_cmp(&Value::Float(1.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_compare_case_insensitive() {
+        assert_eq!(Value::from("ABC").sql_eq(&Value::from("abc")), Some(true));
+        assert_eq!(
+            Value::from("a").sql_cmp(&Value::from("B")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_vs_number_incomparable() {
+        assert_eq!(Value::from("1").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_order_null_first() {
+        let mut vals = vec![Value::from("z"), Value::Int(3), Value::Null, Value::Float(1.5)];
+        vals.sort_by(Value::total_cmp);
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Float(1.5));
+        assert_eq!(vals[2], Value::Int(3));
+        assert_eq!(vals[3], Value::from("z"));
+    }
+
+    #[test]
+    fn group_keys_distinguish_types() {
+        assert_eq!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::from("1").group_key());
+        assert_ne!(Value::Null.group_key(), Value::from("").group_key());
+        assert_eq!(Value::from("AB").group_key(), Value::from("ab").group_key());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::from("x").to_string(), "x");
+    }
+}

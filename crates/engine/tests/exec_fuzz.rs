@@ -1,0 +1,163 @@
+//! Execution fuzzing: randomly composed queries over a fixed schema must
+//! never panic the engine — they either produce a result set or a clean
+//! `EngineError`. Predicted queries from the simulated models are arbitrary
+//! SQL, so totality here is what keeps the benchmark pipeline alive.
+
+use proptest::prelude::*;
+use snails_engine::{run_sql, Database, DataType, TableSchema, Value};
+
+fn fixture() -> Database {
+    let mut db = Database::new("fuzz");
+    db.create_table(
+        TableSchema::new("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Varchar)
+            .column("score", DataType::Float)
+            .column("tag", DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new("u")
+            .column("id", DataType::Int)
+            .column("t_id", DataType::Int)
+            .column("amount", DataType::Int),
+    );
+    for i in 0..20i64 {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(i),
+                Value::from(format!("name{i}")),
+                Value::Float(i as f64 / 3.0),
+                if i % 5 == 0 { Value::Null } else { Value::from(format!("tag{}", i % 3)) },
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..30i64 {
+        db.insert("u", vec![Value::Int(i), Value::Int(i % 25), Value::Int(i * 7 % 13)])
+            .unwrap();
+    }
+    db
+}
+
+fn arb_column() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("id"), Just("name"), Just("score"), Just("tag"), Just("t_id"),
+        Just("amount"), Just("missing_col"),
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (-30i64..30).prop_map(|n| n.to_string()),
+        Just("'name3'".to_owned()),
+        Just("NULL".to_owned()),
+        Just("3.5".to_owned()),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = String> {
+    let cmp = prop_oneof![Just("="), Just("<>"), Just("<"), Just(">="), Just(">")];
+    prop_oneof![
+        (arb_column(), cmp, arb_scalar()).prop_map(|(c, op, v)| format!("{c} {op} {v}")),
+        arb_column().prop_map(|c| format!("{c} IS NOT NULL")),
+        arb_column().prop_map(|c| format!("{c} IN (1, 2, 'x')")),
+        arb_column().prop_map(|c| format!("{c} LIKE 'n%'")),
+        arb_column().prop_map(|c| format!("{c} BETWEEN 1 AND 9")),
+        arb_column().prop_map(|c| format!("{c} IN (SELECT t_id FROM u)")),
+        Just("EXISTS (SELECT id FROM u WHERE u.t_id = t.id)".to_owned()),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![
+            Just("*".to_owned()),
+            arb_column().prop_map(|c| c.to_owned()),
+            arb_column().prop_map(|c| format!("COUNT({c})")),
+            arb_column().prop_map(|c| format!("SUM({c})")),
+            Just("COUNT(*)".to_owned()),
+        ],
+        prop_oneof![
+            Just("t".to_owned()),
+            Just("u".to_owned()),
+            Just("t JOIN u ON t.id = u.t_id".to_owned()),
+            Just("t LEFT JOIN u ON t.id = u.t_id".to_owned()),
+            Just("nonexistent".to_owned()),
+        ],
+        proptest::option::of(arb_predicate()),
+        proptest::option::of(arb_column()),
+        proptest::option::of(arb_column()),
+        proptest::option::of(0u64..5),
+    )
+        .prop_map(|(proj, from, pred, group, order, top)| {
+            let mut q = String::from("SELECT ");
+            if let Some(n) = top {
+                q.push_str(&format!("TOP {n} "));
+            }
+            q.push_str(&proj);
+            q.push_str(" FROM ");
+            q.push_str(&from);
+            if let Some(p) = pred {
+                q.push_str(" WHERE ");
+                q.push_str(&p);
+            }
+            if let Some(g) = group {
+                q.push_str(" GROUP BY ");
+                q.push_str(g);
+            }
+            if let Some(o) = order {
+                q.push_str(" ORDER BY ");
+                q.push_str(o);
+                q.push_str(" DESC");
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// Arbitrary structurally-valid SQL never panics the engine.
+    #[test]
+    fn execution_is_total(sql in arb_query()) {
+        let db = fixture();
+        let _ = run_sql(&db, &sql); // Ok or Err, never a panic.
+    }
+
+    /// Successful executions are deterministic.
+    #[test]
+    fn execution_is_deterministic(sql in arb_query()) {
+        let db = fixture();
+        let a = run_sql(&db, &sql);
+        let b = run_sql(&db, &sql);
+        match (a, b) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "non-deterministic outcome: {other:?}"),
+        }
+    }
+
+    /// TOP n never yields more than n rows.
+    #[test]
+    fn top_bounds_cardinality(n in 0u64..10, pred in proptest::option::of(arb_predicate())) {
+        let db = fixture();
+        let mut sql = format!("SELECT TOP {n} id FROM t");
+        if let Some(p) = pred {
+            sql.push_str(&format!(" WHERE {p}"));
+        }
+        if let Ok(rs) = run_sql(&db, &sql) {
+            prop_assert!(rs.row_count() <= n as usize);
+        }
+    }
+
+    /// WHERE only ever removes rows (monotonicity of filtering).
+    #[test]
+    fn where_is_restrictive(pred in arb_predicate()) {
+        let db = fixture();
+        let all = run_sql(&db, "SELECT id FROM t").unwrap().row_count();
+        if let Ok(rs) = run_sql(&db, &format!("SELECT id FROM t WHERE {pred}")) {
+            prop_assert!(rs.row_count() <= all);
+        }
+    }
+}

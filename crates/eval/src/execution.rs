@@ -1,0 +1,319 @@
+//! Execution result set-superset matching (appendix E.2).
+//!
+//! A predicted result matches the gold result when:
+//!
+//! 1. **Result cardinality** — both results are non-empty and have the same
+//!    number of tuples;
+//! 2. **Projection completeness** — every gold column has a corresponding
+//!    predicted column (the predicted column set is a *superset* of the gold
+//!    column set); correspondence is established by value comparison, not by
+//!    name, because aliases differ;
+//! 3. the tuples agree row-wise on the matched columns once both sides are
+//!    sorted consistently (tuple order is not required unless the question
+//!    demands one).
+
+use snails_engine::{ResultSet, Value};
+use std::cmp::Ordering;
+
+/// The execution-comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionOutcome {
+    /// Superset match: the prediction is (provisionally) correct.
+    Match,
+    /// Result sets differ.
+    NoMatch,
+    /// A result set was empty — tagged undetermined by the paper and ruled
+    /// incorrect for accuracy purposes (gold queries never return empty).
+    EmptyResult,
+}
+
+impl ExecutionOutcome {
+    /// True when the outcome counts as correct before manual audit.
+    pub fn is_match(&self) -> bool {
+        matches!(self, ExecutionOutcome::Match)
+    }
+}
+
+/// Sort key comparison for whole rows.
+fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let ord = x.total_cmp(y);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Multiset equality between two columns of values.
+fn columns_match(a: &[Value], b: &[Value]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    a.sort_by(Value::total_cmp);
+    b.sort_by(Value::total_cmp);
+    a.iter().zip(&b).all(|(x, y)| {
+        // Numeric cross-type equality (COUNT renders Int, SUM may be Float).
+        match (x.as_f64(), y.as_f64()) {
+            (Some(p), Some(q)) => (p - q).abs() < 1e-9,
+            _ => x.total_cmp(y) == Ordering::Equal && x.is_null() == y.is_null(),
+        }
+    })
+}
+
+/// Find an injective assignment of gold columns to predicted columns such
+/// that each pair matches as a multiset, by backtracking over the (small)
+/// candidate sets.
+fn assign_columns(gold: &ResultSet, predicted: &ResultSet) -> Option<Vec<usize>> {
+    let g_cols: Vec<Vec<Value>> = (0..gold.column_count())
+        .map(|i| gold.column_values(i))
+        .collect();
+    let p_cols: Vec<Vec<Value>> = (0..predicted.column_count())
+        .map(|i| predicted.column_values(i))
+        .collect();
+    let candidates: Vec<Vec<usize>> = g_cols
+        .iter()
+        .map(|g| {
+            (0..p_cols.len())
+                .filter(|&j| columns_match(g, &p_cols[j]))
+                .collect()
+        })
+        .collect();
+    fn backtrack(
+        candidates: &[Vec<usize>],
+        i: usize,
+        used: &mut Vec<bool>,
+        assignment: &mut Vec<usize>,
+    ) -> bool {
+        if i == candidates.len() {
+            return true;
+        }
+        for &j in &candidates[i] {
+            if !used[j] {
+                used[j] = true;
+                assignment.push(j);
+                if backtrack(candidates, i + 1, used, assignment) {
+                    return true;
+                }
+                assignment.pop();
+                used[j] = false;
+            }
+        }
+        false
+    }
+    let mut used = vec![false; p_cols.len()];
+    let mut assignment = Vec::with_capacity(g_cols.len());
+    backtrack(&candidates, 0, &mut used, &mut assignment).then_some(assignment)
+}
+
+/// Superset-match a predicted result set against the gold result set.
+pub fn match_result_sets(gold: &ResultSet, predicted: &ResultSet) -> ExecutionOutcome {
+    if gold.is_empty() || predicted.is_empty() {
+        return ExecutionOutcome::EmptyResult;
+    }
+    if gold.row_count() != predicted.row_count() {
+        return ExecutionOutcome::NoMatch;
+    }
+    let Some(assignment) = assign_columns(gold, predicted) else {
+        return ExecutionOutcome::NoMatch;
+    };
+    // Row-wise verification on the matched columns: project both sides onto
+    // the assignment, sort, compare.
+    let mut gold_rows: Vec<Vec<Value>> = gold.rows.clone();
+    let mut pred_rows: Vec<Vec<Value>> = predicted
+        .rows
+        .iter()
+        .map(|r| assignment.iter().map(|&j| r[j].clone()).collect())
+        .collect();
+    gold_rows.sort_by(|a, b| cmp_rows(a, b));
+    pred_rows.sort_by(|a, b| cmp_rows(a, b));
+    let all_equal = gold_rows.iter().zip(&pred_rows).all(|(g, p)| {
+        g.iter().zip(p).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+            (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+            _ => x.total_cmp(y) == Ordering::Equal && x.is_null() == y.is_null(),
+        })
+    });
+    if all_equal {
+        ExecutionOutcome::Match
+    } else {
+        ExecutionOutcome::NoMatch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(columns: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet { columns: columns.iter().map(|c| c.to_string()).collect(), rows }
+    }
+
+    #[test]
+    fn identical_results_match() {
+        let gold = rs(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(match_result_sets(&gold, &gold), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn row_order_ignored() {
+        let gold = rs(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let pred = rs(&["a"], vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn superset_columns_tolerated() {
+        // Predicted projects an extra column; still a match (relaxed
+        // execution matching, appendix E.2).
+        let gold = rs(&["n"], vec![vec![Value::Int(5)]]);
+        let pred = rs(
+            &["extra", "n"],
+            vec![vec![Value::from("x"), Value::Int(5)]],
+        );
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn missing_gold_column_fails() {
+        let gold = rs(
+            &["a", "b"],
+            vec![vec![Value::Int(1), Value::from("x")]],
+        );
+        let pred = rs(&["a"], vec![vec![Value::Int(1)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::NoMatch);
+    }
+
+    #[test]
+    fn cardinality_mismatch_fails() {
+        let gold = rs(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let pred = rs(&["a"], vec![vec![Value::Int(1)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::NoMatch);
+    }
+
+    #[test]
+    fn empty_results_undetermined() {
+        let gold = rs(&["a"], vec![vec![Value::Int(1)]]);
+        let empty = rs(&["a"], vec![]);
+        assert_eq!(match_result_sets(&gold, &empty), ExecutionOutcome::EmptyResult);
+        assert_eq!(match_result_sets(&empty, &gold), ExecutionOutcome::EmptyResult);
+        assert!(!ExecutionOutcome::EmptyResult.is_match());
+    }
+
+    #[test]
+    fn column_names_irrelevant() {
+        let gold = rs(&["count"], vec![vec![Value::Int(7)]]);
+        let pred = rs(&["totally_different_alias"], vec![vec![Value::Int(7)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        let gold = rs(&["s"], vec![vec![Value::Int(10)]]);
+        let pred = rs(&["s"], vec![vec![Value::Float(10.0)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn wrong_values_fail() {
+        let gold = rs(&["a"], vec![vec![Value::Int(1)]]);
+        let pred = rs(&["a"], vec![vec![Value::Int(2)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::NoMatch);
+    }
+
+    #[test]
+    fn correlated_rows_required() {
+        // Column multisets match individually, but the tuples pair values
+        // differently — must NOT match.
+        let gold = rs(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::from("x")],
+                vec![Value::Int(2), Value::from("y")],
+            ],
+        );
+        let pred = rs(
+            &["a", "b"],
+            vec![
+                vec![Value::Int(1), Value::from("y")],
+                vec![Value::Int(2), Value::from("x")],
+            ],
+        );
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::NoMatch);
+    }
+
+    #[test]
+    fn duplicate_column_values_need_injective_assignment() {
+        // Gold has two identical columns; predicted has only one copy.
+        let gold = rs(
+            &["a", "a2"],
+            vec![vec![Value::Int(1), Value::Int(1)]],
+        );
+        let pred = rs(&["a"], vec![vec![Value::Int(1)]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::NoMatch);
+        // With two copies available, it matches.
+        let pred2 = rs(
+            &["x", "y"],
+            vec![vec![Value::Int(1), Value::Int(1)]],
+        );
+        assert_eq!(match_result_sets(&gold, &pred2), ExecutionOutcome::Match);
+    }
+
+    #[test]
+    fn null_handling() {
+        let gold = rs(&["a"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let pred = rs(&["a"], vec![vec![Value::Int(1)], vec![Value::Null]]);
+        assert_eq!(match_result_sets(&gold, &pred), ExecutionOutcome::Match);
+        let pred_no_null = rs(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
+        assert_eq!(match_result_sets(&gold, &pred_no_null), ExecutionOutcome::NoMatch);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rs(rows: usize, cols: usize) -> impl Strategy<Value = ResultSet> {
+        proptest::collection::vec(
+            proptest::collection::vec(-5i64..5, cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(move |data| ResultSet {
+            columns: (0..cols).map(|i| format!("c{i}")).collect(),
+            rows: data
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+        })
+    }
+
+    proptest! {
+        /// Matching is reflexive for non-empty results.
+        #[test]
+        fn reflexive(rs in arb_rs(3, 2)) {
+            prop_assert_eq!(match_result_sets(&rs, &rs), ExecutionOutcome::Match);
+        }
+
+        /// Shuffling predicted rows never changes the verdict.
+        #[test]
+        fn row_order_invariant(rs in arb_rs(4, 2), seed in 0usize..24) {
+            let mut shuffled = rs.clone();
+            let len = shuffled.rows.len().max(1);
+            shuffled.rows.rotate_left(seed % len);
+            prop_assert_eq!(match_result_sets(&rs, &shuffled), ExecutionOutcome::Match);
+        }
+
+        /// Adding a predicted column never turns a match into a non-match.
+        #[test]
+        fn superset_monotone(rs in arb_rs(3, 2), extra in proptest::collection::vec(-5i64..5, 3)) {
+            let mut bigger = rs.clone();
+            bigger.columns.push("extra".into());
+            for (row, v) in bigger.rows.iter_mut().zip(&extra) {
+                row.push(Value::Int(*v));
+            }
+            prop_assert_eq!(match_result_sets(&rs, &bigger), ExecutionOutcome::Match);
+        }
+    }
+}

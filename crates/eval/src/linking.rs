@@ -1,0 +1,197 @@
+//! Schema-linking metrics (§5.2).
+//!
+//! *Query-level* (Equations 1–3): with gold identifier set `QI_g` and
+//! predicted set `QI_p`,
+//!
+//! ```text
+//! QueryRecall    = |QI_g ∩ QI_p| / |QI_g|
+//! QueryPrecision = |QI_g ∩ QI_p| / |QI_p|
+//! QueryF1        = 2·R·P / (R + P)
+//! ```
+//!
+//! *Identifier-level* (Equation 4): for each native identifier `I`,
+//! `IdentifierRecall = I_match / I_gold` over all predictions.
+
+use snails_sql::QueryIdentifiers;
+use std::collections::BTreeMap;
+
+/// Query-level linking scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkingScores {
+    /// Equation 1.
+    pub recall: f64,
+    /// Equation 2.
+    pub precision: f64,
+    /// Equation 3.
+    pub f1: f64,
+    /// |QI_g ∩ QI_p|.
+    pub true_positives: usize,
+}
+
+/// Compute query-level linking scores from gold and predicted identifier
+/// sets.
+pub fn query_linking(gold: &QueryIdentifiers, predicted: &QueryIdentifiers) -> LinkingScores {
+    let g = gold.all();
+    let p = predicted.all();
+    let tp = g.intersection(&p).count();
+    let recall = if g.is_empty() { 1.0 } else { tp as f64 / g.len() as f64 };
+    let precision = if p.is_empty() { 0.0 } else { tp as f64 / p.len() as f64 };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    LinkingScores { recall, precision, f1, true_positives: tp }
+}
+
+/// Identifier-level recall accumulator (Equation 4).
+#[derive(Debug, Clone, Default)]
+pub struct IdentifierTally {
+    counts: BTreeMap<String, (usize, usize)>, // name → (match, gold)
+}
+
+impl IdentifierTally {
+    /// New empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one prediction: every identifier in the gold set increments
+    /// its gold count; those also present in the predicted set increment
+    /// their match count.
+    pub fn record(&mut self, gold: &QueryIdentifiers, predicted: &QueryIdentifiers) {
+        let p = predicted.all();
+        for id in gold.all() {
+            let entry = self.counts.entry(id.clone()).or_insert((0, 0));
+            entry.1 += 1;
+            if p.contains(&id) {
+                entry.0 += 1;
+            }
+        }
+    }
+
+    /// Per-identifier recall values: `(identifier, recall, gold_count)`.
+    pub fn recalls(&self) -> Vec<(String, f64, usize)> {
+        self.counts
+            .iter()
+            .map(|(id, (m, g))| (id.clone(), *m as f64 / (*g).max(1) as f64, *g))
+            .collect()
+    }
+
+    /// Recall of one identifier, if it ever appeared in a gold query.
+    pub fn recall_of(&self, identifier: &str) -> Option<f64> {
+        self.counts
+            .get(&identifier.to_ascii_uppercase())
+            .map(|(m, g)| *m as f64 / (*g).max(1) as f64)
+    }
+
+    /// Number of tracked identifiers.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+/// One-shot identifier recall over (gold, predicted) pairs.
+pub fn identifier_recall<'a>(
+    pairs: impl IntoIterator<Item = (&'a QueryIdentifiers, &'a QueryIdentifiers)>,
+) -> IdentifierTally {
+    let mut tally = IdentifierTally::new();
+    for (g, p) in pairs {
+        tally.record(g, p);
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snails_sql::{extract_identifiers, parse};
+
+    fn ids(sql: &str) -> QueryIdentifiers {
+        extract_identifiers(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn paper_appendix_e4_example() {
+        // ATBI question 30: gold has 9 identifiers, predicted 10, overlap 6.
+        let gold = ids(
+            "SELECT species, CommonName FROM tlu_PlantSpecies sp WHERE EXISTS( \
+             SELECT overstory_id FROM tbl_Overstory WHERE SpCode = sp.SpeciesCode ) \
+             AND NOT EXISTS ( \
+             SELECT Seedlings_ID FROM tbl_Seedlings WHERE SpCode = sp.SpeciesCode )",
+        );
+        let predicted = ids(
+            "SELECT DISTINCT tlu_PlantSpecies.genus, tlu_PlantSpecies.subgenus, \
+             tlu_PlantSpecies.species, tlu_PlantSpecies.subspecies, \
+             tlu_PlantSpecies.SpeciesCode, tlu_PlantSpecies.CommonName \
+             FROM tlu_PlantSpecies \
+             LEFT JOIN tbl_Overstory ON tbl_Overstory.SpCode = tlu_PlantSpecies.SpeciesCode \
+             LEFT JOIN tbl_Saplings ON tbl_Saplings.SpCode = tlu_PlantSpecies.SpeciesCode \
+             WHERE tbl_Overstory.SpCode IS NOT NULL AND tbl_Saplings.SpCode IS NULL",
+        );
+        assert_eq!(gold.all().len(), 9);
+        assert_eq!(predicted.all().len(), 10);
+        let scores = query_linking(&gold, &predicted);
+        assert_eq!(scores.true_positives, 6);
+        assert!((scores.recall - 6.0 / 9.0).abs() < 1e-9);
+        assert!((scores.precision - 6.0 / 10.0).abs() < 1e-9);
+        assert!((scores.f1 - 0.631_578_947).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let gold = ids("SELECT a, b FROM t WHERE c = 1");
+        let scores = query_linking(&gold, &gold);
+        assert_eq!(scores.recall, 1.0);
+        assert_eq!(scores.precision, 1.0);
+        assert_eq!(scores.f1, 1.0);
+    }
+
+    #[test]
+    fn disjoint_prediction() {
+        let gold = ids("SELECT a FROM t");
+        let pred = ids("SELECT x FROM u");
+        let scores = query_linking(&gold, &pred);
+        assert_eq!(scores.recall, 0.0);
+        assert_eq!(scores.precision, 0.0);
+        assert_eq!(scores.f1, 0.0);
+    }
+
+    #[test]
+    fn extra_identifiers_hurt_precision_not_recall() {
+        let gold = ids("SELECT a FROM t");
+        let pred = ids("SELECT a, b, c FROM t");
+        let scores = query_linking(&gold, &pred);
+        assert_eq!(scores.recall, 1.0);
+        assert!(scores.precision < 1.0);
+    }
+
+    #[test]
+    fn identifier_tally_accumulates() {
+        let gold1 = ids("SELECT a FROM t");
+        let pred1 = ids("SELECT a FROM t");
+        let gold2 = ids("SELECT a, b FROM t");
+        let pred2 = ids("SELECT b FROM t");
+        let tally = identifier_recall([(&gold1, &pred1), (&gold2, &pred2)]);
+        // `A`: gold twice, matched once.
+        assert_eq!(tally.recall_of("a"), Some(0.5));
+        // `B`: gold once, matched once.
+        assert_eq!(tally.recall_of("B"), Some(1.0));
+        // `T`: gold twice, matched twice.
+        assert_eq!(tally.recall_of("t"), Some(1.0));
+        assert_eq!(tally.recall_of("zzz"), None);
+        assert_eq!(tally.len(), 3);
+    }
+
+    #[test]
+    fn empty_tally() {
+        let t = IdentifierTally::new();
+        assert!(t.is_empty());
+        assert!(t.recalls().is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Plain-text table formatting for the experiment reports.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given header cells.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns, a separator line under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let push_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        push_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            push_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a proportion/score to 2 decimals (the paper's table precision).
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a correlation to 6 decimals (the paper's τ-table precision).
+pub fn fmt6(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Format a p-value like the paper's tables (6 decimals, floored at 0).
+pub fn fmt_p(p: f64) -> String {
+    if p < 1e-6 {
+        "0.000000".to_owned()
+    } else {
+        format!("{p:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(&["Model", "Acc"]);
+        t.row(vec!["gpt-4o".into(), "0.82".into()]);
+        t.row(vec!["CodeS".into(), "0.21".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("gpt-4o"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        TextTable::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt2(0.123), "0.12");
+        assert_eq!(fmt6(-0.142596), "-0.142596");
+        assert_eq!(fmt_p(1e-9), "0.000000");
+        assert_eq!(fmt_p(0.012116), "0.012116");
+    }
+}

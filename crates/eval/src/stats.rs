@@ -1,0 +1,342 @@
+//! Statistics: Kendall τ-b and confidence intervals.
+//!
+//! The paper's correlation tables (31a–47b) report Kendall-Tau coefficients
+//! with p-values between per-query naturalness measures and performance
+//! outcomes. Performance outcomes are heavily tied (binary accuracy, recall
+//! with few distinct values), so τ-b with tie correction is required; the
+//! p-value uses the tie-corrected normal approximation.
+
+/// The result of a Kendall τ-b test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KendallResult {
+    /// τ-b coefficient in `[-1, 1]`.
+    pub tau: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Kendall τ-b between two samples, with tie-corrected variance.
+///
+/// Returns `None` when fewer than 2 points or either variable is constant.
+pub fn kendall_tau_b(x: &[f64], y: &[f64]) -> Option<KendallResult> {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i].partial_cmp(&x[j])?;
+            let dy = y[i].partial_cmp(&y[j])?;
+            use std::cmp::Ordering::*;
+            match (dx, dy) {
+                (Less, Less) | (Greater, Greater) => concordant += 1,
+                (Less, Greater) | (Greater, Less) => discordant += 1,
+                _ => {}
+            }
+        }
+    }
+    let tie_groups = |v: &[f64]| -> Vec<u64> {
+        let mut sorted: Vec<f64> = v[..n].to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut groups = Vec::new();
+        let mut run = 1u64;
+        for w in sorted.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+            } else {
+                if run > 1 {
+                    groups.push(run);
+                }
+                run = 1;
+            }
+        }
+        if run > 1 {
+            groups.push(run);
+        }
+        groups
+    };
+    let tx = tie_groups(x);
+    let ty = tie_groups(y);
+
+    let n = n as f64;
+    let n0 = n * (n - 1.0) / 2.0;
+    let n1: f64 = tx.iter().map(|&t| t as f64 * (t as f64 - 1.0) / 2.0).sum();
+    let n2: f64 = ty.iter().map(|&t| t as f64 * (t as f64 - 1.0) / 2.0).sum();
+    let denom = ((n0 - n1) * (n0 - n2)).sqrt();
+    if denom == 0.0 {
+        return None; // a variable is constant
+    }
+    let s = (concordant - discordant) as f64;
+    let tau = s / denom;
+
+    // Tie-corrected variance of S (Kendall 1970).
+    let v0 = n * (n - 1.0) * (2.0 * n + 5.0);
+    let vt: f64 = tx
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * (t - 1.0) * (2.0 * t + 5.0)
+        })
+        .sum();
+    let vu: f64 = ty
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * (t - 1.0) * (2.0 * t + 5.0)
+        })
+        .sum();
+    let sum_t2: f64 = tx.iter().map(|&t| {
+        let t = t as f64;
+        t * (t - 1.0) * (t - 2.0)
+    }).sum();
+    let sum_u2: f64 = ty.iter().map(|&t| {
+        let t = t as f64;
+        t * (t - 1.0) * (t - 2.0)
+    }).sum();
+    let sum_t1: f64 = tx.iter().map(|&t| {
+        let t = t as f64;
+        t * (t - 1.0)
+    }).sum();
+    let sum_u1: f64 = ty.iter().map(|&t| {
+        let t = t as f64;
+        t * (t - 1.0)
+    }).sum();
+
+    let mut var = (v0 - vt - vu) / 18.0;
+    if n > 2.0 {
+        var += sum_t2 * sum_u2 / (9.0 * n * (n - 1.0) * (n - 2.0));
+    }
+    var += sum_t1 * sum_u1 / (2.0 * n * (n - 1.0));
+    if var <= 0.0 {
+        return None;
+    }
+    let z = s / var.sqrt();
+    let p_value = 2.0 * (1.0 - standard_normal_cdf(z.abs()));
+    Some(KendallResult { tau, p_value: p_value.clamp(0.0, 1.0), n: x.len().min(y.len()) })
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (absolute error < 1.5e-7).
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Mean with a normal-approximation confidence interval (the Figure 9 error
+/// bars use 0.95).
+///
+/// Returns `(mean, half_width)`; half-width is 0 for fewer than 2 samples.
+pub fn mean_confidence_interval(values: &[f64], confidence: f64) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    let se = (var / n).sqrt();
+    // Two-sided z for the requested confidence.
+    let z = inverse_normal_cdf(0.5 + confidence / 2.0);
+    (mean, z * se)
+}
+
+/// Inverse standard-normal CDF (Acklam's rational approximation).
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "p in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -39.696_830_286_653_76,
+        220.946_098_424_521,
+        -275.928_510_446_969,
+        138.357_751_867_269,
+        -30.664_798_066_147_16,
+        2.506_628_277_459_24,
+    ];
+    const B: [f64; 5] = [
+        -54.476_098_798_224_06,
+        161.585_836_858_040_9,
+        -155.698_979_859_886_6,
+        66.801_311_887_719_72,
+        -13.280_681_552_885_72,
+    ];
+    const C: [f64; 6] = [
+        -0.007_784_894_002_430_293,
+        -0.322_396_458_041_136_4,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        0.007_784_695_709_041_462,
+        0.322_467_129_070_039_8,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    let p_low = 0.024_25;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_concordance() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let r = kendall_tau_b(&x, &y).unwrap();
+        assert!((r.tau - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 0.05);
+    }
+
+    #[test]
+    fn perfect_discordance() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [5.0, 4.0, 3.0, 2.0, 1.0];
+        let r = kendall_tau_b(&x, &y).unwrap();
+        assert!((r.tau + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_near_zero() {
+        // Alternating pattern with no monotone trend.
+        let x: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let r = kendall_tau_b(&x, &y).unwrap();
+        assert!(r.tau.abs() < 0.15, "{}", r.tau);
+        assert!(r.p_value > 0.05, "{}", r.p_value);
+    }
+
+    #[test]
+    fn tie_corrected_reference() {
+        // x = [1,2,2,3], y = [1,2,3,3]: C = 4, D = 0, one tie-pair on each
+        // side → τ-b = 4 / √((6−1)(6−1)) = 0.8 (matches scipy's kendalltau).
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 3.0];
+        let r = kendall_tau_b(&x, &y).unwrap();
+        assert!((r.tau - 0.8).abs() < 1e-9, "{}", r.tau);
+    }
+
+    #[test]
+    fn binary_outcome_correlation() {
+        // The benchmark's shape: continuous naturalness vs binary accuracy.
+        let x: Vec<f64> = (0..200).map(|i| (i % 10) as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| if v > 0.5 { 1.0 } else { 0.0 }).collect();
+        let r = kendall_tau_b(&x, &y).unwrap();
+        assert!(r.tau > 0.5);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(kendall_tau_b(&[1.0], &[2.0]).is_none());
+        assert!(kendall_tau_b(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(kendall_tau_b(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn antisymmetry() {
+        let x = [0.2, 0.9, 0.4, 0.7, 0.1, 0.6];
+        let y = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let a = kendall_tau_b(&x, &y).unwrap();
+        let neg_y: Vec<f64> = y.iter().map(|v| -v).collect();
+        let b = kendall_tau_b(&x, &neg_y).unwrap();
+        assert!((a.tau + b.tau).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((standard_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((standard_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn inverse_normal_round_trip() {
+        for p in [0.01, 0.1, 0.5, 0.9, 0.975, 0.99] {
+            let z = inverse_normal_cdf(p);
+            assert!((standard_normal_cdf(z) - p).abs() < 1e-3, "{p}");
+        }
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 2) as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        let (_, ci_small) = mean_confidence_interval(&small, 0.95);
+        let (_, ci_large) = mean_confidence_interval(&large, 0.95);
+        assert!(ci_small > ci_large);
+        assert!(ci_large > 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_edge_cases() {
+        assert_eq!(mean_confidence_interval(&[], 0.95), (0.0, 0.0));
+        assert_eq!(mean_confidence_interval(&[3.0], 0.95), (3.0, 0.0));
+        let (m, hw) = mean_confidence_interval(&[2.0, 2.0, 2.0], 0.95);
+        assert_eq!(m, 2.0);
+        assert_eq!(hw, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// τ-b stays within [-1, 1] and p within [0, 1].
+        #[test]
+        fn tau_bounds(data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..50)) {
+            let x: Vec<f64> = data.iter().map(|(a, _)| (*a * 4.0).round() / 4.0).collect();
+            let y: Vec<f64> = data.iter().map(|(_, b)| (*b * 2.0).round() / 2.0).collect();
+            if let Some(r) = kendall_tau_b(&x, &y) {
+                prop_assert!((-1.0..=1.0).contains(&r.tau), "{}", r.tau);
+                prop_assert!((0.0..=1.0).contains(&r.p_value), "{}", r.p_value);
+            }
+        }
+
+        /// Symmetry: τ(x, y) == τ(y, x).
+        #[test]
+        fn tau_symmetric(data in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 3..30)) {
+            let x: Vec<f64> = data.iter().map(|(a, _)| *a).collect();
+            let y: Vec<f64> = data.iter().map(|(_, b)| *b).collect();
+            let ab = kendall_tau_b(&x, &y);
+            let ba = kendall_tau_b(&y, &x);
+            match (ab, ba) {
+                (Some(r1), Some(r2)) => prop_assert!((r1.tau - r2.tau).abs() < 1e-12),
+                (None, None) => {}
+                other => prop_assert!(false, "asymmetric None: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Common acronyms and conventional abbreviations.
+//!
+//! The SNAILS taxonomy (§2.1) keys on these tables:
+//!
+//! * **Regular** identifiers may contain *acronyms in common usage* (ID, GPS);
+//! * **Low** identifiers contain *recognizable* abbreviations (usually listed
+//!   in the conventional-abbreviation table below, e.g. `qty`, `addr`) and
+//!   less common acronyms (UTM, CPI);
+//! * **Least** identifiers use opaque consonant skeletons and project-specific
+//!   acronyms that require external documentation.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Acronyms in common usage: their presence does not lower an identifier
+/// below Regular naturalness (§2.1).
+pub const COMMON_ACRONYMS: &[&str] = &[
+    "ID", "GPS", "URL", "USA", "US", "UK", "SQL", "XML", "CSV", "PDF", "HTML", "API", "USD",
+    "GPA", "DOB", "SSN", "VIN", "ZIP", "FAQ", "CEO", "CFO", "HR", "IT", "TV", "DNA", "EPA",
+    "OK", "AM", "PM", "UTC", "GMT", "A", "I",
+];
+
+/// Less common but *recognizable* acronyms: characteristic of Low naturalness.
+pub const RECOGNIZABLE_ACRONYMS: &[&str] = &[
+    "UTM", "CPI", "ERP", "SKU", "PO", "GL", "AP", "AR", "FY", "QTY", "NO", "NR", "SEQ",
+    "LOC", "ORG", "DEPT", "ACCT", "EMP", "CUST", "MGR", "ADDR", "AMT", "AVG", "STD", "DESC",
+];
+
+/// Conventional abbreviation → full-word expansions. These are the
+/// abbreviations that non-domain experts routinely decode, so a token found
+/// here signals Low (not Least) naturalness, and the expander (Artifact 5)
+/// can resolve it without metadata.
+pub const CONVENTIONAL_ABBREVIATIONS: &[(&str, &str)] = &[
+    ("abbr", "abbreviation"),
+    ("acct", "account"),
+    ("addr", "address"),
+    ("adj", "adjustment"),
+    ("admin", "administrator"),
+    ("amt", "amount"),
+    ("apt", "apartment"),
+    ("asst", "assistant"),
+    ("attr", "attribute"),
+    ("auth", "authorization"),
+    ("avg", "average"),
+    ("bal", "balance"),
+    ("bldg", "building"),
+    ("cat", "category"),
+    ("cd", "code"),
+    ("cfg", "configuration"),
+    ("chk", "check"),
+    ("cnt", "count"),
+    ("co", "company"),
+    ("col", "column"),
+    ("cond", "condition"),
+    ("coord", "coordinate"),
+    ("ct", "count"),
+    ("ctrl", "control"),
+    ("cur", "current"),
+    ("curr", "currency"),
+    ("cust", "customer"),
+    ("db", "database"),
+    ("def", "default"),
+    ("dept", "department"),
+    ("desc", "description"),
+    ("dest", "destination"),
+    ("diag", "diagnosis"),
+    ("diam", "diameter"),
+    ("dir", "direction"),
+    ("dist", "distance"),
+    ("div", "division"),
+    ("doc", "document"),
+    ("dt", "date"),
+    ("elev", "elevation"),
+    ("emp", "employee"),
+    ("env", "environment"),
+    ("eval", "evaluation"),
+    ("exp", "expiration"),
+    ("fld", "field"),
+    ("freq", "frequency"),
+    ("gen", "general"),
+    ("geo", "geographic"),
+    ("gov", "government"),
+    ("grp", "group"),
+    ("hist", "history"),
+    ("hr", "hour"),
+    ("ht", "height"),
+    ("idx", "index"),
+    ("img", "image"),
+    ("info", "information"),
+    ("init", "initial"),
+    ("inj", "injury"),
+    ("ins", "insurance"),
+    ("insp", "inspection"),
+    ("inst", "institution"),
+    ("inv", "inventory"),
+    ("lang", "language"),
+    ("lat", "latitude"),
+    ("len", "length"),
+    ("lic", "license"),
+    ("loc", "location"),
+    ("lon", "longitude"),
+    ("lvl", "level"),
+    ("max", "maximum"),
+    ("med", "medical"),
+    ("mem", "member"),
+    ("mfr", "manufacturer"),
+    ("mgr", "manager"),
+    ("mgmt", "management"),
+    ("min", "minimum"),
+    ("misc", "miscellaneous"),
+    ("mod", "module"),
+    ("mon", "monitoring"),
+    ("msg", "message"),
+    ("mtg", "meeting"),
+    ("natl", "national"),
+    ("nbr", "number"),
+    ("nm", "name"),
+    ("no", "number"),
+    ("num", "number"),
+    ("obs", "observation"),
+    ("ord", "order"),
+    ("org", "organization"),
+    ("orig", "original"),
+    ("pct", "percent"),
+    ("perf", "performance"),
+    ("pers", "person"),
+    ("pmt", "payment"),
+    ("pos", "position"),
+    ("pref", "preference"),
+    ("prev", "previous"),
+    ("prod", "product"),
+    ("proj", "project"),
+    ("prop", "property"),
+    ("pt", "point"),
+    ("pub", "public"),
+    ("purch", "purchase"),
+    ("qty", "quantity"),
+    ("rcpt", "receipt"),
+    ("rec", "record"),
+    ("recv", "received"),
+    ("ref", "reference"),
+    ("reg", "region"),
+    ("rep", "representative"),
+    ("req", "request"),
+    ("res", "resource"),
+    ("rev", "revision"),
+    ("rpt", "report"),
+    ("rt", "route"),
+    ("sched", "schedule"),
+    ("sci", "scientific"),
+    ("sec", "section"),
+    ("seq", "sequence"),
+    ("spec", "specification"),
+    ("sp", "species"),
+    ("src", "source"),
+    ("stat", "status"),
+    ("std", "standard"),
+    ("stmt", "statement"),
+    ("stud", "student"),
+    ("subj", "subject"),
+    ("sum", "summary"),
+    ("svc", "service"),
+    ("sys", "system"),
+    ("tbl", "table"),
+    ("tchr", "teacher"),
+    ("tech", "technical"),
+    ("temp", "temperature"),
+    ("tlu", "table"),
+    ("tot", "total"),
+    ("trans", "transaction"),
+    ("txn", "transaction"),
+    ("typ", "type"),
+    ("univ", "university"),
+    ("upd", "update"),
+    ("usr", "user"),
+    ("util", "utility"),
+    ("val", "value"),
+    ("veg", "vegetation"),
+    ("veh", "vehicle"),
+    ("ver", "version"),
+    ("vis", "visitor"),
+    ("vol", "volume"),
+    ("wgt", "weight"),
+    ("wk", "week"),
+    ("wt", "weight"),
+    ("yr", "year"),
+];
+
+fn abbreviation_map() -> &'static HashMap<&'static str, &'static str> {
+    static MAP: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    MAP.get_or_init(|| CONVENTIONAL_ABBREVIATIONS.iter().copied().collect())
+}
+
+/// True when `token` (any case) is an acronym in common usage.
+pub fn is_common_acronym(token: &str) -> bool {
+    COMMON_ACRONYMS
+        .iter()
+        .any(|a| a.eq_ignore_ascii_case(token))
+}
+
+/// True when `token` is a recognizable-but-uncommon acronym (Low signal).
+pub fn is_recognizable_acronym(token: &str) -> bool {
+    RECOGNIZABLE_ACRONYMS
+        .iter()
+        .any(|a| a.eq_ignore_ascii_case(token))
+}
+
+/// The conventional expansion of `token` (lowercased lookup), if any.
+pub fn common_abbreviation_expansion(token: &str) -> Option<&'static str> {
+    let map = abbreviation_map();
+    if token.bytes().all(|b| b.is_ascii_lowercase()) {
+        map.get(token).copied()
+    } else {
+        map.get(token.to_ascii_lowercase().as_str()).copied()
+    }
+}
+
+/// True when `token` has a conventional expansion.
+pub fn is_conventional_abbreviation(token: &str) -> bool {
+    common_abbreviation_expansion(token).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_acronyms_match_any_case() {
+        assert!(is_common_acronym("ID"));
+        assert!(is_common_acronym("id"));
+        assert!(is_common_acronym("Gps"));
+        assert!(!is_common_acronym("UTM"));
+    }
+
+    #[test]
+    fn recognizable_acronyms() {
+        assert!(is_recognizable_acronym("UTM"));
+        assert!(is_recognizable_acronym("cpi"));
+        assert!(!is_recognizable_acronym("XQZ"));
+    }
+
+    #[test]
+    fn expansions() {
+        assert_eq!(common_abbreviation_expansion("qty"), Some("quantity"));
+        assert_eq!(common_abbreviation_expansion("QTY"), Some("quantity"));
+        assert_eq!(common_abbreviation_expansion("veg"), Some("vegetation"));
+        assert_eq!(common_abbreviation_expansion("zzz"), None);
+    }
+
+    #[test]
+    fn expansions_are_dictionary_words() {
+        for (_, full) in CONVENTIONAL_ABBREVIATIONS {
+            // Multi-word expansions are not used; every target must be a word
+            // the dictionary knows, so the expander's outputs are Regular.
+            assert!(
+                crate::dictionary::is_dictionary_word(full) || full.contains(' '),
+                "expansion not in dictionary: {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicate_abbreviations() {
+        let mut seen = std::collections::HashSet::new();
+        for (abbr, _) in CONVENTIONAL_ABBREVIATIONS {
+            assert!(seen.insert(*abbr), "duplicate abbreviation: {abbr}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Heuristics-based naturalness scoring (appendix B.1).
+//!
+//! Before training ML classifiers the SNAILS authors scored identifiers with
+//! a dictionary heuristic:
+//!
+//! 1. downsample the vocabulary to words containing a superset of the
+//!    identifier token's letters, with the letters in the same order
+//!    (subsequence candidates);
+//! 2. compute the Levenshtein *edit distance* from the token to each
+//!    candidate;
+//! 3. count candidates within edit distance 1 and 2 — the *candidate
+//!    ambiguity* — and take its log to normalize the skewed distribution;
+//! 4. score naturalness as the weighted mean of the inverse edit distance and
+//!    the inverse log candidate ambiguity, in `[0, 1]` where 1 is most
+//!    natural.
+//!
+//! The paper reports that this heuristic loses to the ML classifiers on
+//! recall/precision/F1 but retains it for completeness; so do we (it is one
+//! of the Table 5 rows reproduced by `snails-naturalness`).
+
+use crate::dictionary::{dictionary, is_subsequence, Dictionary};
+use crate::edit::levenshtein;
+use crate::split::split_identifier;
+
+/// Tunable weights for the B.1 heuristic score.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicWeights {
+    /// Weight on the inverse-edit-distance component.
+    pub edit: f64,
+    /// Weight on the inverse-log-candidate-ambiguity component.
+    pub ambiguity: f64,
+}
+
+impl Default for HeuristicWeights {
+    fn default() -> Self {
+        HeuristicWeights { edit: 0.7, ambiguity: 0.3 }
+    }
+}
+
+/// Stateful scorer that borrows the dictionary once.
+#[derive(Debug)]
+pub struct HeuristicScorer {
+    dict: &'static Dictionary,
+    weights: HeuristicWeights,
+}
+
+impl Default for HeuristicScorer {
+    fn default() -> Self {
+        Self::new(HeuristicWeights::default())
+    }
+}
+
+impl HeuristicScorer {
+    /// Scorer with explicit weights.
+    pub fn new(weights: HeuristicWeights) -> Self {
+        HeuristicScorer { dict: dictionary(), weights }
+    }
+
+    /// Score a single token in `[0, 1]`.
+    pub fn score_token(&self, token: &str) -> f64 {
+        let lower = token.to_ascii_lowercase();
+        if lower.is_empty() {
+            return 0.0;
+        }
+        if lower.bytes().all(|b| b.is_ascii_digit()) {
+            // Bare numbers carry no naming signal; treat as neutral-low.
+            return 0.5;
+        }
+        if self.dict.contains(&lower) || crate::abbrev::is_common_acronym(token) {
+            return 1.0;
+        }
+
+        // Candidate expansions: dictionary words that contain the token's
+        // letters in order. Cap the scan to words no more than 4x as long to
+        // bound noise from very short tokens.
+        let mut best_dist = usize::MAX;
+        let mut within_1 = 0usize;
+        let mut within_2 = 0usize;
+        let max_len = (lower.len() * 4).max(lower.len() + 2);
+        for word in self.dict.iter() {
+            if word.len() < lower.len() || word.len() > max_len {
+                continue;
+            }
+            if !is_subsequence(&lower, word) {
+                continue;
+            }
+            let d = levenshtein(&lower, word);
+            best_dist = best_dist.min(d);
+            if d <= 1 {
+                within_1 += 1;
+            }
+            if d <= 2 {
+                within_2 += 1;
+            }
+        }
+        if best_dist == usize::MAX {
+            // No candidate expansion at all: indecipherable token.
+            return 0.0;
+        }
+        let edit_component = 1.0 / (1.0 + best_dist as f64);
+        let ambiguity = (within_1 + within_2) as f64;
+        let ambiguity_component = 1.0 / (1.0 + ambiguity.ln_1p());
+        let w = self.weights;
+        (w.edit * edit_component + w.ambiguity * ambiguity_component).clamp(0.0, 1.0)
+    }
+
+    /// Score a full identifier as the mean of its token scores.
+    pub fn score_identifier(&self, identifier: &str) -> f64 {
+        let tokens = split_identifier(identifier);
+        if tokens.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = tokens.iter().map(|t| self.score_token(&t.text)).sum();
+        sum / tokens.len() as f64
+    }
+}
+
+/// One-shot convenience wrapper around [`HeuristicScorer`].
+pub fn heuristic_naturalness_score(identifier: &str) -> f64 {
+    HeuristicScorer::default().score_identifier(identifier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_words_score_one() {
+        let s = HeuristicScorer::default();
+        assert_eq!(s.score_token("height"), 1.0);
+        assert_eq!(s.score_token("Vegetation"), 1.0);
+    }
+
+    #[test]
+    fn common_acronym_scores_one() {
+        let s = HeuristicScorer::default();
+        assert_eq!(s.score_token("ID"), 1.0);
+    }
+
+    #[test]
+    fn abbreviations_score_lower() {
+        let s = HeuristicScorer::default();
+        let full = s.score_identifier("vegetation_height");
+        let low = s.score_identifier("veg_ht");
+        let least = s.score_identifier("vg_ht");
+        assert!(full > low, "full {full} vs low {low}");
+        assert!(full > least, "full {full} vs least {least}");
+    }
+
+    #[test]
+    fn gibberish_scores_near_zero() {
+        let s = HeuristicScorer::default();
+        assert!(s.score_token("zqxj") < 0.3);
+    }
+
+    #[test]
+    fn empty_scores_zero() {
+        let s = HeuristicScorer::default();
+        assert_eq!(s.score_identifier(""), 0.0);
+        assert_eq!(s.score_token(""), 0.0);
+    }
+
+    #[test]
+    fn numeric_token_neutral() {
+        let s = HeuristicScorer::default();
+        assert_eq!(s.score_token("42"), 0.5);
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let s = HeuristicScorer::default();
+        for id in ["AdCtTxIRWT", "COGM_Act", "DfltSlp", "service_name", "airbag", "x"] {
+            let v = s.score_identifier(id);
+            assert!((0.0..=1.0).contains(&v), "{id}: {v}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # snails-lexicon
+//!
+//! Lexical substrate for the SNAILS benchmark: an embedded English word list,
+//! tables of common acronyms and conventional abbreviations, identifier token
+//! splitting (camelCase / snake_case / SCREAMING_CASE / digit boundaries),
+//! the paper's *character tagging* pre-processing feature (appendix B.5),
+//! Levenshtein edit distance, and the heuristics-based naturalness score of
+//! appendix B.1.
+//!
+//! Everything in this crate is deterministic and allocation-conscious; it is
+//! the hot path of naturalness classification, which is run over hundreds of
+//! thousands of identifiers when profiling corpora like SchemaPile.
+
+pub mod abbrev;
+pub mod dictionary;
+pub mod edit;
+pub mod heuristic;
+pub mod split;
+pub mod tag;
+
+pub use abbrev::{common_abbreviation_expansion, is_common_acronym};
+pub use dictionary::{dictionary, is_dictionary_word, Dictionary};
+pub use edit::levenshtein;
+pub use heuristic::{heuristic_naturalness_score, HeuristicScorer};
+pub use split::{split_identifier, IdentifierToken};
+pub use tag::{char_tag, tag_identifier};
+
+/// Proportion of an identifier's tokens that exactly match a dictionary word
+/// or common acronym.
+///
+/// This is the paper's *mean token-in-dictionary* measurement (Figure 2): the
+/// proportion of tokens in an identifier that match a word in a comprehensive
+/// English word list. Least-naturalness identifiers contain fewer in-dictionary
+/// tokens; Regular identifiers mostly consist of in-dictionary tokens.
+pub fn mean_token_in_dictionary(identifier: &str) -> f64 {
+    let tokens = split_identifier(identifier);
+    if tokens.is_empty() {
+        return 0.0;
+    }
+    let hits = tokens
+        .iter()
+        .filter(|t| {
+            let lower = t.text.to_ascii_lowercase();
+            is_dictionary_word(&lower) || is_common_acronym(&t.text)
+        })
+        .count();
+    hits as f64 / tokens.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_token_in_dictionary_full_words() {
+        assert!((mean_token_in_dictionary("vegetation_height") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_token_in_dictionary_abbreviated() {
+        // "VgHt" splits into tokens that are not dictionary words.
+        assert!(mean_token_in_dictionary("VgHt") < 0.5);
+    }
+
+    #[test]
+    fn mean_token_in_dictionary_empty() {
+        assert_eq!(mean_token_in_dictionary(""), 0.0);
+    }
+
+    #[test]
+    fn mean_token_in_dictionary_mixed() {
+        let v = mean_token_in_dictionary("service_nm");
+        assert!(v > 0.0 && v < 1.0, "got {v}");
+    }
+
+    #[test]
+    fn acronyms_count_as_natural() {
+        assert!((mean_token_in_dictionary("GPS_ID") - 1.0).abs() < 1e-12);
+    }
+}

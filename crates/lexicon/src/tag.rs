@@ -1,0 +1,144 @@
+//! Character tagging (appendix B.5).
+//!
+//! The paper observed that word abbreviations generally contain more
+//! consonants than vowels (vowels are dropped first), and introduced a
+//! pre-processing step that renders the character *classes* of an identifier
+//! as a parallel string of special characters which is concatenated with the
+//! identifier before classification. Classifiers that use this feature are
+//! labeled `+TG` in Table 5.
+//!
+//! Tag alphabet:
+//! * `^` — vowels
+//! * `+` — consonants
+//! * `#` — numbers
+//! * `$` — special characters
+//! * `*` — any character not in the above categories
+
+/// The tag character for a single input character.
+pub fn char_tag(c: char) -> char {
+    match c {
+        'a' | 'e' | 'i' | 'o' | 'u' | 'A' | 'E' | 'I' | 'O' | 'U' => '^',
+        c if c.is_ascii_alphabetic() => '+',
+        c if c.is_ascii_digit() => '#',
+        c if c.is_ascii() && !c.is_ascii_alphanumeric() => '$',
+        _ => '*',
+    }
+}
+
+/// The full tag sequence for an identifier, e.g. `AuthorID_5` → `^^++^+^+$#`.
+pub fn tag_identifier(identifier: &str) -> String {
+    identifier.chars().map(char_tag).collect()
+}
+
+/// The paper's `+TG` input encoding: identifier, a space, then its tags
+/// (mirroring the fine-tuning prompt format `ADDRESS ^+++^++ ->`).
+pub fn tagged_input(identifier: &str) -> String {
+    let mut out = String::with_capacity(identifier.len() * 2 + 1);
+    out.push_str(identifier);
+    out.push(' ');
+    out.push_str(&tag_identifier(identifier));
+    out
+}
+
+/// Vowel / consonant / digit / special counts used as classifier features.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CharCounts {
+    /// Vowel count (`^`).
+    pub vowels: usize,
+    /// Consonant count (`+`).
+    pub consonants: usize,
+    /// Digit count (`#`).
+    pub digits: usize,
+    /// Special-character count (`$`).
+    pub specials: usize,
+    /// Everything else (`*`).
+    pub others: usize,
+}
+
+impl CharCounts {
+    /// Count character classes in an identifier.
+    pub fn of(identifier: &str) -> Self {
+        let mut counts = CharCounts::default();
+        for c in identifier.chars() {
+            match char_tag(c) {
+                '^' => counts.vowels += 1,
+                '+' => counts.consonants += 1,
+                '#' => counts.digits += 1,
+                '$' => counts.specials += 1,
+                _ => counts.others += 1,
+            }
+        }
+        counts
+    }
+
+    /// Total characters counted.
+    pub fn total(&self) -> usize {
+        self.vowels + self.consonants + self.digits + self.specials + self.others
+    }
+
+    /// Vowel share among alphabetic characters; English prose sits near 0.4,
+    /// consonant-skeleton abbreviations near 0.
+    pub fn vowel_ratio(&self) -> f64 {
+        let alpha = self.vowels + self.consonants;
+        if alpha == 0 {
+            0.0
+        } else {
+            self.vowels as f64 / alpha as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example() {
+        // Appendix B.5: AuthorID_5 -> ^^++^+^+$#  (A u t h o r I D _ 5)
+        assert_eq!(tag_identifier("AuthorID_5"), "^^++^+^+$#");
+    }
+
+    #[test]
+    fn address_example() {
+        // Appendix B.7 training excerpt: ADDRESS -> ^+++^++
+        assert_eq!(tag_identifier("ADDRESS"), "^+++^++");
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(char_tag('e'), '^');
+        assert_eq!(char_tag('Z'), '+');
+        assert_eq!(char_tag('7'), '#');
+        assert_eq!(char_tag('_'), '$');
+        assert_eq!(char_tag('é'), '*');
+    }
+
+    #[test]
+    fn tagged_input_format() {
+        assert_eq!(tagged_input("AIS"), "AIS ^^+");
+    }
+
+    #[test]
+    fn char_counts() {
+        let c = CharCounts::of("VgHt_2");
+        assert_eq!(c.vowels, 0);
+        assert_eq!(c.consonants, 4);
+        assert_eq!(c.digits, 1);
+        assert_eq!(c.specials, 1);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.vowel_ratio(), 0.0);
+    }
+
+    #[test]
+    fn vowel_ratio_of_word() {
+        let c = CharCounts::of("vegetation");
+        assert!(c.vowel_ratio() > 0.35 && c.vowel_ratio() < 0.6);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let c = CharCounts::of("");
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.vowel_ratio(), 0.0);
+    }
+}

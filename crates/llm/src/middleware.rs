@@ -1,0 +1,105 @@
+//! Naturalization middleware (appendix D.2 / D.4, appendix H.2).
+//!
+//! During virtual-schema runs the prompt presents modified identifiers
+//! ("naturalization") and generated queries are converted back to the Native
+//! namespace before execution ("denaturalization"). This is also the
+//! middleware deployment pattern of appendix H.2 for practitioners without
+//! write access to the target database.
+
+use crate::schema_view::{build_prompt, SchemaView};
+use snails_data::SnailsDatabase;
+use snails_naturalness::category::SchemaVariant;
+use snails_sql::{denaturalize_query, IdentifierMap, ParseError};
+
+/// Build the (possibly naturalness-modified) zero-shot prompt for a
+/// database, variant, and question.
+pub fn naturalize_prompt(db: &SnailsDatabase, variant: SchemaVariant, question: &str) -> String {
+    let view = SchemaView::new(db, variant);
+    build_prompt(&view, question)
+}
+
+/// The variant → Native identifier map for a database.
+pub fn denaturalization_map(db: &SnailsDatabase, variant: SchemaVariant) -> IdentifierMap {
+    db.crosswalk.variant_to_native(variant)
+}
+
+/// Convert a generated query from the variant namespace back to Native.
+///
+/// Identifiers the map does not know (hallucinations, natural guesses on
+/// non-Regular variants) pass through unchanged and will fail at execution —
+/// matching the behaviour of the paper's pipeline.
+pub fn denaturalize(
+    db: &SnailsDatabase,
+    variant: SchemaVariant,
+    raw_sql: &str,
+) -> Result<String, ParseError> {
+    denaturalize_query(raw_sql, &denaturalization_map(db, variant))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snails_data::build_database;
+    use snails_data::core_schema::CoreRole;
+
+    #[test]
+    fn prompt_uses_variant_identifiers() {
+        let db = build_database("CWO");
+        let native_prompt = naturalize_prompt(&db, SchemaVariant::Native, "q?");
+        let least_prompt = naturalize_prompt(&db, SchemaVariant::Least, "q?");
+        assert_ne!(native_prompt, least_prompt);
+        // The Least prompt shows the Least rendering of the event table.
+        let entry = db
+            .crosswalk
+            .entry(&db.core.native(CoreRole::EventTable))
+            .unwrap();
+        assert!(least_prompt.contains(&format!("#{} (", entry.renderings[2])));
+    }
+
+    #[test]
+    fn denaturalize_round_trips_gold_query() {
+        let db = build_database("CWO");
+        let variant = SchemaVariant::Least;
+        // Naturalize the gold query (native → least) then denaturalize back.
+        let fwd = db.crosswalk.native_to_variant(variant);
+        let pair = &db.questions[0];
+        let least_sql = snails_sql::denaturalize_query(&pair.sql, &fwd).unwrap();
+        let back = denaturalize(&db, variant, &least_sql).unwrap();
+        assert_eq!(
+            back.to_ascii_uppercase(),
+            snails_sql::normalize(&pair.sql).unwrap().to_ascii_uppercase()
+        );
+    }
+
+    #[test]
+    fn denaturalized_queries_execute() {
+        let db = build_database("CWO");
+        let variant = SchemaVariant::Low;
+        let fwd = db.crosswalk.native_to_variant(variant);
+        for pair in db.questions.iter().take(10) {
+            let low_sql = snails_sql::denaturalize_query(&pair.sql, &fwd).unwrap();
+            let native_sql = denaturalize(&db, variant, &low_sql).unwrap();
+            let rs = snails_engine::run_sql(&db.db, &native_sql)
+                .unwrap_or_else(|e| panic!("q{}: {e}\n{native_sql}", pair.id));
+            assert!(!rs.is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_identifiers_pass_through() {
+        let db = build_database("CWO");
+        let out = denaturalize(&db, SchemaVariant::Least, "SELECT madeup FROM nowhere").unwrap();
+        assert!(out.contains("madeup"));
+        assert!(out.contains("nowhere"));
+        // ... and fail at execution, as in the paper's pipeline.
+        assert!(snails_engine::run_sql(&db.db, &out).is_err());
+    }
+
+    #[test]
+    fn native_variant_is_identity() {
+        let db = build_database("CWO");
+        let sql = &db.questions[0].sql;
+        let out = denaturalize(&db, SchemaVariant::Native, sql).unwrap();
+        assert_eq!(out, snails_sql::normalize(sql).unwrap());
+    }
+}

@@ -1,0 +1,137 @@
+//! Natural views (§6 discussion, appendix H.2).
+//!
+//! Rather than renaming a production schema, a DBA can expose a `db_nl`
+//! schema of views that map Regular-naturalness identifiers onto the Native
+//! tables. The LLM prompts against the natural view names; generated queries
+//! execute directly — no middleware required — while existing integrations
+//! keep talking to the Native schema.
+
+use snails_data::SnailsDatabase;
+use snails_engine::{apply_ddl, Database, EngineError};
+use snails_modify::crosswalk::Crosswalk;
+use snails_sql::render::quoted;
+
+/// The schema namespace used for natural views.
+pub const NATURAL_SCHEMA: &str = "db_nl";
+
+/// Generate `CREATE VIEW` DDL for every table: Regular-named views over the
+/// Native schema (the appendix H.2 `classify_rename_and_build_view`
+/// prototype).
+pub fn natural_view_ddl(db: &Database, crosswalk: &Crosswalk) -> Vec<String> {
+    let regular = |native: &str| -> String {
+        crosswalk
+            .entry(native)
+            .map(|e| e.renderings[0].clone())
+            .unwrap_or_else(|| native.to_owned())
+    };
+    let mut ddl = Vec::with_capacity(db.table_count());
+    for table in db.tables() {
+        let native_table = &table.schema.name;
+        let mut stmt = format!(
+            "CREATE VIEW {NATURAL_SCHEMA}.{} AS SELECT ",
+            quoted(&regular(native_table))
+        );
+        for (i, col) in table.schema.columns.iter().enumerate() {
+            if i > 0 {
+                stmt.push_str(", ");
+            }
+            stmt.push_str(&format!(
+                "{} AS {}",
+                quoted(&col.name),
+                quoted(&regular(&col.name))
+            ));
+        }
+        stmt.push_str(&format!(" FROM dbo.{}", quoted(native_table)));
+        ddl.push(stmt);
+    }
+    ddl
+}
+
+/// Create the natural views inside the database.
+pub fn install_natural_views(
+    db: &mut Database,
+    crosswalk: &Crosswalk,
+) -> Result<usize, EngineError> {
+    let ddl = natural_view_ddl(db, crosswalk);
+    let mut installed = 0;
+    for stmt_sql in &ddl {
+        let stmt = snails_sql::parse(stmt_sql).map_err(EngineError::from_parse)?;
+        apply_ddl(db, &stmt)?;
+        installed += 1;
+    }
+    Ok(installed)
+}
+
+/// Install natural views on a SNAILS database (convenience wrapper).
+pub fn naturalize_database(db: &mut SnailsDatabase) -> Result<usize, EngineError> {
+    let crosswalk = db.crosswalk.clone();
+    install_natural_views(&mut db.db, &crosswalk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snails_data::build_database;
+    use snails_data::core_schema::CoreRole;
+
+    #[test]
+    fn ddl_covers_every_table() {
+        let d = build_database("CWO");
+        let ddl = natural_view_ddl(&d.db, &d.crosswalk);
+        assert_eq!(ddl.len(), d.db.table_count());
+        for stmt in &ddl {
+            assert!(stmt.starts_with("CREATE VIEW db_nl."), "{stmt}");
+            snails_sql::parse(stmt).unwrap_or_else(|e| panic!("{e}: {stmt}"));
+        }
+    }
+
+    #[test]
+    fn views_install_and_answer_queries() {
+        let mut d = build_database("CWO");
+        let installed = naturalize_database(&mut d).unwrap();
+        assert_eq!(installed, 13);
+
+        // Query through the natural (Regular) names.
+        let event_regular = d
+            .crosswalk
+            .entry(&d.core.native(CoreRole::EventTable))
+            .unwrap()
+            .renderings[0]
+            .clone();
+        let sql = format!("SELECT COUNT(*) FROM db_nl.{}", snails_sql::render::quoted(&event_regular));
+        let rs = snails_engine::run_sql(&d.db, &sql).unwrap();
+        assert_eq!(
+            rs.scalar().and_then(snails_engine::Value::as_i64),
+            Some(snails_data::builder::EVENT_ROWS as i64)
+        );
+    }
+
+    #[test]
+    fn view_results_match_native_results() {
+        let mut d = build_database("CWO");
+        naturalize_database(&mut d).unwrap();
+        let status_native = d.core.native(CoreRole::EventStatus);
+        let event_native = d.core.native(CoreRole::EventTable);
+        let status_regular = d.crosswalk.entry(&status_native).unwrap().renderings[0].clone();
+        let event_regular = d.crosswalk.entry(&event_native).unwrap().renderings[0].clone();
+        let q = |table: &str, col: &str, schema: &str| {
+            let sql = format!(
+                "SELECT {c}, COUNT(*) FROM {schema}{t} GROUP BY {c} ORDER BY {c}",
+                c = snails_sql::render::quoted(col),
+                t = snails_sql::render::quoted(table),
+            );
+            snails_engine::run_sql(&d.db, &sql).unwrap()
+        };
+        let native = q(&event_native, &status_native, "");
+        let via_view = q(&event_regular, &status_regular, "db_nl.");
+        assert_eq!(native.rows, via_view.rows);
+    }
+
+    #[test]
+    fn native_schema_untouched_by_views() {
+        let mut d = build_database("CWO");
+        let before = d.db.identifier_names();
+        naturalize_database(&mut d).unwrap();
+        assert_eq!(d.db.identifier_names(), before);
+    }
+}

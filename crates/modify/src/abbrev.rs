@@ -1,0 +1,360 @@
+//! The abbreviator (decreasing naturalness, appendix C.1).
+//!
+//! The paper generated less-natural identifiers with GPT-3.5 few-shot
+//! prompting ("Abbreviate the database schema identifier to make it slightly
+//! shorter: WaterTemperature -> WaterTemp"). The rules here reproduce the
+//! dominant patterns of those outputs and of real-world schemas:
+//!
+//! * **Low**: conventional abbreviation when one exists (`quantity → qty`),
+//!   otherwise vowel-dropping after the first letter with length capped near
+//!   half the word (`protocol → prtcl`, `height → hght` → capped `hght`);
+//!   recognizable by non-experts, never a dictionary word.
+//! * **Least**: 2-character consonant skeleton (`vegetation → vg`,
+//!   `height → ht`), matching the paper's `Veg-Height → VgHt` example.
+
+use snails_lexicon::abbrev::CONVENTIONAL_ABBREVIATIONS;
+use snails_lexicon::dictionary::is_dictionary_word;
+use snails_naturalness::Naturalness;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Identifier rendering styles found in real schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenderStyle {
+    /// `lower_snake_case`
+    Snake,
+    /// `PascalCase`
+    Pascal,
+    /// `camelCase`
+    Camel,
+    /// `UPPER_SNAKE`
+    UpperSnake,
+    /// `UPPERFLAT` (SAP-style, words concatenated uppercase)
+    UpperFlat,
+    /// `Title Case With Spaces` (the rare whitespace identifiers of §3.1 —
+    /// the paper found 148 of 19,000; they require bracket quoting).
+    Spaced,
+}
+
+impl RenderStyle {
+    /// Join word tokens in this style.
+    pub fn join(&self, words: &[String]) -> String {
+        match self {
+            RenderStyle::Snake => words
+                .iter()
+                .map(|w| w.to_ascii_lowercase())
+                .collect::<Vec<_>>()
+                .join("_"),
+            RenderStyle::Pascal => words.iter().map(|w| capitalize(w)).collect(),
+            RenderStyle::Camel => {
+                let mut out = String::new();
+                for (i, w) in words.iter().enumerate() {
+                    if i == 0 {
+                        out.push_str(&w.to_ascii_lowercase());
+                    } else {
+                        out.push_str(&capitalize(w));
+                    }
+                }
+                out
+            }
+            RenderStyle::UpperSnake => words
+                .iter()
+                .map(|w| w.to_ascii_uppercase())
+                .collect::<Vec<_>>()
+                .join("_"),
+            RenderStyle::UpperFlat => {
+                words.iter().map(|w| w.to_ascii_uppercase()).collect()
+            }
+            RenderStyle::Spaced => words
+                .iter()
+                .map(|w| capitalize(w))
+                .collect::<Vec<_>>()
+                .join(" "),
+        }
+    }
+
+    /// Guess the style of an existing identifier.
+    pub fn detect(identifier: &str) -> RenderStyle {
+        if identifier.contains(' ') {
+            return RenderStyle::Spaced;
+        }
+        let has_underscore = identifier.contains('_');
+        let all_upper = identifier
+            .chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .all(|c| c.is_ascii_uppercase());
+        let starts_lower = identifier.chars().next().is_some_and(|c| c.is_ascii_lowercase());
+        match (has_underscore, all_upper, starts_lower) {
+            (true, true, _) => RenderStyle::UpperSnake,
+            (true, false, _) => RenderStyle::Snake,
+            (false, true, _) => RenderStyle::UpperFlat,
+            (false, false, true) => RenderStyle::Camel,
+            (false, false, false) => RenderStyle::Pascal,
+        }
+    }
+}
+
+fn capitalize(w: &str) -> String {
+    let mut chars = w.chars();
+    match chars.next() {
+        Some(c) => c.to_ascii_uppercase().to_string() + &chars.as_str().to_ascii_lowercase(),
+        None => String::new(),
+    }
+}
+
+fn reverse_conventional() -> &'static HashMap<&'static str, &'static str> {
+    static MAP: OnceLock<HashMap<&'static str, &'static str>> = OnceLock::new();
+    MAP.get_or_init(|| {
+        let mut m = HashMap::new();
+        // First mapping wins so the table order defines the canonical
+        // abbreviation of each word.
+        for (abbr, full) in CONVENTIONAL_ABBREVIATIONS {
+            m.entry(*full).or_insert(*abbr);
+        }
+        m
+    })
+}
+
+const VOWELS: &[char] = &['a', 'e', 'i', 'o', 'u'];
+
+/// Drop vowels after the first character.
+fn vowel_dropped(word: &str) -> String {
+    let lower = word.to_ascii_lowercase();
+    let mut out = String::with_capacity(lower.len());
+    for (i, c) in lower.chars().enumerate() {
+        if i == 0 || !VOWELS.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Abbreviate one word to the target naturalness level.
+///
+/// `Regular` returns the word unchanged (lowercased). The output for `Low`
+/// and `Least` is never a dictionary word.
+pub fn abbreviate_word(word: &str, target: Naturalness) -> String {
+    let lower = word.to_ascii_lowercase();
+    if lower.chars().all(|c| c.is_ascii_digit()) || lower.len() <= 2 {
+        return lower;
+    }
+    match target {
+        Naturalness::Regular => lower,
+        Naturalness::Low => {
+            if let Some(abbr) = reverse_conventional().get(lower.as_str()) {
+                return (*abbr).to_owned();
+            }
+            let mut skeleton = vowel_dropped(&lower);
+            // Cap near half the word, but keep at least 3 characters so the
+            // abbreviation stays recognizable (Low, not Least).
+            let cap = lower.len().div_ceil(2).max(3);
+            skeleton.truncate(cap.min(skeleton.len()).max(3.min(skeleton.len())));
+            if skeleton.len() < 3 && lower.len() > 3 {
+                // Vowel-heavy words (e.g. "area") reduce too far; use a
+                // prefix abbreviation instead.
+                skeleton = lower.chars().take(3).collect();
+            }
+            if is_dictionary_word(&skeleton) || skeleton == lower {
+                // Fall back to a 4-char prefix minus trailing vowel.
+                let mut prefix: String = lower.chars().take(4).collect();
+                while prefix.len() > 2 && is_dictionary_word(&prefix) {
+                    prefix.pop();
+                }
+                return prefix;
+            }
+            skeleton
+        }
+        Naturalness::Least => {
+            // A conventional abbreviation that is already skeletal (≤ 2
+            // chars) is the canonical Least form (`height → ht`).
+            if let Some(abbr) = reverse_conventional().get(lower.as_str()) {
+                if abbr.len() <= 2 {
+                    return (*abbr).to_owned();
+                }
+            }
+            // Otherwise: first letter + next consonant (or next letter).
+            let mut chars = lower.chars();
+            let first = chars.next().expect("len > 2 checked above");
+            let second = chars
+                .clone()
+                .find(|c| !VOWELS.contains(c))
+                .or_else(|| chars.next())
+                .unwrap_or('x');
+            let out: String = [first, second].iter().collect();
+            if is_dictionary_word(&out) {
+                // e.g. "an", "at": extend by one consonant.
+                let third = lower
+                    .chars()
+                    .skip(2)
+                    .find(|c| !VOWELS.contains(c))
+                    .unwrap_or('x');
+                return [first, second, third].iter().collect();
+            }
+            out
+        }
+    }
+}
+
+/// Abbreviate a full identifier: split into word tokens, abbreviate each, and
+/// re-join in the identifier's detected style.
+///
+/// This is the standalone Artifact-5 abbreviator; the benchmark crosswalks
+/// are built from semantic word sequences instead (see `snails-data`).
+pub fn abbreviate_identifier(identifier: &str, target: Naturalness) -> String {
+    let style = RenderStyle::detect(identifier);
+    let words: Vec<String> = snails_lexicon::split_identifier(identifier)
+        .into_iter()
+        .map(|t| abbreviate_word(&t.text, target))
+        .collect();
+    if words.is_empty() {
+        return identifier.to_owned();
+    }
+    style.join(&words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_veg_height() {
+        // Figure 4: VegHeight (Low) abbreviates further to VgHt (Least).
+        assert_eq!(abbreviate_word("Veg", Naturalness::Least), "vg");
+        assert_eq!(abbreviate_word("Height", Naturalness::Least), "ht");
+        assert_eq!(abbreviate_identifier("VegHeight", Naturalness::Least), "VgHt");
+    }
+
+    #[test]
+    fn conventional_abbreviations_preferred() {
+        assert_eq!(abbreviate_word("quantity", Naturalness::Low), "qty");
+        assert_eq!(abbreviate_word("height", Naturalness::Low), "ht");
+        assert_eq!(abbreviate_word("number", Naturalness::Low), "nbr");
+    }
+
+    #[test]
+    fn low_abbreviations_not_dictionary_words() {
+        for w in ["protocol", "customer", "observation", "temperature", "district"] {
+            let a = abbreviate_word(w, Naturalness::Low);
+            assert!(!is_dictionary_word(&a), "{w} → {a} is a word");
+            assert_ne!(a, w);
+            assert!(a.len() >= 2, "{w} → {a} too short");
+        }
+    }
+
+    #[test]
+    fn least_is_two_or_three_chars() {
+        for w in ["vegetation", "customer", "location", "species", "district"] {
+            let a = abbreviate_word(w, Naturalness::Least);
+            assert!(a.len() <= 3, "{w} → {a}");
+            assert!(!is_dictionary_word(&a), "{w} → {a} is a word");
+        }
+    }
+
+    #[test]
+    fn least_shorter_than_low() {
+        for w in ["vegetation", "customer", "observation", "protocol"] {
+            let low = abbreviate_word(w, Naturalness::Low);
+            let least = abbreviate_word(w, Naturalness::Least);
+            assert!(least.len() < low.len(), "{w}: low={low} least={least}");
+        }
+    }
+
+    #[test]
+    fn short_words_pass_through() {
+        assert_eq!(abbreviate_word("id", Naturalness::Least), "id");
+        assert_eq!(abbreviate_word("of", Naturalness::Low), "of");
+        assert_eq!(abbreviate_word("42", Naturalness::Least), "42");
+    }
+
+    #[test]
+    fn regular_target_is_identity() {
+        assert_eq!(abbreviate_word("Height", Naturalness::Regular), "height");
+    }
+
+    #[test]
+    fn style_detection() {
+        assert_eq!(RenderStyle::detect("service_name"), RenderStyle::Snake);
+        assert_eq!(RenderStyle::detect("ModelYear"), RenderStyle::Pascal);
+        assert_eq!(RenderStyle::detect("modelYear"), RenderStyle::Camel);
+        assert_eq!(RenderStyle::detect("HEADREST_DAM"), RenderStyle::UpperSnake);
+        assert_eq!(RenderStyle::detect("CASENO"), RenderStyle::UpperFlat);
+        assert_eq!(RenderStyle::detect("Research Staff"), RenderStyle::Spaced);
+    }
+
+    #[test]
+    fn spaced_style_round_trips() {
+        let words = vec!["research".to_owned(), "staff".to_owned()];
+        assert_eq!(RenderStyle::Spaced.join(&words), "Research Staff");
+        assert_eq!(
+            abbreviate_identifier("Research Staff", Naturalness::Least),
+            "Rs St"
+        );
+    }
+
+    #[test]
+    fn style_join() {
+        let words = vec!["water".to_owned(), "temp".to_owned()];
+        assert_eq!(RenderStyle::Snake.join(&words), "water_temp");
+        assert_eq!(RenderStyle::Pascal.join(&words), "WaterTemp");
+        assert_eq!(RenderStyle::Camel.join(&words), "waterTemp");
+        assert_eq!(RenderStyle::UpperSnake.join(&words), "WATER_TEMP");
+        assert_eq!(RenderStyle::UpperFlat.join(&words), "WATERTEMP");
+    }
+
+    #[test]
+    fn identifier_styles_preserved() {
+        assert_eq!(
+            abbreviate_identifier("water_temperature", Naturalness::Low),
+            "wtr_temp"
+        );
+        let out = abbreviate_identifier("WaterTemperature", Naturalness::Low);
+        assert_eq!(out, "WtrTemp");
+    }
+
+    #[test]
+    fn empty_identifier_unchanged() {
+        assert_eq!(abbreviate_identifier("", Naturalness::Low), "");
+    }
+
+    #[test]
+    fn deterministic() {
+        for w in ["vegetation", "protocol", "height"] {
+            assert_eq!(
+                abbreviate_word(w, Naturalness::Low),
+                abbreviate_word(w, Naturalness::Low)
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Abbreviations never grow the word.
+        #[test]
+        fn never_longer(w in "[a-z]{3,14}") {
+            for target in [Naturalness::Low, Naturalness::Least] {
+                prop_assert!(abbreviate_word(&w, target).len() <= w.len());
+            }
+        }
+
+        /// Abbreviation output is lowercase ASCII (word level).
+        #[test]
+        fn lowercase_ascii(w in "[a-zA-Z]{3,14}") {
+            let a = abbreviate_word(&w, Naturalness::Low);
+            prop_assert!(a.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        /// First letter is preserved, preserving sort/recognition anchors.
+        #[test]
+        fn first_letter_kept(w in "[a-z]{3,14}") {
+            for target in [Naturalness::Low, Naturalness::Least] {
+                let a = abbreviate_word(&w, target);
+                prop_assert_eq!(a.chars().next(), w.chars().next());
+            }
+        }
+    }
+}

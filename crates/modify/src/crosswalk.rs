@@ -1,0 +1,356 @@
+//! Naturalness crosswalks (Artifact 4).
+//!
+//! A crosswalk maps every Native schema identifier to semantically
+//! equivalent renderings at each naturalness level. Each Native identifier
+//! is mapped to itself at its own level (§2.3: "we do not generate new
+//! identifiers of the same naturalness as its native form"). The crosswalk
+//! powers virtual schemas: prompts are *naturalized* (Native → variant) and
+//! generated queries *denaturalized* (variant → Native) without instantiating
+//! modified database instances.
+
+use snails_naturalness::category::{Naturalness, SchemaVariant};
+use snails_sql::IdentifierMap;
+use std::collections::HashSet;
+
+/// One identifier's renderings across all levels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrosswalkEntry {
+    /// The identifier as it exists in the source database.
+    pub native: String,
+    /// The Native identifier's own naturalness classification.
+    pub native_level: Naturalness,
+    /// Renderings indexed by [`Naturalness::index`]
+    /// (`[Regular, Low, Least]`). The entry at `native_level` equals
+    /// `native`.
+    pub renderings: [String; 3],
+    /// True when this identifier names a table (else a column).
+    pub is_table: bool,
+}
+
+impl CrosswalkEntry {
+    /// The rendering for a schema variant.
+    pub fn rendering(&self, variant: SchemaVariant) -> &str {
+        match variant.target_level() {
+            None => &self.native,
+            Some(level) => &self.renderings[level.index()],
+        }
+    }
+}
+
+/// A full-schema crosswalk.
+#[derive(Debug, Clone, Default)]
+pub struct Crosswalk {
+    entries: Vec<CrosswalkEntry>,
+    /// Uppercased native name → entry index (hot-path lookup).
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl PartialEq for Crosswalk {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Crosswalk {
+    /// Build from entries, de-duplicating colliding renderings per level by
+    /// suffixing a discriminator (`_2`, `_3`, ...). Collisions would corrupt
+    /// the identifier maps; real crosswalks are human-validated bijections,
+    /// so the suffix path is rare.
+    /// Renderings at an entry's *native* level are never altered (they must
+    /// stay equal to the physical schema identifier); native names are
+    /// claimed first, then colliding virtual renderings are suffixed.
+    pub fn new(mut entries: Vec<CrosswalkEntry>) -> Self {
+        for level in 0..3 {
+            let mut seen: HashSet<String> = HashSet::new();
+            for e in &entries {
+                if e.native_level.index() == level {
+                    seen.insert(e.renderings[level].to_ascii_uppercase());
+                }
+            }
+            for e in &mut entries {
+                if e.native_level.index() == level {
+                    continue;
+                }
+                let mut name = e.renderings[level].clone();
+                let mut n = 2;
+                while !seen.insert(name.to_ascii_uppercase()) {
+                    name = format!("{}_{n}", e.renderings[level]);
+                    n += 1;
+                }
+                e.renderings[level] = name;
+            }
+        }
+        let index = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.native.to_ascii_uppercase(), i))
+            .collect();
+        Crosswalk { entries, index }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[CrosswalkEntry] {
+        &self.entries
+    }
+
+    /// Number of identifiers covered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry for a native identifier (case-insensitive, O(1)).
+    pub fn entry(&self, native: &str) -> Option<&CrosswalkEntry> {
+        self.index
+            .get(&native.to_ascii_uppercase())
+            .map(|&i| &self.entries[i])
+    }
+
+    /// Map from Native identifiers to their `variant` renderings — used to
+    /// naturalize prompt schema knowledge (appendix D.2).
+    pub fn native_to_variant(&self, variant: SchemaVariant) -> IdentifierMap {
+        let mut map = IdentifierMap::new();
+        if variant == SchemaVariant::Native {
+            return map;
+        }
+        for e in &self.entries {
+            map.insert(&e.native, e.rendering(variant));
+        }
+        map
+    }
+
+    /// Map from `variant` renderings back to Native identifiers — used to
+    /// denaturalize generated queries (appendix D.4).
+    pub fn variant_to_native(&self, variant: SchemaVariant) -> IdentifierMap {
+        let mut map = IdentifierMap::new();
+        if variant == SchemaVariant::Native {
+            return map;
+        }
+        for e in &self.entries {
+            map.insert(e.rendering(variant), &e.native);
+        }
+        map
+    }
+
+    /// Serialize to tab-separated text (the release format of Artifact 4):
+    /// `native, native_level, regular, low, least, kind` per line.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("native\tnative_level\tregular\tlow\tleast\tkind\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                e.native,
+                e.native_level.n_label(),
+                e.renderings[0],
+                e.renderings[1],
+                e.renderings[2],
+                if e.is_table { "table" } else { "column" },
+            ));
+        }
+        out
+    }
+
+    /// Parse the TSV produced by [`Crosswalk::to_tsv`].
+    pub fn from_tsv(text: &str) -> Result<Crosswalk, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue; // header / blanks
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 6 {
+                return Err(format!("line {}: expected 6 fields, got {}", i + 1, fields.len()));
+            }
+            let native_level: Naturalness =
+                fields[1].parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            entries.push(CrosswalkEntry {
+                native: fields[0].to_owned(),
+                native_level,
+                renderings: [
+                    fields[2].to_owned(),
+                    fields[3].to_owned(),
+                    fields[4].to_owned(),
+                ],
+                is_table: fields[5] == "table",
+            });
+        }
+        Ok(Crosswalk::new(entries))
+    }
+
+    /// The naturalness labels of the identifiers as displayed under
+    /// `variant` (Native → the classified native levels; modified → uniform).
+    pub fn displayed_levels(&self, variant: SchemaVariant) -> Vec<Naturalness> {
+        match variant.target_level() {
+            None => self.entries.iter().map(|e| e.native_level).collect(),
+            Some(level) => vec![level; self.entries.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        native: &str,
+        level: Naturalness,
+        regular: &str,
+        low: &str,
+        least: &str,
+        is_table: bool,
+    ) -> CrosswalkEntry {
+        CrosswalkEntry {
+            native: native.to_owned(),
+            native_level: level,
+            renderings: [regular.to_owned(), low.to_owned(), least.to_owned()],
+            is_table,
+        }
+    }
+
+    fn demo() -> Crosswalk {
+        Crosswalk::new(vec![
+            entry(
+                "VegHeight",
+                Naturalness::Low,
+                "vegetation_height",
+                "VegHeight",
+                "VgHt",
+                false,
+            ),
+            entry(
+                "tbl_Locations",
+                Naturalness::Regular,
+                "tbl_Locations",
+                "tbl_Locs",
+                "tLc",
+                true,
+            ),
+        ])
+    }
+
+    #[test]
+    fn native_maps_to_itself_at_native_level() {
+        let cw = demo();
+        let e = cw.entry("vegheight").unwrap();
+        assert_eq!(e.rendering(SchemaVariant::Low), "VegHeight");
+        assert_eq!(e.rendering(SchemaVariant::Native), "VegHeight");
+        assert_eq!(e.rendering(SchemaVariant::Least), "VgHt");
+    }
+
+    #[test]
+    fn forward_and_backward_maps() {
+        let cw = demo();
+        let fwd = cw.native_to_variant(SchemaVariant::Least);
+        assert_eq!(fwd.get("VegHeight"), Some("VgHt"));
+        assert_eq!(fwd.get("TBL_LOCATIONS"), Some("tLc"));
+        let back = cw.variant_to_native(SchemaVariant::Least);
+        assert_eq!(back.get("VgHt"), Some("VegHeight"));
+        assert_eq!(back.get("TLC"), Some("tbl_Locations"));
+    }
+
+    #[test]
+    fn native_variant_maps_are_empty() {
+        let cw = demo();
+        assert!(cw.native_to_variant(SchemaVariant::Native).is_empty());
+        assert!(cw.variant_to_native(SchemaVariant::Native).is_empty());
+    }
+
+    #[test]
+    fn collisions_deduplicated() {
+        let cw = Crosswalk::new(vec![
+            entry("A1", Naturalness::Least, "alpha", "alp", "a1", false),
+            entry("A2", Naturalness::Least, "alpha", "alp", "a2", false),
+        ]);
+        let regs: Vec<&str> = cw
+            .entries()
+            .iter()
+            .map(|e| e.renderings[0].as_str())
+            .collect();
+        assert_eq!(regs[0], "alpha");
+        assert_eq!(regs[1], "alpha_2");
+        // Backward map stays bijective.
+        let back = cw.variant_to_native(SchemaVariant::Regular);
+        assert_eq!(back.get("alpha"), Some("A1"));
+        assert_eq!(back.get("alpha_2"), Some("A2"));
+    }
+
+    #[test]
+    fn displayed_levels() {
+        let cw = demo();
+        assert_eq!(
+            cw.displayed_levels(SchemaVariant::Native),
+            vec![Naturalness::Low, Naturalness::Regular]
+        );
+        assert_eq!(
+            cw.displayed_levels(SchemaVariant::Least),
+            vec![Naturalness::Least, Naturalness::Least]
+        );
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let cw = demo();
+        let tsv = cw.to_tsv();
+        assert!(tsv.starts_with("native\tnative_level"));
+        let back = Crosswalk::from_tsv(&tsv).unwrap();
+        assert_eq!(back, cw);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_lines() {
+        assert!(Crosswalk::from_tsv("header\na\tb\n").is_err());
+        assert!(Crosswalk::from_tsv("h\nx\tBAD\tr\tl\ts\tcolumn\n").is_err());
+        // Header-only is fine.
+        assert!(Crosswalk::from_tsv("header line\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn len_and_lookup() {
+        let cw = demo();
+        assert_eq!(cw.len(), 2);
+        assert!(!cw.is_empty());
+        assert!(cw.entry("missing").is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any set of entries, per-level renderings are unique after
+        /// construction (case-insensitively).
+        #[test]
+        fn renderings_unique(names in proptest::collection::vec("[a-c]{1,3}", 1..8)) {
+            let entries: Vec<CrosswalkEntry> = names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| CrosswalkEntry {
+                    native: format!("N{i}"),
+                    native_level: Naturalness::Low,
+                    // Native (Low) renderings are unique by construction, as
+                    // the schema builders guarantee; the other levels collide
+                    // freely and must be deduplicated.
+                    renderings: [n.clone(), format!("N{i}"), n.clone()],
+                    is_table: false,
+                })
+                .collect();
+            let cw = Crosswalk::new(entries);
+            for level in 0..3 {
+                let mut seen = std::collections::HashSet::new();
+                for e in cw.entries() {
+                    prop_assert!(
+                        seen.insert(e.renderings[level].to_ascii_uppercase()),
+                        "collision at level {level}: {}",
+                        e.renderings[level]
+                    );
+                }
+            }
+        }
+    }
+}

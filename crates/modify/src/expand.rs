@@ -1,0 +1,324 @@
+//! The expander (increasing naturalness, appendix C.2).
+//!
+//! Expansion resolves each token of an abbreviated identifier to a full
+//! English word, consulting in priority order:
+//!
+//! 1. the conventional-abbreviation table (`qty → quantity`);
+//! 2. the database's metadata / data dictionary via context-window retrieval
+//!    (the paper's GPT-with-metadata-lookup, rebuilt without the LLM: the
+//!    candidate is the most frequent context word that starts with the same
+//!    letter and contains the token as an ordered subsequence);
+//! 3. dictionary-wide ordered-subsequence search, scored by edit distance;
+//! 4. fall back to the token unchanged.
+//!
+//! Output is always a snake_case Regular-naturalness identifier, matching
+//! the `num_teach_inexp → number_of_teachers_inexperienced` style of the
+//! paper's worked example (without the filler words — we expand 1:1).
+
+use crate::metadata::MetadataIndex;
+use snails_lexicon::abbrev::common_abbreviation_expansion;
+use snails_lexicon::dictionary::{dictionary, is_dictionary_word, is_subsequence};
+use snails_lexicon::edit::levenshtein;
+use snails_lexicon::split_identifier;
+use snails_naturalness::Naturalness;
+
+/// Abbreviate a word at Low (`least = false`) or Least (`least = true`)
+/// level — the candidate generator for context segmentation.
+fn snails_modify_abbrev(word: &str, least: bool) -> String {
+    crate::abbrev::abbreviate_word(
+        word,
+        if least { Naturalness::Least } else { Naturalness::Low },
+    )
+}
+
+/// Identifier expander with optional metadata augmentation.
+#[derive(Debug, Default)]
+pub struct Expander {
+    metadata: Option<MetadataIndex>,
+    /// Context window radius (lines either side of a hit).
+    pub radius: usize,
+    /// Maximum retrieved windows per term (the paper used up to ten).
+    pub max_windows: usize,
+}
+
+/// How a token was resolved, for expansion-quality reporting (appendix C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpansionSource {
+    /// Already a dictionary word or common acronym.
+    AlreadyNatural,
+    /// Conventional-abbreviation table.
+    Conventional,
+    /// Metadata context retrieval.
+    Metadata,
+    /// Dictionary subsequence search.
+    Dictionary,
+    /// Could not expand; token kept.
+    Unresolved,
+}
+
+impl Expander {
+    /// Expander without metadata (table + dictionary only).
+    pub fn new() -> Self {
+        Expander { metadata: None, radius: 1, max_windows: 10 }
+    }
+
+    /// Expander augmented with a metadata index.
+    pub fn with_metadata(metadata: MetadataIndex) -> Self {
+        Expander { metadata: Some(metadata), radius: 1, max_windows: 10 }
+    }
+
+    /// Words from the metadata context windows of `term`, dictionary words
+    /// only, in frequency order.
+    fn context_words(&self, term: &str) -> Vec<String> {
+        let Some(meta) = &self.metadata else { return Vec::new() };
+        let mut words: Vec<(String, usize)> = meta
+            .context_vocabulary(term, self.radius, self.max_windows)
+            .into_iter()
+            .filter(|(w, _)| w.len() >= 3 && is_dictionary_word(w))
+            .collect();
+        words.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        words.into_iter().map(|(w, _)| w).collect()
+    }
+
+    /// Segment a flat multi-word skeleton against context words: each
+    /// segment must be a context word or its Low/Least abbreviation
+    /// (`mdct` + context {model, category} → `model_category`). This handles
+    /// the SAP-style UPPERFLAT identifiers whose tokens encode several words.
+    fn segment_against_context(&self, lower: &str, context: &[String]) -> Option<Vec<String>> {
+        fn rec(rest: &str, context: &[String], depth: usize, out: &mut Vec<String>) -> bool {
+            if rest.is_empty() {
+                return !out.is_empty();
+            }
+            if depth >= 6 {
+                return false;
+            }
+            for w in context {
+                // Longest candidates first: the full word, then Low, then
+                // Least abbreviations.
+                let candidates = [
+                    w.clone(),
+                    snails_modify_abbrev(w, false),
+                    snails_modify_abbrev(w, true),
+                ];
+                for cand in candidates {
+                    if cand.len() >= 2 && rest.starts_with(cand.as_str()) {
+                        out.push(w.clone());
+                        if rec(&rest[cand.len()..], context, depth + 1, out) {
+                            return true;
+                        }
+                        out.pop();
+                    }
+                }
+            }
+            false
+        }
+        let mut out = Vec::new();
+        rec(lower, context, 0, &mut out).then_some(out)
+    }
+
+    /// Expand one token, reporting the resolution source.
+    pub fn expand_token(&self, token: &str, full_identifier: &str) -> (String, ExpansionSource) {
+        let lower = token.to_ascii_lowercase();
+        if lower.chars().all(|c| c.is_ascii_digit()) {
+            return (lower, ExpansionSource::AlreadyNatural);
+        }
+        if is_dictionary_word(&lower) || snails_lexicon::is_common_acronym(token) {
+            return (lower, ExpansionSource::AlreadyNatural);
+        }
+        if let Some(full) = common_abbreviation_expansion(&lower) {
+            return (full.to_owned(), ExpansionSource::Conventional);
+        }
+        // Flat multi-word skeletons: segment against the metadata context.
+        if self.metadata.is_some() {
+            for term in [full_identifier, token] {
+                let context = self.context_words(term);
+                if context.is_empty() {
+                    continue;
+                }
+                if let Some(words) = self.segment_against_context(&lower, &context) {
+                    return (words.join("_"), ExpansionSource::Metadata);
+                }
+            }
+        }
+        // Metadata retrieval: look up windows for the whole identifier (the
+        // data dictionary keys on identifiers) and for the token itself.
+        if let Some(meta) = &self.metadata {
+            let mut best: Option<(String, usize)> = None;
+            for term in [full_identifier, token] {
+                let vocab = meta.context_vocabulary(term, self.radius, self.max_windows);
+                for (word, count) in vocab {
+                    if word.len() <= lower.len()
+                        || !word.starts_with(lower.chars().next().unwrap_or('\0'))
+                        || !is_subsequence(&lower, &word)
+                        || !is_dictionary_word(&word)
+                    {
+                        continue;
+                    }
+                    let better = match &best {
+                        None => true,
+                        Some((bw, bc)) => {
+                            count > *bc || (count == *bc && word.as_str() < bw.as_str())
+                        }
+                    };
+                    if better {
+                        best = Some((word, count));
+                    }
+                }
+                if best.is_some() {
+                    break;
+                }
+            }
+            if let Some((word, _)) = best {
+                return (word, ExpansionSource::Metadata);
+            }
+        }
+        // Dictionary-wide subsequence search, min edit distance, shortest,
+        // then lexicographic for determinism.
+        let dict = dictionary();
+        let max_len = (lower.len() * 4).max(lower.len() + 2);
+        let mut best: Option<(&str, usize)> = None;
+        for w in dict.iter() {
+            if w.len() < lower.len() + 1 || w.len() > max_len {
+                continue;
+            }
+            if !w.starts_with(lower.chars().next().unwrap_or('\0')) {
+                continue;
+            }
+            if !is_subsequence(&lower, w) {
+                continue;
+            }
+            let d = levenshtein(&lower, w);
+            let better = match best {
+                None => true,
+                Some((bw, bd)) => d < bd || (d == bd && (w.len(), w) < (bw.len(), bw)),
+            };
+            if better {
+                best = Some((w, d));
+            }
+        }
+        match best {
+            Some((w, _)) => (w.to_owned(), ExpansionSource::Dictionary),
+            None => (lower, ExpansionSource::Unresolved),
+        }
+    }
+
+    /// Expand a full identifier to a snake_case Regular rendering.
+    pub fn expand_identifier(&self, identifier: &str) -> String {
+        let tokens = split_identifier(identifier);
+        if tokens.is_empty() {
+            return identifier.to_owned();
+        }
+        let words: Vec<String> = tokens
+            .iter()
+            .map(|t| self.expand_token(&t.text, identifier).0)
+            .collect();
+        words.join("_")
+    }
+
+    /// Expansion sources for each token (quality instrumentation).
+    pub fn expansion_report(&self, identifier: &str) -> Vec<(String, ExpansionSource)> {
+        split_identifier(identifier)
+            .iter()
+            .map(|t| {
+                let (word, src) = self.expand_token(&t.text, identifier);
+                (word, src)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conventional_expansion() {
+        let e = Expander::new();
+        let (w, src) = e.expand_token("qty", "ord_qty");
+        assert_eq!(w, "quantity");
+        assert_eq!(src, ExpansionSource::Conventional);
+    }
+
+    #[test]
+    fn already_natural_pass_through() {
+        let e = Expander::new();
+        let (w, src) = e.expand_token("height", "veg_height");
+        assert_eq!(w, "height");
+        assert_eq!(src, ExpansionSource::AlreadyNatural);
+        let (_, src) = e.expand_token("GPS", "gps_point");
+        assert_eq!(src, ExpansionSource::AlreadyNatural);
+    }
+
+    #[test]
+    fn metadata_resolves_opaque_tokens() {
+        let meta = MetadataIndex::from_text(
+            "VgHt: the vegetation height in meters measured at plot center\n",
+        );
+        let e = Expander::with_metadata(meta);
+        let expanded = e.expand_identifier("VgHt");
+        assert_eq!(expanded, "vegetation_height");
+    }
+
+    #[test]
+    fn paper_style_nysed_example() {
+        // Appendix C.2: num_teach_inexp expands via a data-dictionary line.
+        let meta = MetadataIndex::from_text(
+            "NUM_TEACH_INEXP Number of teachers with fewer than four years of \
+             experience in their positions\n",
+        );
+        let e = Expander::with_metadata(meta);
+        let out = e.expand_identifier("num_teach_inexp");
+        assert!(out.starts_with("number_teacher"), "{out}");
+    }
+
+    #[test]
+    fn dictionary_fallback() {
+        let e = Expander::new();
+        let (w, src) = e.expand_token("vgtn", "vgtn");
+        assert_eq!(w, "vegetation");
+        assert_eq!(src, ExpansionSource::Dictionary);
+    }
+
+    #[test]
+    fn unresolvable_kept() {
+        let e = Expander::new();
+        let (w, src) = e.expand_token("xqzj", "xqzj");
+        assert_eq!(w, "xqzj");
+        assert_eq!(src, ExpansionSource::Unresolved);
+    }
+
+    #[test]
+    fn numbers_pass_through() {
+        let e = Expander::new();
+        let (w, src) = e.expand_token("22", "CSI22");
+        assert_eq!(w, "22");
+        assert_eq!(src, ExpansionSource::AlreadyNatural);
+    }
+
+    #[test]
+    fn full_identifier_snake_case() {
+        let e = Expander::new();
+        assert_eq!(e.expand_identifier("WtrTemp"), "water_temperature");
+    }
+
+    #[test]
+    fn expansion_report_lists_tokens() {
+        let e = Expander::new();
+        let report = e.expansion_report("qty_xqzj");
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].1, ExpansionSource::Conventional);
+        assert_eq!(report[1].1, ExpansionSource::Unresolved);
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = Expander::new();
+        assert_eq!(e.expand_identifier("SpCd"), e.expand_identifier("SpCd"));
+    }
+
+    #[test]
+    fn empty_identifier() {
+        let e = Expander::new();
+        assert_eq!(e.expand_identifier(""), "");
+    }
+}

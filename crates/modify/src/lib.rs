@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # snails-modify
+//!
+//! Identifier naturalness modification (SNAILS Artifacts 4 and 5):
+//!
+//! * [`abbrev`] — the *abbreviator*: deterministic Regular→Low and →Least
+//!   word abbreviation (the paper used GPT-3.5 few-shot prompting; the rules
+//!   here reproduce its observed behaviour — drop vowels, keep skeletal
+//!   consonants, prefer conventional abbreviations);
+//! * [`metadata`] — a word-indexed metadata/data-dictionary reader with
+//!   context-window retrieval (the RAG substrate of appendix C.2);
+//! * [`expand`] — the *expander*: Least/Low→Regular identifier expansion
+//!   using the conventional-abbreviation table, metadata retrieval, and
+//!   dictionary subsequence search;
+//! * [`crosswalk`] — Artifact 4: per-identifier mappings across all four
+//!   schema variants, with [`snails_sql::IdentifierMap`] extraction for
+//!   prompt naturalization and query denaturalization.
+
+pub mod abbrev;
+pub mod crosswalk;
+pub mod expand;
+pub mod metadata;
+pub mod prompts;
+
+pub use abbrev::{abbreviate_identifier, abbreviate_word, RenderStyle};
+pub use crosswalk::{Crosswalk, CrosswalkEntry};
+pub use expand::Expander;
+pub use metadata::MetadataIndex;

@@ -1,0 +1,165 @@
+//! Word-indexed metadata documents (the RAG substrate, appendix C.2).
+//!
+//! The paper's expander reads `.pdf`/`.xml`/`.csv` data dictionaries, indexes
+//! them at the word level (word → file locations), and retrieves
+//! context-window excerpts around each occurrence of an identifier. This
+//! module provides the same service over plain-text documents: `snails-data`
+//! generates a data dictionary per database, and [`crate::Expander`] resolves
+//! opaque identifiers against it.
+
+use std::collections::HashMap;
+
+/// A line-oriented metadata document with a word-level inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataIndex {
+    lines: Vec<String>,
+    /// lowercase word → line numbers containing it.
+    index: HashMap<String, Vec<usize>>,
+}
+
+impl MetadataIndex {
+    /// Build from document text (typically a generated data dictionary).
+    pub fn from_text(text: &str) -> Self {
+        let mut doc = MetadataIndex::default();
+        for line in text.lines() {
+            doc.push_line(line);
+        }
+        doc
+    }
+
+    /// Append one line and index its words.
+    pub fn push_line(&mut self, line: &str) {
+        let line_no = self.lines.len();
+        for word in line
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .filter(|w| !w.is_empty())
+        {
+            self.index
+                .entry(word.to_ascii_lowercase())
+                .or_default()
+                .push(line_no);
+        }
+        self.lines.push(line.to_owned());
+    }
+
+    /// Number of indexed lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of distinct indexed words.
+    pub fn vocabulary_size(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Line numbers where `term` occurs (case-insensitive exact word match).
+    pub fn locations(&self, term: &str) -> &[usize] {
+        self.index
+            .get(&term.to_ascii_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Context windows around each occurrence of `term`: the matching line
+    /// plus `radius` lines either side, up to `max_windows` excerpts (the
+    /// paper retrieved "up to ten context window-length excerpts").
+    pub fn context_windows(&self, term: &str, radius: usize, max_windows: usize) -> Vec<String> {
+        let mut seen_centers = std::collections::HashSet::new();
+        let mut windows = Vec::new();
+        for &line_no in self.locations(term) {
+            if windows.len() >= max_windows {
+                break;
+            }
+            if !seen_centers.insert(line_no) {
+                continue;
+            }
+            let start = line_no.saturating_sub(radius);
+            let end = (line_no + radius + 1).min(self.lines.len());
+            windows.push(self.lines[start..end].join(" "));
+        }
+        windows
+    }
+
+    /// All words occurring in the context windows of `term`, lowercased,
+    /// with occurrence counts — the expander's candidate pool.
+    pub fn context_vocabulary(
+        &self,
+        term: &str,
+        radius: usize,
+        max_windows: usize,
+    ) -> HashMap<String, usize> {
+        let mut vocab = HashMap::new();
+        for window in self.context_windows(term, radius, max_windows) {
+            for word in window
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .filter(|w| !w.is_empty())
+            {
+                *vocab.entry(word.to_ascii_lowercase()).or_insert(0) += 1;
+            }
+        }
+        vocab
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetadataIndex {
+        MetadataIndex::from_text(
+            "Data dictionary for the vegetation monitoring database\n\
+             VgHt: the vegetation height in meters, measured at plot center\n\
+             SpCd: the species code assigned by the taxonomy committee\n\
+             PltId: the plot identifier\n",
+        )
+    }
+
+    #[test]
+    fn indexes_words_case_insensitively() {
+        let idx = sample();
+        assert_eq!(idx.locations("vght"), &[1]);
+        assert_eq!(idx.locations("VGHT"), &[1]);
+        assert_eq!(idx.locations("vegetation"), &[0, 1]);
+        assert!(idx.locations("absent").is_empty());
+    }
+
+    #[test]
+    fn context_windows_include_neighbors() {
+        let idx = sample();
+        let windows = idx.context_windows("SpCd", 1, 10);
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].contains("species code"));
+        assert!(windows[0].contains("vegetation height"), "radius line missing");
+    }
+
+    #[test]
+    fn max_windows_respected() {
+        let mut idx = MetadataIndex::default();
+        for i in 0..20 {
+            idx.push_line(&format!("term occurrence {i}"));
+        }
+        assert_eq!(idx.context_windows("term", 0, 5).len(), 5);
+    }
+
+    #[test]
+    fn context_vocabulary_counts() {
+        let idx = sample();
+        let vocab = idx.context_vocabulary("VgHt", 0, 10);
+        assert_eq!(vocab.get("vegetation"), Some(&1));
+        assert_eq!(vocab.get("height"), Some(&1));
+        assert!(!vocab.contains_key("species"));
+    }
+
+    #[test]
+    fn counts() {
+        let idx = sample();
+        assert_eq!(idx.line_count(), 4);
+        assert!(idx.vocabulary_size() > 10);
+    }
+
+    #[test]
+    fn empty_document() {
+        let idx = MetadataIndex::from_text("");
+        assert_eq!(idx.line_count(), 0);
+        assert!(idx.context_windows("x", 2, 5).is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's LLM prompt formats for naturalness modification
+//! (appendix C.1 / C.2).
+//!
+//! The rule-based modifiers in this crate do not consume prompts, but the
+//! released artifacts include the prompt builders so the pipeline can be
+//! pointed at a real hosted model: [`abbreviation_prompt`] renders the
+//! GPT-3.5 few-shot abbreviation prompt verbatim, and [`expansion_prompt`]
+//! renders the metadata-augmented expansion prompt around retrieved context
+//! windows.
+
+use crate::metadata::MetadataIndex;
+
+/// The appendix C.1 few-shot abbreviation examples.
+pub const ABBREVIATION_EXAMPLES: &[(&str, &str)] = &[
+    ("Protocol_Name", "Protcl_Nm"),
+    ("WaterTemperature", "WaterTemp"),
+    ("Customer", "Custmr"),
+];
+
+/// The per-example instruction line of the C.1 prompt.
+pub const ABBREVIATION_INSTRUCTION: &str =
+    "Abbreviate the database schema identifier to make it slightly shorter:";
+
+/// Render the appendix C.1 few-shot abbreviation prompt for `identifier`.
+pub fn abbreviation_prompt(identifier: &str) -> String {
+    let mut out = String::with_capacity(512);
+    for (from, to) in ABBREVIATION_EXAMPLES {
+        out.push_str(&format!("{ABBREVIATION_INSTRUCTION} {from} -> {to}\n\n"));
+    }
+    out.push_str(&format!("{ABBREVIATION_INSTRUCTION} {identifier} ->"));
+    out
+}
+
+/// Render the appendix C.2 expansion prompt: retrieved metadata context
+/// windows followed by the identifier-expansion instruction. `radius` and
+/// `max_windows` mirror [`crate::Expander`]'s retrieval settings (the paper
+/// retrieved up to ten context windows).
+pub fn expansion_prompt(
+    metadata: &MetadataIndex,
+    identifier: &str,
+    radius: usize,
+    max_windows: usize,
+) -> String {
+    let context = metadata
+        .context_windows(identifier, radius, max_windows)
+        .join("\n");
+    format!(
+        "Using the following text extracted from a data dictionary:\n\n\
+         {context}\n\n\
+         In the response, provide only the old identifier and new identifier \
+         (e.g. \"old_identifier, new_identifier\"). Create a meaningful and \
+         concise database identifier using SQL compatible complete words to \
+         represent abbreviations and acronyms for only the identifier \
+         {identifier}:"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviation_prompt_matches_paper_format() {
+        let p = abbreviation_prompt("Veg_Height");
+        assert!(p.contains("Protocol_Name -> Protcl_Nm"));
+        assert!(p.contains("WaterTemperature -> WaterTemp"));
+        assert!(p.contains("Customer -> Custmr"));
+        assert!(p.ends_with("Veg_Height ->"));
+        // Three worked examples + the target instruction.
+        assert_eq!(p.matches(ABBREVIATION_INSTRUCTION).count(), 4);
+    }
+
+    #[test]
+    fn expansion_prompt_embeds_retrieved_context() {
+        let meta = MetadataIndex::from_text(
+            "NUM_TEACH_INEXP Number of teachers with fewer than four years of \
+             experience in their positions\n",
+        );
+        let p = expansion_prompt(&meta, "num_teach_inexp", 0, 10);
+        assert!(p.starts_with("Using the following text extracted from a data dictionary:"));
+        assert!(p.contains("Number of teachers with fewer than four years"));
+        assert!(p.ends_with("num_teach_inexp:"));
+    }
+
+    #[test]
+    fn expansion_prompt_with_no_hits_is_still_valid() {
+        let meta = MetadataIndex::from_text("nothing relevant here\n");
+        let p = expansion_prompt(&meta, "xqzj", 1, 10);
+        assert!(p.contains("only the identifier xqzj:"));
+    }
+}

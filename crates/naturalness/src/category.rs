@@ -1,0 +1,213 @@
+//! The 3-class naturalness taxonomy (§2.1).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Discrete naturalness levels, from most to least natural.
+///
+/// * **Regular** — complete English words, or acronyms in common usage
+///   (`airbag`, `AdaptiveCruiseControl`, `service_name`);
+/// * **Low** — abbreviated words and less common but recognizable acronyms;
+///   meaning inferable without documentation (`AccountChk`, `RecvAsst`);
+/// * **Least** — indecipherable without external metadata (`AdCtTxIRWT`,
+///   `DfltSlp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Naturalness {
+    /// N3: meaning requires external documentation.
+    Least,
+    /// N2: abbreviated but recognizable.
+    Low,
+    /// N1: complete English words / common acronyms.
+    Regular,
+}
+
+impl Naturalness {
+    /// The three categories, most natural first (figure order).
+    pub const ALL: [Naturalness; 3] =
+        [Naturalness::Regular, Naturalness::Low, Naturalness::Least];
+
+    /// The paper's N-label (`N1`/`N2`/`N3`).
+    pub fn n_label(&self) -> &'static str {
+        match self {
+            Naturalness::Regular => "N1",
+            Naturalness::Low => "N2",
+            Naturalness::Least => "N3",
+        }
+    }
+
+    /// Display name used in figures.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            Naturalness::Regular => "Regular",
+            Naturalness::Low => "Low",
+            Naturalness::Least => "Least",
+        }
+    }
+
+    /// Combined-naturalness weight (appendix B.2, Equation 5):
+    /// Regular = 1.0, Low = 0.5, Least = 0.0.
+    pub fn weight(&self) -> f64 {
+        match self {
+            Naturalness::Regular => 1.0,
+            Naturalness::Low => 0.5,
+            Naturalness::Least => 0.0,
+        }
+    }
+
+    /// Dense index for array-backed statistics (Regular = 0).
+    pub fn index(&self) -> usize {
+        match self {
+            Naturalness::Regular => 0,
+            Naturalness::Low => 1,
+            Naturalness::Least => 2,
+        }
+    }
+
+    /// Inverse of [`Naturalness::index`].
+    pub fn from_index(i: usize) -> Option<Naturalness> {
+        Naturalness::ALL.get(i).copied()
+    }
+
+    /// One step less natural, saturating at `Least`.
+    pub fn lower(&self) -> Naturalness {
+        match self {
+            Naturalness::Regular => Naturalness::Low,
+            _ => Naturalness::Least,
+        }
+    }
+
+    /// One step more natural, saturating at `Regular`.
+    pub fn higher(&self) -> Naturalness {
+        match self {
+            Naturalness::Least => Naturalness::Low,
+            _ => Naturalness::Regular,
+        }
+    }
+}
+
+impl fmt::Display for Naturalness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for Naturalness {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "regular" | "n1" => Ok(Naturalness::Regular),
+            "low" | "n2" => Ok(Naturalness::Low),
+            "least" | "n3" => Ok(Naturalness::Least),
+            other => Err(format!("unknown naturalness level: {other}")),
+        }
+    }
+}
+
+/// The four schema versions compared in the experiments: the identifiers as
+/// found in the source database, plus the three modified virtual schemas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemaVariant {
+    /// The source database's own identifiers.
+    Native,
+    /// All identifiers mapped to Regular naturalness.
+    Regular,
+    /// All identifiers mapped to Low naturalness.
+    Low,
+    /// All identifiers mapped to Least naturalness.
+    Least,
+}
+
+impl SchemaVariant {
+    /// All variants in figure order (Native, Regular, Low, Least).
+    pub const ALL: [SchemaVariant; 4] = [
+        SchemaVariant::Native,
+        SchemaVariant::Regular,
+        SchemaVariant::Low,
+        SchemaVariant::Least,
+    ];
+
+    /// Display name.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            SchemaVariant::Native => "Native",
+            SchemaVariant::Regular => "Regular",
+            SchemaVariant::Low => "Low",
+            SchemaVariant::Least => "Least",
+        }
+    }
+
+    /// The target naturalness level, `None` for Native.
+    pub fn target_level(&self) -> Option<Naturalness> {
+        match self {
+            SchemaVariant::Native => None,
+            SchemaVariant::Regular => Some(Naturalness::Regular),
+            SchemaVariant::Low => Some(Naturalness::Low),
+            SchemaVariant::Least => Some(Naturalness::Least),
+        }
+    }
+}
+
+impl fmt::Display for SchemaVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_equation_5() {
+        assert_eq!(Naturalness::Regular.weight(), 1.0);
+        assert_eq!(Naturalness::Low.weight(), 0.5);
+        assert_eq!(Naturalness::Least.weight(), 0.0);
+    }
+
+    #[test]
+    fn ordering_least_is_lowest() {
+        assert!(Naturalness::Least < Naturalness::Low);
+        assert!(Naturalness::Low < Naturalness::Regular);
+    }
+
+    #[test]
+    fn n_labels() {
+        assert_eq!(Naturalness::Regular.n_label(), "N1");
+        assert_eq!(Naturalness::Low.n_label(), "N2");
+        assert_eq!(Naturalness::Least.n_label(), "N3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for n in Naturalness::ALL {
+            assert_eq!(Naturalness::from_index(n.index()), Some(n));
+        }
+        assert_eq!(Naturalness::from_index(3), None);
+    }
+
+    #[test]
+    fn parse_from_str() {
+        assert_eq!("regular".parse::<Naturalness>().unwrap(), Naturalness::Regular);
+        assert_eq!("N2".parse::<Naturalness>().unwrap(), Naturalness::Low);
+        assert_eq!("LEAST".parse::<Naturalness>().unwrap(), Naturalness::Least);
+        assert!("mid".parse::<Naturalness>().is_err());
+    }
+
+    #[test]
+    fn lower_and_higher_saturate() {
+        assert_eq!(Naturalness::Regular.lower(), Naturalness::Low);
+        assert_eq!(Naturalness::Low.lower(), Naturalness::Least);
+        assert_eq!(Naturalness::Least.lower(), Naturalness::Least);
+        assert_eq!(Naturalness::Least.higher(), Naturalness::Low);
+        assert_eq!(Naturalness::Regular.higher(), Naturalness::Regular);
+    }
+
+    #[test]
+    fn variant_targets() {
+        assert_eq!(SchemaVariant::Native.target_level(), None);
+        assert_eq!(SchemaVariant::Low.target_level(), Some(Naturalness::Low));
+        assert_eq!(SchemaVariant::ALL.len(), 4);
+        assert_eq!(SchemaVariant::Least.to_string(), "Least");
+    }
+}

@@ -1,0 +1,100 @@
+//! Combined naturalness (appendix B.2, Equation 5) and schema profiles.
+
+use crate::category::Naturalness;
+
+/// Proportions of a schema's identifiers in each naturalness category,
+/// plus the derived combined score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NaturalnessProfile {
+    /// Identifier counts per category, indexed by [`Naturalness::index`].
+    pub counts: [usize; 3],
+}
+
+impl NaturalnessProfile {
+    /// Profile from per-identifier labels.
+    pub fn from_labels(labels: impl IntoIterator<Item = Naturalness>) -> Self {
+        let mut counts = [0usize; 3];
+        for l in labels {
+            counts[l.index()] += 1;
+        }
+        NaturalnessProfile { counts }
+    }
+
+    /// Total identifiers profiled.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Proportion of identifiers in `category` (0 when empty).
+    pub fn proportion(&self, category: Naturalness) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.counts[category.index()] as f64 / total as f64
+        }
+    }
+
+    /// Combined naturalness (Equation 5):
+    /// `1.0·Regular + 0.5·Low + 0.0·Least`, in `[0, 1]`.
+    pub fn combined(&self) -> f64 {
+        Naturalness::ALL
+            .iter()
+            .map(|c| c.weight() * self.proportion(*c))
+            .sum()
+    }
+}
+
+/// One-shot combined naturalness over labels.
+pub fn combined_naturalness(labels: impl IntoIterator<Item = Naturalness>) -> f64 {
+    NaturalnessProfile::from_labels(labels).combined()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_regular_scores_one() {
+        let score = combined_naturalness(vec![Naturalness::Regular; 5]);
+        assert_eq!(score, 1.0);
+    }
+
+    #[test]
+    fn all_least_scores_zero() {
+        assert_eq!(combined_naturalness(vec![Naturalness::Least; 3]), 0.0);
+    }
+
+    #[test]
+    fn mixed_weighted_average() {
+        // 2 Regular, 1 Low, 1 Least → (2·1.0 + 1·0.5 + 1·0.0) / 4 = 0.625.
+        let score = combined_naturalness(vec![
+            Naturalness::Regular,
+            Naturalness::Regular,
+            Naturalness::Low,
+            Naturalness::Least,
+        ]);
+        assert!((score - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = NaturalnessProfile::from_labels(std::iter::empty());
+        assert_eq!(p.total(), 0);
+        assert_eq!(p.combined(), 0.0);
+        assert_eq!(p.proportion(Naturalness::Regular), 0.0);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let p = NaturalnessProfile::from_labels(vec![
+            Naturalness::Regular,
+            Naturalness::Low,
+            Naturalness::Low,
+            Naturalness::Least,
+        ]);
+        let sum: f64 = Naturalness::ALL.iter().map(|c| p.proportion(*c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(p.counts, [1, 2, 1]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Feature extraction for naturalness classification.
+//!
+//! The paper's classifiers (finetuned GPT / CANINE) consume the raw
+//! identifier, optionally with the character-tag sequence appended (`+TG`).
+//! Our softmax substitute consumes engineered features computed from the same
+//! signals the paper identifies as discriminative: dictionary membership,
+//! abbreviation-table hits, vowel/consonant structure (what the tag sequence
+//! encodes), and tokenizer fragmentation (token-to-character ratio).
+
+use snails_lexicon::abbrev::{
+    is_common_acronym, is_conventional_abbreviation, is_recognizable_acronym,
+};
+use snails_lexicon::dictionary::{dictionary, is_subsequence};
+use snails_lexicon::split::split_identifier;
+use snails_lexicon::tag::CharCounts;
+use snails_tokenize::{token_character_ratio, tokenizer_for, TokenizerProfile};
+
+/// Which feature groups to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Include the character-tagging-derived features (`+TG` variants in
+    /// Table 5). Without these the classifier only sees lexical features.
+    pub char_tagging: bool,
+    /// Include tokenizer features (token-to-character ratio).
+    pub tokenizer: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { char_tagging: true, tokenizer: true }
+    }
+}
+
+impl FeatureConfig {
+    /// Lexical-only configuration (the non-TG Table 5 rows).
+    pub fn without_tagging() -> Self {
+        FeatureConfig { char_tagging: false, tokenizer: true }
+    }
+}
+
+/// Names of the features produced by [`featurize`] with the given config,
+/// in order. Useful for inspecting learned weights.
+pub fn feature_names(config: FeatureConfig) -> Vec<&'static str> {
+    let mut names = vec![
+        "bias",
+        "token_in_dictionary",
+        "common_acronym_frac",
+        "recognizable_acronym_frac",
+        "conventional_abbrev_frac",
+        "expandable_frac",
+        "opaque_frac",
+        "numeric_frac",
+        "mean_token_len",
+        "short_token_frac",
+    ];
+    if config.char_tagging {
+        names.extend(["vowel_ratio", "consonant_run_max", "special_frac", "digit_frac"]);
+    }
+    if config.tokenizer {
+        names.extend(["tcr_gpt", "tcr_excess"]);
+    }
+    names
+}
+
+/// Longest run of consonant tag characters, normalized by length.
+fn max_consonant_run(identifier: &str) -> f64 {
+    let mut max_run = 0usize;
+    let mut run = 0usize;
+    let mut alpha = 0usize;
+    for c in identifier.chars() {
+        match snails_lexicon::tag::char_tag(c) {
+            '+' => {
+                run += 1;
+                alpha += 1;
+                max_run = max_run.max(run);
+            }
+            '^' => {
+                run = 0;
+                alpha += 1;
+            }
+            _ => run = 0,
+        }
+    }
+    if alpha == 0 {
+        0.0
+    } else {
+        max_run as f64 / alpha as f64
+    }
+}
+
+/// Compute the feature vector for an identifier.
+pub fn featurize(identifier: &str, config: FeatureConfig) -> Vec<f64> {
+    let tokens = split_identifier(identifier);
+    let dict = dictionary();
+    let n_alpha_tokens = tokens.iter().filter(|t| !t.numeric).count().max(1) as f64;
+    let n_tokens = tokens.len().max(1) as f64;
+
+    let mut in_dict = 0usize;
+    let mut common_acr = 0usize;
+    let mut recog_acr = 0usize;
+    let mut conv_abbrev = 0usize;
+    let mut expandable = 0usize;
+    let mut opaque = 0usize;
+    let mut numeric = 0usize;
+    let mut total_len = 0usize;
+    let mut short = 0usize;
+
+    for t in &tokens {
+        total_len += t.text.len();
+        if t.numeric {
+            numeric += 1;
+            continue;
+        }
+        if t.text.len() <= 2 {
+            short += 1;
+        }
+        let lower = t.text.to_ascii_lowercase();
+        if dict.contains(&lower) || is_common_acronym(&t.text) {
+            in_dict += 1;
+            if is_common_acronym(&t.text) && !dict.contains(&lower) {
+                common_acr += 1;
+            }
+            continue;
+        }
+        if is_common_acronym(&t.text) {
+            common_acr += 1;
+            continue;
+        }
+        if is_recognizable_acronym(&t.text) {
+            recog_acr += 1;
+            continue;
+        }
+        if is_conventional_abbreviation(&t.text) {
+            conv_abbrev += 1;
+            continue;
+        }
+        // Is the token a plausible abbreviation of some dictionary word
+        // (ordered-subsequence candidate exists)?
+        let max_len = (lower.len() * 4).max(lower.len() + 2);
+        let has_candidate = dict
+            .iter()
+            .any(|w| w.len() >= lower.len() && w.len() <= max_len && is_subsequence(&lower, w));
+        if has_candidate {
+            expandable += 1;
+        } else {
+            opaque += 1;
+        }
+    }
+
+    let mut features = vec![
+        1.0, // bias
+        in_dict as f64 / n_alpha_tokens,
+        common_acr as f64 / n_alpha_tokens,
+        recog_acr as f64 / n_alpha_tokens,
+        conv_abbrev as f64 / n_alpha_tokens,
+        expandable as f64 / n_alpha_tokens,
+        opaque as f64 / n_alpha_tokens,
+        numeric as f64 / n_tokens,
+        (total_len as f64 / n_tokens / 12.0).min(1.0),
+        short as f64 / n_alpha_tokens,
+    ];
+
+    if config.char_tagging {
+        let counts = CharCounts::of(identifier);
+        let total = counts.total().max(1) as f64;
+        features.push(counts.vowel_ratio());
+        features.push(max_consonant_run(identifier));
+        features.push(counts.specials as f64 / total);
+        features.push(counts.digits as f64 / total);
+    }
+
+    if config.tokenizer {
+        let tcr = token_character_ratio(tokenizer_for(TokenizerProfile::GptLike), identifier);
+        features.push(tcr.min(1.0));
+        // "Excess" fragmentation above one-token-per-word.
+        let per_word = n_tokens / identifier.chars().count().max(1) as f64;
+        features.push((tcr - per_word).clamp(-1.0, 1.0));
+    }
+
+    features
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_count_matches_names() {
+        for config in [
+            FeatureConfig::default(),
+            FeatureConfig::without_tagging(),
+            FeatureConfig { char_tagging: true, tokenizer: false },
+            FeatureConfig { char_tagging: false, tokenizer: false },
+        ] {
+            assert_eq!(
+                featurize("Veg_Ht2", config).len(),
+                feature_names(config).len(),
+                "{config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regular_identifier_features() {
+        let f = featurize("vegetation_height", FeatureConfig::default());
+        // token_in_dictionary = 1.0
+        assert!((f[1] - 1.0).abs() < 1e-9);
+        // opaque_frac = 0
+        assert_eq!(f[6], 0.0);
+    }
+
+    #[test]
+    fn least_identifier_features() {
+        let f = featurize("VgHt", FeatureConfig::default());
+        assert!(f[1] < 0.5, "in_dict {f:?}");
+    }
+
+    #[test]
+    fn conventional_abbreviation_detected() {
+        let f = featurize("cnt_recv", FeatureConfig::default());
+        // Both tokens are conventional abbreviations (cnt, recv).
+        assert!(f[4] > 0.9, "conv_abbrev {}", f[4]);
+        // `qty` is a recognizable acronym (takes precedence over the
+        // conventional-abbreviation table).
+        let f = featurize("qty", FeatureConfig::default());
+        assert!(f[3] > 0.9, "recog_acronym {}", f[3]);
+    }
+
+    #[test]
+    fn numeric_fraction() {
+        let f = featurize("CSI22", FeatureConfig::default());
+        assert!(f[7] > 0.0);
+    }
+
+    #[test]
+    fn vowel_ratio_distinguishes_abbreviations() {
+        let full = featurize("height", FeatureConfig::default());
+        let abbr = featurize("hght", FeatureConfig::default());
+        let vowel_idx = feature_names(FeatureConfig::default())
+            .iter()
+            .position(|n| *n == "vowel_ratio")
+            .unwrap();
+        assert!(full[vowel_idx] > abbr[vowel_idx]);
+    }
+
+    #[test]
+    fn empty_identifier_is_finite() {
+        for v in featurize("", FeatureConfig::default()) {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn features_bounded() {
+        for id in ["AdCtTxIRWT", "COGM_Act", "service_name", "x", "Research Staff", "42"] {
+            for (i, v) in featurize(id, FeatureConfig::default()).iter().enumerate() {
+                assert!(
+                    (-1.0..=1.0).contains(v),
+                    "feature {i} of {id}: {v}"
+                );
+            }
+        }
+    }
+}

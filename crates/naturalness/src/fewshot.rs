@@ -1,0 +1,136 @@
+//! Few-shot prototype classifier (the few-shot LLM prompting stand-in).
+//!
+//! The paper's GPT-3.5/GPT-4 few-shot prompting (appendix B.6) shows the
+//! model 25 labeled examples and asks for a label. We model the limited
+//! supervision as a *nearest-centroid* classifier: the 25 examples are
+//! featurized, per-class centroids computed, and queries labeled by closest
+//! centroid. With so few examples the decision boundary is coarse, which
+//! reproduces the Table 5 ordering (few-shot < finetuned).
+
+use crate::category::Naturalness;
+use crate::features::{featurize, FeatureConfig};
+use crate::{Classifier, LabeledIdentifier};
+
+/// Nearest-centroid classifier over a small example set.
+#[derive(Debug, Clone)]
+pub struct FewShotClassifier {
+    name: String,
+    centroids: [Option<Vec<f64>>; 3],
+    features: FeatureConfig,
+}
+
+impl FewShotClassifier {
+    /// Build from up to `limit` examples (the paper used 25).
+    pub fn from_examples(
+        name: &str,
+        examples: &[LabeledIdentifier],
+        limit: usize,
+        features: FeatureConfig,
+    ) -> Self {
+        let mut sums: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        let mut counts = [0usize; 3];
+        for ex in examples.iter().take(limit) {
+            let f = featurize(&ex.text, features);
+            let k = ex.label.index();
+            if sums[k].is_empty() {
+                sums[k] = vec![0.0; f.len()];
+            }
+            for (s, x) in sums[k].iter_mut().zip(&f) {
+                *s += x;
+            }
+            counts[k] += 1;
+        }
+        let centroids = [0, 1, 2].map(|k| {
+            (counts[k] > 0).then(|| {
+                sums[k].iter().map(|s| s / counts[k] as f64).collect::<Vec<f64>>()
+            })
+        });
+        FewShotClassifier { name: name.to_owned(), centroids, features }
+    }
+
+    /// Number of classes with at least one example.
+    pub fn covered_classes(&self) -> usize {
+        self.centroids.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for FewShotClassifier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn classify(&self, identifier: &str) -> Naturalness {
+        let f = featurize(identifier, self.features);
+        let mut best: Option<(usize, f64)> = None;
+        for (k, c) in self.centroids.iter().enumerate() {
+            if let Some(c) = c {
+                let d = sq_dist(c, &f);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((k, d));
+                }
+            }
+        }
+        best.and_then(|(k, _)| Naturalness::from_index(k))
+            .unwrap_or(Naturalness::Regular)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn examples() -> Vec<LabeledIdentifier> {
+        vec![
+            LabeledIdentifier::new("vegetation_height", Naturalness::Regular),
+            LabeledIdentifier::new("service_name", Naturalness::Regular),
+            LabeledIdentifier::new("ModelYear", Naturalness::Regular),
+            LabeledIdentifier::new("veg_ht", Naturalness::Low),
+            LabeledIdentifier::new("svc_nm", Naturalness::Low),
+            LabeledIdentifier::new("obs_cnt", Naturalness::Low),
+            LabeledIdentifier::new("VgHt", Naturalness::Least),
+            LabeledIdentifier::new("XQZR", Naturalness::Least),
+            LabeledIdentifier::new("KJWT12", Naturalness::Least),
+        ]
+    }
+
+    #[test]
+    fn classifies_obvious_cases() {
+        let clf =
+            FewShotClassifier::from_examples("fs", &examples(), 25, FeatureConfig::default());
+        assert_eq!(clf.classify("water_temperature"), Naturalness::Regular);
+        assert_eq!(clf.classify("ZQXJ"), Naturalness::Least);
+    }
+
+    #[test]
+    fn covered_classes_counts() {
+        let clf =
+            FewShotClassifier::from_examples("fs", &examples(), 25, FeatureConfig::default());
+        assert_eq!(clf.covered_classes(), 3);
+        let partial = FewShotClassifier::from_examples(
+            "fs",
+            &examples()[..3],
+            25,
+            FeatureConfig::default(),
+        );
+        assert_eq!(partial.covered_classes(), 1);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        // With limit 3, only Regular examples are seen → everything Regular.
+        let clf =
+            FewShotClassifier::from_examples("fs", &examples(), 3, FeatureConfig::default());
+        assert_eq!(clf.classify("XQZR"), Naturalness::Regular);
+    }
+
+    #[test]
+    fn no_examples_defaults_regular() {
+        let clf = FewShotClassifier::from_examples("fs", &[], 25, FeatureConfig::default());
+        assert_eq!(clf.classify("anything"), Naturalness::Regular);
+        assert_eq!(clf.covered_classes(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Threshold classifier over the appendix B.1 heuristic score.
+
+use crate::category::Naturalness;
+use crate::Classifier;
+use snails_lexicon::heuristic::HeuristicScorer;
+
+/// Classify by thresholding the continuous heuristic naturalness score.
+///
+/// The paper reports that this heuristic approach loses to ML classification
+/// on recall/precision/F1; it appears in our Table 5 reproduction as the
+/// baseline row.
+#[derive(Debug)]
+pub struct HeuristicClassifier {
+    scorer: HeuristicScorer,
+    /// Scores at or above this are Regular.
+    pub regular_threshold: f64,
+    /// Scores at or above this (but below `regular_threshold`) are Low.
+    pub low_threshold: f64,
+}
+
+impl Default for HeuristicClassifier {
+    fn default() -> Self {
+        HeuristicClassifier {
+            scorer: HeuristicScorer::default(),
+            regular_threshold: 0.85,
+            low_threshold: 0.45,
+        }
+    }
+}
+
+impl HeuristicClassifier {
+    /// The continuous score in `[0, 1]`.
+    pub fn score(&self, identifier: &str) -> f64 {
+        self.scorer.score_identifier(identifier)
+    }
+}
+
+impl Classifier for HeuristicClassifier {
+    fn name(&self) -> &str {
+        "Heuristic-B1"
+    }
+
+    fn classify(&self, identifier: &str) -> Naturalness {
+        let s = self.score(identifier);
+        if s >= self.regular_threshold {
+            Naturalness::Regular
+        } else if s >= self.low_threshold {
+            Naturalness::Low
+        } else {
+            Naturalness::Least
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_order_categories() {
+        let clf = HeuristicClassifier::default();
+        assert_eq!(clf.classify("vegetation_height"), Naturalness::Regular);
+        assert_eq!(clf.classify("ZQXJ"), Naturalness::Least);
+    }
+
+    #[test]
+    fn scores_monotone_with_level() {
+        let clf = HeuristicClassifier::default();
+        let regular = clf.score("vegetation_height");
+        let least = clf.score("VgHt");
+        assert!(regular > least);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(HeuristicClassifier::default().name(), "Heuristic-B1");
+    }
+}

@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+
+//! # snails-naturalness
+//!
+//! The SNAILS naturalness taxonomy (§2.1), feature extraction, and the
+//! classifier families compared in Table 5 (appendix B):
+//!
+//! * [`heuristic`] — the appendix B.1 dictionary heuristic with thresholds;
+//! * [`fewshot`] — a 25-example nearest-centroid classifier standing in for
+//!   few-shot LLM prompting;
+//! * [`softmax`] — a trainable multinomial logistic-regression classifier
+//!   standing in for the finetuned GPT/CANINE models, with and without the
+//!   paper's character-tagging (`+TG`) feature set;
+//! * [`combined`] — the combined-naturalness schema score (appendix B.2,
+//!   Equation 5) and per-schema naturalness profiles;
+//! * [`metrics`] — accuracy / macro precision / recall / F1 and confusion
+//!   matrices for classifier comparison.
+
+pub mod category;
+pub mod combined;
+pub mod features;
+pub mod fewshot;
+pub mod heuristic;
+pub mod metrics;
+pub mod prompts;
+pub mod softmax;
+
+pub use category::Naturalness;
+pub use combined::{combined_naturalness, NaturalnessProfile};
+pub use features::{feature_names, featurize, FeatureConfig};
+pub use fewshot::FewShotClassifier;
+pub use heuristic::HeuristicClassifier;
+pub use metrics::{evaluate_classifier, ClassifierReport, ConfusionMatrix};
+pub use softmax::{SoftmaxClassifier, TrainConfig};
+
+/// A labeled identifier, the unit of Collections 1 and 2 (appendix B.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledIdentifier {
+    /// The identifier text.
+    pub text: String,
+    /// Its gold naturalness category.
+    pub label: Naturalness,
+}
+
+impl LabeledIdentifier {
+    /// Construct a labeled example.
+    pub fn new(text: impl Into<String>, label: Naturalness) -> Self {
+        LabeledIdentifier { text: text.into(), label }
+    }
+}
+
+/// Anything that can assign a naturalness category to an identifier.
+pub trait Classifier {
+    /// Classifier display name (Table 5 row label).
+    fn name(&self) -> &str;
+    /// Classify one identifier.
+    fn classify(&self, identifier: &str) -> Naturalness;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_identifier_roundtrip() {
+        let l = LabeledIdentifier::new("VgHt", Naturalness::Least);
+        assert_eq!(l.text, "VgHt");
+        assert_eq!(l.label, Naturalness::Least);
+    }
+}

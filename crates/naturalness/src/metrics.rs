@@ -1,0 +1,214 @@
+//! Classifier evaluation: confusion matrix, accuracy, macro P/R/F1 (Table 5).
+
+use crate::category::Naturalness;
+use crate::{Classifier, LabeledIdentifier};
+
+/// 3×3 confusion matrix, `counts[gold][predicted]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Raw counts indexed by [`Naturalness::index`].
+    pub counts: [[usize; 3]; 3],
+}
+
+impl ConfusionMatrix {
+    /// Record one (gold, predicted) observation.
+    pub fn record(&mut self, gold: Naturalness, predicted: Naturalness) {
+        self.counts[gold.index()][predicted.index()] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..3).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class precision: `tp / (tp + fp)`, 0 when the class is never
+    /// predicted.
+    pub fn precision(&self, class: Naturalness) -> f64 {
+        let k = class.index();
+        let tp = self.counts[k][k];
+        let predicted: usize = (0..3).map(|g| self.counts[g][k]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Per-class recall: `tp / (tp + fn)`, 0 when the class never occurs.
+    pub fn recall(&self, class: Naturalness) -> f64 {
+        let k = class.index();
+        let tp = self.counts[k][k];
+        let gold: usize = self.counts[k].iter().sum();
+        if gold == 0 {
+            0.0
+        } else {
+            tp as f64 / gold as f64
+        }
+    }
+
+    /// Per-class F1.
+    pub fn f1(&self, class: Naturalness) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged precision over classes present in the gold data.
+    pub fn macro_precision(&self) -> f64 {
+        self.macro_over(|c| self.precision(c))
+    }
+
+    /// Macro-averaged recall.
+    pub fn macro_recall(&self) -> f64 {
+        self.macro_over(|c| self.recall(c))
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        self.macro_over(|c| self.f1(c))
+    }
+
+    fn macro_over(&self, f: impl Fn(Naturalness) -> f64) -> f64 {
+        let present: Vec<Naturalness> = Naturalness::ALL
+            .into_iter()
+            .filter(|c| self.counts[c.index()].iter().sum::<usize>() > 0)
+            .collect();
+        if present.is_empty() {
+            return 0.0;
+        }
+        present.iter().map(|&c| f(c)).sum::<f64>() / present.len() as f64
+    }
+}
+
+/// One Table 5 row: a classifier's aggregate scores on a test set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierReport {
+    /// Classifier display name.
+    pub name: String,
+    /// Overall accuracy.
+    pub accuracy: f64,
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+    /// The underlying confusion matrix.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Evaluate a classifier against a labeled test set.
+pub fn evaluate_classifier(
+    classifier: &dyn Classifier,
+    test: &[LabeledIdentifier],
+) -> ClassifierReport {
+    let mut confusion = ConfusionMatrix::default();
+    for ex in test {
+        confusion.record(ex.label, classifier.classify(&ex.text));
+    }
+    ClassifierReport {
+        name: classifier.name().to_owned(),
+        accuracy: confusion.accuracy(),
+        precision: confusion.macro_precision(),
+        recall: confusion.macro_recall(),
+        f1: confusion.macro_f1(),
+        confusion,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for c in Naturalness::ALL {
+            for _ in 0..10 {
+                m.record(c, c);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn perfect_scores_one() {
+        let m = perfect_matrix();
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_precision(), 1.0);
+        assert_eq!(m.macro_recall(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.total(), 30);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.macro_f1(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // gold Regular: 2 correct, 1 predicted Low.
+        // gold Low: 1 correct, 1 predicted Least.
+        let mut m = ConfusionMatrix::default();
+        m.record(Naturalness::Regular, Naturalness::Regular);
+        m.record(Naturalness::Regular, Naturalness::Regular);
+        m.record(Naturalness::Regular, Naturalness::Low);
+        m.record(Naturalness::Low, Naturalness::Low);
+        m.record(Naturalness::Low, Naturalness::Least);
+        assert!((m.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+        assert!((m.recall(Naturalness::Regular) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(Naturalness::Low) - 0.5).abs() < 1e-12);
+        assert_eq!(m.precision(Naturalness::Least), 0.0);
+        // Least has no gold rows, so macro averages over 2 classes.
+        let expected_recall = (2.0 / 3.0 + 0.5) / 2.0;
+        assert!((m.macro_recall() - expected_recall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let mut m = ConfusionMatrix::default();
+        m.record(Naturalness::Regular, Naturalness::Regular);
+        m.record(Naturalness::Regular, Naturalness::Low);
+        m.record(Naturalness::Low, Naturalness::Regular);
+        m.record(Naturalness::Low, Naturalness::Low);
+        let p = m.precision(Naturalness::Regular);
+        let r = m.recall(Naturalness::Regular);
+        assert!((m.f1(Naturalness::Regular) - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_runs_classifier() {
+        struct Always(Naturalness);
+        impl Classifier for Always {
+            fn name(&self) -> &str {
+                "always"
+            }
+            fn classify(&self, _: &str) -> Naturalness {
+                self.0
+            }
+        }
+        let test = vec![
+            LabeledIdentifier::new("a", Naturalness::Regular),
+            LabeledIdentifier::new("b", Naturalness::Low),
+        ];
+        let report = evaluate_classifier(&Always(Naturalness::Regular), &test);
+        assert_eq!(report.name, "always");
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's LLM prompt formats for naturalness classification
+//! (appendix B.6 / B.7).
+//!
+//! The simulated classifiers in this crate do not consume prompts, but the
+//! released artifacts include them so the benchmark can be pointed at a real
+//! hosted model: [`few_shot_prompt`] renders the GPT-3.5/4 few-shot
+//! classification prompt verbatim, and [`finetune_line`] renders the Davinci
+//! fine-tuning JSONL lines (with or without character tagging).
+
+use crate::category::Naturalness;
+use crate::LabeledIdentifier;
+use snails_lexicon::tag::tag_identifier;
+
+/// The fixed instruction header of the appendix B.6 few-shot prompt.
+pub const FEW_SHOT_HEADER: &str = "The following is a list of database identifiers and labels \
+that indicate how closely they resemble natural english words:\n\
+N1: most natural english words\n\
+N2: second most natural english words (e.g. abbreviations or combinations of \
+natural words and acronyms)\n\
+N3: third most natural english words (e.g. very short abbreviations with \
+obscured meaning or acronyms)\n";
+
+/// Render the appendix B.6 few-shot classification prompt: the instruction
+/// header, `examples` (the paper used 25), and the target identifier with a
+/// trailing empty label for completion.
+pub fn few_shot_prompt(examples: &[LabeledIdentifier], target: &str) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str(FEW_SHOT_HEADER);
+    for ex in examples {
+        out.push_str(&format!(
+            "\nidentifier: {}\nLabel: {}\n",
+            ex.text,
+            ex.label.n_label()
+        ));
+    }
+    out.push_str(&format!("\nidentifier: {target}\nLabel:"));
+    out
+}
+
+/// Render one appendix B.7 fine-tuning JSONL line:
+/// `{"prompt":"ADDRESS ^+++^++ ->","completion":" N1"}` with tagging, or the
+/// untagged `{"prompt":"ADDRESS ->","completion":" N1"}` variant.
+pub fn finetune_line(identifier: &str, label: Naturalness, tagging: bool) -> String {
+    let prompt = if tagging {
+        format!("{identifier} {} ->", tag_identifier(identifier))
+    } else {
+        format!("{identifier} ->")
+    };
+    format!(
+        "{{\"prompt\":\"{}\",\"completion\":\" {}\"}}",
+        prompt.replace('"', "\\\""),
+        label.n_label()
+    )
+}
+
+/// Render a whole fine-tuning collection as JSONL.
+pub fn finetune_jsonl(data: &[LabeledIdentifier], tagging: bool) -> String {
+    let mut out = String::new();
+    for ex in data {
+        out.push_str(&finetune_line(&ex.text, ex.label, tagging));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn few_shot_prompt_matches_paper_format() {
+        let examples = vec![
+            LabeledIdentifier::new("CASENO", Naturalness::Regular),
+            LabeledIdentifier::new("INJNO", Naturalness::Low),
+            LabeledIdentifier::new("EMSGCSEYE", Naturalness::Least),
+        ];
+        let prompt = few_shot_prompt(&examples, "VgHt");
+        assert!(prompt.starts_with("The following is a list of database identifiers"));
+        assert!(prompt.contains("identifier: CASENO\nLabel: N1"));
+        assert!(prompt.contains("identifier: INJNO\nLabel: N2"));
+        assert!(prompt.contains("identifier: EMSGCSEYE\nLabel: N3"));
+        assert!(prompt.ends_with("identifier: VgHt\nLabel:"));
+    }
+
+    #[test]
+    fn finetune_line_matches_paper_excerpt() {
+        // Appendix B.7: {"prompt":"ADDRESS ^+++^++ ->","completion":" N1"}
+        assert_eq!(
+            finetune_line("ADDRESS", Naturalness::Regular, true),
+            r#"{"prompt":"ADDRESS ^+++^++ ->","completion":" N1"}"#
+        );
+        assert_eq!(
+            finetune_line("AIS", Naturalness::Least, true),
+            r#"{"prompt":"AIS ^^+ ->","completion":" N3"}"#
+        );
+        assert_eq!(
+            finetune_line("BACKBPILL", Naturalness::Low, false),
+            r#"{"prompt":"BACKBPILL ->","completion":" N2"}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_example() {
+        let data = vec![
+            LabeledIdentifier::new("a", Naturalness::Regular),
+            LabeledIdentifier::new("b", Naturalness::Low),
+        ];
+        let jsonl = finetune_jsonl(&data, false);
+        assert_eq!(jsonl.lines().count(), 2);
+    }
+}

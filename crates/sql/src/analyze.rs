@@ -1,0 +1,469 @@
+//! Query analysis: identifier extraction (appendix E.4) and clause profiling
+//! (Table 3).
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// The identifier sets extracted from one query.
+///
+/// Identifiers are uppercased for set comparison, matching the paper's
+/// linking-evaluation example (appendix E.4) where `QI` sets hold uppercase
+/// names and aliases are excluded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryIdentifiers {
+    /// Table names referenced in `FROM` / `JOIN` clauses (all nesting levels).
+    pub tables: BTreeSet<String>,
+    /// Column names referenced anywhere (aliases excluded).
+    pub columns: BTreeSet<String>,
+    /// Aliases defined by the query (table aliases, derived-table aliases,
+    /// projection aliases); consumers ignore these during set comparison.
+    pub aliases: BTreeSet<String>,
+}
+
+impl QueryIdentifiers {
+    /// Union of table and column identifiers — the paper's `QI` set.
+    pub fn all(&self) -> BTreeSet<String> {
+        self.tables.union(&self.columns).cloned().collect()
+    }
+
+    /// Total identifier count (tables + columns).
+    pub fn len(&self) -> usize {
+        self.all().len()
+    }
+
+    /// True when no identifiers were extracted.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty() && self.columns.is_empty()
+    }
+}
+
+/// Extract the identifier sets from a statement.
+pub fn extract_identifiers(stmt: &Statement) -> QueryIdentifiers {
+    let select = match stmt {
+        Statement::Select(s) => s,
+        Statement::CreateView { query, .. } => query,
+    };
+    let mut out = QueryIdentifiers::default();
+    collect_aliases(select, &mut out.aliases);
+    collect_select(select, &mut out);
+    // An alias can shadow a column name; identifiers that are only ever
+    // aliases must not count, but a name used both as a real column and an
+    // alias stays (we already only insert non-alias usages).
+    out
+}
+
+fn up(s: &str) -> String {
+    s.to_ascii_uppercase()
+}
+
+fn collect_aliases(select: &SelectStatement, aliases: &mut BTreeSet<String>) {
+    for item in &select.items {
+        if let SelectItem::Expr { alias: Some(a), .. } = item {
+            aliases.insert(up(a));
+        }
+    }
+    let mut sources: Vec<&TableSource> = select.from.iter().collect();
+    sources.extend(select.joins.iter().map(|j| &j.source));
+    for src in sources {
+        match src {
+            TableSource::Named { alias: Some(a), .. } => {
+                aliases.insert(up(a));
+            }
+            TableSource::Derived { alias, query } => {
+                aliases.insert(up(alias));
+                collect_aliases(query, aliases);
+            }
+            TableSource::Named { .. } => {}
+        }
+    }
+    visit_subqueries(select, &mut |q| collect_aliases(q, aliases));
+    if let Some((_, rhs)) = &select.union {
+        collect_aliases(rhs, aliases);
+    }
+}
+
+/// Call `f` on each directly nested subquery of `select`'s expressions.
+fn visit_subqueries(select: &SelectStatement, f: &mut dyn FnMut(&SelectStatement)) {
+    fn walk_expr(e: &Expr, f: &mut dyn FnMut(&SelectStatement)) {
+        match e {
+            Expr::Subquery(q) | Expr::InSubquery { query: q, .. } | Expr::Exists { query: q, .. } => {
+                f(q)
+            }
+            _ => {}
+        }
+        e.visit_children(&mut |child| walk_expr(child, f));
+    }
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            walk_expr(expr, f);
+        }
+    }
+    for j in &select.joins {
+        if let Some(on) = &j.on {
+            walk_expr(on, f);
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        walk_expr(w, f);
+    }
+    for g in &select.group_by {
+        walk_expr(g, f);
+    }
+    if let Some(h) = &select.having {
+        walk_expr(h, f);
+    }
+    for o in &select.order_by {
+        walk_expr(&o.expr, f);
+    }
+}
+
+fn collect_select(select: &SelectStatement, out: &mut QueryIdentifiers) {
+    let mut sources: Vec<&TableSource> = select.from.iter().collect();
+    sources.extend(select.joins.iter().map(|j| &j.source));
+    for src in sources {
+        match src {
+            TableSource::Named { name, .. } => {
+                out.tables.insert(up(name));
+            }
+            TableSource::Derived { query, .. } => collect_select(query, out),
+        }
+    }
+
+    let mut handle_expr = |e: &Expr| collect_expr(e, out);
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            handle_expr(expr);
+        }
+    }
+    for j in &select.joins {
+        if let Some(on) = &j.on {
+            handle_expr(on);
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        handle_expr(w);
+    }
+    for g in &select.group_by {
+        handle_expr(g);
+    }
+    if let Some(h) = &select.having {
+        handle_expr(h);
+    }
+    for o in &select.order_by {
+        handle_expr(&o.expr);
+    }
+    if let Some((_, rhs)) = &select.union {
+        collect_select(rhs, out);
+    }
+}
+
+fn collect_expr(e: &Expr, out: &mut QueryIdentifiers) {
+    match e {
+        Expr::Column(c) => {
+            let name = up(&c.name);
+            if !out.aliases.contains(&name) {
+                out.columns.insert(name);
+            }
+            // A qualifier that is not an alias is a table reference.
+            if let Some(q) = &c.qualifier {
+                let q = up(q);
+                if !out.aliases.contains(&q) {
+                    out.tables.insert(q);
+                }
+            }
+        }
+        Expr::Subquery(q) | Expr::InSubquery { query: q, .. } | Expr::Exists { query: q, .. } => {
+            collect_select(q, out);
+            if let Expr::InSubquery { expr, .. } = e {
+                collect_expr(expr, out);
+            }
+            return;
+        }
+        _ => {}
+    }
+    e.visit_children(&mut |child| collect_expr(child, out));
+}
+
+/// Per-query clause profile — the columns of Table 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClauseProfile {
+    /// `TOP n` present.
+    pub top: bool,
+    /// Number of function calls (aggregates and scalar functions).
+    pub functions: usize,
+    /// Number of `JOIN` clauses.
+    pub joins: usize,
+    /// Number of joins whose `ON` predicate conjoins 2+ equalities
+    /// (composite-key joins, the NTSB pattern).
+    pub composite_key_joins: usize,
+    /// Number of `[NOT] EXISTS` predicates.
+    pub exists: usize,
+    /// Number of non-`EXISTS` subqueries (scalar, `IN`, derived tables).
+    pub subqueries: usize,
+    /// `WHERE` present.
+    pub where_clause: bool,
+    /// Negation present (`NOT`, `NOT IN`, `NOT EXISTS`, `NOT LIKE`, `<>`).
+    pub negation: bool,
+    /// `GROUP BY` present.
+    pub group_by: bool,
+    /// `ORDER BY` present.
+    pub order_by: bool,
+    /// `HAVING` present.
+    pub having: bool,
+}
+
+impl ClauseProfile {
+    /// A rough scalar complexity score: clause + function + join count.
+    pub fn complexity(&self) -> usize {
+        usize::from(self.top)
+            + self.functions
+            + self.joins
+            + self.exists
+            + self.subqueries
+            + usize::from(self.where_clause)
+            + usize::from(self.group_by)
+            + usize::from(self.order_by)
+            + usize::from(self.having)
+    }
+}
+
+/// Compute the clause profile of a statement.
+pub fn clause_profile(stmt: &Statement) -> ClauseProfile {
+    let select = match stmt {
+        Statement::Select(s) => s,
+        Statement::CreateView { query, .. } => query,
+    };
+    let mut p = ClauseProfile::default();
+    profile_select(select, &mut p, true);
+    p
+}
+
+fn profile_select(select: &SelectStatement, p: &mut ClauseProfile, top_level: bool) {
+    if top_level {
+        p.top |= select.top.is_some();
+        p.where_clause |= select.where_clause.is_some();
+        p.group_by |= !select.group_by.is_empty();
+        p.order_by |= !select.order_by.is_empty();
+        p.having |= select.having.is_some();
+    }
+    p.joins += select.joins.len();
+    for j in &select.joins {
+        if let Some(on) = &j.on {
+            if count_equality_conjuncts(on) >= 2 {
+                p.composite_key_joins += 1;
+            }
+        }
+    }
+    let mut sources: Vec<&TableSource> = select.from.iter().collect();
+    sources.extend(select.joins.iter().map(|j| &j.source));
+    for src in sources {
+        if let TableSource::Derived { query, .. } = src {
+            p.subqueries += 1;
+            profile_select(query, p, false);
+        }
+    }
+    let mut handle = |e: &Expr| profile_expr(e, p);
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            handle(expr);
+        }
+    }
+    for j in &select.joins {
+        if let Some(on) = &j.on {
+            handle(on);
+        }
+    }
+    if let Some(w) = &select.where_clause {
+        handle(w);
+    }
+    for g in &select.group_by {
+        handle(g);
+    }
+    if let Some(h) = &select.having {
+        handle(h);
+    }
+    for o in &select.order_by {
+        handle(&o.expr);
+    }
+    if let Some((_, rhs)) = &select.union {
+        profile_select(rhs, p, top_level);
+    }
+}
+
+fn count_equality_conjuncts(e: &Expr) -> usize {
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            count_equality_conjuncts(left) + count_equality_conjuncts(right)
+        }
+        Expr::Binary { op: BinOp::Eq, .. } => 1,
+        _ => 0,
+    }
+}
+
+fn profile_expr(e: &Expr, p: &mut ClauseProfile) {
+    match e {
+        Expr::Function { .. } => p.functions += 1,
+        Expr::Unary { op: UnaryOp::Not, .. } => p.negation = true,
+        Expr::Binary { op: BinOp::NotEq, .. } => p.negation = true,
+        Expr::InList { negated, .. } | Expr::Like { negated, .. } | Expr::Between { negated, .. } => {
+            p.negation |= *negated;
+        }
+        Expr::IsNull { negated, .. } => p.negation |= *negated,
+        Expr::Exists { query, negated } => {
+            p.exists += 1;
+            p.negation |= *negated;
+            profile_select(query, p, false);
+        }
+        Expr::InSubquery { query, negated, .. } => {
+            p.subqueries += 1;
+            p.negation |= *negated;
+            profile_select(query, p, false);
+        }
+        Expr::Subquery(q) => {
+            p.subqueries += 1;
+            profile_select(q, p, false);
+        }
+        _ => {}
+    }
+    e.visit_children(&mut |child| profile_expr(child, p));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ids(sql: &str) -> QueryIdentifiers {
+        extract_identifiers(&parse(sql).unwrap())
+    }
+
+    fn profile(sql: &str) -> ClauseProfile {
+        clause_profile(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn paper_linking_example() {
+        // Appendix E.4: the Code Llama predicted query over ATBI.
+        let predicted = "SELECT DISTINCT tlu_PlantSpecies.genus, tlu_PlantSpecies.subgenus, \
+            tlu_PlantSpecies.species, tlu_PlantSpecies.subspecies, \
+            tlu_PlantSpecies.SpeciesCode, tlu_PlantSpecies.CommonName \
+            FROM tlu_PlantSpecies \
+            LEFT JOIN tbl_Overstory ON tbl_Overstory.SpCode = tlu_PlantSpecies.SpeciesCode \
+            LEFT JOIN tbl_Saplings ON tbl_Saplings.SpCode = tlu_PlantSpecies.SpeciesCode \
+            WHERE tbl_Overstory.SpCode IS NOT NULL AND tbl_Saplings.SpCode IS NULL \
+            ORDER BY tlu_PlantSpecies.genus";
+        let qi = ids(predicted);
+        let expected: BTreeSet<String> = [
+            "TLU_PLANTSPECIES", "TBL_OVERSTORY", "TBL_SAPLINGS", "SPECIES", "SPECIESCODE",
+            "COMMONNAME", "SPCODE", "GENUS", "SUBSPECIES", "SUBGENUS",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(qi.all(), expected);
+    }
+
+    #[test]
+    fn aliases_excluded() {
+        let qi = ids(
+            "SELECT stage, sum(cnt) minnowCountSum FROM tblFieldDataMinnowTrapSurveys \
+             WHERE locationID = 'X' GROUP BY stage",
+        );
+        assert!(qi.aliases.contains("MINNOWCOUNTSUM"));
+        assert!(!qi.columns.contains("MINNOWCOUNTSUM"));
+        assert!(qi.columns.contains("STAGE"));
+        assert!(qi.columns.contains("CNT"));
+        assert!(qi.tables.contains("TBLFIELDDATAMINNOWTRAPSURVEYS"));
+    }
+
+    #[test]
+    fn table_alias_qualifiers_not_tables() {
+        let qi = ids("SELECT e.name FROM OHEM e JOIN OHTM t ON e.teamId = t.teamId");
+        assert_eq!(
+            qi.tables,
+            ["OHEM", "OHTM"].iter().map(|s| s.to_string()).collect()
+        );
+        assert!(!qi.tables.contains("E"));
+    }
+
+    #[test]
+    fn unaliased_qualifier_counts_as_table() {
+        let qi = ids("SELECT t.a FROM t");
+        assert!(qi.tables.contains("T"));
+        assert_eq!(qi.tables.len(), 1);
+    }
+
+    #[test]
+    fn subquery_identifiers_collected() {
+        let qi = ids(
+            "SELECT a FROM t WHERE EXISTS (SELECT x FROM u WHERE u.k = t.k) \
+             AND b IN (SELECT y FROM v)",
+        );
+        for t in ["T", "U", "V"] {
+            assert!(qi.tables.contains(t), "missing table {t}");
+        }
+        for c in ["A", "X", "K", "B", "Y"] {
+            assert!(qi.columns.contains(c), "missing column {c}");
+        }
+    }
+
+    #[test]
+    fn wildcard_has_no_columns() {
+        let qi = ids("SELECT * FROM t");
+        assert!(qi.columns.is_empty());
+        assert_eq!(qi.tables.len(), 1);
+    }
+
+    #[test]
+    fn clause_profile_simple() {
+        let p = profile("SELECT a FROM t");
+        assert_eq!(p, ClauseProfile::default());
+        assert_eq!(p.complexity(), 0);
+    }
+
+    #[test]
+    fn clause_profile_full() {
+        let p = profile(
+            "SELECT TOP 5 a, COUNT(*) FROM t \
+             JOIN u ON t.x = u.x AND t.y = u.y \
+             JOIN v ON t.z = v.z \
+             WHERE a <> 1 AND NOT EXISTS (SELECT 1 FROM w) \
+             GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC",
+        );
+        assert!(p.top);
+        assert_eq!(p.functions, 2);
+        assert_eq!(p.joins, 2);
+        assert_eq!(p.composite_key_joins, 1);
+        assert_eq!(p.exists, 1);
+        assert!(p.where_clause);
+        assert!(p.negation);
+        assert!(p.group_by);
+        assert!(p.order_by);
+        assert!(p.having);
+    }
+
+    #[test]
+    fn subquery_kinds_counted() {
+        let p = profile(
+            "SELECT x.n FROM (SELECT COUNT(*) n FROM t) x \
+             WHERE x.n > (SELECT AVG(m) FROM u) AND x.n IN (SELECT k FROM v)",
+        );
+        assert_eq!(p.subqueries, 3);
+        assert_eq!(p.exists, 0);
+    }
+
+    #[test]
+    fn negation_via_not_in() {
+        assert!(profile("SELECT a FROM t WHERE a NOT IN (1)").negation);
+        assert!(profile("SELECT a FROM t WHERE a NOT LIKE 'x%'").negation);
+        assert!(!profile("SELECT a FROM t WHERE a IN (1)").negation);
+    }
+
+    #[test]
+    fn inner_clauses_do_not_count_as_top_level() {
+        let p = profile("SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b > 1 GROUP BY b)");
+        assert!(p.where_clause);
+        // Subquery's GROUP BY is not the outer query's GROUP BY.
+        assert!(!p.group_by);
+    }
+}

@@ -1,0 +1,450 @@
+//! Abstract syntax tree for the SNAILS T-SQL subset.
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(SelectStatement),
+    /// `CREATE VIEW schema.[name] AS SELECT ...` (natural-view support, §6).
+    CreateView {
+        /// Optional schema qualifier, e.g. `db_nl`.
+        schema: Option<String>,
+        /// View name.
+        name: String,
+        /// The view body.
+        query: SelectStatement,
+    },
+}
+
+/// A `SELECT` statement, optionally followed by `UNION [ALL]` branches.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// `DISTINCT` flag.
+    pub distinct: bool,
+    /// `TOP n` (T-SQL replaces `LIMIT`).
+    pub top: Option<u64>,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` source (absent for e.g. `SELECT 1`).
+    pub from: Option<TableSource>,
+    /// `JOIN` clauses in order.
+    pub joins: Vec<Join>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` items.
+    pub order_by: Vec<OrderItem>,
+    /// `UNION [ALL] <select>` continuation (`(kind, rhs)`), applied after
+    /// this block's clauses; the chain is right-nested.
+    pub union: Option<(UnionKind, Box<SelectStatement>)>,
+}
+
+/// Set-operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnionKind {
+    /// `UNION` — set semantics (duplicates removed).
+    Distinct,
+    /// `UNION ALL` — bag semantics.
+    All,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// Optional output alias.
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM` / `JOIN` source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    /// A named table, optionally schema-qualified and aliased.
+    Named {
+        /// Optional schema qualifier (`dbo`, `db_nl`).
+        schema: Option<String>,
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// `( SELECT ... ) alias` — derived table.
+    Derived {
+        /// Subquery body.
+        query: Box<SelectStatement>,
+        /// Required alias.
+        alias: String,
+    },
+}
+
+impl TableSource {
+    /// The name this source binds in scope (alias, else table name).
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableSource::Named { alias: Some(a), .. } => a,
+            TableSource::Named { name, .. } => name,
+            TableSource::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+    /// `RIGHT [OUTER] JOIN`
+    Right,
+    /// `FULL [OUTER] JOIN`
+    Full,
+    /// `CROSS JOIN`
+    Cross,
+}
+
+impl JoinKind {
+    /// Canonical SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Full => "FULL JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+        }
+    }
+}
+
+/// A join clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    /// Join kind.
+    pub kind: JoinKind,
+    /// The joined source.
+    pub source: TableSource,
+    /// `ON` predicate (`None` for `CROSS JOIN`).
+    pub on: Option<Expr>,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Descending flag (`DESC`).
+    pub descending: bool,
+}
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias qualifier.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl ColumnRef {
+    /// Unqualified reference.
+    pub fn bare(name: &str) -> Self {
+        ColumnRef { qualifier: None, name: name.to_owned() }
+    }
+
+    /// Qualified reference.
+    pub fn qualified(qualifier: &str, name: &str) -> Self {
+        ColumnRef { qualifier: Some(qualifier.to_owned()), name: name.to_owned() }
+    }
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// `NULL`.
+    Null,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical `NOT`.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators, in SQL spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Eq, NotEq, Lt, LtEq, Gt, GtEq, And, Or, Add, Sub, Mul, Div, Mod,
+}
+
+impl BinOp {
+    /// Canonical SQL spelling.
+    pub fn as_str(&self) -> &'static str {
+        use BinOp::*;
+        match self {
+            Eq => "=", NotEq => "<>", Lt => "<", LtEq => "<=", Gt => ">", GtEq => ">=",
+            And => "AND", Or => "OR", Add => "+", Sub => "-", Mul => "*", Div => "/",
+            Mod => "%",
+        }
+    }
+
+    /// True for comparison operators.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Literal),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Function call, e.g. `COUNT(*)`, `SUM(x)`, `YEAR(d)`.
+    Function {
+        /// Function name, stored uppercase.
+        name: String,
+        /// Arguments ([`FunctionArg`]).
+        args: Vec<FunctionArg>,
+        /// `DISTINCT` inside the call.
+        distinct: bool,
+    },
+    /// `expr IS [NOT] NULL`
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `IS NOT NULL` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`
+    InSubquery {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Subquery.
+        query: Box<SelectStatement>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
+    /// `[NOT] EXISTS (SELECT ...)`
+    Exists {
+        /// Subquery.
+        query: Box<SelectStatement>,
+        /// `NOT EXISTS` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// `NOT BETWEEN` when true.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern (with `%` / `_` wildcards).
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+    /// Scalar subquery `(SELECT ...)`.
+    Subquery(Box<SelectStatement>),
+    /// `CASE [operand] WHEN ... THEN ... [ELSE ...] END`
+    Case {
+        /// Simple-case operand (`CASE x WHEN 1 ...`); `None` for searched
+        /// case (`CASE WHEN x = 1 ...`).
+        operand: Option<Box<Expr>>,
+        /// `(WHEN, THEN)` pairs, in order.
+        branches: Vec<(Expr, Expr)>,
+        /// `ELSE` expression.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `*` as a function argument is modelled in [`FunctionArg`]; this
+    /// variant handles a bare `*` in expression position inside `COUNT(*)`
+    /// parsing only and never survives into a finished AST.
+    Wildcard,
+}
+
+/// Function call arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FunctionArg {
+    /// `*` — only valid in `COUNT(*)`.
+    Wildcard,
+    /// An ordinary expression argument.
+    Expr(Expr),
+}
+
+impl Expr {
+    /// Build `left op right`.
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// Build an `AND` chain from a non-empty list.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Option<Expr> {
+        let first = if exprs.is_empty() { return None } else { exprs.remove(0) };
+        Some(exprs.into_iter().fold(first, |acc, e| Expr::binary(acc, BinOp::And, e)))
+    }
+
+    /// Count of nodes in this expression tree (complexity metric support).
+    pub fn node_count(&self) -> usize {
+        let mut count = 1;
+        self.visit_children(&mut |child| count += child.node_count());
+        count
+    }
+
+    /// Invoke `f` on each direct child expression.
+    pub fn visit_children(&self, f: &mut dyn FnMut(&Expr)) {
+        match self {
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => f(expr),
+            Expr::Binary { left, right, .. } => {
+                f(left);
+                f(right);
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    if let FunctionArg::Expr(e) = a {
+                        f(e);
+                    }
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                f(expr);
+                for e in list {
+                    f(e);
+                }
+            }
+            Expr::InSubquery { expr, .. } => f(expr),
+            Expr::Between { expr, low, high, .. } => {
+                f(expr);
+                f(low);
+                f(high);
+            }
+            Expr::Like { expr, .. } => f(expr),
+            Expr::Case { operand, branches, else_expr } => {
+                if let Some(op) = operand {
+                    f(op);
+                }
+                for (when, then) in branches {
+                    f(when);
+                    f(then);
+                }
+                if let Some(e) = else_expr {
+                    f(e);
+                }
+            }
+            Expr::Column(_)
+            | Expr::Literal(_)
+            | Expr::Exists { .. }
+            | Expr::Subquery(_)
+            | Expr::Wildcard => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_all_builds_chain() {
+        let e = Expr::and_all(vec![
+            Expr::Literal(Literal::Int(1)),
+            Expr::Literal(Literal::Int(2)),
+            Expr::Literal(Literal::Int(3)),
+        ])
+        .unwrap();
+        assert_eq!(e.node_count(), 5);
+        assert!(Expr::and_all(vec![]).is_none());
+    }
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableSource::Named {
+            schema: None,
+            name: "OHEM".into(),
+            alias: Some("employees".into()),
+        };
+        assert_eq!(t.binding_name(), "employees");
+        let t2 = TableSource::Named { schema: None, name: "OHEM".into(), alias: None };
+        assert_eq!(t2.binding_name(), "OHEM");
+    }
+
+    #[test]
+    fn column_ref_constructors() {
+        assert_eq!(ColumnRef::bare("x").qualifier, None);
+        assert_eq!(
+            ColumnRef::qualified("t", "x"),
+            ColumnRef { qualifier: Some("t".into()), name: "x".into() }
+        );
+    }
+
+    #[test]
+    fn comparison_ops() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::And.is_comparison());
+    }
+
+    #[test]
+    fn node_count_nested() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::Column(ColumnRef::bare("a"))),
+            negated: true,
+        };
+        assert_eq!(e.node_count(), 2);
+    }
+}

@@ -1,0 +1,458 @@
+//! SQL lexer.
+//!
+//! Produces a token stream with byte offsets. Supports:
+//! * bare identifiers (`tbl_Locations`), bracket-quoted identifiers
+//!   (`[Loc Type]` — T-SQL), and double-quoted identifiers;
+//! * case-insensitive keywords;
+//! * integer, decimal, and string (`'...'` with `''` escape) literals;
+//! * comparison / arithmetic operators and punctuation;
+//! * `--` line comments and `/* */` block comments.
+
+use std::fmt;
+
+/// Lexical error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased canonical text in [`Token::text`]).
+    Keyword(Keyword),
+    /// Identifier; `quoted` records bracket/double-quote quoting.
+    Identifier {
+        /// True when the identifier was `[bracketed]` or `"quoted"`.
+        quoted: bool,
+    },
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (unescaped content in [`Token::text`]).
+    StringLit,
+    /// Operator or punctuation, e.g. `=`, `<>`, `(`, `,`.
+    Symbol(Symbol),
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select, From, Where, Group, Order, By, Having, Top, Distinct, As, Join, Inner, Left,
+    Right, Full, Outer, Cross, On, And, Or, Not, In, Exists, Between, Like, Is, Null,
+    Asc, Desc, Union, All, Case, When, Then, Else, End, Create, View, Schema, Table,
+}
+
+impl Keyword {
+    /// Canonical uppercase spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Select => "SELECT", From => "FROM", Where => "WHERE", Group => "GROUP",
+            Order => "ORDER", By => "BY", Having => "HAVING", Top => "TOP",
+            Distinct => "DISTINCT", As => "AS", Join => "JOIN", Inner => "INNER",
+            Left => "LEFT", Right => "RIGHT", Full => "FULL", Outer => "OUTER",
+            Cross => "CROSS", On => "ON", And => "AND", Or => "OR", Not => "NOT",
+            In => "IN", Exists => "EXISTS", Between => "BETWEEN", Like => "LIKE",
+            Is => "IS", Null => "NULL", Asc => "ASC", Desc => "DESC", Union => "UNION",
+            All => "ALL", Case => "CASE", When => "WHEN", Then => "THEN", Else => "ELSE",
+            End => "END", Create => "CREATE", View => "VIEW", Schema => "SCHEMA",
+            Table => "TABLE",
+        }
+    }
+
+    fn from_str_ci(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        const ALL_KW: &[Keyword] = &[
+            Select, From, Where, Group, Order, By, Having, Top, Distinct, As, Join, Inner,
+            Left, Right, Full, Outer, Cross, On, And, Or, Not, In, Exists, Between, Like,
+            Is, Null, Asc, Desc, Union, All, Case, When, Then, Else, End, Create, View,
+            Schema, Table,
+        ];
+        ALL_KW.iter().copied().find(|k| k.as_str().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Symbol {
+    Eq, NotEq, Lt, LtEq, Gt, GtEq, Plus, Minus, Star, Slash, Percent,
+    LParen, RParen, Comma, Dot, Semicolon,
+}
+
+impl Symbol {
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        use Symbol::*;
+        match self {
+            Eq => "=", NotEq => "<>", Lt => "<", LtEq => "<=", Gt => ">", GtEq => ">=",
+            Plus => "+", Minus => "-", Star => "*", Slash => "/", Percent => "%",
+            LParen => "(", RParen => ")", Comma => ",", Dot => ".", Semicolon => ";",
+        }
+    }
+}
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Source text (identifier spelling, unescaped string content, etc.).
+    pub text: String,
+    /// Byte offset of the token start.
+    pub position: usize,
+}
+
+struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.input.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.pos += 2;
+                                break;
+                            }
+                            (Some(_), _) => self.pos += 1,
+                            (None, _) => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    position: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits are utf8")
+            .to_owned();
+        let kind = if is_float {
+            TokenKind::Float(text.parse().map_err(|_| LexError {
+                message: format!("bad float literal {text}"),
+                position: start,
+            })?)
+        } else {
+            TokenKind::Integer(text.parse().map_err(|_| LexError {
+                message: format!("bad integer literal {text}"),
+                position: start,
+            })?)
+        };
+        Ok(Token { kind, text, position: start })
+    }
+
+    fn lex_string(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let mut content = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        content.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(b) => content.push(b as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        position: start,
+                    })
+                }
+            }
+        }
+        Ok(Token { kind: TokenKind::StringLit, text: content, position: start })
+    }
+
+    fn lex_bracketed(&mut self, close: u8) -> Result<Token, LexError> {
+        let start = self.pos;
+        self.pos += 1; // opening bracket/quote
+        let mut content = String::new();
+        loop {
+            match self.bump() {
+                Some(b) if b == close => break,
+                Some(b) => content.push(b as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated quoted identifier".into(),
+                        position: start,
+                    })
+                }
+            }
+        }
+        Ok(Token {
+            kind: TokenKind::Identifier { quoted: true },
+            text: content,
+            position: start,
+        })
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'@' || b == b'#')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii word")
+            .to_owned();
+        match Keyword::from_str_ci(&text) {
+            Some(kw) => Token {
+                kind: TokenKind::Keyword(kw),
+                text: kw.as_str().to_owned(),
+                position: start,
+            },
+            None => Token {
+                kind: TokenKind::Identifier { quoted: false },
+                text,
+                position: start,
+            },
+        }
+    }
+
+    fn lex_symbol(&mut self) -> Result<Token, LexError> {
+        let start = self.pos;
+        let b = self.bump().expect("caller checked non-empty");
+        let sym = match b {
+            b'=' => Symbol::Eq,
+            b'<' => match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    Symbol::NotEq
+                }
+                Some(b'=') => {
+                    self.pos += 1;
+                    Symbol::LtEq
+                }
+                _ => Symbol::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Symbol::GtEq
+                }
+                _ => Symbol::Gt,
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => {
+                    self.pos += 1;
+                    Symbol::NotEq
+                }
+                _ => {
+                    return Err(LexError {
+                        message: "bare '!' is not an operator".into(),
+                        position: start,
+                    })
+                }
+            },
+            b'+' => Symbol::Plus,
+            b'-' => Symbol::Minus,
+            b'*' => Symbol::Star,
+            b'/' => Symbol::Slash,
+            b'%' => Symbol::Percent,
+            b'(' => Symbol::LParen,
+            b')' => Symbol::RParen,
+            b',' => Symbol::Comma,
+            b'.' => Symbol::Dot,
+            b';' => Symbol::Semicolon,
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", other as char),
+                    position: start,
+                })
+            }
+        };
+        Ok(Token {
+            kind: TokenKind::Symbol(sym),
+            text: sym.as_str().to_owned(),
+            position: start,
+        })
+    }
+}
+
+/// Tokenize SQL text into a token vector.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, LexError> {
+    let mut lexer = Lexer { input: sql.as_bytes(), pos: 0 };
+    let mut tokens = Vec::new();
+    loop {
+        lexer.skip_trivia()?;
+        let Some(b) = lexer.peek() else { break };
+        let token = match b {
+            b'0'..=b'9' => lexer.lex_number()?,
+            b'\'' => lexer.lex_string()?,
+            b'[' => lexer.lex_bracketed(b']')?,
+            b'"' => lexer.lex_bracketed(b'"')?,
+            b if b.is_ascii_alphabetic() || b == b'_' || b == b'@' || b == b'#' => {
+                lexer.lex_word()
+            }
+            _ => lexer.lex_symbol()?,
+        };
+        tokens.push(token);
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = tokenize("select FROM Where").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Keyword(Keyword::Select));
+        assert_eq!(toks[1].kind, TokenKind::Keyword(Keyword::From));
+        assert_eq!(toks[2].kind, TokenKind::Keyword(Keyword::Where));
+        assert_eq!(toks[0].text, "SELECT");
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        let toks = tokenize("tbl_Locations").unwrap();
+        assert_eq!(toks[0].text, "tbl_Locations");
+        assert_eq!(toks[0].kind, TokenKind::Identifier { quoted: false });
+    }
+
+    #[test]
+    fn bracketed_identifiers() {
+        let toks = tokenize("[Loc Type]").unwrap();
+        assert_eq!(toks[0].text, "Loc Type");
+        assert_eq!(toks[0].kind, TokenKind::Identifier { quoted: true });
+    }
+
+    #[test]
+    fn string_literals_with_escape() {
+        let toks = tokenize("'Shasta''s County'").unwrap();
+        assert_eq!(toks[0].text, "Shasta's County");
+        assert_eq!(toks[0].kind, TokenKind::StringLit);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), [TokenKind::Integer(42)]);
+        assert_eq!(kinds("3.5"), [TokenKind::Float(3.5)]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != <= >= < >"),
+            [
+                TokenKind::Symbol(Symbol::Eq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Symbol(Symbol::GtEq),
+                TokenKind::Symbol(Symbol::Lt),
+                TokenKind::Symbol(Symbol::Gt),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- comment\n a /* block */ FROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = tokenize("a = 1").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 2);
+        assert_eq!(toks[2].position, 4);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+        assert!(tokenize("[oops").is_err());
+        assert!(tokenize("/* oops").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+}

@@ -1,0 +1,876 @@
+//! Recursive-descent parser for the SNAILS T-SQL subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Keyword as Kw, LexError, Symbol as Sym, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending token (input length at EOF).
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.message, position: e.position }
+    }
+}
+
+/// Parse a single SQL statement (`SELECT ...` or `CREATE VIEW ...`).
+pub fn parse(sql: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0, input_len: sql.len() };
+    let stmt = p.parse_statement()?;
+    p.consume_symbol_if(Sym::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `SELECT` statement, rejecting other statement kinds.
+pub fn parse_select(sql: &str) -> Result<SelectStatement, ParseError> {
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+        Statement::CreateView { .. } => Err(ParseError {
+            message: "expected SELECT, found CREATE VIEW".into(),
+            position: 0,
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.peek().map(|t| &t.kind)
+    }
+
+    fn current_position(&self) -> usize {
+        self.peek().map_or(self.input_len, |t| t.position)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.current_position() }
+    }
+
+    fn at_keyword(&self, kw: Kw) -> bool {
+        matches!(self.peek_kind(), Some(TokenKind::Keyword(k)) if *k == kw)
+    }
+
+    fn consume_keyword_if(&mut self, kw: Kw) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Kw) -> Result<(), ParseError> {
+        if self.consume_keyword_if(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}", kw.as_str())))
+        }
+    }
+
+    fn at_symbol(&self, sym: Sym) -> bool {
+        matches!(self.peek_kind(), Some(TokenKind::Symbol(s)) if *s == sym)
+    }
+
+    fn consume_symbol_if(&mut self, sym: Sym) -> bool {
+        if self.at_symbol(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: Sym) -> Result<(), ParseError> {
+        if self.consume_symbol_if(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", sym.as_str())))
+        }
+    }
+
+    fn expect_identifier(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind() {
+            Some(TokenKind::Identifier { .. }) => {
+                Ok(self.bump().expect("peeked identifier").text)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing tokens"))
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement, ParseError> {
+        if self.consume_keyword_if(Kw::Create) {
+            self.expect_keyword(Kw::View)?;
+            let first = self.expect_identifier()?;
+            let (schema, name) = if self.consume_symbol_if(Sym::Dot) {
+                (Some(first), self.expect_identifier()?)
+            } else {
+                (None, first)
+            };
+            self.expect_keyword(Kw::As)?;
+            let query = self.parse_select_statement()?;
+            Ok(Statement::CreateView { schema, name, query })
+        } else {
+            Ok(Statement::Select(self.parse_select_statement()?))
+        }
+    }
+
+    fn parse_select_statement(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword(Kw::Select)?;
+        let mut stmt = SelectStatement::default();
+
+        if self.consume_keyword_if(Kw::Top) {
+            match self.peek_kind() {
+                Some(&TokenKind::Integer(n)) if n >= 0 => {
+                    stmt.top = Some(n as u64);
+                    self.pos += 1;
+                }
+                _ => return Err(self.error("expected non-negative integer after TOP")),
+            }
+        }
+        if self.consume_keyword_if(Kw::Distinct) {
+            stmt.distinct = true;
+        } else {
+            self.consume_keyword_if(Kw::All);
+        }
+
+        loop {
+            stmt.items.push(self.parse_select_item()?);
+            if !self.consume_symbol_if(Sym::Comma) {
+                break;
+            }
+        }
+
+        if self.consume_keyword_if(Kw::From) {
+            stmt.from = Some(self.parse_table_source()?);
+            loop {
+                let kind = if self.consume_keyword_if(Kw::Join)
+                    || (self.at_keyword(Kw::Inner) && {
+                        self.pos += 1;
+                        self.expect_keyword(Kw::Join)?;
+                        true
+                    }) {
+                    JoinKind::Inner
+                } else if self.consume_keyword_if(Kw::Left) {
+                    self.consume_keyword_if(Kw::Outer);
+                    self.expect_keyword(Kw::Join)?;
+                    JoinKind::Left
+                } else if self.consume_keyword_if(Kw::Right) {
+                    self.consume_keyword_if(Kw::Outer);
+                    self.expect_keyword(Kw::Join)?;
+                    JoinKind::Right
+                } else if self.consume_keyword_if(Kw::Full) {
+                    self.consume_keyword_if(Kw::Outer);
+                    self.expect_keyword(Kw::Join)?;
+                    JoinKind::Full
+                } else if self.consume_keyword_if(Kw::Cross) {
+                    self.expect_keyword(Kw::Join)?;
+                    JoinKind::Cross
+                } else {
+                    break;
+                };
+                let source = self.parse_table_source()?;
+                let on = if kind == JoinKind::Cross {
+                    None
+                } else {
+                    self.expect_keyword(Kw::On)?;
+                    Some(self.parse_expr()?)
+                };
+                stmt.joins.push(Join { kind, source, on });
+            }
+        }
+
+        if self.consume_keyword_if(Kw::Where) {
+            stmt.where_clause = Some(self.parse_expr()?);
+        }
+        if self.at_keyword(Kw::Group) {
+            self.pos += 1;
+            self.expect_keyword(Kw::By)?;
+            loop {
+                stmt.group_by.push(self.parse_expr()?);
+                if !self.consume_symbol_if(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.consume_keyword_if(Kw::Having) {
+            stmt.having = Some(self.parse_expr()?);
+        }
+        if self.at_keyword(Kw::Order) {
+            self.pos += 1;
+            self.expect_keyword(Kw::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let descending = if self.consume_keyword_if(Kw::Desc) {
+                    true
+                } else {
+                    self.consume_keyword_if(Kw::Asc);
+                    false
+                };
+                stmt.order_by.push(OrderItem { expr, descending });
+                if !self.consume_symbol_if(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.consume_keyword_if(Kw::Union) {
+            let kind = if self.consume_keyword_if(Kw::All) {
+                UnionKind::All
+            } else {
+                UnionKind::Distinct
+            };
+            let rhs = self.parse_select_statement()?;
+            stmt.union = Some((kind, Box::new(rhs)));
+        }
+        Ok(stmt)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.consume_symbol_if(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Some(TokenKind::Identifier { .. }), Some(t1), Some(t2)) = (
+            self.peek_kind(),
+            self.tokens.get(self.pos + 1),
+            self.tokens.get(self.pos + 2),
+        ) {
+            if t1.kind == TokenKind::Symbol(Sym::Dot)
+                && t2.kind == TokenKind::Symbol(Sym::Star)
+            {
+                let q = self.bump().expect("identifier").text;
+                self.pos += 2;
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.consume_keyword_if(Kw::As) {
+            Some(self.expect_identifier()?)
+        } else if matches!(self.peek_kind(), Some(TokenKind::Identifier { .. })) {
+            Some(self.bump().expect("identifier").text)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_source(&mut self) -> Result<TableSource, ParseError> {
+        if self.consume_symbol_if(Sym::LParen) {
+            let query = Box::new(self.parse_select_statement()?);
+            self.expect_symbol(Sym::RParen)?;
+            self.consume_keyword_if(Kw::As);
+            let alias = self.expect_identifier()?;
+            return Ok(TableSource::Derived { query, alias });
+        }
+        let first = self.expect_identifier()?;
+        let (schema, name) = if self.consume_symbol_if(Sym::Dot) {
+            (Some(first), self.expect_identifier()?)
+        } else {
+            (None, first)
+        };
+        let alias = if self.consume_keyword_if(Kw::As) {
+            Some(self.expect_identifier()?)
+        } else if matches!(self.peek_kind(), Some(TokenKind::Identifier { .. })) {
+            Some(self.bump().expect("identifier").text)
+        } else {
+            None
+        };
+        Ok(TableSource::Named { schema, name, alias })
+    }
+
+    // Expression grammar (lowest to highest precedence):
+    //   or_expr    := and_expr (OR and_expr)*
+    //   and_expr   := not_expr (AND not_expr)*
+    //   not_expr   := NOT not_expr | predicate
+    //   predicate  := additive [comparison | IS | IN | LIKE | BETWEEN]
+    //   additive   := multiplicative ((+|-) multiplicative)*
+    //   multiplicative := unary ((*|/|%) unary)*
+    //   unary      := - unary | primary
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.consume_keyword_if(Kw::Or) {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.consume_keyword_if(Kw::And) {
+            let right = self.parse_not()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.at_keyword(Kw::Not) && !self.next_is_exists() {
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.parse_predicate()
+    }
+
+    fn next_is_exists(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(TokenKind::Keyword(Kw::Exists))
+        )
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr, ParseError> {
+        // [NOT] EXISTS (subquery)
+        let negated_exists = self.at_keyword(Kw::Not) && self.next_is_exists();
+        if negated_exists {
+            self.pos += 1;
+        }
+        if self.consume_keyword_if(Kw::Exists) {
+            self.expect_symbol(Sym::LParen)?;
+            let query = Box::new(self.parse_select_statement()?);
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::Exists { query, negated: negated_exists });
+        }
+
+        let left = self.parse_additive()?;
+
+        // IS [NOT] NULL
+        if self.consume_keyword_if(Kw::Is) {
+            let negated = self.consume_keyword_if(Kw::Not);
+            self.expect_keyword(Kw::Null)?;
+            return Ok(Expr::IsNull { expr: Box::new(left), negated });
+        }
+
+        // [NOT] IN / LIKE / BETWEEN
+        let negated = self.consume_keyword_if(Kw::Not);
+        if self.consume_keyword_if(Kw::In) {
+            self.expect_symbol(Sym::LParen)?;
+            if self.at_keyword(Kw::Select) {
+                let query = Box::new(self.parse_select_statement()?);
+                self.expect_symbol(Sym::RParen)?;
+                return Ok(Expr::InSubquery { expr: Box::new(left), query, negated });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_additive()?);
+                if !self.consume_symbol_if(Sym::Comma) {
+                    break;
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(left), list, negated });
+        }
+        if self.consume_keyword_if(Kw::Like) {
+            let pattern = match self.peek_kind() {
+                Some(TokenKind::StringLit) => self.bump().expect("string").text,
+                _ => return Err(self.error("expected string pattern after LIKE")),
+            };
+            return Ok(Expr::Like { expr: Box::new(left), pattern, negated });
+        }
+        if self.consume_keyword_if(Kw::Between) {
+            let low = Box::new(self.parse_additive()?);
+            self.expect_keyword(Kw::And)?;
+            let high = Box::new(self.parse_additive()?);
+            return Ok(Expr::Between { expr: Box::new(left), low, high, negated });
+        }
+        if negated {
+            return Err(self.error("expected IN, LIKE, or BETWEEN after NOT"));
+        }
+
+        // Comparison operators.
+        let op = match self.peek_kind() {
+            Some(TokenKind::Symbol(Sym::Eq)) => Some(BinOp::Eq),
+            Some(TokenKind::Symbol(Sym::NotEq)) => Some(BinOp::NotEq),
+            Some(TokenKind::Symbol(Sym::Lt)) => Some(BinOp::Lt),
+            Some(TokenKind::Symbol(Sym::LtEq)) => Some(BinOp::LtEq),
+            Some(TokenKind::Symbol(Sym::Gt)) => Some(BinOp::Gt),
+            Some(TokenKind::Symbol(Sym::GtEq)) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Symbol(Sym::Plus)) => BinOp::Add,
+                Some(TokenKind::Symbol(Sym::Minus)) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                Some(TokenKind::Symbol(Sym::Star)) => BinOp::Mul,
+                Some(TokenKind::Symbol(Sym::Slash)) => BinOp::Div,
+                Some(TokenKind::Symbol(Sym::Percent)) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.consume_symbol_if(Sym::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negated numeric literals so `-1` parses to `Int(-1)`,
+            // keeping render → parse a fixed point.
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(n)) => Expr::Literal(Literal::Int(-n)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().cloned() {
+            Some(TokenKind::Integer(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Int(n)))
+            }
+            Some(TokenKind::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Float(f)))
+            }
+            Some(TokenKind::StringLit) => {
+                let t = self.bump().expect("string");
+                Ok(Expr::Literal(Literal::Str(t.text)))
+            }
+            Some(TokenKind::Keyword(Kw::Null)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(TokenKind::Symbol(Sym::LParen)) => {
+                self.pos += 1;
+                if self.at_keyword(Kw::Select) {
+                    let q = Box::new(self.parse_select_statement()?);
+                    self.expect_symbol(Sym::RParen)?;
+                    Ok(Expr::Subquery(q))
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_symbol(Sym::RParen)?;
+                    Ok(e)
+                }
+            }
+            Some(TokenKind::Keyword(Kw::Case)) => {
+                self.pos += 1;
+                self.parse_case()
+            }
+            Some(TokenKind::Identifier { .. }) => self.parse_identifier_expr(),
+            _ => Err(self.error("expected expression")),
+        }
+    }
+
+    /// `CASE [operand] WHEN e THEN e ... [ELSE e] END` (CASE consumed).
+    fn parse_case(&mut self) -> Result<Expr, ParseError> {
+        let operand = if self.at_keyword(Kw::When) {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.consume_keyword_if(Kw::When) {
+            let when = self.parse_expr()?;
+            self.expect_keyword(Kw::Then)?;
+            let then = self.parse_expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(self.error("CASE requires at least one WHEN branch"));
+        }
+        let else_expr = if self.consume_keyword_if(Kw::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Kw::End)?;
+        Ok(Expr::Case { operand, branches, else_expr })
+    }
+
+    /// Identifier-led expressions: `col`, `tbl.col`, `FUNC(...)`.
+    fn parse_identifier_expr(&mut self) -> Result<Expr, ParseError> {
+        let first = self.bump().expect("identifier").text;
+        if self.consume_symbol_if(Sym::LParen) {
+            // Function call.
+            let name = first.to_ascii_uppercase();
+            let distinct = self.consume_keyword_if(Kw::Distinct);
+            let mut args = Vec::new();
+            if !self.at_symbol(Sym::RParen) {
+                loop {
+                    if self.consume_symbol_if(Sym::Star) {
+                        args.push(FunctionArg::Wildcard);
+                    } else {
+                        args.push(FunctionArg::Expr(self.parse_expr()?));
+                    }
+                    if !self.consume_symbol_if(Sym::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect_symbol(Sym::RParen)?;
+            return Ok(Expr::Function { name, args, distinct });
+        }
+        if self.consume_symbol_if(Sym::Dot) {
+            let col = self.expect_identifier()?;
+            return Ok(Expr::Column(ColumnRef::qualified(&first, &col)));
+        }
+        Ok(Expr::Column(ColumnRef::bare(&first)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse_select("SELECT a, b FROM t").unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(s.from, Some(TableSource::Named { ref name, .. }) if name == "t"));
+    }
+
+    #[test]
+    fn count_star_group_by() {
+        let s = parse_select(
+            "SELECT LcTp, COUNT(*) AS LocationCount FROM Locs \
+             WHERE Cty = 'Shasta County' GROUP BY LcTp",
+        )
+        .unwrap();
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.where_clause.is_some());
+        match &s.items[1] {
+            SelectItem::Expr { expr: Expr::Function { name, args, .. }, alias } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args, &[FunctionArg::Wildcard]);
+                assert_eq!(alias.as_deref(), Some("LocationCount"));
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn joins_with_aliases() {
+        let s = parse_select(
+            "SELECT StatusOfP FROM OHEM employees \
+             JOIN HTM1 teamMembers ON employees.empId = teamMembers.empID \
+             JOIN OHTM emplTeams ON teamMembers.teamID = emplTeams.teamID \
+             WHERE emplTeams.name = 'Purchasing'",
+        )
+        .unwrap();
+        assert_eq!(s.joins.len(), 2);
+        assert_eq!(s.joins[0].kind, JoinKind::Inner);
+        assert_eq!(s.joins[0].source.binding_name(), "teamMembers");
+    }
+
+    #[test]
+    fn left_join_and_is_null() {
+        let s = parse_select(
+            "SELECT DISTINCT p.species FROM tlu_PlantSpecies p \
+             LEFT JOIN tbl_Saplings s ON s.SpCode = p.SpeciesCode \
+             WHERE s.SpCode IS NULL",
+        )
+        .unwrap();
+        assert!(s.distinct);
+        assert_eq!(s.joins[0].kind, JoinKind::Left);
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::IsNull { negated: false, .. })
+        ));
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let s = parse_select(
+            "SELECT species FROM tlu_PlantSpecies sp WHERE EXISTS( \
+               SELECT overstory_id FROM tbl_Overstory WHERE SpCode = sp.SpeciesCode ) \
+             AND NOT EXISTS ( \
+               SELECT Seedlings_ID FROM tbl_Seedlings WHERE SpCode = sp.SpeciesCode )",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        match w {
+            Expr::Binary { left, op: BinOp::And, right } => {
+                assert!(matches!(*left, Expr::Exists { negated: false, .. }));
+                assert!(matches!(*right, Expr::Exists { negated: true, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn top_and_order_by() {
+        let s = parse_select("SELECT TOP 5 a FROM t ORDER BY a DESC, b").unwrap();
+        assert_eq!(s.top, Some(5));
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].descending);
+        assert!(!s.order_by[1].descending);
+    }
+
+    #[test]
+    fn in_list_and_in_subquery() {
+        let s = parse_select("SELECT a FROM t WHERE a IN (1, 2, 3)").unwrap();
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::InList { negated: false, ref list, .. }) if list.len() == 3
+        ));
+        let s = parse_select("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)").unwrap();
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::InSubquery { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn between_and_like() {
+        let s = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b LIKE 'x%'")
+            .unwrap();
+        assert!(s.where_clause.is_some());
+        let s2 =
+            parse_select("SELECT a FROM t WHERE b NOT LIKE '%y' AND a NOT BETWEEN 2 AND 3")
+                .unwrap();
+        assert!(s2.where_clause.is_some());
+    }
+
+    #[test]
+    fn having_clause() {
+        let s = parse_select(
+            "SELECT stage, SUM(count_) c FROM surveys GROUP BY stage HAVING SUM(count_) > 10",
+        )
+        .unwrap();
+        assert!(s.having.is_some());
+    }
+
+    #[test]
+    fn derived_table() {
+        let s = parse_select(
+            "SELECT x.n FROM (SELECT COUNT(*) AS n FROM t GROUP BY a) x WHERE x.n > 2",
+        )
+        .unwrap();
+        assert!(matches!(s.from, Some(TableSource::Derived { ref alias, .. }) if alias == "x"));
+    }
+
+    #[test]
+    fn bracketed_identifiers_parse() {
+        let s = parse_select("SELECT [LOC_TYPE] FROM [TBL_LOCATIONS] WHERE [COUNTY] = 'X'")
+            .unwrap();
+        assert!(matches!(s.from, Some(TableSource::Named { ref name, .. }) if name == "TBL_LOCATIONS"));
+    }
+
+    #[test]
+    fn schema_qualified_table() {
+        let s = parse_select("SELECT a FROM db_nl.locations").unwrap();
+        assert!(matches!(
+            s.from,
+            Some(TableSource::Named { schema: Some(ref sch), ref name, .. })
+                if sch == "db_nl" && name == "locations"
+        ));
+    }
+
+    #[test]
+    fn create_view() {
+        let stmt = parse(
+            "CREATE VIEW db_nl.[table_deadwood] AS SELECT [MPD] AS [Midpoint_Diameter] \
+             FROM dbo.[tbl_Deadwood]",
+        )
+        .unwrap();
+        assert!(matches!(stmt, Statement::CreateView { .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = parse_select("SELECT a + b * c FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Binary { op: BinOp::Add, right, .. }, .. } => {
+                assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let s = parse_select("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::Binary { op: BinOp::Or, .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_select("SELECT FROM t").unwrap_err();
+        assert_eq!(err.position, 7);
+        assert!(parse_select("SELECT a FROM").is_err());
+        assert!(parse_select("").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t extra garbage tokens +").is_err());
+    }
+
+    #[test]
+    fn not_predicate() {
+        let s = parse_select("SELECT a FROM t WHERE NOT a = 1").unwrap();
+        assert!(matches!(
+            s.where_clause,
+            Some(Expr::Unary { op: UnaryOp::Not, .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_subquery() {
+        let s = parse_select("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)").unwrap();
+        match s.where_clause.unwrap() {
+            Expr::Binary { right, .. } => assert!(matches!(*right, Expr::Subquery(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_parses_and_chains() {
+        let s = parse_select("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+            .unwrap();
+        let (k1, rhs) = s.union.as_ref().expect("first union");
+        assert_eq!(*k1, UnionKind::Distinct);
+        let (k2, _) = rhs.union.as_ref().expect("second union");
+        assert_eq!(*k2, UnionKind::All);
+        // Render round trip.
+        let stmt = Statement::Select(s);
+        assert_eq!(parse(&stmt.to_string()).unwrap(), stmt);
+    }
+
+    #[test]
+    fn case_expressions_parse() {
+        let s = parse_select(
+            "SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t",
+        )
+        .unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Case { operand, branches, else_expr }, .. } => {
+                assert!(operand.is_none());
+                assert_eq!(branches.len(), 2);
+                assert!(else_expr.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Simple case with operand, no else.
+        let s = parse_select("SELECT CASE status WHEN 'open' THEN 1 END FROM t").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Case { operand, else_expr, .. }, .. } => {
+                assert!(operand.is_some());
+                assert!(else_expr.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Missing WHEN is an error.
+        assert!(parse_select("SELECT CASE ELSE 1 END FROM t").is_err());
+        assert!(parse_select("SELECT CASE WHEN a THEN 1 FROM t").is_err());
+    }
+
+    #[test]
+    fn function_with_distinct_arg() {
+        let s = parse_select("SELECT COUNT(DISTINCT species) FROM obs").unwrap();
+        match &s.items[0] {
+            SelectItem::Expr { expr: Expr::Function { distinct, .. }, .. } => {
+                assert!(distinct)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser must never panic, whatever the input.
+        #[test]
+        fn parser_never_panics(input in ".{0,120}") {
+            let _ = parse(&input);
+        }
+
+        /// Identifier-shaped garbage parses or errors cleanly.
+        #[test]
+        fn sqlish_fuzz(
+            a in "[A-Za-z_][A-Za-z0-9_]{0,8}",
+            b in "[A-Za-z_][A-Za-z0-9_]{0,8}",
+            n in 0i64..1000
+        ) {
+            let q = format!("SELECT {a} FROM {b} WHERE {a} = {n}");
+            let parsed = parse_select(&q);
+            // Keywords can collide with generated identifiers; both outcomes
+            // are acceptable, but success must produce a FROM clause.
+            if let Ok(s) = parsed {
+                prop_assert!(s.from.is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! SQL rendering: `Display` implementations producing canonical T-SQL text.
+//!
+//! Rendering quotes identifiers with brackets only when necessary (spaces or
+//! non-word characters), uppercases keywords, and round-trips through the
+//! parser (`parse(render(ast)) == ast` up to literal float formatting).
+
+use crate::ast::*;
+use std::fmt::{self, Display, Formatter, Write};
+
+/// True when an identifier needs `[...]` quoting.
+fn needs_quoting(ident: &str) -> bool {
+    ident.is_empty()
+        || ident
+            .bytes()
+            .any(|b| !(b.is_ascii_alphanumeric() || b == b'_' || b == b'@' || b == b'#'))
+        || ident.bytes().next().is_some_and(|b| b.is_ascii_digit())
+        || crate::lexer::tokenize(ident)
+            .map(|t| {
+                t.len() != 1 || !matches!(t[0].kind, crate::lexer::TokenKind::Identifier { .. })
+            })
+            .unwrap_or(true)
+}
+
+/// Write an identifier, bracket-quoting when required.
+pub fn write_ident(f: &mut impl Write, ident: &str) -> fmt::Result {
+    if needs_quoting(ident) {
+        write!(f, "[{ident}]")
+    } else {
+        f.write_str(ident)
+    }
+}
+
+/// An identifier as SQL text, bracket-quoted when required (keywords,
+/// spaces, leading digits).
+pub fn quoted(ident: &str) -> String {
+    if needs_quoting(ident) {
+        format!("[{ident}]")
+    } else {
+        ident.to_owned()
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+impl Display for Statement {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => s.fmt(f),
+            Statement::CreateView { schema, name, query } => {
+                f.write_str("CREATE VIEW ")?;
+                if let Some(sch) = schema {
+                    write_ident(f, sch)?;
+                    f.write_char('.')?;
+                }
+                write_ident(f, name)?;
+                write!(f, " AS {query}")
+            }
+        }
+    }
+}
+
+impl Display for SelectStatement {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if let Some(n) = self.top {
+            write!(f, "TOP {n} ")?;
+        }
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            item.fmt(f)?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        for join in &self.joins {
+            write!(f, " {join}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                g.fmt(f)?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                o.expr.fmt(f)?;
+                if o.descending {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some((kind, rhs)) = &self.union {
+            match kind {
+                UnionKind::Distinct => f.write_str(" UNION ")?,
+                UnionKind::All => f.write_str(" UNION ALL ")?,
+            }
+            rhs.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Display for SelectItem {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => f.write_char('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                write_ident(f, q)?;
+                f.write_str(".*")
+            }
+            SelectItem::Expr { expr, alias } => {
+                expr.fmt(f)?;
+                if let Some(a) = alias {
+                    f.write_str(" AS ")?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Display for TableSource {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            TableSource::Named { schema, name, alias } => {
+                if let Some(sch) = schema {
+                    write_ident(f, sch)?;
+                    f.write_char('.')?;
+                }
+                write_ident(f, name)?;
+                if let Some(a) = alias {
+                    f.write_char(' ')?;
+                    write_ident(f, a)?;
+                }
+                Ok(())
+            }
+            TableSource::Derived { query, alias } => {
+                write!(f, "({query}) ")?;
+                write_ident(f, alias)
+            }
+        }
+    }
+}
+
+impl Display for Join {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.kind.as_str(), self.source)?;
+        if let Some(on) = &self.on {
+            write!(f, " ON {on}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Display for ColumnRef {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        if let Some(q) = &self.qualifier {
+            write_ident(f, q)?;
+            f.write_char('.')?;
+        }
+        write_ident(f, &self.name)
+    }
+}
+
+impl Display for Literal {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(n) => write!(f, "{n}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", escape_string(s)),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+/// Operator precedence for parenthesization decisions.
+fn precedence(e: &Expr) -> u8 {
+    match e {
+        Expr::Binary { op, .. } => match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        },
+        Expr::Unary { op: UnaryOp::Not, .. } => 3,
+        Expr::IsNull { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. } => 4,
+        _ => 10,
+    }
+}
+
+fn fmt_child(f: &mut Formatter<'_>, child: &Expr, parent_prec: u8) -> fmt::Result {
+    if precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl Display for Expr {
+    fn fmt(&self, f: &mut Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => c.fmt(f),
+            Expr::Literal(l) => l.fmt(f),
+            Expr::Unary { op: UnaryOp::Not, expr } => {
+                f.write_str("NOT ")?;
+                fmt_child(f, expr, 4)
+            }
+            Expr::Unary { op: UnaryOp::Neg, expr } => {
+                f.write_char('-')?;
+                fmt_child(f, expr, 7)
+            }
+            Expr::Binary { left, op, right } => {
+                let prec = precedence(self);
+                // Comparisons and other predicates share precedence 4 and are
+                // NON-associative in the grammar: `a = b = c` does not parse,
+                // so an equal-precedence left child needs parentheses too.
+                if precedence(left) < prec || (op.is_comparison() && precedence(left) == prec) {
+                    write!(f, "({left})")?;
+                } else {
+                    write!(f, "{left}")?;
+                }
+                write!(f, " {} ", op.as_str())?;
+                // The right child needs strictly higher precedence: the
+                // grammar is left-associative, so a right-nested equal-
+                // precedence child (including AND/OR chains) must keep its
+                // parentheses to reparse with the same shape.
+                if precedence(right) <= prec {
+                    write!(f, "({right})")
+                } else {
+                    fmt_child(f, right, prec)
+                }
+            }
+            Expr::Function { name, args, distinct } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    match a {
+                        FunctionArg::Wildcard => f.write_char('*')?,
+                        FunctionArg::Expr(e) => e.fmt(f)?,
+                    }
+                }
+                f.write_char(')')
+            }
+            Expr::IsNull { expr, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
+            }
+            Expr::InList { expr, list, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    // List items parse at additive precedence; anything
+                    // lower (comparisons, AND/OR, other predicates) must be
+                    // parenthesized to survive a round trip.
+                    fmt_child(f, e, 5)?;
+                }
+                f.write_char(')')
+            }
+            Expr::InSubquery { expr, query, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                write!(f, "{query})")
+            }
+            Expr::Exists { query, negated } => {
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "EXISTS ({query})")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " })?;
+                fmt_child(f, low, 5)?;
+                f.write_str(" AND ")?;
+                fmt_child(f, high, 5)
+            }
+            Expr::Like { expr, pattern, negated } => {
+                fmt_child(f, expr, 5)?;
+                f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
+                write!(f, "'{}'", escape_string(pattern))
+            }
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::Case { operand, branches, else_expr } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (when, then) in branches {
+                    write!(f, " WHEN {when} THEN {then}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Wildcard => f.write_char('*'),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_select};
+
+    fn round_trip(sql: &str) {
+        let ast = parse(sql).expect("parse input");
+        let rendered = ast.to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("render of {sql:?} produced unparseable {rendered:?}: {e}"));
+        assert_eq!(ast, reparsed, "render round-trip changed AST for {sql:?}");
+    }
+
+    #[test]
+    fn round_trips() {
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT TOP 3 a, b AS c FROM t ORDER BY a DESC",
+            "SELECT DISTINCT a FROM t WHERE a IS NOT NULL",
+            "SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2",
+            "SELECT a FROM t JOIN u ON t.x = u.y LEFT JOIN v ON u.z = v.z",
+            "SELECT a FROM t WHERE x IN (1, 2) AND y NOT IN (SELECT z FROM u)",
+            "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.k = t.k)",
+            "SELECT a FROM t WHERE b BETWEEN 1 AND 5 OR c LIKE 'x%'",
+            "SELECT [Loc Type] FROM [My Table] x",
+            "SELECT a + b * c - d FROM t",
+            "SELECT x.n FROM (SELECT COUNT(*) AS n FROM t) x",
+            "CREATE VIEW db_nl.v AS SELECT a AS b FROM dbo.t",
+            "SELECT a FROM t WHERE s = 'it''s'",
+            "SELECT -a FROM t WHERE -b < 3",
+        ] {
+            round_trip(sql);
+        }
+    }
+
+    #[test]
+    fn quoting_only_when_needed() {
+        let s = parse_select("SELECT [plain] FROM [tbl_Locations]").unwrap();
+        assert_eq!(s.to_string(), "SELECT plain FROM tbl_Locations");
+        let s = parse_select("SELECT [Loc Type] FROM t").unwrap();
+        assert_eq!(s.to_string(), "SELECT [Loc Type] FROM t");
+    }
+
+    #[test]
+    fn keywordish_identifiers_are_quoted() {
+        // An identifier spelled like a keyword must be re-quoted.
+        let ast = Statement::Select(SelectStatement {
+            items: vec![SelectItem::Expr {
+                expr: Expr::Column(ColumnRef::bare("Order")),
+                alias: None,
+            }],
+            from: Some(TableSource::Named { schema: None, name: "t".into(), alias: None }),
+            ..Default::default()
+        });
+        let rendered = ast.to_string();
+        assert!(rendered.contains("[Order]"), "{rendered}");
+        round_trip(&rendered);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let e = Expr::Literal(Literal::Str("O'Brien".into()));
+        assert_eq!(e.to_string(), "'O''Brien'");
+    }
+
+    #[test]
+    fn float_rendering() {
+        assert_eq!(Expr::Literal(Literal::Float(2.0)).to_string(), "2.0");
+        assert_eq!(Expr::Literal(Literal::Float(2.5)).to_string(), "2.5");
+    }
+
+    #[test]
+    fn precedence_parens_preserved() {
+        round_trip("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3");
+        let s = parse_select("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3").unwrap();
+        assert!(s.to_string().contains("(x = 1 OR y = 2)"));
+    }
+
+    #[test]
+    fn subtraction_right_assoc_parens() {
+        round_trip("SELECT a - (b - c) FROM t");
+        let s = parse_select("SELECT a - (b - c) FROM t").unwrap();
+        assert!(s.to_string().contains("a - (b - c)"), "{s}");
+    }
+}

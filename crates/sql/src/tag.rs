@@ -1,0 +1,381 @@
+//! Identifier tagging and replacement (appendix D.2 / D.4).
+//!
+//! During virtual-schema experiments the LLM sees modified identifiers; the
+//! generated query must be "denaturalized" (modified identifiers replaced by
+//! their Native counterparts) before execution. Plain string replacement is
+//! unsafe because identifiers can be substrings of one another, so the paper
+//! tags table and column names with XML-like markers via its parser and
+//! replaces tagged spans. This module provides:
+//!
+//! * [`tag_query`] — the tagged rendering (`<TABLE_NAME>LOCS</TABLE_NAME>`),
+//!   reproduced for fidelity with the paper's middleware;
+//! * [`rename_identifiers`] — a direct AST rename, the mechanism actually
+//!   used by the benchmark pipeline (equivalent, and immune to string-level
+//!   corruption by construction);
+//! * [`denaturalize_query`] — parse → rename → render.
+
+use crate::ast::*;
+use crate::parser::{parse, ParseError};
+use std::collections::{BTreeSet, HashMap};
+
+/// Case-insensitive identifier → replacement mapping.
+#[derive(Debug, Clone, Default)]
+pub struct IdentifierMap {
+    map: HashMap<String, String>,
+}
+
+impl IdentifierMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(from, to)` pairs.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut m = Self::new();
+        for (from, to) in pairs {
+            m.insert(from, to);
+        }
+        m
+    }
+
+    /// Insert a mapping (case-insensitive on the source side).
+    pub fn insert(&mut self, from: &str, to: &str) {
+        self.map.insert(from.to_ascii_uppercase(), to.to_owned());
+    }
+
+    /// Look up the replacement for `ident`, if any.
+    pub fn get(&self, ident: &str) -> Option<&str> {
+        self.map.get(&ident.to_ascii_uppercase()).map(String::as_str)
+    }
+
+    /// Replacement for `ident`, or `ident` itself.
+    pub fn resolve<'a>(&'a self, ident: &'a str) -> &'a str {
+        self.get(ident).unwrap_or(ident)
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Invert the map (replacement → original). Fails silently on collisions
+    /// by keeping the first entry (callers build bijective crosswalks).
+    pub fn inverted(&self) -> IdentifierMap {
+        let mut inv = IdentifierMap::new();
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort();
+        for (from, to) in entries {
+            if inv.get(to).is_none() {
+                inv.insert(to, from);
+            }
+        }
+        inv
+    }
+}
+
+fn alias_set(stmt: &Statement) -> BTreeSet<String> {
+    crate::analyze::extract_identifiers(stmt).aliases
+}
+
+/// Rename table and column identifiers through `map`, leaving aliases (and
+/// references to aliases) untouched. Returns a new statement.
+pub fn rename_identifiers(stmt: &Statement, map: &IdentifierMap) -> Statement {
+    let aliases = alias_set(stmt);
+    let mut stmt = stmt.clone();
+    match &mut stmt {
+        Statement::Select(s) => rename_select(s, map, &aliases),
+        Statement::CreateView { query, .. } => rename_select(query, map, &aliases),
+    }
+    stmt
+}
+
+fn rename_select(s: &mut SelectStatement, map: &IdentifierMap, aliases: &BTreeSet<String>) {
+    let rename_source = |src: &mut TableSource| match src {
+        TableSource::Named { name, .. } => {
+            if let Some(new) = map.get(name) {
+                *name = new.to_owned();
+            }
+        }
+        TableSource::Derived { query, .. } => rename_select(query, map, aliases),
+    };
+    if let Some(from) = &mut s.from {
+        rename_source(from);
+    }
+    for j in &mut s.joins {
+        rename_source(&mut j.source);
+        if let Some(on) = &mut j.on {
+            rename_expr(on, map, aliases);
+        }
+    }
+    for item in &mut s.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            rename_expr(expr, map, aliases);
+        }
+    }
+    if let Some(w) = &mut s.where_clause {
+        rename_expr(w, map, aliases);
+    }
+    for g in &mut s.group_by {
+        rename_expr(g, map, aliases);
+    }
+    if let Some(h) = &mut s.having {
+        rename_expr(h, map, aliases);
+    }
+    for o in &mut s.order_by {
+        rename_expr(&mut o.expr, map, aliases);
+    }
+    if let Some((_, rhs)) = &mut s.union {
+        rename_select(rhs, map, aliases);
+    }
+}
+
+fn rename_expr(e: &mut Expr, map: &IdentifierMap, aliases: &BTreeSet<String>) {
+    match e {
+        Expr::Column(c) => {
+            if !aliases.contains(&c.name.to_ascii_uppercase()) {
+                if let Some(new) = map.get(&c.name) {
+                    c.name = new.to_owned();
+                }
+            }
+            if let Some(q) = &mut c.qualifier {
+                if !aliases.contains(&q.to_ascii_uppercase()) {
+                    if let Some(new) = map.get(q) {
+                        *q = new.to_owned();
+                    }
+                }
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Like { expr, .. } => {
+            rename_expr(expr, map, aliases)
+        }
+        Expr::Binary { left, right, .. } => {
+            rename_expr(left, map, aliases);
+            rename_expr(right, map, aliases);
+        }
+        Expr::Function { args, .. } => {
+            for a in args {
+                if let FunctionArg::Expr(e) = a {
+                    rename_expr(e, map, aliases);
+                }
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            rename_expr(expr, map, aliases);
+            for item in list {
+                rename_expr(item, map, aliases);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            rename_expr(expr, map, aliases);
+            rename_select(query, map, aliases);
+        }
+        Expr::Exists { query, .. } => rename_select(query, map, aliases),
+        Expr::Between { expr, low, high, .. } => {
+            rename_expr(expr, map, aliases);
+            rename_expr(low, map, aliases);
+            rename_expr(high, map, aliases);
+        }
+        Expr::Subquery(q) => rename_select(q, map, aliases),
+        Expr::Case { operand, branches, else_expr } => {
+            if let Some(op) = operand {
+                rename_expr(op, map, aliases);
+            }
+            for (when, then) in branches {
+                rename_expr(when, map, aliases);
+                rename_expr(then, map, aliases);
+            }
+            if let Some(e) = else_expr {
+                rename_expr(e, map, aliases);
+            }
+        }
+        Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+/// Render `stmt` with `<TABLE_NAME>` / `<COLUMN_NAME>` tags around table and
+/// column identifiers (the paper's tagged-query intermediate form).
+///
+/// Aliases are not tagged. The tagged string is for middleware/debugging; it
+/// is not itself parseable SQL.
+pub fn tag_query(stmt: &Statement) -> String {
+    // Rename every distinct identifier to a unique sentinel, render through
+    // the canonical renderer, then substitute tagged originals. Sentinels are
+    // plain identifiers so rendering cannot quote or alter them.
+    let ids = crate::analyze::extract_identifiers(stmt);
+    let mut map = IdentifierMap::new();
+    let mut sentinels: Vec<(String, String)> = Vec::new();
+    for (i, t) in ids.tables.iter().enumerate() {
+        let sentinel = format!("__SNAILS_T{i}__");
+        map.insert(t, &sentinel);
+        sentinels.push((sentinel, format!("<TABLE_NAME>{t}</TABLE_NAME>")));
+    }
+    for (i, c) in ids.columns.iter().enumerate() {
+        let sentinel = format!("__SNAILS_C{i}__");
+        map.insert(c, &sentinel);
+        sentinels.push((sentinel, format!("<COLUMN_NAME>{c}</COLUMN_NAME>")));
+    }
+    let mut rendered = rename_identifiers(stmt, &map).to_string();
+    for (sentinel, tagged) in sentinels {
+        rendered = rendered.replace(&sentinel, &tagged);
+    }
+    rendered
+}
+
+/// Parse `sql`, rename identifiers through `map` (modified → native), and
+/// render the executable native-schema query.
+pub fn denaturalize_query(sql: &str, map: &IdentifierMap) -> Result<String, ParseError> {
+    let stmt = parse(sql)?;
+    Ok(rename_identifiers(&stmt, map).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::extract_identifiers;
+
+    #[test]
+    fn paper_denaturalization_example() {
+        // Appendix D.4: GPT-3.5's query over the least-natural KIS schema.
+        let generated = "SELECT LcTp, COUNT(*) AS LocationCount FROM Locs \
+                         WHERE Cty = 'Shasta County' GROUP BY LcTp";
+        let map = IdentifierMap::from_pairs([
+            ("LOCS", "tbl_Locations"),
+            ("LCTP", "Loc_Type"),
+            ("CTY", "County"),
+        ]);
+        let native = denaturalize_query(generated, &map).unwrap();
+        assert_eq!(
+            native,
+            "SELECT Loc_Type, COUNT(*) AS LocationCount FROM tbl_Locations \
+             WHERE County = 'Shasta County' GROUP BY Loc_Type"
+        );
+    }
+
+    #[test]
+    fn aliases_survive_rename() {
+        let sql = "SELECT e.empId FROM OHEM e JOIN HTM1 t ON e.empId = t.empID";
+        let map = IdentifierMap::from_pairs([("OHEM", "employees"), ("EMPID", "employee_id")]);
+        let out = denaturalize_query(sql, &map).unwrap();
+        assert!(out.contains("FROM employees e"), "{out}");
+        assert!(out.contains("e.employee_id"), "{out}");
+        // Alias `e` unchanged even though identifiers were renamed.
+        assert!(!out.contains("employees.empId"), "{out}");
+    }
+
+    #[test]
+    fn substring_identifiers_safe() {
+        // `Loc` is a prefix-substring of `Location`; AST renaming cannot
+        // corrupt either (the paper's motivation for tagging).
+        let sql = "SELECT Loc, Location FROM t";
+        let map = IdentifierMap::from_pairs([("LOC", "place")]);
+        let out = denaturalize_query(sql, &map).unwrap();
+        assert_eq!(out, "SELECT place, Location FROM t");
+    }
+
+    #[test]
+    fn rename_is_case_insensitive() {
+        let map = IdentifierMap::from_pairs([("locs", "tbl_Locations")]);
+        let out = denaturalize_query("SELECT a FROM LOCS", &map).unwrap();
+        assert!(out.contains("tbl_Locations"));
+    }
+
+    #[test]
+    fn rename_reaches_subqueries() {
+        let sql = "SELECT a FROM t WHERE EXISTS (SELECT x FROM u WHERE u.x = t.a)";
+        let map = IdentifierMap::from_pairs([("U", "users"), ("X", "ux")]);
+        let out = denaturalize_query(sql, &map).unwrap();
+        assert!(out.contains("FROM users"), "{out}");
+        assert!(out.contains("users.ux"), "{out}");
+    }
+
+    #[test]
+    fn rename_to_identifier_needing_quotes() {
+        let map = IdentifierMap::from_pairs([("T", "My Table")]);
+        let out = denaturalize_query("SELECT a FROM t", &map).unwrap();
+        assert_eq!(out, "SELECT a FROM [My Table]");
+    }
+
+    #[test]
+    fn tagging_marks_tables_and_columns() {
+        let stmt = parse("SELECT LcTp FROM Locs WHERE Cty = 'X'").unwrap();
+        let tagged = tag_query(&stmt);
+        assert!(tagged.contains("<TABLE_NAME>LOCS</TABLE_NAME>"), "{tagged}");
+        assert!(tagged.contains("<COLUMN_NAME>LCTP</COLUMN_NAME>"), "{tagged}");
+        assert!(tagged.contains("<COLUMN_NAME>CTY</COLUMN_NAME>"), "{tagged}");
+        assert!(tagged.contains("'X'"));
+    }
+
+    #[test]
+    fn tagging_skips_aliases() {
+        let stmt = parse("SELECT COUNT(*) AS n FROM t ORDER BY n").unwrap();
+        let tagged = tag_query(&stmt);
+        assert!(!tagged.contains("<COLUMN_NAME>N</COLUMN_NAME>"), "{tagged}");
+    }
+
+    #[test]
+    fn inverted_round_trip() {
+        let map = IdentifierMap::from_pairs([("A", "x"), ("B", "y")]);
+        let inv = map.inverted();
+        assert_eq!(inv.get("x"), Some("A"));
+        assert_eq!(inv.get("y"), Some("B"));
+    }
+
+    #[test]
+    fn resolve_defaults_to_input() {
+        let map = IdentifierMap::new();
+        assert_eq!(map.resolve("unknown"), "unknown");
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn denaturalize_then_extract_sees_native_ids() {
+        let map = IdentifierMap::from_pairs([("LOCS", "TBL_LOCATIONS")]);
+        let out = denaturalize_query("SELECT a FROM Locs", &map).unwrap();
+        let ids = extract_identifiers(&parse(&out).unwrap());
+        assert!(ids.tables.contains("TBL_LOCATIONS"));
+        assert!(!ids.tables.contains("LOCS"));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Renaming with an empty map is the identity (modulo rendering).
+        #[test]
+        fn empty_map_is_identity(a in "[a-z]{1,6}", b in "[a-z]{1,6}") {
+            let sql = format!("SELECT {a} FROM {b}");
+            if let Ok(stmt) = parse(&sql) {
+                let renamed = rename_identifiers(&stmt, &IdentifierMap::new());
+                prop_assert_eq!(renamed, stmt);
+            }
+        }
+
+        /// Rename forward then backward restores the original statement when
+        /// the map is a bijection that does not collide with existing names.
+        #[test]
+        fn rename_round_trip(t in "[a-d]{1,4}", c in "[e-h]{1,4}") {
+            let sql = format!("SELECT {c} FROM {t} WHERE {c} = 1");
+            if let Ok(stmt) = parse(&sql) {
+                let fwd = IdentifierMap::from_pairs([
+                    (t.as_str(), "zzz_table"), (c.as_str(), "zzz_col"),
+                ]);
+                let renamed = rename_identifiers(&stmt, &fwd);
+                let back = rename_identifiers(&renamed, &fwd.inverted());
+                // Compare uppercased renderings (rename loses case of source).
+                prop_assert_eq!(
+                    back.to_string().to_ascii_uppercase(),
+                    stmt.to_string().to_ascii_uppercase()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property test: every AST the generator can produce renders to SQL text
+//! that reparses to the identical AST. This is the invariant the whole
+//! middleware stack (naturalization, denaturalization, mutation) relies on.
+
+use proptest::prelude::*;
+use snails_sql::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Mix plain identifiers, keyword-colliding names, and names needing
+    // bracket quoting.
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,10}",
+        Just("order".to_owned()),
+        Just("Group".to_owned()),
+        Just("loc type".to_owned()),
+        Just("tbl_Locations".to_owned()),
+        Just("2fast".to_owned()),
+    ]
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Literal::Int(n as i64)),
+        (-1000i32..1000).prop_map(|n| Literal::Float(n as f64 / 8.0)),
+        "[a-zA-Z' ]{0,12}".prop_map(Literal::Str),
+        Just(Literal::Null),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(arb_ident()), arb_ident())
+        .prop_map(|(qualifier, name)| Expr::Column(ColumnRef { qualifier, name }))
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_column(), arb_literal().prop_map(Expr::Literal)];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Eq), Just(BinOp::NotEq), Just(BinOp::Lt), Just(BinOp::LtEq),
+                Just(BinOp::Gt), Just(BinOp::GtEq), Just(BinOp::And), Just(BinOp::Or),
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Mod),
+            ])
+                .prop_map(|(l, r, op)| Expr::binary(l, op, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..3), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), "[a-z%_]{0,8}", any::<bool>()).prop_map(|(e, pattern, negated)| {
+                Expr::Like { expr: Box::new(e), pattern, negated }
+            }),
+            (
+                proptest::option::of(inner.clone()),
+                proptest::collection::vec((inner.clone(), inner.clone()), 1..3),
+                proptest::option::of(inner.clone()),
+            )
+                .prop_map(|(operand, branches, else_expr)| Expr::Case {
+                    operand: operand.map(Box::new),
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (
+                prop_oneof![
+                    Just("SUM"), Just("AVG"), Just("MIN"), Just("MAX"), Just("YEAR"),
+                    Just("UPPER"), Just("LOWER"), Just("LEN"), Just("ABS"), Just("ROUND"),
+                    Just("MYFUNC"),
+                ],
+                proptest::collection::vec(inner.clone(), 0..3),
+                any::<bool>()
+            )
+                .prop_map(|(name, args, distinct)| Expr::Function {
+                    name: name.to_owned(),
+                    args: args.into_iter().map(FunctionArg::Expr).collect(),
+                    distinct,
+                }),
+        ]
+    })
+}
+
+fn arb_source() -> impl Strategy<Value = TableSource> {
+    (arb_ident(), proptest::option::of(arb_ident()), proptest::option::of("[a-z]{1,4}"))
+        .prop_map(|(name, schema, alias)| TableSource::Named { schema, name, alias })
+}
+
+fn arb_select() -> impl Strategy<Value = SelectStatement> {
+    (
+        any::<bool>(),
+        proptest::option::of(0u64..100),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                (arb_expr(), proptest::option::of(arb_ident()))
+                    .prop_map(|(expr, alias)| SelectItem::Expr { expr, alias }),
+            ],
+            1..4,
+        ),
+        proptest::option::of(arb_source()),
+        proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just(JoinKind::Inner),
+                    Just(JoinKind::Left),
+                    Just(JoinKind::Right),
+                    Just(JoinKind::Full)
+                ],
+                arb_source(),
+                arb_expr(),
+            )
+                .prop_map(|(kind, source, on)| Join { kind, source, on: Some(on) }),
+            0..3,
+        ),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(arb_expr(), 0..3),
+        proptest::option::of(arb_expr()),
+        proptest::collection::vec(
+            (arb_expr(), any::<bool>()).prop_map(|(expr, descending)| OrderItem {
+                expr,
+                descending,
+            }),
+            0..3,
+        ),
+    )
+        .prop_map(
+            |(distinct, top, items, from, joins, where_clause, group_by, having, order_by)| {
+                SelectStatement {
+                    distinct,
+                    top,
+                    items,
+                    // Joins/filters only make sense with a FROM; keep the AST
+                    // well-formed.
+                    joins: if from.is_some() { joins } else { Vec::new() },
+                    where_clause: if from.is_some() { where_clause } else { None },
+                    group_by: if from.is_some() { group_by } else { Vec::new() },
+                    having: if from.is_some() { having } else { None },
+                    from,
+                    order_by,
+                    union: None,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// render → parse is the identity on well-formed ASTs.
+    #[test]
+    fn render_parse_round_trip(select in arb_select()) {
+        let stmt = Statement::Select(select);
+        let rendered = stmt.to_string();
+        let reparsed = parse(&rendered)
+            .unwrap_or_else(|e| panic!("render produced unparseable SQL: {e}\n{rendered}"));
+        prop_assert_eq!(&reparsed, &stmt, "round trip changed AST\nSQL: {}", rendered);
+        // And rendering is stable (idempotent normalization).
+        prop_assert_eq!(reparsed.to_string(), rendered);
+    }
+
+    /// Identifier extraction never panics and aliases never leak into the
+    /// identifier sets.
+    #[test]
+    fn extraction_total(select in arb_select()) {
+        let stmt = Statement::Select(select);
+        let ids = extract_identifiers(&stmt);
+        for alias in &ids.aliases {
+            // An identifier used only as an alias must not be counted...
+            // unless it is also a real table/column name in the query, which
+            // the generator can produce; so we only check the sets are
+            // internally consistent (uppercase).
+            prop_assert_eq!(alias.to_ascii_uppercase(), alias.clone());
+        }
+        for t in ids.tables.iter().chain(ids.columns.iter()) {
+            prop_assert_eq!(t.to_ascii_uppercase(), t.clone());
+        }
+    }
+
+    /// Renaming through an empty map is the identity on arbitrary ASTs.
+    #[test]
+    fn empty_rename_identity(select in arb_select()) {
+        let stmt = Statement::Select(select);
+        let renamed = rename_identifiers(&stmt, &IdentifierMap::new());
+        prop_assert_eq!(renamed, stmt);
+    }
+}

@@ -1,0 +1,293 @@
+//! From-scratch byte-pair-encoding tokenizer.
+//!
+//! Standard BPE: start from single characters, repeatedly merge the most
+//! frequent adjacent pair in the training corpus, record the merge order, and
+//! at encode time greedily apply merges by rank. Word-internal only — text is
+//! first split at non-alphanumeric boundaries and camel-case transitions
+//! (identifier-aware pre-tokenization, matching how code tokenizers treat
+//! identifiers).
+
+use crate::vocab::Vocabulary;
+use crate::Tokenizer;
+use std::collections::HashMap;
+
+/// A learned merge rule: `(left, right) → rank` (lower rank = earlier merge).
+type MergeTable = HashMap<(String, String), usize>;
+
+/// Trainer configuration for [`BpeTokenizer`].
+#[derive(Debug, Clone)]
+pub struct BpeTrainer {
+    merges: usize,
+    name: String,
+}
+
+impl BpeTrainer {
+    /// Trainer that will learn at most `merges` merge rules.
+    pub fn new(merges: usize) -> Self {
+        BpeTrainer { merges, name: "bpe".to_owned() }
+    }
+
+    /// Set the tokenizer display name.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Train on a corpus of `(word, frequency)` pairs.
+    pub fn train_weighted(&self, corpus: &[(String, u64)]) -> BpeTokenizer {
+        // Represent each corpus word as a symbol sequence.
+        let mut words: Vec<(Vec<String>, u64)> = corpus
+            .iter()
+            .filter(|(w, _)| !w.is_empty())
+            .map(|(w, f)| {
+                (
+                    w.chars().map(|c| c.to_string()).collect::<Vec<_>>(),
+                    *f,
+                )
+            })
+            .collect();
+
+        let mut merge_table: MergeTable = HashMap::new();
+        for rank in 0..self.merges {
+            // Count adjacent pairs.
+            let mut pair_counts: HashMap<(&str, &str), u64> = HashMap::new();
+            for (symbols, freq) in &words {
+                for pair in symbols.windows(2) {
+                    *pair_counts
+                        .entry((pair[0].as_str(), pair[1].as_str()))
+                        .or_insert(0) += freq;
+                }
+            }
+            // Deterministic arg-max: highest count, then lexicographic.
+            let best = pair_counts
+                .iter()
+                .filter(|(_, &c)| c >= 2)
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)));
+            let Some((&(left, right), _)) = best else { break };
+            let (left, right) = (left.to_owned(), right.to_owned());
+            let merged = format!("{left}{right}");
+
+            for (symbols, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < symbols.len() {
+                    if symbols[i] == left && symbols[i + 1] == right {
+                        symbols[i] = merged.clone();
+                        symbols.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            merge_table.insert((left, right), rank);
+        }
+
+        // Build the vocabulary: all single chars seen + all merged symbols.
+        let mut vocab = Vocabulary::new();
+        for (w, _) in corpus {
+            for c in w.chars() {
+                vocab.intern(&c.to_string());
+            }
+        }
+        for (symbols, _) in &words {
+            for s in symbols {
+                vocab.intern(s);
+            }
+        }
+        for (l, r) in merge_table.keys() {
+            vocab.intern(&format!("{l}{r}"));
+        }
+
+        BpeTokenizer { name: self.name.clone(), merges: merge_table, vocab }
+    }
+
+    /// Train on raw text: whitespace-split, lowercase, frequency-counted.
+    pub fn train(&self, corpus: &[(String, u64)]) -> BpeTokenizer {
+        self.train_weighted(corpus)
+    }
+}
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct BpeTokenizer {
+    name: String,
+    merges: MergeTable,
+    vocab: Vocabulary,
+}
+
+impl BpeTokenizer {
+    /// Number of learned merge rules.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// The tokenizer's vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Tokenize one pre-split word into subword strings.
+    pub fn encode_word(&self, word: &str) -> Vec<String> {
+        let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+        if symbols.len() < 2 {
+            return symbols;
+        }
+        loop {
+            // Find the lowest-rank applicable merge.
+            let mut best: Option<(usize, usize)> = None; // (rank, index)
+            for i in 0..symbols.len() - 1 {
+                if let Some(&rank) = self
+                    .merges
+                    .get(&(symbols[i].clone(), symbols[i + 1].clone()))
+                {
+                    if best.is_none_or(|(r, _)| rank < r) {
+                        best = Some((rank, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            let merged = format!("{}{}", symbols[i], symbols[i + 1]);
+            symbols[i] = merged;
+            symbols.remove(i + 1);
+            if symbols.len() < 2 {
+                break;
+            }
+        }
+        symbols
+    }
+
+    /// Pre-tokenize into word chunks: lowercase alphanumeric runs split at
+    /// case transitions and separators, mirroring code-model pre-tokenizers.
+    fn pre_tokenize(text: &str) -> Vec<String> {
+        snails_lexicon::split_identifier(text)
+            .into_iter()
+            .map(|t| t.text.to_ascii_lowercase())
+            .collect()
+    }
+
+    /// Tokenize arbitrary text into subword strings.
+    pub fn encode_strings(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for chunk in Self::pre_tokenize(text) {
+            out.extend(self.encode_word(&chunk));
+        }
+        out
+    }
+}
+
+impl Tokenizer for BpeTokenizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encode(&self, text: &str) -> Vec<u32> {
+        self.encode_strings(text)
+            .into_iter()
+            .map(|s| self.vocab.get(&s).unwrap_or(u32::MAX))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod test_util {
+    use super::*;
+
+    pub fn tiny_tokenizer() -> BpeTokenizer {
+        let corpus: Vec<(String, u64)> = [
+            ("height", 50),
+            ("weight", 40),
+            ("vegetation", 30),
+            ("station", 30),
+            ("nation", 20),
+            ("the", 100),
+            ("then", 40),
+        ]
+        .into_iter()
+        .map(|(w, f)| (w.to_owned(), f))
+        .collect();
+        BpeTrainer::new(200).with_name("tiny").train(&corpus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::tiny_tokenizer;
+    use super::*;
+
+    #[test]
+    fn trained_words_become_single_tokens() {
+        let t = tiny_tokenizer();
+        assert_eq!(t.encode_word("height"), ["height"]);
+        assert_eq!(t.encode_word("the"), ["the"]);
+    }
+
+    #[test]
+    fn shared_suffixes_merge() {
+        let t = tiny_tokenizer();
+        // "ation" appears in vegetation/station/nation — unseen "cation"
+        // should still benefit from the shared merges.
+        let toks = t.encode_word("cation");
+        assert!(toks.len() <= 3, "no merges applied: {toks:?}");
+    }
+
+    #[test]
+    fn oov_fragments_into_more_tokens() {
+        let t = tiny_tokenizer();
+        let natural = t.encode_word("height").len();
+        let abbreviated = t.encode_word("hght").len();
+        assert!(abbreviated > natural);
+    }
+
+    #[test]
+    fn single_char_and_empty() {
+        let t = tiny_tokenizer();
+        assert_eq!(t.encode_word("x"), ["x"]);
+        assert!(t.encode_word("").is_empty());
+    }
+
+    #[test]
+    fn encode_splits_identifiers() {
+        let t = tiny_tokenizer();
+        let toks = t.encode_strings("VegHeight_2");
+        assert!(toks.iter().any(|s| s.contains('h')), "{toks:?}");
+        // Separator is dropped; digits tokenized separately.
+        assert!(toks.iter().all(|s| !s.contains('_')));
+    }
+
+    #[test]
+    fn encode_ids_are_in_vocab() {
+        let t = tiny_tokenizer();
+        for id in t.encode("vegetation height") {
+            assert!(t.vocabulary().token(id).is_some());
+        }
+    }
+
+    #[test]
+    fn merge_budget_respected() {
+        let corpus: Vec<(String, u64)> =
+            [("aaaa", 10u64), ("aaab", 10)].map(|(w, f)| (w.to_owned(), f)).to_vec();
+        let t = BpeTrainer::new(1).train(&corpus);
+        assert!(t.merge_count() <= 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::test_util::tiny_tokenizer;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn encode_word_preserves_characters(word in "[a-z]{1,16}") {
+            let t = tiny_tokenizer();
+            let toks = t.encode_word(&word);
+            let rebuilt: String = toks.concat();
+            prop_assert_eq!(rebuilt, word);
+        }
+
+        #[test]
+        fn token_count_le_char_count(word in "[a-z]{1,16}") {
+            let t = tiny_tokenizer();
+            prop_assert!(t.encode_word(&word).len() <= word.len());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Character-level tokenizer (CANINE substitute).
+//!
+//! CANINE tokenizes at the character level; the paper selected it precisely
+//! because abbreviation detection needs sub-word granularity. This tokenizer
+//! maps each Unicode scalar to a stable id (its code point).
+
+use crate::Tokenizer;
+
+/// One token per character; id = code point.
+#[derive(Debug, Clone)]
+pub struct CharTokenizer {
+    name: String,
+}
+
+impl CharTokenizer {
+    /// New named character tokenizer.
+    pub fn new(name: &str) -> Self {
+        CharTokenizer { name: name.to_owned() }
+    }
+}
+
+impl Tokenizer for CharTokenizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn encode(&self, text: &str) -> Vec<u32> {
+        text.chars().map(|c| c as u32).collect()
+    }
+
+    fn token_count(&self, text: &str) -> usize {
+        text.chars().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_token_per_char() {
+        let t = CharTokenizer::new("c");
+        assert_eq!(t.token_count("VgHt"), 4);
+        assert_eq!(t.encode("ab"), [97, 98]);
+    }
+
+    #[test]
+    fn empty_text() {
+        let t = CharTokenizer::new("c");
+        assert!(t.encode("").is_empty());
+        assert_eq!(t.token_count(""), 0);
+    }
+
+    #[test]
+    fn name_round_trips() {
+        assert_eq!(CharTokenizer::new("canine").name(), "canine");
+    }
+}

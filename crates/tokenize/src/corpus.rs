@@ -1,0 +1,61 @@
+//! BPE training corpus.
+//!
+//! Model tokenizers are trained on web-scale natural text; the key property
+//! for SNAILS is that *English words and common morphemes are in-vocabulary*
+//! while arbitrary consonant skeletons are not. We approximate that by
+//! training on the embedded dictionary with Zipf-like frequency weights
+//! (shorter, more common words get higher weight), plus the conventional
+//! abbreviation table at low weight (real tokenizers have seen some code).
+
+use snails_lexicon::abbrev::CONVENTIONAL_ABBREVIATIONS;
+use snails_lexicon::dictionary;
+
+/// Zipf-ish weight for a word: frequency inversely related to length rank.
+fn weight_for(word: &str) -> u64 {
+    match word.len() {
+        0..=3 => 400,
+        4..=5 => 180,
+        6..=7 => 90,
+        8..=9 => 45,
+        10..=12 => 20,
+        _ => 8,
+    }
+}
+
+/// The standard English training corpus: `(word, frequency)` pairs.
+pub fn english_training_corpus() -> Vec<(String, u64)> {
+    let dict = dictionary();
+    let mut corpus: Vec<(String, u64)> = dict
+        .iter()
+        .map(|w| (w.to_owned(), weight_for(w)))
+        .collect();
+    // A sprinkle of conventional abbreviations (code exposure).
+    for (abbr, _) in CONVENTIONAL_ABBREVIATIONS {
+        corpus.push(((*abbr).to_owned(), 3));
+    }
+    // Deterministic order for reproducible training.
+    corpus.sort();
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_nonempty_and_sorted() {
+        let c = english_training_corpus();
+        assert!(c.len() > 1500);
+        assert!(c.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn short_words_weigh_more() {
+        assert!(weight_for("the") > weight_for("vegetation"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(english_training_corpus(), english_training_corpus());
+    }
+}

@@ -1,0 +1,121 @@
+//! Token-to-character ratio (appendix B.9, Equation 6).
+//!
+//! `TCR = |I_tokens| / |I_characters|`. More natural identifiers contain
+//! in-vocabulary words and therefore have *lower* TCR; abbreviations fragment
+//! into sub-tokens and have higher TCR. Figure 28 plots TCR by naturalness
+//! level per tokenizer; Tables 31a/31b correlate mean query TCR with schema
+//! linking.
+
+use crate::Tokenizer;
+
+/// Token-to-character ratio of an identifier under a tokenizer. Returns 0.0
+/// for empty input (no characters, no signal).
+pub fn token_character_ratio(tokenizer: &dyn Tokenizer, identifier: &str) -> f64 {
+    let chars = identifier.chars().count();
+    if chars == 0 {
+        return 0.0;
+    }
+    tokenizer.token_count(identifier) as f64 / chars as f64
+}
+
+/// Aggregate TCR statistics over a set of identifiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcrSummary {
+    /// Arithmetic mean TCR.
+    pub mean: f64,
+    /// Minimum observed TCR.
+    pub min: f64,
+    /// Maximum observed TCR.
+    pub max: f64,
+    /// Number of identifiers summarized.
+    pub n: usize,
+}
+
+impl TcrSummary {
+    /// Summarize TCR over identifiers; `None` when the iterator is empty.
+    pub fn compute<'a>(
+        tokenizer: &dyn Tokenizer,
+        identifiers: impl IntoIterator<Item = &'a str>,
+    ) -> Option<TcrSummary> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for id in identifiers {
+            let tcr = token_character_ratio(tokenizer, id);
+            sum += tcr;
+            min = min.min(tcr);
+            max = max.max(tcr);
+            n += 1;
+        }
+        (n > 0).then(|| TcrSummary { mean: sum / n as f64, min, max, n })
+    }
+}
+
+/// Mean token count over identifiers (Figure 27 support).
+pub fn mean_token_count<'a>(
+    tokenizer: &dyn Tokenizer,
+    identifiers: impl IntoIterator<Item = &'a str>,
+) -> f64 {
+    let mut n = 0usize;
+    let mut sum = 0usize;
+    for id in identifiers {
+        sum += tokenizer.token_count(id);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chars::CharTokenizer;
+    use crate::{tokenizer_for, TokenizerProfile};
+
+    #[test]
+    fn char_tokenizer_tcr_is_one() {
+        let t = CharTokenizer::new("c");
+        assert_eq!(token_character_ratio(&t, "abcdef"), 1.0);
+    }
+
+    #[test]
+    fn empty_identifier_tcr_zero() {
+        let t = CharTokenizer::new("c");
+        assert_eq!(token_character_ratio(&t, ""), 0.0);
+    }
+
+    #[test]
+    fn natural_identifiers_have_lower_tcr() {
+        let t = tokenizer_for(TokenizerProfile::GptLike);
+        let regular = token_character_ratio(t, "vegetation_height");
+        let least = token_character_ratio(t, "VgHt");
+        assert!(regular < least, "regular {regular} !< least {least}");
+    }
+
+    #[test]
+    fn summary_over_set() {
+        let t = CharTokenizer::new("c");
+        let s = TcrSummary::compute(&t, ["ab", "cd", "ef"]).unwrap();
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        let t = CharTokenizer::new("c");
+        assert!(TcrSummary::compute(&t, std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn mean_token_count_works() {
+        let t = CharTokenizer::new("c");
+        assert_eq!(mean_token_count(&t, ["ab", "abcd"]), 3.0);
+        assert_eq!(mean_token_count(&t, std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Token vocabulary: bidirectional token-string ↔ id mapping.
+
+use std::collections::HashMap;
+
+/// A growable vocabulary assigning dense `u32` ids to token strings.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_token: HashMap<String, u32>,
+    by_id: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Id for `token`, inserting it if new.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.by_token.get(token) {
+            return id;
+        }
+        let id = self.by_id.len() as u32;
+        self.by_token.insert(token.to_owned(), id);
+        self.by_id.push(token.to_owned());
+        id
+    }
+
+    /// Id for `token` if already present.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Token string for `id`, if in range.
+    pub fn token(&self, id: u32) -> Option<&str> {
+        self.by_id.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterate `(id, token)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.by_id
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("veg");
+        let b = v.intern("veg");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("height");
+        assert_eq!(v.token(id), Some("height"));
+        assert_eq!(v.get("height"), Some(id));
+        assert_eq!(v.get("absent"), None);
+        assert_eq!(v.token(999), None);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("a"), 0);
+        assert_eq!(v.intern("b"), 1);
+        assert_eq!(v.intern("c"), 2);
+        let ids: Vec<u32> = v.iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, [0, 1, 2]);
+    }
+}

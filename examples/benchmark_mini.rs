@@ -1,0 +1,41 @@
+//! A miniature benchmark run: two databases × all variants × two workflows,
+//! printing Figure 8/10-style tables in under a minute. The full
+//! reproduction lives in the `experiments` binary.
+//!
+//! ```text
+//! cargo run --release --example benchmark_mini
+//! ```
+
+use snails::core::result_figures::{figure10, figure8, tau_table, TauMeasure, TauOutcome};
+use snails::prelude::*;
+
+fn main() {
+    let config = BenchmarkConfig {
+        seed: 2024,
+        databases: vec!["CWO".into(), "NTSB".into()],
+        variants: SchemaVariant::ALL.to_vec(),
+        workflows: vec![
+            Workflow::ZeroShot(ModelKind::Gpt4o),
+            Workflow::ZeroShot(ModelKind::PhindCodeLlama),
+        ],
+    };
+    println!(
+        "Running {} databases × {} variants × {} workflows...\n",
+        config.databases.len(),
+        config.variants.len(),
+        config.workflows.len()
+    );
+    let run = run_benchmark(&config);
+    println!("{} inferences evaluated.\n", run.records.len());
+
+    println!("{}", figure8(&run));
+    println!("{}", figure10(&run));
+    println!(
+        "{}",
+        tau_table(&run, TauMeasure::Combined, TauOutcome::ExecAccuracy, false)
+    );
+    println!(
+        "{}",
+        tau_table(&run, TauMeasure::PropLeast, TauOutcome::Recall, false)
+    );
+}

@@ -1,0 +1,63 @@
+//! Export the SNAILS benchmark artifacts to disk in the paper's release
+//! formats — what a downstream user would check into their own repo:
+//!
+//! * `questions/<DB>.sql` — the NL question / gold query pairs (Artifact 6,
+//!   appendix A.2 format);
+//! * `crosswalks/<DB>.tsv` — the naturalness crosswalk (Artifact 4);
+//! * `views/<DB>_natural_views.sql` — natural-view DDL (appendix H.2);
+//! * `metadata/<DB>_data_dictionary.txt` — the expander metadata.
+//!
+//! ```text
+//! cargo run --release --example export_artifacts -- ./artifacts CWO KIS
+//! cargo run --release --example export_artifacts            # all 9, ./artifacts
+//! ```
+
+use snails::llm::views::natural_view_ddl;
+use snails::prelude::*;
+use std::fs;
+use std::path::Path;
+
+fn main() -> std::io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args.first().map(String::as_str).unwrap_or("./artifacts");
+    let names: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        snails::data::DATABASE_NAMES.to_vec()
+    };
+
+    for sub in ["questions", "crosswalks", "views", "metadata"] {
+        fs::create_dir_all(Path::new(out_dir).join(sub))?;
+    }
+
+    for name in names {
+        let db = build_database(name);
+        let base = Path::new(out_dir);
+
+        let questions = snails::data::sqlfile::to_sql_file(&db.questions);
+        fs::write(base.join("questions").join(format!("{name}.sql")), questions)?;
+
+        fs::write(
+            base.join("crosswalks").join(format!("{name}.tsv")),
+            db.crosswalk.to_tsv(),
+        )?;
+
+        let mut ddl = natural_view_ddl(&db.db, &db.crosswalk).join(";\n");
+        ddl.push_str(";\n");
+        fs::write(base.join("views").join(format!("{name}_natural_views.sql")), ddl)?;
+
+        fs::write(
+            base.join("metadata").join(format!("{name}_data_dictionary.txt")),
+            &db.data_dictionary,
+        )?;
+
+        println!(
+            "{name}: {} questions, {} crosswalk entries, {} views exported",
+            db.questions.len(),
+            db.crosswalk.len(),
+            db.db.table_count()
+        );
+    }
+    println!("\nArtifacts written to {out_dir}/");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Natural views (appendix H.2, option 2): create a `db_nl` schema of
+//! Regular-named views over the native tables, so an LLM NLI can query
+//! natural names directly while existing integrations keep using the native
+//! schema.
+//!
+//! ```text
+//! cargo run --release --example natural_views
+//! ```
+
+use snails::llm::views::{natural_view_ddl, naturalize_database};
+use snails::prelude::*;
+
+fn main() {
+    let mut db = build_database("KIS");
+    println!(
+        "KIS (Klamath invasive species): {} tables, combined naturalness {:.2}\n",
+        db.db.table_count(),
+        db.combined_naturalness()
+    );
+
+    // Show the generated DDL for the first two tables (the appendix H.2
+    // `classify_rename_and_build_view` output).
+    println!("--- Generated natural-view DDL (excerpt) ---");
+    for stmt in natural_view_ddl(&db.db, &db.crosswalk).iter().take(2) {
+        println!("{stmt};\n");
+    }
+
+    // Install all views.
+    let installed = naturalize_database(&mut db).expect("views install");
+    println!("Installed {installed} natural views in the db_nl schema.\n");
+
+    // Query through the natural names: pick the event table's Regular name.
+    let event_native = db.core.native(snails::data::core_schema::CoreRole::EventTable);
+    let event_regular = db.crosswalk.entry(&event_native).unwrap().renderings[0].clone();
+    let status_native = db.core.native(snails::data::core_schema::CoreRole::EventStatus);
+    let status_regular = db.crosswalk.entry(&status_native).unwrap().renderings[0].clone();
+
+    let natural_sql = format!(
+        "SELECT {status}, COUNT(*) AS events FROM db_nl.{table} GROUP BY {status} ORDER BY events DESC",
+        status = snails::sql::render::quoted(&status_regular),
+        table = snails::sql::render::quoted(&event_regular),
+    );
+    println!("Natural-view query:\n  {natural_sql}\n");
+    let rs = run_sql(&db.db, &natural_sql).expect("view query executes");
+    println!("{rs}");
+
+    // The same data via the native schema, proving equivalence.
+    let native_sql = format!(
+        "SELECT {status}, COUNT(*) AS events FROM {table} GROUP BY {status} ORDER BY events DESC",
+        status = snails::sql::render::quoted(&status_native),
+        table = snails::sql::render::quoted(&event_native),
+    );
+    let native_rs = run_sql(&db.db, &native_sql).expect("native query executes");
+    assert_eq!(rs.rows, native_rs.rows);
+    println!("Native-schema query returns identical rows — integrations unaffected.");
+}

@@ -1,0 +1,60 @@
+//! A natural-language interface with naturalization middleware (appendix
+//! H.2, option 1): the LLM is prompted with a Regular-naturalness view of a
+//! low-naturalness schema, and generated queries are denaturalized before
+//! execution on the untouched native database.
+//!
+//! ```text
+//! cargo run --release --example nl_interface
+//! ```
+
+use snails::llm::middleware::{denaturalize, naturalize_prompt};
+use snails::prelude::*;
+
+fn main() {
+    // SBOD is the least natural schema in the collection (combined ≈ 0.49) —
+    // the case where middleware helps the most.
+    let db = build_database("SBOD");
+    println!(
+        "Connected to {} ({} tables; prompt uses the {}-table pruned module).",
+        db.spec.name,
+        db.db.table_count(),
+        db.prompt_tables.len()
+    );
+    println!("Native combined naturalness: {:.2}\n", db.combined_naturalness());
+
+    // The middleware presents the schema at Regular naturalness.
+    let variant = SchemaVariant::Regular;
+    let view = SchemaView::new(&db, variant);
+    let model = ModelKind::Gpt4o.config();
+
+    for pair in db.questions.iter().take(5) {
+        println!("Q: {}", pair.question);
+
+        // 1. Naturalized prompt (identifiers shown at Regular level).
+        let prompt = naturalize_prompt(&db, variant, &pair.question);
+        println!("   [prompt: {} chars of Regular-naturalness schema knowledge]", prompt.len());
+
+        // 2. LLM generates SQL against the natural names.
+        let inference = infer(&model, &db, &view, pair, 7);
+        println!("   LLM SQL:    {}", inference.raw_sql);
+
+        // 3. Middleware denaturalizes back to the native namespace.
+        match denaturalize(&db, variant, &inference.raw_sql) {
+            Ok(native_sql) => {
+                println!("   Native SQL: {native_sql}");
+                // 4. Execute on the untouched native database.
+                match run_sql(&db.db, &native_sql) {
+                    Ok(rs) => {
+                        println!("   → {} row(s); first: {:?}", rs.row_count(),
+                            rs.rows.first().map(|r| r.iter().map(|v| v.to_string()).collect::<Vec<_>>()));
+                        let gold = run_sql(&db.db, &pair.sql).expect("gold executes");
+                        println!("   → superset match vs gold: {:?}", match_result_sets(&gold, &rs));
+                    }
+                    Err(e) => println!("   → execution error: {e}"),
+                }
+            }
+            Err(e) => println!("   → model output unparseable: {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build a SNAILS database, inspect its naturalness, run one
+//! simulated NL-to-SQL inference end to end, and execute the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use snails::prelude::*;
+
+fn main() {
+    // 1. Build a benchmark database (CWO: Craters of the Moon wildlife
+    //    observations — the smallest, most natural schema in the collection).
+    let db = build_database("CWO");
+    println!(
+        "Database {}: {} tables, {} columns, {} NL-SQL pairs",
+        db.spec.name,
+        db.db.table_count(),
+        db.db.column_count(),
+        db.questions.len()
+    );
+    println!("Native combined naturalness: {:.2}\n", db.combined_naturalness());
+
+    // 2. Show the zero-shot prompt the model would receive (appendix D.1).
+    let view = SchemaView::new(&db, SchemaVariant::Native);
+    let pair = &db.questions[0];
+    let prompt = build_prompt(&view, &pair.question);
+    println!("--- Prompt (first 5 lines) ---");
+    for line in prompt.lines().take(5) {
+        println!("{line}");
+    }
+
+    // 3. Simulate a GPT-4o inference.
+    let inference = infer(&ModelKind::Gpt4o.config(), &db, &view, pair, 42);
+    println!("\nQuestion:  {}", pair.question);
+    println!("Gold SQL:  {}", pair.sql);
+    println!("Predicted: {}", inference.raw_sql);
+
+    // 4. Execute both and compare result sets (superset matching).
+    let gold_rs = run_sql(&db.db, &pair.sql).expect("gold executes");
+    match run_sql(&db.db, &inference.raw_sql) {
+        Ok(pred_rs) => {
+            let outcome = match_result_sets(&gold_rs, &pred_rs);
+            println!("\nExecution outcome: {outcome:?}");
+            println!("Gold rows: {} | Predicted rows: {}", gold_rs.row_count(), pred_rs.row_count());
+        }
+        Err(e) => println!("\nPredicted query failed to execute: {e}"),
+    }
+
+    // 5. Schema-linking score (Equations 1–3).
+    let gold_ids = snails::sql::extract_identifiers(&snails::sql::parse(&pair.sql).unwrap());
+    if let Ok(stmt) = snails::sql::parse(&inference.raw_sql) {
+        let pred_ids = snails::sql::extract_identifiers(&stmt);
+        let scores = query_linking(&gold_ids, &pred_ids);
+        println!(
+            "Linking: recall {:.2}, precision {:.2}, F1 {:.2}",
+            scores.recall, scores.precision, scores.f1
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! `snails` — command-line access to the SNAILS artifacts.
+//!
+//! ```text
+//! snails classify <identifier>...        # naturalness level per identifier
+//! snails abbreviate <identifier> [low|least]
+//! snails expand <identifier>...          # Artifact-5 expander (no metadata)
+//! snails audit <DB>                      # schema naturalness profile
+//! snails ask <DB> <question-id> [model]  # run one simulated inference
+//! snails sql <DB> "<query>"              # execute SQL on a benchmark DB
+//! snails list                            # the nine databases
+//! ```
+
+use snails::naturalness::{Classifier, Naturalness, NaturalnessProfile};
+use snails::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        print_usage();
+        std::process::exit(2);
+    };
+    match command.as_str() {
+        "classify" => classify(&args[1..]),
+        "abbreviate" => abbreviate(&args[1..]),
+        "expand" => expand(&args[1..]),
+        "audit" => audit(&args[1..]),
+        "ask" => ask(&args[1..]),
+        "sql" => sql(&args[1..]),
+        "list" => list(),
+        _ => {
+            eprintln!("unknown command: {command}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "snails — Schema Naming Assessments for Improved LLM-Based SQL Inference\n\n\
+         USAGE:\n  snails classify <identifier>...\n  snails abbreviate <identifier> [low|least]\n  \
+         snails expand <identifier>...\n  snails audit <DB>\n  snails ask <DB> <question-id> [model]\n  \
+         snails sql <DB> \"<query>\"\n  snails list"
+    );
+}
+
+fn classify(identifiers: &[String]) {
+    if identifiers.is_empty() {
+        eprintln!("classify: at least one identifier required");
+        std::process::exit(2);
+    }
+    eprintln!("(training the reference classifier...)");
+    let clf = snails::core::dataset_figures::reference_classifier();
+    for id in identifiers {
+        let level = clf.classify(id);
+        let probs = clf.probabilities(id);
+        println!(
+            "{id}\t{}\t(Regular {:.2} / Low {:.2} / Least {:.2})",
+            level.display_name(),
+            probs[0],
+            probs[1],
+            probs[2]
+        );
+    }
+}
+
+fn abbreviate(args: &[String]) {
+    let Some(id) = args.first() else {
+        eprintln!("abbreviate: identifier required");
+        std::process::exit(2);
+    };
+    let level = match args.get(1).map(String::as_str) {
+        Some("least") => Naturalness::Least,
+        _ => Naturalness::Low,
+    };
+    println!("{}", abbreviate_identifier(id, level));
+}
+
+fn expand(identifiers: &[String]) {
+    if identifiers.is_empty() {
+        eprintln!("expand: at least one identifier required");
+        std::process::exit(2);
+    }
+    let expander = Expander::new();
+    for id in identifiers {
+        println!("{id}\t{}", expander.expand_identifier(id));
+    }
+}
+
+fn audit(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("audit: database name required (see `snails list`)");
+        std::process::exit(2);
+    };
+    let db = build_database(name);
+    let profile = NaturalnessProfile::from_labels(
+        db.identifier_levels().into_iter().map(|(_, l)| l),
+    );
+    println!("{} ({}):", db.spec.name, db.spec.org);
+    println!("  tables {}  columns {}  questions {}", db.db.table_count(), db.db.column_count(), db.questions.len());
+    for level in Naturalness::ALL {
+        println!(
+            "  {:<8} {:>5.1}%",
+            level.display_name(),
+            100.0 * profile.proportion(level)
+        );
+    }
+    println!("  combined naturalness {:.2}", profile.combined());
+    println!(
+        "  recommendation: {}",
+        if profile.combined() < 0.69 {
+            "rename to Regular (or add natural views) before NLI integration"
+        } else {
+            "already natural; renaming unlikely to help"
+        }
+    );
+}
+
+fn ask(args: &[String]) {
+    let (Some(name), Some(qid)) = (args.first(), args.get(1)) else {
+        eprintln!("ask: usage `snails ask <DB> <question-id> [model]`");
+        std::process::exit(2);
+    };
+    let qid: usize = qid.parse().expect("question id must be a number");
+    let model = match args.get(2).map(String::as_str) {
+        None | Some("gpt-4o") => ModelKind::Gpt4o,
+        Some("gemini") => ModelKind::Gemini15Pro,
+        Some("gpt-3.5") => ModelKind::Gpt35,
+        Some("phind") => ModelKind::PhindCodeLlama,
+        Some("codes") => ModelKind::CodeS,
+        Some(other) => {
+            eprintln!("unknown model {other} (gpt-4o|gemini|gpt-3.5|phind|codes)");
+            std::process::exit(2);
+        }
+    };
+    let db = build_database(name);
+    let Some(pair) = db.questions.iter().find(|p| p.id == qid) else {
+        eprintln!("{name} has no question {qid} (1..={})", db.questions.len());
+        std::process::exit(2);
+    };
+    let view = SchemaView::new(&db, SchemaVariant::Native);
+    let record = evaluate_question(Workflow::ZeroShot(model), &db, &view, pair, 2024);
+    println!("Q:    {}", pair.question);
+    println!("gold: {}", pair.sql);
+    let inference = infer(&model.config(), &db, &view, pair, 2024);
+    println!("pred: {}", inference.raw_sql);
+    println!(
+        "exec: {} | linking recall {}",
+        if record.exec_correct { "correct" } else { "incorrect" },
+        record
+            .linking
+            .map(|l| format!("{:.2}", l.recall))
+            .unwrap_or_else(|| "n/a".into())
+    );
+}
+
+fn sql(args: &[String]) {
+    let (Some(name), Some(query)) = (args.first(), args.get(1)) else {
+        eprintln!("sql: usage `snails sql <DB> \"SELECT ...\"`");
+        std::process::exit(2);
+    };
+    let db = build_database(name);
+    match run_sql(&db.db, query) {
+        Ok(rs) => print!("{rs}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn list() {
+    println!("Database  Tables  Columns  Questions  Combined");
+    for name in snails::data::DATABASE_NAMES {
+        let db = build_database(name);
+        println!(
+            "{:<9} {:>6}  {:>7}  {:>9}  {:>8.2}",
+            db.spec.name,
+            db.db.table_count(),
+            db.db.column_count(),
+            db.questions.len(),
+            db.combined_naturalness()
+        );
+    }
+}

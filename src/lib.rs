@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # SNAILS — Schema Naming Assessments for Improved LLM-Based SQL Inference
+//!
+//! A complete Rust reproduction of the SIGMOD 2025 SNAILS benchmark suite
+//! (Luoma & Kumar): the nine-database collection, naturalness taxonomy and
+//! classifiers, identifier modifiers and crosswalks, the simulated NL-to-SQL
+//! model zoo, the evaluation pipeline (execution superset matching + schema
+//! linking), and the statistics behind every table and figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use snails::prelude::*;
+//!
+//! // Build a benchmark database and classify its naturalness.
+//! let db = build_database("CWO");
+//! let combined = db.combined_naturalness();
+//! assert!(combined > 0.7); // CWO is the most natural schema (≈0.84)
+//!
+//! // Run one simulated inference and evaluate it.
+//! let view = SchemaView::new(&db, SchemaVariant::Native);
+//! let record = evaluate_question(
+//!     Workflow::ZeroShot(ModelKind::Gpt4o),
+//!     &db,
+//!     &view,
+//!     &db.questions[0],
+//!     42,
+//! );
+//! assert!(record.linking.is_some());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure. Regenerate the latter
+//! with `cargo run --release --bin experiments`.
+
+pub use snails_core as core;
+pub use snails_data as data;
+pub use snails_engine as engine;
+pub use snails_eval as eval;
+pub use snails_lexicon as lexicon;
+pub use snails_llm as llm;
+pub use snails_modify as modify;
+pub use snails_naturalness as naturalness;
+pub use snails_sql as sql;
+pub use snails_tokenize as tokenize;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use snails_core::pipeline::{
+        evaluate_question, run_benchmark, run_benchmark_on, BenchmarkConfig, BenchmarkRun,
+    };
+    pub use snails_data::{build_all, build_database, GoldPair, SnailsDatabase};
+    pub use snails_engine::{run_sql, Database, ResultSet, Value};
+    pub use snails_eval::{match_result_sets, query_linking, ExecutionOutcome};
+    pub use snails_llm::{build_prompt, infer, ModelKind, SchemaView, Workflow};
+    pub use snails_modify::{abbreviate_identifier, Expander};
+    pub use snails_naturalness::category::{Naturalness, SchemaVariant};
+    pub use snails_naturalness::{combined_naturalness, Classifier};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let db = build_database("CWO");
+        assert_eq!(db.questions.len(), 40);
+        let _ = SchemaVariant::ALL;
+        let _ = ModelKind::ALL;
+    }
+}

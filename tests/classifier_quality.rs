@@ -1,0 +1,78 @@
+//! Classifier-quality integration tests (Table 5 ordering and §2.2 usage).
+
+use snails::data::schemapile;
+use snails::naturalness::{
+    evaluate_classifier, Classifier, FeatureConfig, FewShotClassifier, HeuristicClassifier,
+    SoftmaxClassifier, TrainConfig,
+};
+
+#[test]
+fn table5_ordering_reproduced() {
+    let collection = schemapile::labeled_identifiers(0xC2, 6_000);
+    let train = &collection[..4_000];
+    let test = &collection[4_000..];
+
+    let heuristic = evaluate_classifier(&HeuristicClassifier::default(), test);
+    let fewshot = evaluate_classifier(
+        &FewShotClassifier::from_examples("fs", train, 25, FeatureConfig::default()),
+        test,
+    );
+    let finetuned_plain = evaluate_classifier(
+        &SoftmaxClassifier::train(
+            "ft",
+            train,
+            TrainConfig { features: FeatureConfig::without_tagging(), ..Default::default() },
+        ),
+        test,
+    );
+    let finetuned_tg = evaluate_classifier(
+        &SoftmaxClassifier::train("ft+tg", train, TrainConfig::default()),
+        test,
+    );
+
+    // Table 5 ordering: heuristic / few-shot < finetuned; +TG helps.
+    assert!(
+        finetuned_tg.accuracy > fewshot.accuracy,
+        "finetuned {:.3} !> fewshot {:.3}",
+        finetuned_tg.accuracy,
+        fewshot.accuracy
+    );
+    assert!(
+        finetuned_tg.accuracy > heuristic.accuracy,
+        "finetuned {:.3} !> heuristic {:.3}",
+        finetuned_tg.accuracy,
+        heuristic.accuracy
+    );
+    assert!(
+        finetuned_tg.f1 >= finetuned_plain.f1 - 0.01,
+        "+TG hurt F1: {:.3} vs {:.3}",
+        finetuned_tg.f1,
+        finetuned_plain.f1
+    );
+    // The paper's best classifiers reach ≈0.89–0.90 accuracy; ours must be
+    // in that regime on its own (synthetic) labeled set.
+    assert!(
+        finetuned_tg.accuracy > 0.80,
+        "best classifier only {:.3}",
+        finetuned_tg.accuracy
+    );
+}
+
+#[test]
+fn classifier_generalizes_to_benchmark_schemas() {
+    // Classify the CWO native identifiers with a classifier trained on the
+    // synthetic collection; agreement with gold levels should be strong.
+    let collection = schemapile::labeled_identifiers(0xC2, 8_000);
+    let clf = SoftmaxClassifier::train("ref", &collection, TrainConfig::default());
+    let db = snails::data::build_database("CWO");
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (name, gold_level) in db.identifier_levels() {
+        total += 1;
+        if clf.classify(&name) == gold_level {
+            agree += 1;
+        }
+    }
+    let accuracy = agree as f64 / total as f64;
+    assert!(accuracy > 0.6, "schema classification accuracy {accuracy:.3}");
+}

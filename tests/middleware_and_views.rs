@@ -1,0 +1,87 @@
+//! Integration tests for the two practitioner deployment options of
+//! appendix H.2: naturalization middleware and natural views.
+
+use snails::llm::middleware::{denaturalize, naturalize_prompt};
+use snails::llm::views::naturalize_database;
+use snails::prelude::*;
+
+#[test]
+fn middleware_round_trips_gold_queries_on_all_variants() {
+    for name in ["ASIS", "NYSED"] {
+        let db = build_database(name);
+        for variant in [SchemaVariant::Regular, SchemaVariant::Low, SchemaVariant::Least] {
+            let fwd = db.crosswalk.native_to_variant(variant);
+            for pair in db.questions.iter().take(15) {
+                let modified = snails::sql::denaturalize_query(&pair.sql, &fwd)
+                    .unwrap_or_else(|e| panic!("{name} q{} naturalize: {e}", pair.id));
+                let back = denaturalize(&db, variant, &modified)
+                    .unwrap_or_else(|e| panic!("{name} q{} denaturalize: {e}", pair.id));
+                assert_eq!(
+                    back.to_ascii_uppercase(),
+                    snails::sql::normalize(&pair.sql).unwrap().to_ascii_uppercase(),
+                    "{name} q{} round trip via {variant}",
+                    pair.id
+                );
+                // The round-tripped query still executes with the gold rows.
+                let gold = run_sql(&db.db, &pair.sql).unwrap();
+                let rt = run_sql(&db.db, &back).unwrap();
+                assert_eq!(gold.rows, rt.rows, "{name} q{}", pair.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn naturalized_prompts_contain_no_native_low_identifiers() {
+    // A Regular-variant prompt must not leak Least-level native identifiers.
+    let db = build_database("SBOD");
+    let prompt = naturalize_prompt(&db, SchemaVariant::Regular, "question?");
+    for e in db.crosswalk.entries().iter().take(300) {
+        if e.native_level == snails::naturalness::Naturalness::Least
+            && e.native.len() >= 4
+        {
+            let needle = format!("{} ", e.native);
+            assert!(
+                !prompt.contains(&needle),
+                "Least native identifier {} leaked into Regular prompt",
+                e.native
+            );
+        }
+    }
+}
+
+#[test]
+fn natural_views_answer_every_core_gold_query() {
+    // Install natural views, translate gold queries to Regular names, and
+    // execute them through the db_nl views: the results must equal the
+    // native results.
+    let mut db = build_database("CWO");
+    naturalize_database(&mut db).unwrap();
+    let to_regular = db.crosswalk.native_to_variant(SchemaVariant::Regular);
+    for pair in db.questions.iter().take(20) {
+        let regular_sql = snails::sql::denaturalize_query(&pair.sql, &to_regular).unwrap();
+        // Views resolve unqualified; the db_nl schema holds every table.
+        let via_views = run_sql(&db.db, &regular_sql)
+            .unwrap_or_else(|e| panic!("q{} via views: {e}\n{regular_sql}", pair.id));
+        let native = run_sql(&db.db, &pair.sql).unwrap();
+        assert_eq!(native.rows, via_views.rows, "q{}", pair.id);
+    }
+}
+
+#[test]
+fn prompt_token_budget_depends_on_variant() {
+    // Regular prompts spell identifiers out fully; Least prompts are
+    // shorter in characters but fragment into comparably many BPE tokens
+    // (the appendix B.9 effect).
+    use snails::tokenize::{tokenizer_for, Tokenizer, TokenizerProfile};
+    let db = build_database("PILB");
+    let t = tokenizer_for(TokenizerProfile::GptLike);
+    let regular = naturalize_prompt(&db, SchemaVariant::Regular, "q?");
+    let least = naturalize_prompt(&db, SchemaVariant::Least, "q?");
+    assert!(regular.len() > least.len(), "Regular prompt should be longer in chars");
+    let tcr = |s: &str| t.token_count(s) as f64 / s.chars().count() as f64;
+    assert!(
+        tcr(&least) > tcr(&regular),
+        "Least prompt should cost more tokens per character"
+    );
+}
