@@ -2,7 +2,7 @@
 //! per-question evaluation (the unit of the 12,072-inference benchmark).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use snails_core::pipeline::{evaluate_question, run_benchmark_on, BenchmarkConfig};
+use snails_core::pipeline::{evaluate_question, run_benchmark_on, BenchmarkConfig, EvalContext};
 use snails_llm::{ModelKind, SchemaView, Workflow};
 use snails_naturalness::category::SchemaVariant;
 use std::hint::black_box;
@@ -27,6 +27,19 @@ fn bench_pipeline(c: &mut Criterion) {
         })
     });
 
+    // Same evaluation through a prebuilt context: what the batch pipeline
+    // does, skipping the per-call denaturalization-map rebuild.
+    let ctx = EvalContext::new(&db, &view);
+    c.bench_function("evaluate_question_zero_shot_shared_ctx", |b| {
+        b.iter(|| {
+            black_box(ctx.evaluate(
+                Workflow::ZeroShot(ModelKind::Gpt35),
+                &db.questions[5],
+                7,
+            ))
+        })
+    });
+
     c.bench_function("evaluate_question_din_sql", |b| {
         b.iter(|| {
             black_box(evaluate_question(Workflow::DinSql, &db, &view, &db.questions[5], 7))
@@ -34,16 +47,22 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let collection = vec![snails_data::build_database("CWO")];
-    c.bench_function("benchmark_40q_x2variants_x2workflows", |b| {
-        let config = BenchmarkConfig {
-            seed: 7,
-            databases: vec!["CWO".into()],
-            variants: vec![SchemaVariant::Native, SchemaVariant::Least],
-            workflows: vec![
-                Workflow::ZeroShot(ModelKind::Gpt4o),
-                Workflow::ZeroShot(ModelKind::CodeS),
-            ],
-        };
+    let config = |threads: Option<usize>| BenchmarkConfig {
+        seed: 7,
+        databases: vec!["CWO".into()],
+        variants: vec![SchemaVariant::Native, SchemaVariant::Least],
+        workflows: vec![
+            Workflow::ZeroShot(ModelKind::Gpt4o),
+            Workflow::ZeroShot(ModelKind::CodeS),
+        ],
+        threads,
+    };
+    c.bench_function("benchmark_160cells_serial", |b| {
+        let config = config(Some(1));
+        b.iter(|| black_box(run_benchmark_on(&collection, &config)))
+    });
+    c.bench_function("benchmark_160cells_parallel", |b| {
+        let config = config(None);
         b.iter(|| black_box(run_benchmark_on(&collection, &config)))
     });
 }

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! a minimal wall-clock harness exposing the criterion surface its benches
+//! use: [`Criterion`] with the `sample_size` / `measurement_time` /
+//! `warm_up_time` builders, [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistical analysis: each benchmark warms up, then runs
+//! `sample_size` timed samples (each sized to fit the measurement budget)
+//! and reports min / median / mean per-iteration wall-clock time on stdout.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    per_iter: Vec<f64>,
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by this
+/// harness beyond API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and estimate per-iteration cost for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let per_sample_budget = self.budget.as_secs_f64() / self.samples as f64;
+        let iters_per_sample = ((per_sample_budget / est.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.per_iter
+                .push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs built by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.per_iter.is_empty() {
+            println!("{name:<44} no samples recorded");
+            return;
+        }
+        self.per_iter.sort_by(|a, b| a.total_cmp(b));
+        let n = self.per_iter.len();
+        let min = self.per_iter[0];
+        let median = if n % 2 == 1 {
+            self.per_iter[n / 2]
+        } else {
+            (self.per_iter[n / 2 - 1] + self.per_iter[n / 2]) / 2.0
+        };
+        let mean = self.per_iter.iter().sum::<f64>() / n as f64;
+        println!(
+            "{name:<44} min {} · median {} · mean {} ({n} samples)",
+            fmt_secs(min),
+            fmt_secs(median),
+            fmt_secs(mean),
+        );
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Define a benchmark group: a config and the target functions to run.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_records_samples() {
+        quick().bench_function("noop_add", |b| b.iter(|| black_box(2u64) + 2));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        quick().bench_function("batched_sum", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = unit_group;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        targets = group_target
+    }
+
+    fn group_target(c: &mut Criterion) {
+        c.bench_function("group_noop", |b| b.iter(|| black_box(1)));
+    }
+
+    #[test]
+    fn group_macro_produces_runner() {
+        unit_group();
+    }
+}

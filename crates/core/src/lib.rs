@@ -23,5 +23,7 @@ pub mod dataset_figures;
 pub mod measures;
 pub mod pipeline;
 pub mod result_figures;
+pub mod scheduler;
 
 pub use pipeline::{run_benchmark, BenchmarkConfig, BenchmarkRun, QueryRecord};
+pub use scheduler::available_threads;

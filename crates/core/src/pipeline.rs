@@ -1,6 +1,7 @@
 //! The benchmark pipeline (Figures 6 and 7).
 
 use crate::measures::{query_measures, QueryMeasures};
+use crate::scheduler;
 use snails_data::SnailsDatabase;
 use snails_eval::{audit_semantics, match_result_sets, query_linking, LinkingScores};
 
@@ -20,6 +21,12 @@ pub struct BenchmarkConfig {
     pub variants: Vec<SchemaVariant>,
     /// Workflows (model rows) to evaluate.
     pub workflows: Vec<Workflow>,
+    /// Worker threads for the evaluation grid. `None` uses the machine's
+    /// available parallelism; `Some(1)` runs the grid on the caller thread.
+    /// Every setting produces identical records in identical order — each
+    /// grid cell is a pure function of the config seed (see
+    /// [`crate::scheduler`]).
+    pub threads: Option<usize>,
 }
 
 impl Default for BenchmarkConfig {
@@ -29,12 +36,13 @@ impl Default for BenchmarkConfig {
             databases: snails_data::DATABASE_NAMES.iter().map(|s| s.to_string()).collect(),
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
+            threads: None,
         }
     }
 }
 
 /// One (workflow × database × variant × question) outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRecord {
     /// Workflow display name.
     pub workflow: &'static str,
@@ -113,7 +121,43 @@ struct GoldContext {
     result: Option<snails_engine::ResultSet>,
 }
 
+/// Reusable per-(database, variant) evaluation state.
+///
+/// Builds the denaturalization map once; repeated [`EvalContext::evaluate`]
+/// calls across workflows and questions share it instead of rebuilding it
+/// per call (it walks the full crosswalk).
+pub struct EvalContext<'a> {
+    db: &'a SnailsDatabase,
+    view: &'a SchemaView,
+    denat: snails_sql::IdentifierMap,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Precompute the shared state for `db` at the view's variant.
+    pub fn new(db: &'a SnailsDatabase, view: &'a SchemaView) -> Self {
+        let denat = snails_llm::middleware::denaturalization_map(db, view.variant);
+        EvalContext { db, view, denat }
+    }
+
+    /// Evaluate one workflow on one question.
+    pub fn evaluate(
+        &self,
+        workflow: Workflow,
+        pair: &snails_data::GoldPair,
+        seed: u64,
+    ) -> QueryRecord {
+        let gold = gold_context(self.db, pair);
+        let qm = query_measures(self.db, self.view.variant, &gold.ids);
+        evaluate_with_context(
+            workflow, self.db, self.view, pair, seed, &self.denat, &gold, &qm,
+        )
+    }
+}
+
 /// Evaluate one workflow on one question at one variant.
+///
+/// Convenience wrapper building a fresh [`EvalContext`]; batch callers
+/// should build the context once and call [`EvalContext::evaluate`].
 pub fn evaluate_question(
     workflow: Workflow,
     db: &SnailsDatabase,
@@ -121,9 +165,7 @@ pub fn evaluate_question(
     pair: &snails_data::GoldPair,
     seed: u64,
 ) -> QueryRecord {
-    let denat = snails_llm::middleware::denaturalization_map(db, view.variant);
-    let gold = gold_context(db, pair);
-    evaluate_with_context(workflow, db, view, pair, seed, &denat, &gold)
+    EvalContext::new(db, view).evaluate(workflow, pair, seed)
 }
 
 fn gold_context(db: &SnailsDatabase, pair: &snails_data::GoldPair) -> GoldContext {
@@ -133,6 +175,7 @@ fn gold_context(db: &SnailsDatabase, pair: &snails_data::GoldPair) -> GoldContex
     GoldContext { ids, result }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn evaluate_with_context(
     workflow: Workflow,
     db: &SnailsDatabase,
@@ -141,6 +184,7 @@ fn evaluate_with_context(
     seed: u64,
     denat: &snails_sql::IdentifierMap,
     gold: &GoldContext,
+    qm: &QueryMeasures,
 ) -> QueryRecord {
     let variant = view.variant;
     let result = run_workflow(workflow, db, view, pair, seed);
@@ -160,7 +204,7 @@ fn evaluate_with_context(
             .map(|s| (s.recall(), s.precision(), s.f1())),
         gold_ids: gold.ids.all(),
         pred_ids: BTreeSet::new(),
-        measures: query_measures(db, variant, &gold.ids),
+        measures: *qm,
     };
 
     // Denaturalize the raw output back to the Native namespace.
@@ -188,35 +232,103 @@ fn evaluate_with_context(
     record
 }
 
+/// Per-(database, variant) shared state for a benchmark run: the schema
+/// view, the denaturalization map, and the per-question naturalness
+/// measures — each computed once and shared read-only by every worker.
+struct VariantContext {
+    view: SchemaView,
+    denat: snails_sql::IdentifierMap,
+    measures: Vec<QueryMeasures>,
+}
+
+/// One cell of the (database × variant × workflow × question) grid.
+struct WorkItem<'a> {
+    db: &'a SnailsDatabase,
+    vctx: &'a VariantContext,
+    workflow: Workflow,
+    pair: &'a snails_data::GoldPair,
+    gold: &'a GoldContext,
+    qm: &'a QueryMeasures,
+}
+
 /// Run the benchmark over a prebuilt collection.
+///
+/// The grid is flattened into independent work items and executed on
+/// `config.threads` workers (default: available parallelism). Each item is
+/// a pure function of `(config.seed, item)`, and the scheduler reassembles
+/// results in grid order, so the records are identical — in content and
+/// order — to the serial nested loop at any thread count.
 pub fn run_benchmark_on(
     collection: &[SnailsDatabase],
     config: &BenchmarkConfig,
 ) -> BenchmarkRun {
-    let mut run = BenchmarkRun::default();
-    for db in collection {
-        if !config
-            .databases
-            .iter()
-            .any(|n| n.eq_ignore_ascii_case(db.spec.name))
-        {
-            continue;
-        }
-        let gold_contexts: Vec<GoldContext> =
-            db.questions.iter().map(|p| gold_context(db, p)).collect();
-        for &variant in &config.variants {
-            let view = SchemaView::new(db, variant);
-            let denat = snails_llm::middleware::denaturalization_map(db, variant);
+    let dbs: Vec<&SnailsDatabase> = collection
+        .iter()
+        .filter(|db| {
+            config
+                .databases
+                .iter()
+                .any(|n| n.eq_ignore_ascii_case(db.spec.name))
+        })
+        .collect();
+
+    // Shared per-(db, question) and per-(db, variant) contexts, computed
+    // once up front instead of per grid cell.
+    let golds: Vec<Vec<GoldContext>> = dbs
+        .iter()
+        .map(|db| db.questions.iter().map(|p| gold_context(db, p)).collect())
+        .collect();
+    let variants: Vec<Vec<VariantContext>> = dbs
+        .iter()
+        .zip(&golds)
+        .map(|(db, golds)| {
+            config
+                .variants
+                .iter()
+                .map(|&variant| VariantContext {
+                    view: SchemaView::new(db, variant),
+                    denat: snails_llm::middleware::denaturalization_map(db, variant),
+                    measures: golds
+                        .iter()
+                        .map(|g| query_measures(db, variant, &g.ids))
+                        .collect(),
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut items: Vec<WorkItem<'_>> = Vec::new();
+    for (di, &db) in dbs.iter().enumerate() {
+        for vctx in &variants[di] {
             for &workflow in &config.workflows {
-                for (pair, gold) in db.questions.iter().zip(&gold_contexts) {
-                    run.records.push(evaluate_with_context(
-                        workflow, db, &view, pair, config.seed, &denat, gold,
-                    ));
+                for (qi, pair) in db.questions.iter().enumerate() {
+                    items.push(WorkItem {
+                        db,
+                        vctx,
+                        workflow,
+                        pair,
+                        gold: &golds[di][qi],
+                        qm: &vctx.measures[qi],
+                    });
                 }
             }
         }
     }
-    run
+
+    let threads = config.threads.unwrap_or_else(scheduler::available_threads);
+    let records = scheduler::run_ordered(&items, threads, |_, it| {
+        evaluate_with_context(
+            it.workflow,
+            it.db,
+            &it.vctx.view,
+            it.pair,
+            config.seed,
+            &it.vctx.denat,
+            it.gold,
+            it.qm,
+        )
+    });
+    BenchmarkRun { records }
 }
 
 /// Build the databases named in the config and run the benchmark.
@@ -243,6 +355,7 @@ mod tests {
                 Workflow::ZeroShot(ModelKind::Gpt4o),
                 Workflow::ZeroShot(ModelKind::PhindCodeLlama),
             ],
+            threads: None,
         }
     }
 

@@ -503,6 +503,7 @@ mod tests {
             databases: vec!["CWO".into()],
             variants: vec![SchemaVariant::Native, SchemaVariant::Regular, SchemaVariant::Least],
             workflows: vec![Workflow::ZeroShot(ModelKind::Gpt35), Workflow::CodeS],
+            threads: None,
         };
         let run = run_benchmark_on(&collection, &config);
         (collection, run)

@@ -1,0 +1,155 @@
+//! Deterministic parallel work scheduler.
+//!
+//! The benchmark grid — (database × variant × workflow × question) — is an
+//! embarrassingly parallel bag of independent work items, but the SNAILS
+//! contract requires the output to be *bit-identical* to the serial loop:
+//! `runs_are_reproducible` and every figure-generation routine consume
+//! `BenchmarkRun.records` in grid order.
+//!
+//! The scheduler therefore separates execution order from output order:
+//! workers claim contiguous chunks of the item index space from a shared
+//! atomic cursor (cheap work-stealing without per-item contention), tag
+//! every result with its item index, and the caller-side merge sorts the
+//! tagged results back into serial order. With one thread the scheduler
+//! degenerates to a plain in-order loop, so `threads = 1` reproduces the
+//! serial baseline exactly by construction.
+//!
+//! No dependencies beyond `std` — the build must stay offline-capable, so
+//! no rayon. `std::thread::scope` lets workers borrow the item slice and
+//! the closure without `Arc`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when the caller does not specify one.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Upper bound on chunks claimed per worker pass: finer chunks balance
+/// better across skewed item costs, coarser chunks reduce contention on
+/// the shared cursor. 8 chunks per worker is a common compromise.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Map `f` over `items` on `threads` workers, returning results in item
+/// order — exactly the order a serial `items.iter().enumerate().map(f)`
+/// would produce.
+///
+/// `f` must be a pure function of `(index, item)` for the parallel output
+/// to be identical to the serial output; nothing in the scheduler itself
+/// introduces ordering or scheduling effects into the results.
+///
+/// A panic in `f` propagates to the caller after all workers stop claiming
+/// new work.
+pub fn run_ordered<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            local.push((i, f(i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scheduler worker panicked"))
+            .collect()
+    });
+
+    let mut tagged: Vec<(usize, T)> = per_worker.into_iter().flatten().collect();
+    debug_assert_eq!(tagged.len(), n, "every item produced exactly one result");
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(run_ordered(&none, 4, |_, x| *x).is_empty());
+        assert_eq!(run_ordered(&[7u32], 4, |_, x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn matches_serial_map_for_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let serial: Vec<usize> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let parallel = run_ordered(&items, threads, |_, x| x * x + 1);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_index_passed_exactly_once() {
+        use std::sync::Mutex;
+        let items: Vec<u8> = vec![0; 257];
+        let seen = Mutex::new(vec![0u32; items.len()]);
+        run_ordered(&items, 8, |i, _| {
+            seen.lock().unwrap()[i] += 1;
+        });
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn index_argument_matches_item_position() {
+        let items: Vec<usize> = (0..500).map(|i| i * 3).collect();
+        run_ordered(&items, 6, |i, item| assert_eq!(*item, i * 3));
+    }
+
+    #[test]
+    fn uneven_work_still_reassembles_in_order() {
+        // Skewed per-item cost exercises the work-stealing path: early
+        // chunks are slow, late chunks fast, so completion order differs
+        // wildly from item order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_ordered(&items, 8, |i, x| {
+            if i < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+            }
+            x + 1
+        });
+        assert_eq!(out, (1..=64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn thread_count_oversubscription_is_clamped() {
+        let items = [1u32, 2, 3];
+        assert_eq!(run_ordered(&items, 1000, |_, x| *x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

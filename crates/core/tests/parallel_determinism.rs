@@ -1,0 +1,49 @@
+//! Parallel scheduler determinism.
+//!
+//! `run_benchmark_on` must produce records identical in content AND order
+//! to the serial loop at every thread count — figure generation and the
+//! reproducibility guarantees consume `BenchmarkRun.records` positionally.
+
+use snails_core::pipeline::{run_benchmark_on, BenchmarkConfig};
+use snails_data::SnailsDatabase;
+use snails_llm::{ModelKind, Workflow};
+use snails_naturalness::category::SchemaVariant;
+
+fn config(threads: Option<usize>) -> BenchmarkConfig {
+    BenchmarkConfig {
+        seed: 11,
+        databases: vec!["CWO".into(), "KIS".into()],
+        variants: vec![SchemaVariant::Native, SchemaVariant::Low],
+        workflows: vec![
+            Workflow::ZeroShot(ModelKind::Gpt4o),
+            Workflow::ZeroShot(ModelKind::CodeS),
+        ],
+        threads,
+    }
+}
+
+#[test]
+fn any_thread_count_reproduces_the_serial_records() {
+    let collection: Vec<SnailsDatabase> = vec![
+        snails_data::build_database("CWO"),
+        snails_data::build_database("KIS"),
+    ];
+    let serial = run_benchmark_on(&collection, &config(Some(1)));
+    assert!(!serial.records.is_empty());
+
+    for threads in [2, 8] {
+        let parallel = run_benchmark_on(&collection, &config(Some(threads)));
+        assert_eq!(
+            serial.records.len(),
+            parallel.records.len(),
+            "threads = {threads}"
+        );
+        for (i, (s, p)) in serial.records.iter().zip(&parallel.records).enumerate() {
+            assert_eq!(s, p, "record {i} diverged at threads = {threads}");
+        }
+    }
+
+    // The default (machine parallelism) takes the same code path.
+    let auto = run_benchmark_on(&collection, &config(None));
+    assert_eq!(serial.records, auto.records);
+}

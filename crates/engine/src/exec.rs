@@ -8,20 +8,47 @@
 use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
-use crate::value::Value;
+use crate::value::{HashKey, Value};
 use snails_sql::{
     BinOp, ColumnRef, Expr, FunctionArg, JoinKind, SelectItem, SelectStatement, Statement,
     TableSource, UnaryOp,
 };
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Run equi-key `ON` predicates through the build/probe hash join.
+    /// Joins whose predicate is not a pure conjunction of equi-key
+    /// conjuncts always fall back to the nested loop, as does everything
+    /// when this is `false` (the flag exists for A/B timing and for the
+    /// hash/nested equivalence tests).
+    pub hash_join: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { hash_join: true }
+    }
+}
 
 /// Execute a statement against `db`.
 ///
 /// `CREATE VIEW` requires mutation; use [`apply_ddl`] for that. `execute`
 /// returns an error for DDL to keep the read path `&Database`.
 pub fn execute(db: &Database, stmt: &Statement) -> Result<ResultSet, EngineError> {
+    execute_with(db, stmt, ExecOptions::default())
+}
+
+/// [`execute`] with explicit [`ExecOptions`].
+pub fn execute_with(
+    db: &Database,
+    stmt: &Statement,
+    opts: ExecOptions,
+) -> Result<ResultSet, EngineError> {
     match stmt {
-        Statement::Select(s) => exec_select(db, s, None),
+        Statement::Select(s) => Executor { db, opts }.select(s, None),
         Statement::CreateView { .. } => Err(EngineError::unsupported(
             "CREATE VIEW requires apply_ddl (mutable database)",
         )),
@@ -163,17 +190,143 @@ fn contains_aggregate(e: &Expr) -> bool {
     }
 }
 
-struct Executor<'a> {
-    db: &'a Database,
+/// Which side of a join an expression's columns come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinSide {
+    Left,
+    Right,
 }
 
-/// Execute a `SELECT` with an optional enclosing scope (correlation).
-fn exec_select(
-    db: &Database,
-    stmt: &SelectStatement,
-    outer: Option<&Scope<'_>>,
-) -> Result<ResultSet, EngineError> {
-    Executor { db }.select(stmt, outer)
+/// Static classification of an `ON`-predicate operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SideClass {
+    /// No column references — evaluates the same in any row scope.
+    Constant,
+    /// Every column reference resolves inside this one side.
+    One(JoinSide),
+    /// Mixed sides, or a construct the static analysis cannot see through
+    /// (subqueries, aggregates, ambiguous or correlated columns).
+    Unknown,
+}
+
+impl SideClass {
+    fn merge(self, other: SideClass) -> SideClass {
+        match (self, other) {
+            (SideClass::Unknown, _) | (_, SideClass::Unknown) => SideClass::Unknown,
+            (SideClass::Constant, s) | (s, SideClass::Constant) => s,
+            (SideClass::One(a), SideClass::One(b)) if a == b => SideClass::One(a),
+            _ => SideClass::Unknown,
+        }
+    }
+}
+
+/// Statically replicate [`Scope::resolve`] over the combined join bindings:
+/// which side would this column read from? `None` when resolution would be
+/// ambiguous, correlated (parent scope), or an error — the caller then
+/// falls back to the nested loop, which reproduces the exact semantics.
+fn column_side(col: &ColumnRef, left: &RowSet, right: &RowSet) -> Option<JoinSide> {
+    let sides = [
+        (JoinSide::Left, &left.bindings),
+        (JoinSide::Right, &right.bindings),
+    ];
+    if let Some(q) = &col.qualifier {
+        for (side, bindings) in sides {
+            for b in bindings.iter() {
+                if b.name.eq_ignore_ascii_case(q) {
+                    // `resolve` stops at the first qualifier match; the key
+                    // is side-local only when the column lives there.
+                    return b
+                        .columns
+                        .iter()
+                        .any(|c| c.eq_ignore_ascii_case(&col.name))
+                        .then_some(side);
+                }
+            }
+        }
+        None
+    } else {
+        let mut found = None;
+        for (side, bindings) in sides {
+            for b in bindings.iter() {
+                if b.columns.iter().any(|c| c.eq_ignore_ascii_case(&col.name)) {
+                    if found.is_some() {
+                        return None; // ambiguous — let the nested loop report it
+                    }
+                    found = Some(side);
+                }
+            }
+        }
+        found
+    }
+}
+
+/// Classify which join side `e` reads from.
+fn expr_side(e: &Expr, left: &RowSet, right: &RowSet) -> SideClass {
+    match e {
+        Expr::Column(c) => match column_side(c, left, right) {
+            Some(side) => SideClass::One(side),
+            None => SideClass::Unknown,
+        },
+        Expr::Subquery(_) | Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::Wildcard => {
+            SideClass::Unknown
+        }
+        Expr::Function { name, .. } if is_aggregate_name(name) => SideClass::Unknown,
+        Expr::Function { args, .. }
+            if args.iter().any(|a| matches!(a, FunctionArg::Wildcard)) =>
+        {
+            SideClass::Unknown
+        }
+        _ => {
+            let mut acc = SideClass::Constant;
+            e.visit_children(&mut |c| acc = acc.merge(expr_side(c, left, right)));
+            acc
+        }
+    }
+}
+
+/// Split an `AND` tree into its conjuncts.
+fn flatten_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary { left, op: BinOp::And, right } = e {
+        flatten_conjuncts(left, out);
+        flatten_conjuncts(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Extract hash-join key pairs from an `ON` predicate: every `AND` conjunct
+/// must be an equality with one operand readable from each side (a constant
+/// operand joins whichever side the other operand is not). Anything else —
+/// a non-equality conjunct, a same-side equality, OR at the top level, a
+/// subquery — returns `None` and the whole join stays on the nested loop,
+/// so filters and error cases keep their exact serial semantics.
+fn equi_join_keys<'e>(
+    pred: &'e Expr,
+    left: &RowSet,
+    right: &RowSet,
+) -> Option<Vec<(&'e Expr, &'e Expr)>> {
+    let mut conjuncts = Vec::new();
+    flatten_conjuncts(pred, &mut conjuncts);
+    let mut keys = Vec::with_capacity(conjuncts.len());
+    for c in conjuncts {
+        let Expr::Binary { left: a, op: BinOp::Eq, right: b } = c else {
+            return None;
+        };
+        use JoinSide::{Left, Right};
+        use SideClass::{Constant, One};
+        let pair = match (expr_side(a, left, right), expr_side(b, left, right)) {
+            (One(Left), One(Right) | Constant) | (Constant, One(Right)) => (&**a, &**b),
+            (One(Right), One(Left) | Constant) | (Constant, One(Left)) => (&**b, &**a),
+            _ => return None,
+        };
+        keys.push(pair);
+    }
+    Some(keys)
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOptions,
 }
 
 impl<'a> Executor<'a> {
@@ -225,28 +378,24 @@ impl<'a> Executor<'a> {
                 });
                 vec![(rep, rowset.rows.clone())]
             } else {
-                let mut order: Vec<String> = Vec::new();
-                let mut groups: HashMap<String, Vec<Vec<Value>>> = HashMap::new();
+                // Typed keys; first-appearance order via index indirection.
+                let mut units: Vec<Vec<Vec<Value>>> = Vec::new();
+                let mut groups: HashMap<Vec<HashKey>, usize> = HashMap::new();
                 for row in &rowset.rows {
                     let scope = Scope { bindings: &rowset.bindings, row, parent: outer };
-                    let mut key = String::new();
+                    let mut key = Vec::with_capacity(stmt.group_by.len());
                     for g in &stmt.group_by {
-                        key.push_str(&self.eval(g, &scope)?.group_key());
-                        key.push('\u{1}');
+                        key.push(self.eval(g, &scope)?.hash_key());
                     }
-                    groups.entry(key.clone()).or_insert_with(|| {
-                        order.push(key.clone());
-                        Vec::new()
-                    });
-                    groups.get_mut(&key).expect("just inserted").push(row.clone());
+                    match groups.entry(key) {
+                        Entry::Occupied(e) => units[*e.get()].push(row.clone()),
+                        Entry::Vacant(e) => {
+                            e.insert(units.len());
+                            units.push(vec![row.clone()]);
+                        }
+                    }
                 }
-                order
-                    .into_iter()
-                    .map(|k| {
-                        let rows = groups.remove(&k).expect("key recorded");
-                        (rows[0].clone(), rows)
-                    })
-                    .collect()
+                units.into_iter().map(|rows| (rows[0].clone(), rows)).collect()
             }
         } else {
             rowset.rows.iter().map(|r| (r.clone(), vec![r.clone()])).collect()
@@ -301,10 +450,9 @@ impl<'a> Executor<'a> {
 
         // DISTINCT.
         if stmt.distinct {
-            let mut seen = HashSet::new();
+            let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
             projected.retain(|(row, _)| {
-                let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
-                seen.insert(key)
+                seen.insert(row.iter().map(Value::hash_key).collect())
             });
         }
 
@@ -344,10 +492,9 @@ impl<'a> Executor<'a> {
             }
             result.rows.extend(rhs_rs.rows);
             if *kind == snails_sql::UnionKind::Distinct {
-                let mut seen = HashSet::new();
+                let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
                 result.rows.retain(|row| {
-                    let key: String = row.iter().map(|v| v.group_key() + "\u{1}").collect();
-                    seen.insert(key)
+                    seen.insert(row.iter().map(Value::hash_key).collect())
                 });
             }
         }
@@ -360,9 +507,20 @@ impl<'a> Executor<'a> {
         match src {
             TableSource::Named { schema, name, alias } => {
                 let binding_name = alias.clone().unwrap_or_else(|| name.clone());
-                // Table first (dbo namespace), then view.
+                // Unqualified references resolve views before base tables:
+                // installed natural views (db_nl, appendix H.2) shadow the
+                // native table, mirroring a session whose default schema is
+                // the view namespace. `dbo.`-qualified references always
+                // reach the base table.
                 let dbo = schema.as_deref().is_none_or(|s| s.eq_ignore_ascii_case("dbo"));
-                if dbo {
+                let shadowing_view = if schema.is_none() {
+                    self.db.view(None, name).or_else(|| {
+                        self.db.views().find(|v| v.name.eq_ignore_ascii_case(name))
+                    })
+                } else {
+                    None
+                };
+                if dbo && shadowing_view.is_none() {
                     if let Some(t) = self.db.table(name) {
                         let columns: Vec<String> =
                             t.schema.column_names().map(str::to_owned).collect();
@@ -374,18 +532,8 @@ impl<'a> Executor<'a> {
                         });
                     }
                 }
-                let view = self
-                    .db
-                    .view(schema.as_deref(), name)
-                    .or_else(|| {
-                        // Unqualified reference may still hit a namespaced
-                        // view when no table matched.
-                        if schema.is_none() {
-                            self.db.views().find(|v| v.name.eq_ignore_ascii_case(name))
-                        } else {
-                            None
-                        }
-                    })
+                let view = shadowing_view
+                    .or_else(|| self.db.view(schema.as_deref(), name))
                     .ok_or_else(|| EngineError::UnknownTable { name: name.clone() })?;
                 let rs = self.select(&view.query.clone(), None)?;
                 let width = rs.columns.len();
@@ -408,6 +556,133 @@ impl<'a> Executor<'a> {
     }
 
     fn join(
+        &self,
+        left: RowSet,
+        right: RowSet,
+        kind: JoinKind,
+        on: Option<&Expr>,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<RowSet, EngineError> {
+        if self.opts.hash_join && kind != JoinKind::Cross {
+            if let Some(pred) = on {
+                if let Some(keys) = equi_join_keys(pred, &left, &right) {
+                    return self.hash_join(left, right, kind, &keys, outer);
+                }
+            }
+        }
+        self.nested_join(left, right, kind, on, outer)
+    }
+
+    /// Build/probe hash join for a pure conjunction of equi-key conjuncts.
+    ///
+    /// Reproduces the nested loop's output *order* exactly: for INNER /
+    /// LEFT / FULL the loop is left-major with right matches ascending, so
+    /// the hash table is built on the right (bucket lists keep build order)
+    /// and the left side probes in order; RIGHT joins are right-major, so
+    /// the sides swap. NULL (and NaN) key components never enter the hash
+    /// table — under `sql_eq` they match nothing — but their rows still
+    /// null-pad for the outer join kinds.
+    fn hash_join(
+        &self,
+        left: RowSet,
+        right: RowSet,
+        kind: JoinKind,
+        keys: &[(&Expr, &Expr)],
+        outer: Option<&Scope<'_>>,
+    ) -> Result<RowSet, EngineError> {
+        let mut bindings = left.bindings.clone();
+        bindings.extend(right.bindings.clone());
+        let width = left.width + right.width;
+        let mut rows = Vec::new();
+
+        let left_exprs: Vec<&Expr> = keys.iter().map(|&(l, _)| l).collect();
+        let right_exprs: Vec<&Expr> = keys.iter().map(|&(_, r)| r).collect();
+
+        // One side's key tuple; `None` marks an unmatchable key (a NULL or
+        // NaN component equals nothing). Side-local scopes are sound: the
+        // extraction verified every column ref resolves inside its side.
+        let side_key = |rs: &RowSet,
+                        row: &[Value],
+                        exprs: &[&Expr]|
+         -> Result<Option<Vec<HashKey>>, EngineError> {
+            let scope = Scope { bindings: &rs.bindings, row, parent: outer };
+            let mut key = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                let v = self.eval(e, &scope)?;
+                if v.is_null() || matches!(v, Value::Float(x) if x.is_nan()) {
+                    return Ok(None);
+                }
+                key.push(v.hash_key());
+            }
+            Ok(Some(key))
+        };
+
+        match kind {
+            JoinKind::Inner | JoinKind::Left | JoinKind::Full => {
+                let mut table: HashMap<Vec<HashKey>, Vec<usize>> = HashMap::new();
+                for (ri, r) in right.rows.iter().enumerate() {
+                    if let Some(k) = side_key(&right, r, &right_exprs)? {
+                        table.entry(k).or_default().push(ri);
+                    }
+                }
+                let mut right_matched = vec![false; right.rows.len()];
+                for l in &left.rows {
+                    let hits: &[usize] = match side_key(&left, l, &left_exprs)? {
+                        Some(k) => table.get(&k).map(Vec::as_slice).unwrap_or(&[]),
+                        None => &[],
+                    };
+                    for &ri in hits {
+                        let mut combined = l.clone();
+                        combined.extend(right.rows[ri].iter().cloned());
+                        rows.push(combined);
+                        right_matched[ri] = true;
+                    }
+                    if hits.is_empty() && kind != JoinKind::Inner {
+                        let mut combined = l.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right.width));
+                        rows.push(combined);
+                    }
+                }
+                if kind == JoinKind::Full {
+                    for (ri, r) in right.rows.iter().enumerate() {
+                        if !right_matched[ri] {
+                            let mut combined = vec![Value::Null; left.width];
+                            combined.extend(r.iter().cloned());
+                            rows.push(combined);
+                        }
+                    }
+                }
+            }
+            JoinKind::Right => {
+                let mut table: HashMap<Vec<HashKey>, Vec<usize>> = HashMap::new();
+                for (li, l) in left.rows.iter().enumerate() {
+                    if let Some(k) = side_key(&left, l, &left_exprs)? {
+                        table.entry(k).or_default().push(li);
+                    }
+                }
+                for r in &right.rows {
+                    let hits: &[usize] = match side_key(&right, r, &right_exprs)? {
+                        Some(k) => table.get(&k).map(Vec::as_slice).unwrap_or(&[]),
+                        None => &[],
+                    };
+                    for &li in hits {
+                        let mut combined = left.rows[li].clone();
+                        combined.extend(r.iter().cloned());
+                        rows.push(combined);
+                    }
+                    if hits.is_empty() {
+                        let mut combined = vec![Value::Null; left.width];
+                        combined.extend(r.iter().cloned());
+                        rows.push(combined);
+                    }
+                }
+            }
+            JoinKind::Cross => unreachable!("cross joins never take the hash path"),
+        }
+        Ok(RowSet { bindings, rows, width })
+    }
+
+    fn nested_join(
         &self,
         left: RowSet,
         right: RowSet,
@@ -639,8 +914,8 @@ impl<'a> Executor<'a> {
             }
         }
         if distinct {
-            let mut seen = HashSet::new();
-            values.retain(|v| seen.insert(v.group_key()));
+            let mut seen: HashSet<HashKey> = HashSet::new();
+            values.retain(|v| seen.insert(v.hash_key()));
         }
         match name {
             "COUNT" => Ok(Value::Int(values.len() as i64)),
@@ -777,7 +1052,7 @@ impl<'a> Executor<'a> {
             }
             Expr::InSubquery { expr, query, negated } => {
                 let v = self.eval(expr, scope)?;
-                let rs = exec_select(self.db, query, Some(scope))?;
+                let rs = self.select(query, Some(scope))?;
                 let mut saw_null = v.is_null();
                 let mut found = false;
                 for row in &rs.rows {
@@ -801,7 +1076,7 @@ impl<'a> Executor<'a> {
                 Ok(bool_value(b.map(|x| x != *negated)))
             }
             Expr::Exists { query, negated } => {
-                let rs = exec_select(self.db, query, Some(scope))?;
+                let rs = self.select(query, Some(scope))?;
                 Ok(bool_value(Some(rs.is_empty() == *negated)))
             }
             Expr::Between { expr, low, high, negated } => {
@@ -829,7 +1104,7 @@ impl<'a> Executor<'a> {
                 }
             }
             Expr::Subquery(q) => {
-                let rs = exec_select(self.db, q, Some(scope))?;
+                let rs = self.select(q, Some(scope))?;
                 Ok(rs.scalar().cloned().unwrap_or(Value::Null))
             }
             Expr::Case { operand, branches, else_expr } => {

@@ -159,9 +159,44 @@ impl Value {
         match self {
             Value::Null => "n:".to_owned(),
             Value::Int(n) => format!("f:{}", *n as f64),
-            Value::Float(x) => format!("f:{x}"),
+            // -0.0 equals 0.0 under sql_eq; normalize before formatting.
+            Value::Float(x) => format!("f:{}", if *x == 0.0 { 0.0 } else { *x }),
             Value::Str(s) => format!("s:{}", s.to_ascii_lowercase()),
         }
+    }
+
+    /// Typed hash key with the same equivalence classes as [`Value::group_key`]
+    /// (and, for non-NULL values, as [`Value::sql_eq`]): `1` and `1.0` share a
+    /// key, text is case-insensitive, and NULL keys only each other — grouping
+    /// semantics, not predicate semantics. Avoids the per-value `String`
+    /// formatting of `group_key` on the hot grouping/join paths.
+    pub fn hash_key(&self) -> HashKey {
+        match self {
+            Value::Null => HashKey::Null,
+            Value::Int(n) => HashKey::num(*n as f64),
+            Value::Float(x) => HashKey::num(*x),
+            Value::Str(s) => HashKey::Str(s.to_ascii_lowercase()),
+        }
+    }
+}
+
+/// Typed grouping/join key (see [`Value::hash_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HashKey {
+    /// SQL NULL — groups with itself.
+    Null,
+    /// Numeric key: Int and Float unified on the `f64` bit pattern, with
+    /// `-0.0` normalized onto `0.0` so the two group together.
+    Num(u64),
+    /// Text key, lowercased (SQL Server default collation).
+    Str(String),
+}
+
+impl HashKey {
+    fn num(x: f64) -> HashKey {
+        // -0.0 == 0.0 in SQL comparison but differs in bits; normalize.
+        let x = if x == 0.0 { 0.0 } else { x };
+        HashKey::Num(x.to_bits())
     }
 }
 
@@ -236,6 +271,31 @@ mod tests {
         assert_ne!(Value::Int(1).group_key(), Value::from("1").group_key());
         assert_ne!(Value::Null.group_key(), Value::from("").group_key());
         assert_eq!(Value::from("AB").group_key(), Value::from("ab").group_key());
+    }
+
+    #[test]
+    fn hash_keys_mirror_group_keys() {
+        let vals = [
+            Value::Null,
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Float(-0.0),
+            Value::Int(0),
+            Value::from("AB"),
+            Value::from("ab"),
+            Value::from(""),
+            Value::from("1"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    a.hash_key() == b.hash_key(),
+                    a.group_key() == b.group_key(),
+                    "hash_key and group_key disagree on {a:?} vs {b:?}"
+                );
+            }
+        }
+        assert_eq!(Value::Float(-0.0).hash_key(), Value::Int(0).hash_key());
     }
 
     #[test]

@@ -167,9 +167,13 @@ fn mutate(stmt: &mut Statement, rng: &mut StdRng) -> Option<&'static str> {
     };
     // Collect applicable mutations, then pick one.
     let mut options: Vec<&'static str> = Vec::new();
-    if select.where_clause.is_some() {
+    if let Some(w) = &select.where_clause {
         options.push("drop-where");
-        options.push("wrong-literal");
+        // Only offer a literal flip when the predicate actually contains
+        // one (e.g. a bare NOT EXISTS has nothing to mutate).
+        if mutate_first_literal(&mut w.clone()) {
+            options.push("wrong-literal");
+        }
     }
     let swappable = |name: &str, args: &[FunctionArg]| match name {
         "COUNT" => matches!(args.first(), Some(FunctionArg::Expr(_))),

@@ -44,3 +44,18 @@ pub use generate::{infer, Inference};
 pub use model::{ModelConfig, ModelKind};
 pub use schema_view::{build_prompt, SchemaView};
 pub use workflows::{run_workflow, SubsetOutcome, Workflow, WorkflowResult};
+
+// Thread-safety contract: the benchmark scheduler shares these read-only
+// across worker threads, so they must stay `Send + Sync` (no `Rc`, no
+// `Cell`/`RefCell`, no raw pointers). Compile-time only — no runtime cost.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<SchemaView>();
+    assert_shareable::<ModelConfig>();
+    assert_shareable::<ModelKind>();
+    assert_shareable::<Workflow>();
+    assert_shareable::<WorkflowResult>();
+    assert_shareable::<Inference>();
+    assert_shareable::<snails_data::SnailsDatabase>();
+    assert_shareable::<snails_sql::IdentifierMap>();
+};

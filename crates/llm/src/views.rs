@@ -35,11 +35,13 @@ pub fn natural_view_ddl(db: &Database, crosswalk: &Crosswalk) -> Vec<String> {
             if i > 0 {
                 stmt.push_str(", ");
             }
-            stmt.push_str(&format!(
-                "{} AS {}",
-                quoted(&col.name),
-                quoted(&regular(&col.name))
-            ));
+            let natural = regular(&col.name);
+            stmt.push_str(&format!("{} AS {}", quoted(&col.name), quoted(&natural)));
+            // The view shadows the native table for unqualified references,
+            // so keep each column reachable under its native spelling too.
+            if !natural.eq_ignore_ascii_case(&col.name) {
+                stmt.push_str(&format!(", {0} AS {0}", quoted(&col.name)));
+            }
         }
         stmt.push_str(&format!(" FROM dbo.{}", quoted(native_table)));
         ddl.push(stmt);

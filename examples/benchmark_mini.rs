@@ -18,6 +18,7 @@ fn main() {
             Workflow::ZeroShot(ModelKind::Gpt4o),
             Workflow::ZeroShot(ModelKind::PhindCodeLlama),
         ],
+        threads: None,
     };
     println!(
         "Running {} databases × {} variants × {} workflows...\n",

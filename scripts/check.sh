@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR verification gate. Run from the repository root:
+#
+#   ./scripts/check.sh
+#
+# Everything runs offline (--offline; external deps resolve to the
+# in-tree stand-ins under crates/compat/). A PR is ready when all three
+# stages pass.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (workspace, offline)"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q (workspace, offline)"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --workspace -- -D warnings (offline)"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> all checks passed"

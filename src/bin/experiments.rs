@@ -21,10 +21,11 @@ struct Args {
     quick: bool,
     only: Option<String>,
     seed: u64,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { write: false, quick: false, only: None, seed: 2024 };
+    let mut args = Args { write: false, quick: false, only: None, seed: 2024, threads: None };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -35,6 +36,13 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--seed takes a u64");
+            }
+            "--threads" => {
+                args.threads = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--threads takes a positive integer"),
+                );
             }
             flag if flag.starts_with("--") => args.only = Some(flag[2..].to_owned()),
             other => panic!("unknown argument {other}"),
@@ -185,6 +193,7 @@ fn main() {
             databases: names.iter().map(|s| s.to_string()).collect(),
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
+            threads: args.threads,
         };
         let r = run_benchmark_on(&collection, &config);
         eprintln!(
@@ -272,6 +281,7 @@ fn main() {
             databases: spider.iter().map(|d| d.spec.name.to_string()).collect(),
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
+            threads: args.threads,
         };
         let spider_run = run_benchmark_on(&spider, &config);
         section("fig13", "Figure 13 — Spider-sim renaming", rf::figure13(&spider_run), &mut out);

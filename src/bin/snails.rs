@@ -8,10 +8,13 @@
 //! snails ask <DB> <question-id> [model]  # run one simulated inference
 //! snails sql <DB> "<query>"              # execute SQL on a benchmark DB
 //! snails list                            # the nine databases
+//! snails bench [threads]                 # wall-clock timings (JSON lines)
 //! ```
 
+use snails::engine::{run_sql_with, DataType, ExecOptions, TableSchema};
 use snails::naturalness::{Classifier, Naturalness, NaturalnessProfile};
 use snails::prelude::*;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +30,7 @@ fn main() {
         "ask" => ask(&args[1..]),
         "sql" => sql(&args[1..]),
         "list" => list(),
+        "bench" => bench(&args[1..]),
         _ => {
             eprintln!("unknown command: {command}\n");
             print_usage();
@@ -40,7 +44,7 @@ fn print_usage() {
         "snails — Schema Naming Assessments for Improved LLM-Based SQL Inference\n\n\
          USAGE:\n  snails classify <identifier>...\n  snails abbreviate <identifier> [low|least]\n  \
          snails expand <identifier>...\n  snails audit <DB>\n  snails ask <DB> <question-id> [model]\n  \
-         snails sql <DB> \"<query>\"\n  snails list"
+         snails sql <DB> \"<query>\"\n  snails list\n  snails bench [threads]"
     );
 }
 
@@ -166,6 +170,113 @@ fn sql(args: &[String]) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Wall-clock timings for the parallel scheduler and the join kernels,
+/// emitted as JSON lines (no external dependencies — `format!` only).
+fn bench(args: &[String]) {
+    let threads = match args.first() {
+        None => snails::core::available_threads(),
+        Some(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bench: thread count must be a positive integer, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+
+    // Benchmark grid: the same (database × variant × workflow × question)
+    // cells serially and on `threads` workers. The record comparison
+    // doubles as a determinism check on every bench run.
+    let names = ["CWO", "KIS"];
+    let collection: Vec<SnailsDatabase> =
+        names.iter().map(|n| build_database(n)).collect();
+    let config = |t: usize| BenchmarkConfig {
+        seed: 2024,
+        databases: names.iter().map(|s| s.to_string()).collect(),
+        variants: SchemaVariant::ALL.to_vec(),
+        workflows: vec![
+            Workflow::ZeroShot(ModelKind::Gpt4o),
+            Workflow::ZeroShot(ModelKind::Gpt35),
+            Workflow::DinSql,
+            Workflow::CodeS,
+        ],
+        threads: Some(t),
+    };
+    // Untimed warm-up pass so the serial baseline is not billed for page
+    // faults and allocator warm-up the parallel run then gets for free.
+    let _ = run_benchmark_on(&collection, &config(threads));
+    let t0 = Instant::now();
+    let serial = run_benchmark_on(&collection, &config(1));
+    let serial_ms = ms(t0);
+    let t1 = Instant::now();
+    let parallel = run_benchmark_on(&collection, &config(threads));
+    let parallel_ms = ms(t1);
+    let records_match = serial.records == parallel.records;
+    println!(
+        "{{\"bench\":\"grid\",\"cells\":{},\"threads\":1,\"ms\":{serial_ms:.1}}}",
+        serial.records.len()
+    );
+    println!(
+        "{{\"bench\":\"grid\",\"cells\":{},\"threads\":{threads},\"ms\":{parallel_ms:.1},\
+         \"speedup\":{:.2},\"records_match\":{records_match}}}",
+        parallel.records.len(),
+        serial_ms / parallel_ms
+    );
+
+    // Join kernels on the join-heavy gold queries (NTSB: composite-key
+    // joins, Table 3): the full gold suite with the hash join off and on.
+    let db = build_database("NTSB");
+    let joins: Vec<&GoldPair> = db
+        .questions
+        .iter()
+        .filter(|p| p.sql.to_ascii_uppercase().contains(" JOIN "))
+        .collect();
+    let time_suite = |opts: ExecOptions| {
+        let t = Instant::now();
+        for p in &joins {
+            let _ = run_sql_with(&db.db, &p.sql, opts);
+        }
+        ms(t)
+    };
+    let nested_ms = time_suite(ExecOptions { hash_join: false });
+    let hash_ms = time_suite(ExecOptions { hash_join: true });
+    println!(
+        "{{\"bench\":\"gold_joins\",\"database\":\"NTSB\",\"queries\":{},\
+         \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.1}}}",
+        joins.len(),
+        nested_ms / hash_ms
+    );
+
+    // Synthetic equi join at a row count where the quadratic nested loop
+    // dominates, showing the kernels' asymptotic headroom.
+    let mut sdb = Database::new("bench");
+    sdb.create_table(TableSchema::new("a").column("k", DataType::Int).column("v", DataType::Int));
+    sdb.create_table(TableSchema::new("b").column("k", DataType::Int).column("w", DataType::Int));
+    for i in 0..3000i64 {
+        sdb.insert("a", vec![Value::Int(i % 997), Value::Int(i)]).expect("insert");
+        sdb.insert("b", vec![Value::Int(i % 997), Value::Int(i * 2)]).expect("insert");
+    }
+    let sql = "SELECT a.k, COUNT(*) FROM a JOIN b ON a.k = b.k GROUP BY a.k";
+    let time_one = |opts: ExecOptions| {
+        let t = Instant::now();
+        run_sql_with(&sdb, sql, opts).expect("synthetic join runs");
+        ms(t)
+    };
+    let nested_ms = time_one(ExecOptions { hash_join: false });
+    let hash_ms = time_one(ExecOptions { hash_join: true });
+    println!(
+        "{{\"bench\":\"synthetic_join\",\"rows\":3000,\
+         \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.0}}}",
+        nested_ms / hash_ms
+    );
+
+    if !records_match {
+        eprintln!("error: parallel records diverged from serial records");
+        std::process::exit(1);
     }
 }
 

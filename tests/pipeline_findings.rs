@@ -14,6 +14,7 @@ fn run_two_db_benchmark() -> (Vec<SnailsDatabase>, BenchmarkRun) {
         databases: vec!["KIS".into(), "NTSB".into()],
         variants: SchemaVariant::ALL.to_vec(),
         workflows: Workflow::all(),
+        threads: None,
     };
     let run = run_benchmark_on(&collection, &config);
     (collection, run)

@@ -17,6 +17,7 @@ fn spider_renaming_reproduces_figure_13() {
             Workflow::ZeroShot(ModelKind::Gpt35),
             Workflow::ZeroShot(ModelKind::PhindCodeLlama),
         ],
+        threads: None,
     };
     let run = run_benchmark_on(&spider, &config);
     assert_eq!(run.records.len(), 80 * 4 * 3);
