@@ -61,7 +61,7 @@ fn bench_engine(c: &mut Criterion) {
     // The same join shapes with the hash join disabled (nested loop):
     // the A/B pair for the kernel speedup numbers in README.md.
     use snails_engine::{run_sql_with, ExecOptions};
-    let nested = ExecOptions { hash_join: false };
+    let nested = ExecOptions { hash_join: false, ..Default::default() };
     c.bench_function("exec_join_group_nested_loop", |b| {
         b.iter(|| black_box(run_sql_with(&db.db, &join_group, nested).unwrap()))
     });

@@ -3,12 +3,16 @@
 use crate::measures::{query_measures, QueryMeasures};
 use crate::scheduler;
 use snails_data::SnailsDatabase;
+use snails_engine::{ExecLimits, ExecOptions};
 use snails_eval::{audit_semantics, match_result_sets, query_linking, LinkingScores};
 
-use snails_llm::{run_workflow, SchemaView, Workflow};
+use snails_llm::faults::{self, FailureKind, FaultProfile};
+use snails_llm::generate::mix_seed;
+use snails_llm::resilience::{CellExecution, CellPlan, Planner, ResilienceConfig};
+use snails_llm::{run_cell, SchemaView, Workflow};
 use snails_naturalness::category::SchemaVariant;
 use snails_sql::{extract_identifiers, parse};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Benchmark configuration.
 #[derive(Debug, Clone)]
@@ -27,6 +31,15 @@ pub struct BenchmarkConfig {
     /// grid cell is a pure function of the config seed (see
     /// [`crate::scheduler`]).
     pub threads: Option<usize>,
+    /// Fault injection for the simulated inference API
+    /// ([`FaultProfile::NONE`] by default — records are then byte-identical
+    /// to a build without the fault layer).
+    pub fault_profile: FaultProfile,
+    /// Execution budgets applied to *predicted* queries (gold queries run
+    /// unguarded — they are trusted input). Defaults to
+    /// [`ExecLimits::guarded`], generous enough that no sane prediction on
+    /// the SNAILS databases ever hits a budget.
+    pub limits: ExecLimits,
 }
 
 impl Default for BenchmarkConfig {
@@ -37,6 +50,8 @@ impl Default for BenchmarkConfig {
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
             threads: None,
+            fault_profile: FaultProfile::NONE,
+            limits: ExecLimits::guarded(),
         }
     }
 }
@@ -70,6 +85,57 @@ pub struct QueryRecord {
     pub pred_ids: BTreeSet<String>,
     /// Per-query naturalness measures at this variant.
     pub measures: QueryMeasures,
+    /// Terminal failure for this cell, if any: exhausted retries, an open
+    /// circuit breaker, an isolated panic, a corrupted completion, or a
+    /// predicted query that hit an engine budget. `None` for clean cells —
+    /// including clean cells that needed retries (see `attempts`).
+    pub failure: Option<FailureKind>,
+    /// Simulated API attempts spent on this cell (1 when the fault layer is
+    /// inert, 0 when the circuit breaker skipped the call).
+    pub attempts: u32,
+}
+
+/// Aggregate fault/retry/breaker accounting for one benchmark run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Grid cells evaluated.
+    pub cells: usize,
+    /// Total simulated API attempts across all cells.
+    pub attempts: u64,
+    /// Total retries (attempts beyond each cell's first).
+    pub retries: u64,
+    /// Circuit-breaker trips across all models.
+    pub breaker_trips: u64,
+    /// Failure counts keyed by [`FailureKind::name`].
+    pub failures: BTreeMap<&'static str, u64>,
+}
+
+impl FaultSummary {
+    /// Total cells that ended in a failure record.
+    pub fn total_failures(&self) -> u64 {
+        self.failures.values().sum()
+    }
+
+    /// One JSON object (no external dependencies — keys are static and
+    /// values numeric, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        let mut kinds = String::new();
+        for (i, (k, v)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                kinds.push(',');
+            }
+            kinds.push_str(&format!("\"{k}\":{v}"));
+        }
+        format!(
+            "{{\"cells\":{},\"attempts\":{},\"retries\":{},\"breaker_trips\":{},\
+             \"failed_cells\":{},\"failures\":{{{kinds}}}}}",
+            self.cells,
+            self.attempts,
+            self.retries,
+            self.breaker_trips,
+            self.total_failures(),
+        )
+    }
 }
 
 /// A full benchmark run.
@@ -77,6 +143,9 @@ pub struct QueryRecord {
 pub struct BenchmarkRun {
     /// All per-query records.
     pub records: Vec<QueryRecord>,
+    /// Fault/retry/breaker accounting (all zeros when the fault layer is
+    /// inert and no predicted query hit a budget).
+    pub faults: FaultSummary,
 }
 
 impl BenchmarkRun {
@@ -86,6 +155,12 @@ impl BenchmarkRun {
     }
 
     /// Mean execution accuracy over a record subset.
+    ///
+    /// **Empty-subset semantics:** an empty iterator yields `0.0`, not NaN —
+    /// a deliberate convention so figure-generation code can difference
+    /// accuracies across arbitrary slices without NaN poisoning. Callers
+    /// that must distinguish "no records" from "all incorrect" should check
+    /// emptiness themselves before calling.
     pub fn exec_accuracy<'a>(records: impl IntoIterator<Item = &'a QueryRecord>) -> f64 {
         let mut n = 0usize;
         let mut correct = 0usize;
@@ -102,6 +177,11 @@ impl BenchmarkRun {
 
     /// Mean query recall over a record subset (parse failures excluded, as
     /// in §5.2).
+    ///
+    /// **Empty-subset semantics:** `0.0` when the subset is empty *or*
+    /// contains only parse failures (no linking scores to average) — same
+    /// no-NaN convention as [`BenchmarkRun::exec_accuracy`]; check
+    /// emptiness first if the distinction matters.
     pub fn mean_recall<'a>(records: impl IntoIterator<Item = &'a QueryRecord>) -> f64 {
         let scores: Vec<f64> = records
             .into_iter()
@@ -149,7 +229,16 @@ impl<'a> EvalContext<'a> {
         let gold = gold_context(self.db, pair);
         let qm = query_measures(self.db, self.view.variant, &gold.ids);
         evaluate_with_context(
-            workflow, self.db, self.view, pair, seed, &self.denat, &gold, &qm,
+            workflow,
+            self.db,
+            self.view,
+            pair,
+            seed,
+            &self.denat,
+            &gold,
+            &qm,
+            &CellPlan::clean(0),
+            ExecLimits::UNLIMITED,
         )
     }
 }
@@ -175,6 +264,39 @@ fn gold_context(db: &SnailsDatabase, pair: &snails_data::GoldPair) -> GoldContex
     GoldContext { ids, result }
 }
 
+/// Build the record for a cell that never produced a usable inference:
+/// exhausted retries, an open breaker, or an isolated panic. Shaped like a
+/// parse failure (the paper's treatment of unusable generations) plus the
+/// failure classification and attempt count.
+#[allow(clippy::too_many_arguments)]
+fn failed_record(
+    workflow: Workflow,
+    db: &SnailsDatabase,
+    variant: SchemaVariant,
+    pair: &snails_data::GoldPair,
+    gold: &GoldContext,
+    qm: &QueryMeasures,
+    failure: FailureKind,
+    attempts: u32,
+) -> QueryRecord {
+    QueryRecord {
+        workflow: workflow.display_name(),
+        database: db.spec.name.to_owned(),
+        variant,
+        question_id: pair.id,
+        parse_ok: false,
+        set_matched: false,
+        exec_correct: false,
+        linking: None,
+        subset: None,
+        gold_ids: gold.ids.all(),
+        pred_ids: BTreeSet::new(),
+        measures: *qm,
+        failure: Some(failure),
+        attempts,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn evaluate_with_context(
     workflow: Workflow,
@@ -185,9 +307,19 @@ fn evaluate_with_context(
     denat: &snails_sql::IdentifierMap,
     gold: &GoldContext,
     qm: &QueryMeasures,
+    plan: &CellPlan,
+    limits: ExecLimits,
 ) -> QueryRecord {
     let variant = view.variant;
-    let result = run_workflow(workflow, db, view, pair, seed);
+    // The resilience middleware: retries/breaker/corruption were planned
+    // serially; `run_cell` executes the plan (and genuinely panics for
+    // planned-panic cells — the scheduler's isolation handles those).
+    let (result, failure) = match run_cell(plan, workflow, db, view, pair, seed) {
+        CellExecution::Completed { result, failure } => (result, failure),
+        CellExecution::Failed(kind) => {
+            return failed_record(workflow, db, variant, pair, gold, qm, kind, plan.attempts)
+        }
+    };
 
     let mut record = QueryRecord {
         workflow: result.workflow,
@@ -205,6 +337,8 @@ fn evaluate_with_context(
         gold_ids: gold.ids.all(),
         pred_ids: BTreeSet::new(),
         measures: *qm,
+        failure,
+        attempts: plan.attempts,
     };
 
     // Denaturalize the raw output back to the Native namespace.
@@ -220,10 +354,22 @@ fn evaluate_with_context(
     record.pred_ids = pred_qi.all();
     record.linking = Some(query_linking(&gold.ids, &pred_qi));
 
-    // Execution accuracy: run both queries, superset-match, audit.
+    // Execution accuracy: run both queries, superset-match, audit. The
+    // predicted query is untrusted model output and runs under the
+    // configured budgets; gold ran unguarded in `gold_context`.
     let Some(gold_rs) = &gold.result else { return record };
-    let Ok(pred_rs) = snails_engine::run_sql(&db.db, &native_sql) else {
-        return record;
+    let pred_rs = match snails_engine::run_sql_with(
+        &db.db,
+        &native_sql,
+        ExecOptions { limits, ..Default::default() },
+    ) {
+        Ok(rs) => rs,
+        Err(e) => {
+            if e.is_resource_exhausted() {
+                record.failure = Some(FailureKind::ResourceExhausted);
+            }
+            return record;
+        }
     };
     if match_result_sets(gold_rs, &pred_rs).is_match() {
         record.set_matched = true;
@@ -249,6 +395,9 @@ struct WorkItem<'a> {
     pair: &'a snails_data::GoldPair,
     gold: &'a GoldContext,
     qm: &'a QueryMeasures,
+    /// Retry/breaker/fault plan for this cell, computed by the serial
+    /// planning pre-pass (see [`run_benchmark_on`]).
+    plan: CellPlan,
 }
 
 /// Run the benchmark over a prebuilt collection.
@@ -297,11 +446,48 @@ pub fn run_benchmark_on(
         })
         .collect();
 
+    // Serial planning pre-pass: the circuit breaker and simulated clock are
+    // *shared mutable* state (a breaker tripped by cell N must skip cell
+    // N+1), which cannot be threaded through a parallel map without
+    // order-dependence. So fault draws, retries, and breaker transitions
+    // are resolved here, in grid order, while building the item list — it
+    // is pure RNG arithmetic, orders of magnitude cheaper than inference —
+    // and each resulting `CellPlan` is a pure input to the parallel phase.
+    // With an inert profile every plan is `CellPlan::clean` and records are
+    // byte-identical to a build without the fault layer.
+    let fault_layer = !config.fault_profile.is_inert();
+    let mut planner = fault_layer.then(|| {
+        Planner::new(ResilienceConfig {
+            profile: config.fault_profile,
+            ..Default::default()
+        })
+    });
+    if fault_layer {
+        // Injected panics are expected control flow under fault profiles;
+        // keep them out of stderr (real panics still print).
+        faults::silence_injected_panics();
+    }
+
     let mut items: Vec<WorkItem<'_>> = Vec::new();
     for (di, &db) in dbs.iter().enumerate() {
         for vctx in &variants[di] {
             for &workflow in &config.workflows {
                 for (qi, pair) in db.questions.iter().enumerate() {
+                    let plan = match planner.as_mut() {
+                        Some(planner) => {
+                            let cell_seed = mix_seed(
+                                &[
+                                    workflow.display_name(),
+                                    db.spec.name,
+                                    vctx.view.variant.display_name(),
+                                    "fault-cell",
+                                ],
+                                &[config.seed, pair.id as u64],
+                            );
+                            planner.plan_cell(workflow.display_name(), cell_seed)
+                        }
+                        None => CellPlan::clean(0),
+                    };
                     items.push(WorkItem {
                         db,
                         vctx,
@@ -309,6 +495,7 @@ pub fn run_benchmark_on(
                         pair,
                         gold: &golds[di][qi],
                         qm: &vctx.measures[qi],
+                        plan,
                     });
                 }
             }
@@ -316,19 +503,57 @@ pub fn run_benchmark_on(
     }
 
     let threads = config.threads.unwrap_or_else(scheduler::available_threads);
-    let records = scheduler::run_ordered(&items, threads, |_, it| {
-        evaluate_with_context(
-            it.workflow,
-            it.db,
-            &it.vctx.view,
-            it.pair,
-            config.seed,
-            &it.vctx.denat,
-            it.gold,
-            it.qm,
-        )
-    });
-    BenchmarkRun { records }
+    let records = scheduler::run_ordered_isolated(
+        &items,
+        threads,
+        |_, it| {
+            evaluate_with_context(
+                it.workflow,
+                it.db,
+                &it.vctx.view,
+                it.pair,
+                config.seed,
+                &it.vctx.denat,
+                it.gold,
+                it.qm,
+                &it.plan,
+                config.limits,
+            )
+        },
+        |_, it, payload| {
+            // Only planned (injected) panics are absorbed into failure
+            // records; a genuine bug still aborts the run loudly.
+            if !faults::is_injected_panic(payload.as_ref()) {
+                std::panic::resume_unwind(payload);
+            }
+            failed_record(
+                it.workflow,
+                it.db,
+                it.vctx.view.variant,
+                it.pair,
+                it.gold,
+                it.qm,
+                FailureKind::Panic,
+                it.plan.attempts,
+            )
+        },
+    );
+
+    let mut faults = FaultSummary {
+        cells: items.len(),
+        breaker_trips: planner.as_ref().map_or(0, Planner::breaker_trips),
+        ..FaultSummary::default()
+    };
+    for it in &items {
+        faults.attempts += u64::from(it.plan.attempts);
+        faults.retries += u64::from(it.plan.retries());
+    }
+    for r in &records {
+        if let Some(kind) = r.failure {
+            *faults.failures.entry(kind.name()).or_insert(0) += 1;
+        }
+    }
+    BenchmarkRun { records, faults }
 }
 
 /// Build the databases named in the config and run the benchmark.
@@ -356,6 +581,7 @@ mod tests {
                 Workflow::ZeroShot(ModelKind::PhindCodeLlama),
             ],
             threads: None,
+            ..BenchmarkConfig::default()
         }
     }
 
@@ -425,6 +651,70 @@ mod tests {
                 assert!(r.parse_ok);
             }
         }
+    }
+
+    #[test]
+    fn empty_subsets_yield_zero_not_nan() {
+        // The documented empty-subset convention: 0.0, never NaN.
+        assert_eq!(BenchmarkRun::exec_accuracy(std::iter::empty()), 0.0);
+        assert_eq!(BenchmarkRun::mean_recall(std::iter::empty()), 0.0);
+        // mean_recall also returns 0.0 when every record is a parse failure
+        // (no linking scores to average).
+        let run = run_benchmark(&small_config());
+        let mut r = run.records[0].clone();
+        r.parse_ok = false;
+        r.linking = None;
+        let only_failures = [r];
+        assert_eq!(BenchmarkRun::mean_recall(only_failures.iter()), 0.0);
+        // A run over an unknown database filter produces the empty grid and
+        // the metrics stay finite.
+        let empty = run_benchmark_on(
+            &[],
+            &BenchmarkConfig { databases: vec![], ..BenchmarkConfig::default() },
+        );
+        assert!(empty.records.is_empty());
+        assert_eq!(BenchmarkRun::exec_accuracy(&empty.records), 0.0);
+        assert_eq!(BenchmarkRun::mean_recall(&empty.records), 0.0);
+    }
+
+    #[test]
+    fn inert_profile_yields_clean_accounting() {
+        let run = run_benchmark(&small_config());
+        assert_eq!(run.faults.cells, run.records.len());
+        assert_eq!(run.faults.retries, 0);
+        assert_eq!(run.faults.breaker_trips, 0);
+        assert_eq!(run.faults.total_failures(), 0);
+        for r in &run.records {
+            assert_eq!(r.failure, None);
+            assert_eq!(r.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn flaky_profile_is_deterministic_across_thread_counts() {
+        let config = |threads| BenchmarkConfig {
+            fault_profile: snails_llm::FaultProfile::FLAKY,
+            threads: Some(threads),
+            ..small_config()
+        };
+        let baseline = run_benchmark(&config(1));
+        for threads in [2, 8] {
+            let run = run_benchmark(&config(threads));
+            assert_eq!(run.records, baseline.records, "threads = {threads}");
+            assert_eq!(run.faults, baseline.faults, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn fault_summary_json_is_well_formed() {
+        let mut summary = FaultSummary { cells: 3, attempts: 7, retries: 4, ..Default::default() };
+        summary.failures.insert("timeout", 2);
+        summary.failures.insert("panic", 1);
+        assert_eq!(
+            summary.to_json(),
+            "{\"cells\":3,\"attempts\":7,\"retries\":4,\"breaker_trips\":0,\
+             \"failed_cells\":3,\"failures\":{\"panic\":1,\"timeout\":2}}"
+        );
     }
 
     #[test]

@@ -504,6 +504,7 @@ mod tests {
             variants: vec![SchemaVariant::Native, SchemaVariant::Regular, SchemaVariant::Least],
             workflows: vec![Workflow::ZeroShot(ModelKind::Gpt35), Workflow::CodeS],
             threads: None,
+            ..BenchmarkConfig::default()
         };
         let run = run_benchmark_on(&collection, &config);
         (collection, run)

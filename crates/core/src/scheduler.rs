@@ -18,7 +18,9 @@
 //! no rayon. `std::thread::scope` lets workers borrow the item slice and
 //! the closure without `Arc`.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use when the caller does not specify one.
@@ -42,17 +44,52 @@ const CHUNKS_PER_WORKER: usize = 8;
 /// introduces ordering or scheduling effects into the results.
 ///
 /// A panic in `f` propagates to the caller after all workers stop claiming
-/// new work.
+/// new work. For per-item panic isolation, see [`run_ordered_isolated`].
 pub fn run_ordered<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    run_ordered_isolated(items, threads, f, |_, _, payload| {
+        std::panic::resume_unwind(payload)
+    })
+}
+
+/// [`run_ordered`] with per-item panic isolation: each call to `f` runs
+/// under `catch_unwind`, and a panicking item is converted to a result by
+/// `on_panic(index, item, payload)` instead of killing its worker — the
+/// other workers never notice, and the run completes with one result per
+/// item in order.
+///
+/// Isolation is identical in the serial (`threads = 1`) and parallel paths,
+/// so a panicking item yields the same substituted result at any thread
+/// count — the determinism contract extends to faulty items.
+///
+/// `on_panic` may itself panic (e.g. [`run_ordered`] rethrows); that panic
+/// propagates to the caller as before.
+pub fn run_ordered_isolated<I, T, F, P>(items: &[I], threads: usize, f: F, on_panic: P) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+    P: Fn(usize, &I, Box<dyn Any + Send>) -> T + Sync,
+{
+    // `AssertUnwindSafe` is sound here: a caught panic either rethrows
+    // (run_ordered, restoring the old abort-the-run behavior) or replaces
+    // the item's result wholesale, so no partially-mutated state is
+    // observed across the unwind boundary.
+    let call = |i: usize, item: &I| -> T {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(v) => v,
+            Err(payload) => on_panic(i, item, payload),
+        }
+    };
+
     let n = items.len();
     let workers = threads.max(1).min(n.max(1));
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        return items.iter().enumerate().map(|(i, item)| call(i, item)).collect();
     }
 
     let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
@@ -70,7 +107,7 @@ where
                         }
                         let end = (start + chunk).min(n);
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                            local.push((i, f(i, item)));
+                            local.push((i, call(i, item)));
                         }
                     }
                     local
@@ -151,5 +188,95 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    /// Panic hook suppressing expected test panics (installed once, never
+    /// removed — scoped take/set races under parallel tests otherwise).
+    fn silence_expected_panics() {
+        use std::sync::Once;
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let expected = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("expected test panic"));
+                if !expected {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    #[test]
+    fn isolated_panics_become_substitute_results() {
+        silence_expected_panics();
+        let items: Vec<u64> = (0..200).collect();
+        let expected: Vec<i64> = items
+            .iter()
+            .map(|&x| if x % 17 == 3 { -1 } else { x as i64 })
+            .collect();
+        for threads in [1, 2, 8] {
+            let out = run_ordered_isolated(
+                &items,
+                threads,
+                |_, &x| {
+                    if x % 17 == 3 {
+                        panic!("expected test panic");
+                    }
+                    x as i64
+                },
+                |_, _, _| -1,
+            );
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn on_panic_sees_index_item_and_payload() {
+        silence_expected_panics();
+        let items = [10u64, 20, 30];
+        let out = run_ordered_isolated(
+            &items,
+            2,
+            |_, &x| {
+                if x == 20 {
+                    panic!("expected test panic");
+                }
+                x
+            },
+            |i, &item, payload| {
+                assert_eq!(i, 1);
+                assert_eq!(item, 20);
+                assert!(payload
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("expected test panic")));
+                999
+            },
+        );
+        assert_eq!(out, vec![10, 999, 30]);
+    }
+
+    #[test]
+    fn workers_keep_claiming_after_an_isolated_panic() {
+        silence_expected_panics();
+        // One poisoned item early in the index space must not stop the
+        // parallel run from completing every later item.
+        let items: Vec<usize> = (0..512).collect();
+        let out = run_ordered_isolated(
+            &items,
+            8,
+            |_, &x| {
+                if x == 1 {
+                    panic!("expected test panic");
+                }
+                x
+            },
+            |_, _, _| usize::MAX,
+        );
+        assert_eq!(out.len(), 512);
+        assert_eq!(out[1], usize::MAX);
+        assert_eq!(out[511], 511);
     }
 }

@@ -19,6 +19,7 @@ fn config(threads: Option<usize>) -> BenchmarkConfig {
             Workflow::ZeroShot(ModelKind::CodeS),
         ],
         threads,
+        ..BenchmarkConfig::default()
     }
 }
 

@@ -40,6 +40,17 @@ pub enum EngineError {
         /// Description.
         message: String,
     },
+    /// Execution exceeded a configured [`crate::exec::ExecLimits`] budget.
+    ///
+    /// Raised defensively for untrusted (model-predicted) queries so a
+    /// hostile plan — an unconstrained cross join, a runaway subquery —
+    /// degrades to a recorded error instead of hanging the worker.
+    ResourceExhausted {
+        /// Which budget was exceeded (e.g. "join row budget").
+        resource: &'static str,
+        /// The configured budget value.
+        budget: u64,
+    },
 }
 
 impl EngineError {
@@ -57,6 +68,18 @@ impl EngineError {
     pub fn type_error(message: impl Into<String>) -> Self {
         EngineError::TypeError { message: message.into() }
     }
+
+    /// Convenience constructor.
+    pub fn resource_exhausted(resource: &'static str, budget: u64) -> Self {
+        EngineError::ResourceExhausted { resource, budget }
+    }
+
+    /// True for [`EngineError::ResourceExhausted`] — callers that degrade
+    /// gracefully use this to distinguish "query hit a defensive limit"
+    /// from "query was wrong".
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, EngineError::ResourceExhausted { .. })
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -69,6 +92,9 @@ impl fmt::Display for EngineError {
             EngineError::Unsupported { message } => write!(f, "unsupported: {message}"),
             EngineError::Parse { message } => write!(f, "parse: {message}"),
             EngineError::Catalog { message } => write!(f, "catalog: {message}"),
+            EngineError::ResourceExhausted { resource, budget } => {
+                write!(f, "resource exhausted: {resource} ({budget}) exceeded")
+            }
         }
     }
 }

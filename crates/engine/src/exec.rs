@@ -8,13 +8,64 @@
 use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
-use crate::value::{HashKey, Value};
+use crate::value::{ArithOp, HashKey, Value};
 use snails_sql::{
     BinOp, ColumnRef, Expr, FunctionArg, JoinKind, SelectItem, SelectStatement, Statement,
     TableSource, UnaryOp,
 };
+use std::cell::Cell;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+
+/// Resource budgets for one statement execution.
+///
+/// Every field defaults to `None` (unlimited), so gold queries and existing
+/// callers are unaffected. The benchmark pipeline runs *predicted* queries —
+/// untrusted model output — under [`ExecLimits::guarded`] so a hostile plan
+/// (an unconstrained cross join, a runaway correlated subquery) degrades to
+/// [`EngineError::ResourceExhausted`] instead of hanging a worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum rows in any result set produced by a query block.
+    pub max_output_rows: Option<u64>,
+    /// Budget on join work: rows built/probed by the hash join and inner-loop
+    /// iterations of the nested loop, summed over all joins in the statement.
+    pub max_join_rows: Option<u64>,
+    /// Maximum nesting depth of query blocks (subqueries, derived tables,
+    /// view expansions all count).
+    pub max_subquery_depth: Option<u32>,
+    /// Cooperative step budget: rows materialized, filtered, grouped, or
+    /// projected, summed over the whole statement.
+    pub max_steps: Option<u64>,
+}
+
+impl ExecLimits {
+    /// No limits — the default; identical to pre-limit behavior.
+    pub const UNLIMITED: ExecLimits = ExecLimits {
+        max_output_rows: None,
+        max_join_rows: None,
+        max_subquery_depth: None,
+        max_steps: None,
+    };
+
+    /// Generous defensive budgets for untrusted (model-predicted) queries.
+    /// Orders of magnitude above anything a gold query needs on the SNAILS
+    /// databases, but small enough to stop a cross-join bomb in well under a
+    /// second.
+    pub const fn guarded() -> ExecLimits {
+        ExecLimits {
+            max_output_rows: Some(100_000),
+            max_join_rows: Some(20_000_000),
+            max_subquery_depth: Some(24),
+            max_steps: Some(50_000_000),
+        }
+    }
+
+    /// True when every budget is `None`.
+    pub fn is_unlimited(&self) -> bool {
+        *self == ExecLimits::UNLIMITED
+    }
+}
 
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
@@ -25,11 +76,13 @@ pub struct ExecOptions {
     /// when this is `false` (the flag exists for A/B timing and for the
     /// hash/nested equivalence tests).
     pub hash_join: bool,
+    /// Resource budgets; [`ExecLimits::UNLIMITED`] by default.
+    pub limits: ExecLimits,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { hash_join: true }
+        ExecOptions { hash_join: true, limits: ExecLimits::UNLIMITED }
     }
 }
 
@@ -48,7 +101,7 @@ pub fn execute_with(
     opts: ExecOptions,
 ) -> Result<ResultSet, EngineError> {
     match stmt {
-        Statement::Select(s) => Executor { db, opts }.select(s, None),
+        Statement::Select(s) => Executor::new(db, opts).select(s, None),
         Statement::CreateView { .. } => Err(EngineError::unsupported(
             "CREATE VIEW requires apply_ddl (mutable database)",
         )),
@@ -327,10 +380,74 @@ fn equi_join_keys<'e>(
 struct Executor<'a> {
     db: &'a Database,
     opts: ExecOptions,
+    /// Cooperative step counter (rows materialized/filtered/grouped),
+    /// shared across subquery recursion — hence interior mutability.
+    steps: Cell<u64>,
+    /// Join work counter (build/probe rows, nested-loop iterations).
+    join_rows: Cell<u64>,
+    /// Current query-block nesting depth.
+    depth: Cell<u32>,
 }
 
 impl<'a> Executor<'a> {
+    fn new(db: &'a Database, opts: ExecOptions) -> Self {
+        Executor {
+            db,
+            opts,
+            steps: Cell::new(0),
+            join_rows: Cell::new(0),
+            depth: Cell::new(0),
+        }
+    }
+
+    /// Charge `n` units against the cooperative step budget.
+    fn charge_steps(&self, n: u64) -> Result<(), EngineError> {
+        let total = self.steps.get().saturating_add(n);
+        self.steps.set(total);
+        match self.opts.limits.max_steps {
+            Some(budget) if total > budget => {
+                Err(EngineError::resource_exhausted("step budget", budget))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Charge `n` units against the join build/probe budget (also counts
+    /// toward the step budget — join work is work).
+    fn charge_join(&self, n: u64) -> Result<(), EngineError> {
+        let total = self.join_rows.get().saturating_add(n);
+        self.join_rows.set(total);
+        if let Some(budget) = self.opts.limits.max_join_rows {
+            if total > budget {
+                return Err(EngineError::resource_exhausted("join row budget", budget));
+            }
+        }
+        self.charge_steps(n)
+    }
+
+    /// Depth-guarded entry point for a query block: enforces the subquery
+    /// depth budget and guarantees the depth counter unwinds on error.
     fn select(
+        &self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> Result<ResultSet, EngineError> {
+        let depth = self.depth.get() + 1;
+        if let Some(budget) = self.opts.limits.max_subquery_depth {
+            if depth > budget {
+                return Err(EngineError::resource_exhausted(
+                    "subquery depth budget",
+                    u64::from(budget),
+                ));
+            }
+        }
+        self.depth.set(depth);
+        let result = self.select_inner(stmt, outer);
+        self.depth.set(depth - 1);
+        result
+    }
+
+    fn select_inner(
         &self,
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
@@ -347,6 +464,7 @@ impl<'a> Executor<'a> {
 
         // WHERE.
         if let Some(pred) = &stmt.where_clause {
+            self.charge_steps(rowset.rows.len() as u64)?;
             let mut kept = Vec::new();
             for row in rowset.rows {
                 let scope = Scope { bindings: &rowset.bindings, row: &row, parent: outer };
@@ -379,6 +497,7 @@ impl<'a> Executor<'a> {
                 vec![(rep, rowset.rows.clone())]
             } else {
                 // Typed keys; first-appearance order via index indirection.
+                self.charge_steps(rowset.rows.len() as u64)?;
                 let mut units: Vec<Vec<Vec<Value>>> = Vec::new();
                 let mut groups: HashMap<Vec<HashKey>, usize> = HashMap::new();
                 for row in &rowset.rows {
@@ -416,6 +535,7 @@ impl<'a> Executor<'a> {
         };
 
         // Projection + ORDER BY keys.
+        self.charge_steps(units.len() as u64)?;
         let alias_positions: HashMap<String, usize> = out_columns
             .iter()
             .enumerate()
@@ -499,6 +619,12 @@ impl<'a> Executor<'a> {
             }
         }
 
+        if let Some(budget) = self.opts.limits.max_output_rows {
+            if result.rows.len() as u64 > budget {
+                return Err(EngineError::resource_exhausted("output row budget", budget));
+            }
+        }
+
         Ok(result)
     }
 
@@ -522,6 +648,7 @@ impl<'a> Executor<'a> {
                 };
                 if dbo && shadowing_view.is_none() {
                     if let Some(t) = self.db.table(name) {
+                        self.charge_steps(t.rows.len() as u64)?;
                         let columns: Vec<String> =
                             t.schema.column_names().map(str::to_owned).collect();
                         let width = columns.len();
@@ -620,6 +747,7 @@ impl<'a> Executor<'a> {
         match kind {
             JoinKind::Inner | JoinKind::Left | JoinKind::Full => {
                 let mut table: HashMap<Vec<HashKey>, Vec<usize>> = HashMap::new();
+                self.charge_join(right.rows.len() as u64)?;
                 for (ri, r) in right.rows.iter().enumerate() {
                     if let Some(k) = side_key(&right, r, &right_exprs)? {
                         table.entry(k).or_default().push(ri);
@@ -631,6 +759,7 @@ impl<'a> Executor<'a> {
                         Some(k) => table.get(&k).map(Vec::as_slice).unwrap_or(&[]),
                         None => &[],
                     };
+                    self.charge_join(1 + hits.len() as u64)?;
                     for &ri in hits {
                         let mut combined = l.clone();
                         combined.extend(right.rows[ri].iter().cloned());
@@ -655,6 +784,7 @@ impl<'a> Executor<'a> {
             }
             JoinKind::Right => {
                 let mut table: HashMap<Vec<HashKey>, Vec<usize>> = HashMap::new();
+                self.charge_join(left.rows.len() as u64)?;
                 for (li, l) in left.rows.iter().enumerate() {
                     if let Some(k) = side_key(&left, l, &left_exprs)? {
                         table.entry(k).or_default().push(li);
@@ -665,6 +795,7 @@ impl<'a> Executor<'a> {
                         Some(k) => table.get(&k).map(Vec::as_slice).unwrap_or(&[]),
                         None => &[],
                     };
+                    self.charge_join(1 + hits.len() as u64)?;
                     for &li in hits {
                         let mut combined = left.rows[li].clone();
                         combined.extend(r.iter().cloned());
@@ -708,6 +839,7 @@ impl<'a> Executor<'a> {
         match kind {
             JoinKind::Inner | JoinKind::Cross => {
                 for l in &left.rows {
+                    self.charge_join(right.rows.len().max(1) as u64)?;
                     for r in &right.rows {
                         let mut combined = l.clone();
                         combined.extend(r.iter().cloned());
@@ -719,6 +851,7 @@ impl<'a> Executor<'a> {
             }
             JoinKind::Left => {
                 for l in &left.rows {
+                    self.charge_join(right.rows.len().max(1) as u64)?;
                     let mut matched = false;
                     for r in &right.rows {
                         let mut combined = l.clone();
@@ -737,6 +870,7 @@ impl<'a> Executor<'a> {
             }
             JoinKind::Right => {
                 for r in &right.rows {
+                    self.charge_join(left.rows.len().max(1) as u64)?;
                     let mut matched = false;
                     for l in &left.rows {
                         let mut combined = l.clone();
@@ -756,6 +890,7 @@ impl<'a> Executor<'a> {
             JoinKind::Full => {
                 let mut right_matched = vec![false; right.rows.len()];
                 for l in &left.rows {
+                    self.charge_join(right.rows.len().max(1) as u64)?;
                     let mut matched = false;
                     for (ri, r) in right.rows.iter().enumerate() {
                         let mut combined = l.clone();
@@ -924,17 +1059,24 @@ impl<'a> Executor<'a> {
                     return Ok(Value::Null);
                 }
                 let mut sum = 0.0;
-                let mut all_int = true;
+                // Checked i64 accumulator for the all-int case, so huge sums
+                // surface a TypeError instead of a lossy f64 → i64 cast.
+                let mut int_sum: Option<i64> = Some(0);
                 for v in &values {
-                    all_int &= matches!(v, Value::Int(_));
+                    int_sum = match (int_sum, v) {
+                        (Some(acc), Value::Int(n)) => Some(acc.checked_add(*n).ok_or_else(
+                            || EngineError::type_error(format!("integer overflow in {name}")),
+                        )?),
+                        _ => None,
+                    };
                     sum += v
                         .as_f64()
                         .ok_or_else(|| EngineError::type_error(format!("{name} over non-numeric")))?;
                 }
                 if name == "AVG" {
                     Ok(Value::Float(sum / values.len() as f64))
-                } else if all_int {
-                    Ok(Value::Int(sum as i64))
+                } else if let Some(s) = int_sum {
+                    Ok(Value::Int(s))
                 } else {
                     Ok(Value::Float(sum))
                 }
@@ -1179,12 +1321,8 @@ impl<'a> Executor<'a> {
                 Some(Value::Null) => Ok(Value::Null),
                 _ => Err(EngineError::type_error("LEN requires text")),
             },
-            "ABS" => match arg0.and_then(Value::as_f64) {
-                Some(x) => Ok(match arg0 {
-                    Some(Value::Int(n)) => Value::Int(n.abs()),
-                    _ => Value::Float(x.abs()),
-                }),
-                None if matches!(arg0, Some(Value::Null)) => Ok(Value::Null),
+            "ABS" => match arg0 {
+                Some(v) => v.checked_abs(),
                 None => Err(EngineError::type_error("ABS requires a number")),
             },
             "MONTH" | "DAY" => match arg0 {
@@ -1255,12 +1393,7 @@ enum PlanItem {
 fn eval_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
     match op {
         UnaryOp::Not => Ok(bool_value(truth(v).map(|b| !b))),
-        UnaryOp::Neg => match v {
-            Value::Null => Ok(Value::Null),
-            Value::Int(n) => Ok(Value::Int(-n)),
-            Value::Float(x) => Ok(Value::Float(-x)),
-            Value::Str(_) => Err(EngineError::type_error("negation of text")),
-        },
+        UnaryOp::Neg => v.checked_neg(),
     }
 }
 
@@ -1289,34 +1422,15 @@ fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
                     return Ok(Value::Str(format!("{a}{b}")));
                 }
             }
-            let (a, b) = (
-                l.as_f64().ok_or_else(|| EngineError::type_error("arithmetic over text"))?,
-                r.as_f64().ok_or_else(|| EngineError::type_error("arithmetic over text"))?,
-            );
-            let both_int = matches!((l, r), (Value::Int(_), Value::Int(_)));
-            let out = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => {
-                    if b == 0.0 {
-                        return Ok(Value::Null);
-                    }
-                    a / b
-                }
-                BinOp::Mod => {
-                    if b == 0.0 {
-                        return Ok(Value::Null);
-                    }
-                    a % b
-                }
+            let arith = match op {
+                BinOp::Add => ArithOp::Add,
+                BinOp::Sub => ArithOp::Sub,
+                BinOp::Mul => ArithOp::Mul,
+                BinOp::Div => ArithOp::Div,
+                BinOp::Mod => ArithOp::Mod,
                 _ => unreachable!(),
             };
-            if both_int && op != BinOp::Div {
-                Ok(Value::Int(out as i64))
-            } else {
-                Ok(Value::Float(out))
-            }
+            l.checked_arith(arith, r)
         }
         BinOp::And | BinOp::Or => unreachable!("handled with short-circuit"),
         _ => unreachable!("comparisons handled above"),
@@ -1728,10 +1842,110 @@ mod tests {
     fn arithmetic_and_null_propagation() {
         let db = Database::new("x");
         assert_eq!(rows(&db, "SELECT 7 % 3"), vec![vec![Value::Int(1)]]);
-        assert_eq!(rows(&db, "SELECT 1 / 0"), vec![vec![Value::Null]]);
         assert_eq!(rows(&db, "SELECT NULL + 1"), vec![vec![Value::Null]]);
         assert_eq!(rows(&db, "SELECT 'a' + 'b'"), vec![vec![Value::from("ab")]]);
         assert_eq!(rows(&db, "SELECT 10 / 4"), vec![vec![Value::Float(2.5)]]);
+    }
+
+    #[test]
+    fn checked_arithmetic_errors_instead_of_panicking() {
+        let db = Database::new("x");
+        // Division / modulo by zero: a TypeError, never NULL or a panic.
+        for sql in ["SELECT 1 / 0", "SELECT 1 % 0", "SELECT 1.0 / 0", "SELECT 1.5 % 0.0"] {
+            assert!(
+                matches!(run_sql(&db, sql), Err(EngineError::TypeError { .. })),
+                "{sql} should be a type error"
+            );
+        }
+        // i64 overflow paths: negation, ABS, +, *. i64::MIN has no literal
+        // form (the parser sees unary minus on an out-of-range magnitude),
+        // so build it as MIN = -MAX - 1.
+        let max = i64::MAX;
+        for sql in [
+            format!("SELECT -(-{max} - 1)"),
+            format!("SELECT ABS(-{max} - 1)"),
+            format!("SELECT {max} + 1"),
+            format!("SELECT {max} * 2"),
+        ] {
+            assert!(
+                matches!(run_sql(&db, &sql), Err(EngineError::TypeError { .. })),
+                "{sql} should be a type error"
+            );
+        }
+        // NULL operands still propagate before the zero check (SQL semantics).
+        assert_eq!(rows(&db, "SELECT NULL / 0"), vec![vec![Value::Null]]);
+    }
+
+    #[test]
+    fn exec_limits_stop_cross_join_bomb() {
+        let mut db = Database::new("bomb");
+        db.create_table(crate::catalog::TableSchema::new("t").column("x", crate::value::DataType::Int));
+        for i in 0..1000i64 {
+            db.insert("t", vec![Value::Int(i)]).unwrap();
+        }
+        // 1000^3 = 10^9 nested-loop iterations: far over the join budget.
+        let sql = "SELECT COUNT(*) FROM t AS a CROSS JOIN t AS b CROSS JOIN t AS c";
+        let opts = ExecOptions {
+            limits: ExecLimits { max_join_rows: Some(100_000), ..Default::default() },
+            ..Default::default()
+        };
+        let err = crate::run_sql_with(&db, sql, opts).unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
+        // Unlimited options still run the small joins fine.
+        let ok = crate::run_sql_with(
+            &db,
+            "SELECT COUNT(*) FROM t AS a JOIN t AS b ON a.x = b.x",
+            ExecOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(ok.rows, vec![vec![Value::Int(1000)]]);
+    }
+
+    #[test]
+    fn exec_limits_output_rows_and_depth() {
+        let mut db = Database::new("lim");
+        db.create_table(crate::catalog::TableSchema::new("t").column("x", crate::value::DataType::Int));
+        for i in 0..50i64 {
+            db.insert("t", vec![Value::Int(i)]).unwrap();
+        }
+        let opts = ExecOptions {
+            limits: ExecLimits { max_output_rows: Some(10), ..Default::default() },
+            ..Default::default()
+        };
+        let err = crate::run_sql_with(&db, "SELECT x FROM t", opts).unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
+        // TOP under the budget passes.
+        assert!(crate::run_sql_with(&db, "SELECT TOP 5 x FROM t", opts).is_ok());
+
+        let deep = ExecOptions {
+            limits: ExecLimits { max_subquery_depth: Some(2), ..Default::default() },
+            ..Default::default()
+        };
+        let err = crate::run_sql_with(
+            &db,
+            "SELECT x FROM t WHERE x IN (SELECT x FROM t WHERE x IN (SELECT x FROM t))",
+            deep,
+        )
+        .unwrap_err();
+        assert!(err.is_resource_exhausted(), "got {err}");
+        assert!(crate::run_sql_with(&db, "SELECT COUNT(*) FROM t", deep).is_ok());
+    }
+
+    #[test]
+    fn guarded_limits_leave_normal_queries_alone() {
+        let db = wildlife_db();
+        let opts = ExecOptions { limits: ExecLimits::guarded(), ..Default::default() };
+        let rs = crate::run_sql_with(
+            &db,
+            "SELECT s.CommonName, COUNT(*) FROM tbl_Species s \
+             JOIN tbl_Observations o ON s.SpeciesCode = o.SpCode \
+             GROUP BY s.CommonName ORDER BY s.CommonName",
+            opts,
+        )
+        .unwrap();
+        assert!(!rs.rows.is_empty());
+        assert!(!ExecLimits::guarded().is_unlimited());
+        assert!(ExecLimits::UNLIMITED.is_unlimited());
     }
 
     #[test]

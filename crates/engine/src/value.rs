@@ -1,5 +1,6 @@
 //! Values and data types.
 
+use crate::error::EngineError;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -70,6 +71,36 @@ impl From<i64> for Value {
 impl From<f64> for Value {
     fn from(x: f64) -> Self {
         Value::Float(x)
+    }
+}
+
+/// Arithmetic operator for [`Value::checked_arith`] — a value-level mirror of
+/// the parser's arithmetic `BinOp` subset, kept here so the checked kernels
+/// need no dependency on `snails_sql`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// The SQL operator symbol, for error messages.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
     }
 }
 
@@ -163,6 +194,95 @@ impl Value {
             Value::Float(x) => format!("f:{}", if *x == 0.0 { 0.0 } else { *x }),
             Value::Str(s) => format!("s:{}", s.to_ascii_lowercase()),
         }
+    }
+
+    /// Checked arithmetic negation: `-Int` uses `i64::checked_neg` (so
+    /// `-(i64::MIN)` is a [`EngineError::TypeError`], not a panic), floats
+    /// negate directly, NULL propagates.
+    pub fn checked_neg(&self) -> Result<Value, EngineError> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(n) => n
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::type_error("integer overflow in negation")),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            Value::Str(_) => Err(EngineError::type_error("negation of text")),
+        }
+    }
+
+    /// Checked absolute value (`ABS`): `i64::checked_abs` on integers so
+    /// `ABS(i64::MIN)` errors instead of panicking.
+    pub fn checked_abs(&self) -> Result<Value, EngineError> {
+        match self {
+            Value::Null => Ok(Value::Null),
+            Value::Int(n) => n
+                .checked_abs()
+                .map(Value::Int)
+                .ok_or_else(|| EngineError::type_error("integer overflow in ABS")),
+            Value::Float(x) => Ok(Value::Float(x.abs())),
+            Value::Str(_) => Err(EngineError::type_error("ABS requires a number")),
+        }
+    }
+
+    /// Checked binary arithmetic. Predicted queries are untrusted input, so
+    /// this must never abort the process:
+    ///
+    /// * `Int ⊕ Int` runs through `i64::checked_*` — overflow and division /
+    ///   modulo by zero return [`EngineError::TypeError`], never a panic;
+    /// * mixed or float operands use `f64` (overflow saturates to ±inf, but
+    ///   division by zero is still a `TypeError`, matching the integer path);
+    /// * `Div` always yields a float (T-SQL-ish approximation kept from the
+    ///   original evaluator);
+    /// * NULL propagation and string concatenation are the caller's job —
+    ///   this function only sees non-NULL numeric candidates.
+    pub fn checked_arith(&self, op: ArithOp, other: &Value) -> Result<Value, EngineError> {
+        let type_err = || EngineError::type_error("arithmetic over text");
+        if let (Value::Int(a), Value::Int(b)) = (self, other) {
+            let checked = match op {
+                ArithOp::Add => a.checked_add(*b),
+                ArithOp::Sub => a.checked_sub(*b),
+                ArithOp::Mul => a.checked_mul(*b),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        return Err(EngineError::type_error("division by zero"));
+                    }
+                    // Div stays float even for integer operands.
+                    return Ok(Value::Float(*a as f64 / *b as f64));
+                }
+                ArithOp::Mod => {
+                    if *b == 0 {
+                        return Err(EngineError::type_error("modulo by zero"));
+                    }
+                    a.checked_rem(*b)
+                }
+            };
+            return checked.map(Value::Int).ok_or_else(|| {
+                EngineError::type_error(format!("integer overflow in {}", op.symbol()))
+            });
+        }
+        let (a, b) = (
+            self.as_f64().ok_or_else(type_err)?,
+            other.as_f64().ok_or_else(type_err)?,
+        );
+        let out = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => {
+                if b == 0.0 {
+                    return Err(EngineError::type_error("division by zero"));
+                }
+                a / b
+            }
+            ArithOp::Mod => {
+                if b == 0.0 {
+                    return Err(EngineError::type_error("modulo by zero"));
+                }
+                a % b
+            }
+        };
+        Ok(Value::Float(out))
     }
 
     /// Typed hash key with the same equivalence classes as [`Value::group_key`]

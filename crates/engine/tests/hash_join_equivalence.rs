@@ -56,9 +56,9 @@ fn rows_strategy() -> impl Strategy<Value = Rows> {
 }
 
 fn both_ways(db: &Database, sql: &str) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
-    let hash = run_sql_with(db, sql, ExecOptions { hash_join: true })
+    let hash = run_sql_with(db, sql, ExecOptions { hash_join: true, ..Default::default() })
         .unwrap_or_else(|e| panic!("hash exec failed: {e:?} for {sql}"));
-    let nested = run_sql_with(db, sql, ExecOptions { hash_join: false })
+    let nested = run_sql_with(db, sql, ExecOptions { hash_join: false, ..Default::default() })
         .unwrap_or_else(|e| panic!("nested exec failed: {e:?} for {sql}"));
     (hash.rows, nested.rows)
 }
@@ -107,8 +107,8 @@ fn null_keys_never_match_each_other() {
     let right = vec![(None, 0), (Some(1), 0), (None, 1)];
     let db = build_db(&left, &right);
     for opts in [
-        ExecOptions { hash_join: true },
-        ExecOptions { hash_join: false },
+        ExecOptions { hash_join: true, ..Default::default() },
+        ExecOptions { hash_join: false, ..Default::default() },
     ] {
         let rs = run_sql_with(&db, "SELECT l.id, r.id FROM l JOIN r ON l.k = r.k", opts)
             .unwrap();

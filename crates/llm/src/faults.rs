@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the simulated inference API.
+//!
+//! The paper's evaluation ran 48k+ hosted-API calls and had to absorb
+//! transient vendor failures — timeouts, rate limits, truncated completions,
+//! and 137 generations that never parsed (§5.2). The simulated zoo in
+//! [`crate::generate`] models only the parse-failure tail; this module
+//! supplies the rest of the failure surface so the harness can exercise
+//! every path a hosted API produces, *deterministically*: every fault is a
+//! pure function of `(cell seed, attempt number)`, so a given seed + profile
+//! replays the exact same fault schedule at any thread count.
+
+use crate::generate::mix_seed;
+use std::any::Any;
+use std::sync::Once;
+
+/// The kind of fault injected into one simulated API attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The call never returned within the deadline (transient; retryable).
+    Timeout,
+    /// HTTP 429 — the vendor shed load (transient; retryable).
+    RateLimit,
+    /// The completion came back cut off mid-token (transport success, but
+    /// the payload is damaged — flows into the parse path).
+    Truncated,
+    /// The completion is not SQL at all: refusal prose, an error page, a
+    /// malformed fence (transport success; the paper's unparseable tail).
+    Garbage,
+    /// The client-side handling of the response panics (a bug in the
+    /// harness itself — must be isolated, never aborts the run).
+    Panic,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used in summaries and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Timeout => "timeout",
+            FaultKind::RateLimit => "rate_limit",
+            FaultKind::Truncated => "truncated",
+            FaultKind::Garbage => "garbage",
+            FaultKind::Panic => "panic",
+        }
+    }
+
+    /// True for faults worth retrying: the next attempt may succeed and no
+    /// payload was delivered. Corrupted payloads (`Truncated`/`Garbage`) are
+    /// transport *successes* — a real client would not retry them — and a
+    /// `Panic` never returns control to the retry loop at all.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultKind::Timeout | FaultKind::RateLimit)
+    }
+}
+
+/// Terminal failure classification recorded on a `QueryRecord` when a grid
+/// cell could not produce a clean inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FailureKind {
+    /// Retries exhausted on timeouts.
+    Timeout,
+    /// Retries exhausted on rate limits.
+    RateLimit,
+    /// The completion was delivered but cut off mid-token.
+    Truncated,
+    /// The completion was delivered but was not SQL.
+    Garbage,
+    /// The cell panicked and was isolated by the scheduler.
+    Panic,
+    /// The per-model circuit breaker was open; the call was never made.
+    CircuitOpen,
+    /// The predicted query exceeded an engine execution budget.
+    ResourceExhausted,
+}
+
+impl FailureKind {
+    /// All kinds, in summary display order.
+    pub const ALL: [FailureKind; 7] = [
+        FailureKind::Timeout,
+        FailureKind::RateLimit,
+        FailureKind::Truncated,
+        FailureKind::Garbage,
+        FailureKind::Panic,
+        FailureKind::CircuitOpen,
+        FailureKind::ResourceExhausted,
+    ];
+
+    /// Stable lowercase name, used in summaries and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Timeout => "timeout",
+            FailureKind::RateLimit => "rate_limit",
+            FailureKind::Truncated => "truncated",
+            FailureKind::Garbage => "garbage",
+            FailureKind::Panic => "panic",
+            FailureKind::CircuitOpen => "circuit_open",
+            FailureKind::ResourceExhausted => "resource_exhausted",
+        }
+    }
+}
+
+impl From<FaultKind> for FailureKind {
+    fn from(f: FaultKind) -> FailureKind {
+        match f {
+            FaultKind::Timeout => FailureKind::Timeout,
+            FaultKind::RateLimit => FailureKind::RateLimit,
+            FaultKind::Truncated => FailureKind::Truncated,
+            FaultKind::Garbage => FailureKind::Garbage,
+            FaultKind::Panic => FailureKind::Panic,
+        }
+    }
+}
+
+/// Per-attempt fault rates for the simulated API.
+///
+/// Rates are independent per `(cell, attempt)` draw; a single uniform draw
+/// is bucketed against the cumulative rates, so at most one fault fires per
+/// attempt and `Σ rates` must stay ≤ 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Preset name (`none` / `flaky` / `hostile`).
+    pub name: &'static str,
+    /// P(timeout) per attempt.
+    pub timeout: f64,
+    /// P(rate limit) per attempt.
+    pub rate_limit: f64,
+    /// P(truncated completion) per attempt.
+    pub truncated: f64,
+    /// P(garbage completion) per attempt.
+    pub garbage: f64,
+    /// P(client-side panic) per attempt.
+    pub panic: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::NONE
+    }
+}
+
+impl FaultProfile {
+    /// No faults — byte-identical to running without the fault layer.
+    pub const NONE: FaultProfile = FaultProfile {
+        name: "none",
+        timeout: 0.0,
+        rate_limit: 0.0,
+        truncated: 0.0,
+        garbage: 0.0,
+        panic: 0.0,
+    };
+
+    /// ≈ 10% transient fault rate: what a long hosted-API run actually
+    /// looks like. Most faults retry away; a small tail exhausts retries,
+    /// corrupts a completion, or panics.
+    pub const FLAKY: FaultProfile = FaultProfile {
+        name: "flaky",
+        timeout: 0.05,
+        rate_limit: 0.04,
+        truncated: 0.015,
+        garbage: 0.005,
+        panic: 0.002,
+    };
+
+    /// A vendor having a very bad day: heavy shedding, frequent corruption.
+    /// Exists to exercise breaker trips and the exhausted-retry path hard.
+    pub const HOSTILE: FaultProfile = FaultProfile {
+        name: "hostile",
+        timeout: 0.22,
+        rate_limit: 0.12,
+        truncated: 0.08,
+        garbage: 0.04,
+        panic: 0.02,
+    };
+
+    /// Look up a preset by name.
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" => Some(FaultProfile::NONE),
+            "flaky" => Some(FaultProfile::FLAKY),
+            "hostile" => Some(FaultProfile::HOSTILE),
+            _ => None,
+        }
+    }
+
+    /// True when every rate is zero (the fault layer can be skipped
+    /// entirely, guaranteeing byte-identical records to a faultless run).
+    pub fn is_inert(&self) -> bool {
+        self.timeout == 0.0
+            && self.rate_limit == 0.0
+            && self.truncated == 0.0
+            && self.garbage == 0.0
+            && self.panic == 0.0
+    }
+
+    /// Draw the fault (if any) for one attempt — a pure function of
+    /// `(cell_seed, attempt)`.
+    pub fn draw(&self, cell_seed: u64, attempt: u32) -> Option<FaultKind> {
+        if self.is_inert() {
+            return None;
+        }
+        let u = unit(mix_seed(&["fault-draw"], &[cell_seed, u64::from(attempt)]));
+        let mut acc = self.timeout;
+        if u < acc {
+            return Some(FaultKind::Timeout);
+        }
+        acc += self.rate_limit;
+        if u < acc {
+            return Some(FaultKind::RateLimit);
+        }
+        acc += self.truncated;
+        if u < acc {
+            return Some(FaultKind::Truncated);
+        }
+        acc += self.garbage;
+        if u < acc {
+            return Some(FaultKind::Garbage);
+        }
+        acc += self.panic;
+        if u < acc {
+            return Some(FaultKind::Panic);
+        }
+        None
+    }
+}
+
+/// Uniform `[0, 1)` from a mixed seed.
+///
+/// `mix_seed` is FNV-1a, whose *high* bits avalanche poorly for short
+/// inputs; a SplitMix64 finalizer scrambles the full word before the top
+/// 53 bits become the mantissa.
+pub(crate) fn unit(seed: u64) -> f64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Canned non-SQL completions for [`FaultKind::Garbage`]: refusal prose, a
+/// broken fence, an HTML error page, a JSON error body — the shapes the
+/// paper's 137 unparseable generations actually took.
+const GARBAGE_COMPLETIONS: [&str; 4] = [
+    "I'm sorry, but I can't generate a SQL query for this request without \
+     more information about the schema.",
+    "```sql\nSELECT -- the model stopped here and never closed the fence",
+    "<html><head><title>502 Bad Gateway</title></head><body>upstream \
+     connect error</body></html>",
+    "{\"error\": {\"type\": \"overloaded_error\", \"message\": \"Overloaded\", \
+     \"code\": 529}}",
+];
+
+/// Corrupt a completed generation according to `kind`.
+///
+/// * `Truncated`: cut at a deterministic 40–80% of the character length
+///   (always on a char boundary), mimicking a connection dropped mid-stream;
+/// * `Garbage`: replace the whole payload with a canned non-SQL completion.
+///
+/// Other kinds return the input unchanged (they never deliver a payload).
+pub fn corrupt_completion(kind: FaultKind, raw: &str, cell_seed: u64) -> String {
+    match kind {
+        FaultKind::Truncated => {
+            let chars: Vec<char> = raw.chars().collect();
+            if chars.is_empty() {
+                return String::new();
+            }
+            let u = unit(mix_seed(&["truncate-at"], &[cell_seed]));
+            let frac = 0.4 + 0.4 * u;
+            let keep = ((chars.len() as f64 * frac) as usize).max(1).min(chars.len());
+            chars[..keep].iter().collect()
+        }
+        FaultKind::Garbage => {
+            let pick = mix_seed(&["garbage-pick"], &[cell_seed]) as usize
+                % GARBAGE_COMPLETIONS.len();
+            GARBAGE_COMPLETIONS[pick].to_owned()
+        }
+        _ => raw.to_owned(),
+    }
+}
+
+/// Marker payload for injected panics, so the scheduler (and the panic hook)
+/// can tell a *simulated* client bug from a real one.
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// Panic with the [`InjectedPanic`] marker payload. The benchmark scheduler
+/// catches it per cell; [`silence_injected_panics`] keeps it off stderr.
+pub fn injected_panic() -> ! {
+    std::panic::panic_any(InjectedPanic)
+}
+
+/// True when a caught panic payload is an [`InjectedPanic`].
+pub fn is_injected_panic(payload: &(dyn Any + Send)) -> bool {
+    payload.is::<InjectedPanic>()
+}
+
+/// Install (once, never removed) a panic hook that suppresses the default
+/// "thread panicked" stderr noise for [`InjectedPanic`] payloads only; every
+/// other panic is forwarded to the previously installed hook untouched.
+///
+/// Installing once and never restoring avoids the take/set races that
+/// plague scoped hook swaps under parallel tests.
+pub fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<InjectedPanic>() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_by_name() {
+        assert_eq!(FaultProfile::by_name("none"), Some(FaultProfile::NONE));
+        assert_eq!(FaultProfile::by_name("flaky"), Some(FaultProfile::FLAKY));
+        assert_eq!(FaultProfile::by_name("hostile"), Some(FaultProfile::HOSTILE));
+        assert_eq!(FaultProfile::by_name("nope"), None);
+        assert!(FaultProfile::NONE.is_inert());
+        assert!(!FaultProfile::FLAKY.is_inert());
+    }
+
+    #[test]
+    fn none_profile_never_draws() {
+        for seed in 0..500u64 {
+            for attempt in 1..=4 {
+                assert_eq!(FaultProfile::NONE.draw(seed, attempt), None);
+            }
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_rate_plausible() {
+        let profile = FaultProfile::FLAKY;
+        let mut faults = 0usize;
+        let n = 20_000u64;
+        for seed in 0..n {
+            let a = profile.draw(seed, 1);
+            let b = profile.draw(seed, 1);
+            assert_eq!(a, b, "same (seed, attempt) must draw the same fault");
+            faults += usize::from(a.is_some());
+        }
+        let rate = faults as f64 / n as f64;
+        let expected = profile.timeout
+            + profile.rate_limit
+            + profile.truncated
+            + profile.garbage
+            + profile.panic;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "empirical rate {rate:.3} vs configured {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn attempts_draw_independently() {
+        // With a ~11% per-attempt rate, a fault on attempt 1 must not imply
+        // a fault on attempt 2 — find a seed where they differ.
+        let profile = FaultProfile::FLAKY;
+        let differs = (0..2000u64).any(|s| profile.draw(s, 1) != profile.draw(s, 2));
+        assert!(differs);
+    }
+
+    #[test]
+    fn truncation_is_shorter_and_char_safe() {
+        let sql = "SELECT Naïve, Café FROM tbl_Übersicht WHERE x = 'ému'";
+        for seed in 0..100 {
+            let cut = corrupt_completion(FaultKind::Truncated, sql, seed);
+            assert!(cut.chars().count() < sql.chars().count());
+            assert!(!cut.is_empty());
+            assert!(sql.starts_with(&cut));
+        }
+        assert_eq!(corrupt_completion(FaultKind::Truncated, "", 7), "");
+    }
+
+    #[test]
+    fn garbage_is_not_parseable_sql() {
+        for seed in 0..16 {
+            let g = corrupt_completion(FaultKind::Garbage, "SELECT 1", seed);
+            assert!(snails_sql::parse(&g).is_err(), "garbage parsed: {g}");
+        }
+    }
+
+    #[test]
+    fn non_payload_faults_leave_input_unchanged() {
+        assert_eq!(corrupt_completion(FaultKind::Timeout, "SELECT 1", 3), "SELECT 1");
+        assert_eq!(corrupt_completion(FaultKind::RateLimit, "SELECT 1", 3), "SELECT 1");
+    }
+
+    #[test]
+    fn injected_panics_are_recognizable() {
+        silence_injected_panics();
+        let caught = std::panic::catch_unwind(|| injected_panic()).unwrap_err();
+        assert!(is_injected_panic(caught.as_ref()));
+        let other = std::panic::catch_unwind(|| panic!("real bug")).unwrap_err();
+        assert!(!is_injected_panic(other.as_ref()));
+    }
+}

@@ -32,16 +32,23 @@
 //! * [`views`] — natural views (§6, appendix H.2): `CREATE VIEW` DDL mapping
 //!   Regular identifiers onto the native schema.
 
+pub mod faults;
 pub mod generate;
 pub mod linking;
 pub mod middleware;
 pub mod model;
+pub mod resilience;
 pub mod schema_view;
 pub mod views;
 pub mod workflows;
 
+pub use faults::{FailureKind, FaultKind, FaultProfile};
 pub use generate::{infer, Inference};
 pub use model::{ModelConfig, ModelKind};
+pub use resilience::{
+    run_cell, BreakerPolicy, CellExecution, CellOutcome, CellPlan, CircuitBreaker, Planner,
+    ResilienceConfig, RetryPolicy, SimCosts,
+};
 pub use schema_view::{build_prompt, SchemaView};
 pub use workflows::{run_workflow, SubsetOutcome, Workflow, WorkflowResult};
 
@@ -56,6 +63,9 @@ const _: () = {
     assert_shareable::<Workflow>();
     assert_shareable::<WorkflowResult>();
     assert_shareable::<Inference>();
+    assert_shareable::<FaultProfile>();
+    assert_shareable::<CellPlan>();
+    assert_shareable::<ResilienceConfig>();
     assert_shareable::<snails_data::SnailsDatabase>();
     assert_shareable::<snails_sql::IdentifierMap>();
 };

@@ -19,6 +19,7 @@ fn main() {
             Workflow::ZeroShot(ModelKind::PhindCodeLlama),
         ],
         threads: None,
+        ..BenchmarkConfig::default()
     };
     println!(
         "Running {} databases × {} variants × {} workflows...\n",

@@ -4,7 +4,7 @@
 #   ./scripts/check.sh
 #
 # Everything runs offline (--offline; external deps resolve to the
-# in-tree stand-ins under crates/compat/). A PR is ready when all three
+# in-tree stand-ins under crates/compat/). A PR is ready when all four
 # stages pass.
 
 set -euo pipefail
@@ -18,5 +18,16 @@ cargo test -q --workspace --offline
 
 echo "==> cargo clippy --workspace -- -D warnings (offline)"
 cargo clippy --workspace --offline -- -D warnings
+
+echo "==> snails bench --fault-profile flaky (smoke: zero aborted cells)"
+# The bench exits non-zero when any grid cell aborts without a record or
+# when parallel records diverge from serial; grep double-checks the
+# machine-readable line it prints.
+bench_out=$(cargo run -q --release --offline --bin snails -- bench --fault-profile flaky)
+echo "$bench_out"
+echo "$bench_out" | grep -q '"bench":"fault_summary","profile":"flaky","aborted_cells":0' || {
+    echo "error: flaky fault smoke run reported aborted cells" >&2
+    exit 1
+}
 
 echo "==> all checks passed"

@@ -5,13 +5,15 @@
 //! cargo run --release --bin experiments -- --write # also writes EXPERIMENTS.md
 //! cargo run --release --bin experiments -- --quick # 3 databases, faster
 //! cargo run --release --bin experiments -- --fig8  # one section only
+//! cargo run --release --bin experiments -- --fault-profile flaky
+//!                                                  # inject simulated API faults
 //! ```
 
 use snails_core::dataset_figures as ds;
 use snails_core::pipeline::{run_benchmark_on, BenchmarkConfig, BenchmarkRun};
 use snails_core::result_figures as rf;
 use snails_data::SnailsDatabase;
-use snails_llm::Workflow;
+use snails_llm::{FaultProfile, Workflow};
 use snails_naturalness::category::SchemaVariant;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,10 +24,18 @@ struct Args {
     only: Option<String>,
     seed: u64,
     threads: Option<usize>,
+    fault_profile: FaultProfile,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { write: false, quick: false, only: None, seed: 2024, threads: None };
+    let mut args = Args {
+        write: false,
+        quick: false,
+        only: None,
+        seed: 2024,
+        threads: None,
+        fault_profile: FaultProfile::NONE,
+    };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -43,6 +53,12 @@ fn parse_args() -> Args {
                         .and_then(|s| s.parse().ok())
                         .expect("--threads takes a positive integer"),
                 );
+            }
+            "--fault-profile" => {
+                args.fault_profile = argv
+                    .next()
+                    .and_then(|s| FaultProfile::by_name(&s))
+                    .expect("--fault-profile takes none|flaky|hostile");
             }
             flag if flag.starts_with("--") => args.only = Some(flag[2..].to_owned()),
             other => panic!("unknown argument {other}"),
@@ -194,6 +210,8 @@ fn main() {
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
             threads: args.threads,
+            fault_profile: args.fault_profile,
+            ..Default::default()
         };
         let r = run_benchmark_on(&collection, &config);
         eprintln!(
@@ -201,6 +219,14 @@ fn main() {
             started.elapsed(),
             r.records.len()
         );
+        if !args.fault_profile.is_inert() {
+            // JSON line so fault runs can be diffed/asserted by scripts.
+            eprintln!(
+                "{{\"fault_profile\":\"{}\",\"summary\":{}}}",
+                args.fault_profile.name,
+                r.faults.to_json()
+            );
+        }
         run = Some(r);
     }
 
@@ -282,6 +308,8 @@ fn main() {
             variants: SchemaVariant::ALL.to_vec(),
             workflows: Workflow::all(),
             threads: args.threads,
+            fault_profile: args.fault_profile,
+            ..Default::default()
         };
         let spider_run = run_benchmark_on(&spider, &config);
         section("fig13", "Figure 13 — Spider-sim renaming", rf::figure13(&spider_run), &mut out);

@@ -8,7 +8,8 @@
 //! snails ask <DB> <question-id> [model]  # run one simulated inference
 //! snails sql <DB> "<query>"              # execute SQL on a benchmark DB
 //! snails list                            # the nine databases
-//! snails bench [threads]                 # wall-clock timings (JSON lines)
+//! snails bench [threads] [--fault-profile none|flaky|hostile]
+//!                                        # wall-clock timings (JSON lines)
 //! ```
 
 use snails::engine::{run_sql_with, DataType, ExecOptions, TableSchema};
@@ -44,7 +45,8 @@ fn print_usage() {
         "snails — Schema Naming Assessments for Improved LLM-Based SQL Inference\n\n\
          USAGE:\n  snails classify <identifier>...\n  snails abbreviate <identifier> [low|least]\n  \
          snails expand <identifier>...\n  snails audit <DB>\n  snails ask <DB> <question-id> [model]\n  \
-         snails sql <DB> \"<query>\"\n  snails list\n  snails bench [threads]"
+         snails sql <DB> \"<query>\"\n  snails list\n  \
+         snails bench [threads] [--fault-profile none|flaky|hostile]"
     );
 }
 
@@ -176,16 +178,26 @@ fn sql(args: &[String]) {
 /// Wall-clock timings for the parallel scheduler and the join kernels,
 /// emitted as JSON lines (no external dependencies — `format!` only).
 fn bench(args: &[String]) {
-    let threads = match args.first() {
-        None => snails::core::available_threads(),
-        Some(s) => match s.parse() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                eprintln!("bench: thread count must be a positive integer, got {s:?}");
+    let mut threads = snails::core::available_threads();
+    let mut profile = FaultProfile::NONE;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--fault-profile" {
+            let Some(p) = it.next().and_then(|n| FaultProfile::by_name(n)) else {
+                eprintln!("bench: --fault-profile takes none|flaky|hostile");
                 std::process::exit(2);
+            };
+            profile = p;
+        } else {
+            match arg.parse() {
+                Ok(n) if n > 0 => threads = n,
+                _ => {
+                    eprintln!("bench: thread count must be a positive integer, got {arg:?}");
+                    std::process::exit(2);
+                }
             }
-        },
-    };
+        }
+    }
     let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
 
     // Benchmark grid: the same (database × variant × workflow × question)
@@ -205,6 +217,8 @@ fn bench(args: &[String]) {
             Workflow::CodeS,
         ],
         threads: Some(t),
+        fault_profile: profile,
+        ..Default::default()
     };
     // Untimed warm-up pass so the serial baseline is not billed for page
     // faults and allocator warm-up the parallel run then gets for free.
@@ -215,7 +229,11 @@ fn bench(args: &[String]) {
     let t1 = Instant::now();
     let parallel = run_benchmark_on(&collection, &config(threads));
     let parallel_ms = ms(t1);
-    let records_match = serial.records == parallel.records;
+    // Under a fault profile this comparison also proves the resilience
+    // layer's determinism: same plans, failures, and retry counts at any
+    // thread count.
+    let records_match =
+        serial.records == parallel.records && serial.faults == parallel.faults;
     println!(
         "{{\"bench\":\"grid\",\"cells\":{},\"threads\":1,\"ms\":{serial_ms:.1}}}",
         serial.records.len()
@@ -226,6 +244,20 @@ fn bench(args: &[String]) {
         parallel.records.len(),
         serial_ms / parallel_ms
     );
+    // Fault accounting for the parallel run. Every planned cell must have
+    // produced a record (failures become records; nothing aborts), so
+    // aborted_cells is the completeness check CI asserts on.
+    let aborted = parallel.faults.cells - parallel.records.len();
+    println!(
+        "{{\"bench\":\"fault_summary\",\"profile\":\"{}\",\"aborted_cells\":{aborted},\
+         \"summary\":{}}}",
+        profile.name,
+        parallel.faults.to_json()
+    );
+    if aborted > 0 {
+        eprintln!("error: {aborted} grid cells aborted without a record");
+        std::process::exit(1);
+    }
 
     // Join kernels on the join-heavy gold queries (NTSB: composite-key
     // joins, Table 3): the full gold suite with the hash join off and on.
@@ -242,8 +274,8 @@ fn bench(args: &[String]) {
         }
         ms(t)
     };
-    let nested_ms = time_suite(ExecOptions { hash_join: false });
-    let hash_ms = time_suite(ExecOptions { hash_join: true });
+    let nested_ms = time_suite(ExecOptions { hash_join: false, ..Default::default() });
+    let hash_ms = time_suite(ExecOptions { hash_join: true, ..Default::default() });
     println!(
         "{{\"bench\":\"gold_joins\",\"database\":\"NTSB\",\"queries\":{},\
          \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.1}}}",
@@ -266,8 +298,8 @@ fn bench(args: &[String]) {
         run_sql_with(&sdb, sql, opts).expect("synthetic join runs");
         ms(t)
     };
-    let nested_ms = time_one(ExecOptions { hash_join: false });
-    let hash_ms = time_one(ExecOptions { hash_join: true });
+    let nested_ms = time_one(ExecOptions { hash_join: false, ..Default::default() });
+    let hash_ms = time_one(ExecOptions { hash_join: true, ..Default::default() });
     println!(
         "{{\"bench\":\"synthetic_join\",\"rows\":3000,\
          \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.0}}}",

@@ -49,11 +49,14 @@ pub use snails_tokenize as tokenize;
 pub mod prelude {
     pub use snails_core::pipeline::{
         evaluate_question, run_benchmark, run_benchmark_on, BenchmarkConfig, BenchmarkRun,
+        FaultSummary, QueryRecord,
     };
     pub use snails_data::{build_all, build_database, GoldPair, SnailsDatabase};
-    pub use snails_engine::{run_sql, Database, ResultSet, Value};
+    pub use snails_engine::{run_sql, Database, ExecLimits, ResultSet, Value};
     pub use snails_eval::{match_result_sets, query_linking, ExecutionOutcome};
-    pub use snails_llm::{build_prompt, infer, ModelKind, SchemaView, Workflow};
+    pub use snails_llm::{
+        build_prompt, infer, FailureKind, FaultProfile, ModelKind, SchemaView, Workflow,
+    };
     pub use snails_modify::{abbreviate_identifier, Expander};
     pub use snails_naturalness::category::{Naturalness, SchemaVariant};
     pub use snails_naturalness::{combined_naturalness, Classifier};

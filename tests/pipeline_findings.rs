@@ -15,6 +15,7 @@ fn run_two_db_benchmark() -> (Vec<SnailsDatabase>, BenchmarkRun) {
         variants: SchemaVariant::ALL.to_vec(),
         workflows: Workflow::all(),
         threads: None,
+        ..BenchmarkConfig::default()
     };
     let run = run_benchmark_on(&collection, &config);
     (collection, run)

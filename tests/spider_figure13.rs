@@ -18,6 +18,7 @@ fn spider_renaming_reproduces_figure_13() {
             Workflow::ZeroShot(ModelKind::PhindCodeLlama),
         ],
         threads: None,
+        ..BenchmarkConfig::default()
     };
     let run = run_benchmark_on(&spider, &config);
     assert_eq!(run.records.len(), 80 * 4 * 3);
