@@ -56,6 +56,7 @@ fn bench_pipeline(c: &mut Criterion) {
             Workflow::ZeroShot(ModelKind::CodeS),
         ],
         threads,
+        ..Default::default()
     };
     c.bench_function("benchmark_160cells_serial", |b| {
         let config = config(Some(1));

@@ -3,7 +3,7 @@
 use crate::measures::{query_measures, QueryMeasures};
 use crate::scheduler;
 use snails_data::SnailsDatabase;
-use snails_engine::{ExecLimits, ExecOptions};
+use snails_engine::{ExecLimits, ExecOptions, PlanCache};
 use snails_eval::{audit_semantics, match_result_sets, query_linking, LinkingScores};
 
 use snails_llm::faults::{self, FailureKind, FaultProfile};
@@ -210,13 +210,14 @@ pub struct EvalContext<'a> {
     db: &'a SnailsDatabase,
     view: &'a SchemaView,
     denat: snails_sql::IdentifierMap,
+    plans: PlanCache,
 }
 
 impl<'a> EvalContext<'a> {
     /// Precompute the shared state for `db` at the view's variant.
     pub fn new(db: &'a SnailsDatabase, view: &'a SchemaView) -> Self {
         let denat = snails_llm::middleware::denaturalization_map(db, view.variant);
-        EvalContext { db, view, denat }
+        EvalContext { db, view, denat, plans: PlanCache::new() }
     }
 
     /// Evaluate one workflow on one question.
@@ -239,6 +240,7 @@ impl<'a> EvalContext<'a> {
             &qm,
             &CellPlan::clean(0),
             ExecLimits::UNLIMITED,
+            &self.plans,
         )
     }
 }
@@ -309,6 +311,7 @@ fn evaluate_with_context(
     qm: &QueryMeasures,
     plan: &CellPlan,
     limits: ExecLimits,
+    plans: &PlanCache,
 ) -> QueryRecord {
     let variant = view.variant;
     // The resilience middleware: retries/breaker/corruption were planned
@@ -356,9 +359,12 @@ fn evaluate_with_context(
 
     // Execution accuracy: run both queries, superset-match, audit. The
     // predicted query is untrusted model output and runs under the
-    // configured budgets; gold ran unguarded in `gold_context`.
+    // configured budgets; gold ran unguarded in `gold_context`. Predicted
+    // queries flow through the shared plan cache: distinct workflows and
+    // questions frequently converge on the same denaturalized SQL, so the
+    // statement is lowered once and re-executed from the compiled plan.
     let Some(gold_rs) = &gold.result else { return record };
-    let pred_rs = match snails_engine::run_sql_with(
+    let pred_rs = match plans.run(
         &db.db,
         &native_sql,
         ExecOptions { limits, ..Default::default() },
@@ -503,6 +509,10 @@ pub fn run_benchmark_on(
     }
 
     let threads = config.threads.unwrap_or_else(scheduler::available_threads);
+    // One plan cache for the whole grid: cache keys include the database
+    // name, and plan execution is a pure function of (db, sql, opts), so
+    // sharing it across workers cannot perturb record content or order.
+    let plans = PlanCache::new();
     let records = scheduler::run_ordered_isolated(
         &items,
         threads,
@@ -518,6 +528,7 @@ pub fn run_benchmark_on(
                 it.qm,
                 &it.plan,
                 config.limits,
+                &plans,
             )
         },
         |_, it, payload| {

@@ -124,10 +124,12 @@ pub fn apply_ddl(db: &mut Database, stmt: &Statement) -> Result<(), EngineError>
 }
 
 /// One named relation in scope: binding name plus its column names.
+/// Shared with the compile-once planner (`crate::plan`), which resolves
+/// column references against the same structure at plan time.
 #[derive(Debug, Clone)]
-struct Binding {
-    name: String,
-    columns: Vec<String>,
+pub(crate) struct Binding {
+    pub(crate) name: String,
+    pub(crate) columns: Vec<String>,
 }
 
 /// The bindings of one `FROM`/`JOIN` block and its accumulated rows.
@@ -198,7 +200,7 @@ impl<'a> Scope<'a> {
 }
 
 /// Truthiness under SQL three-valued logic.
-fn truth(v: &Value) -> Option<bool> {
+pub(crate) fn truth(v: &Value) -> Option<bool> {
     match v {
         Value::Null => None,
         Value::Int(n) => Some(*n != 0),
@@ -207,7 +209,7 @@ fn truth(v: &Value) -> Option<bool> {
     }
 }
 
-fn bool_value(b: Option<bool>) -> Value {
+pub(crate) fn bool_value(b: Option<bool>) -> Value {
     match b {
         None => Value::Null,
         Some(true) => Value::Int(1),
@@ -217,13 +219,13 @@ fn bool_value(b: Option<bool>) -> Value {
 
 const AGGREGATES: &[&str] = &["COUNT", "SUM", "AVG", "MIN", "MAX"];
 
-fn is_aggregate_name(name: &str) -> bool {
+pub(crate) fn is_aggregate_name(name: &str) -> bool {
     AGGREGATES.contains(&name)
 }
 
 /// True when `e` contains an aggregate call at this query level (does not
 /// descend into subqueries).
-fn contains_aggregate(e: &Expr) -> bool {
+pub(crate) fn contains_aggregate(e: &Expr) -> bool {
     match e {
         Expr::Function { name, args, .. } => {
             if is_aggregate_name(name) {
@@ -245,7 +247,7 @@ fn contains_aggregate(e: &Expr) -> bool {
 
 /// Which side of a join an expression's columns come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JoinSide {
+pub(crate) enum JoinSide {
     Left,
     Right,
 }
@@ -277,11 +279,8 @@ impl SideClass {
 /// which side would this column read from? `None` when resolution would be
 /// ambiguous, correlated (parent scope), or an error — the caller then
 /// falls back to the nested loop, which reproduces the exact semantics.
-fn column_side(col: &ColumnRef, left: &RowSet, right: &RowSet) -> Option<JoinSide> {
-    let sides = [
-        (JoinSide::Left, &left.bindings),
-        (JoinSide::Right, &right.bindings),
-    ];
+fn column_side(col: &ColumnRef, left: &[Binding], right: &[Binding]) -> Option<JoinSide> {
+    let sides = [(JoinSide::Left, left), (JoinSide::Right, right)];
     if let Some(q) = &col.qualifier {
         for (side, bindings) in sides {
             for b in bindings.iter() {
@@ -314,7 +313,7 @@ fn column_side(col: &ColumnRef, left: &RowSet, right: &RowSet) -> Option<JoinSid
 }
 
 /// Classify which join side `e` reads from.
-fn expr_side(e: &Expr, left: &RowSet, right: &RowSet) -> SideClass {
+fn expr_side(e: &Expr, left: &[Binding], right: &[Binding]) -> SideClass {
     match e {
         Expr::Column(c) => match column_side(c, left, right) {
             Some(side) => SideClass::One(side),
@@ -353,10 +352,14 @@ fn flatten_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
 /// a non-equality conjunct, a same-side equality, OR at the top level, a
 /// subquery — returns `None` and the whole join stays on the nested loop,
 /// so filters and error cases keep their exact serial semantics.
-fn equi_join_keys<'e>(
+///
+/// Operates on binding lists (not row sets) so the planner can run the same
+/// classification at compile time and reach the identical hash/nested
+/// decision the interpreter reaches per execution.
+pub(crate) fn equi_join_keys<'e>(
     pred: &'e Expr,
-    left: &RowSet,
-    right: &RowSet,
+    left: &[Binding],
+    right: &[Binding],
 ) -> Option<Vec<(&'e Expr, &'e Expr)>> {
     let mut conjuncts = Vec::new();
     flatten_conjuncts(pred, &mut conjuncts);
@@ -377,9 +380,13 @@ fn equi_join_keys<'e>(
     Some(keys)
 }
 
-struct Executor<'a> {
-    db: &'a Database,
-    opts: ExecOptions,
+/// Shared [`ExecLimits`] accounting, used identically by the AST
+/// interpreter ([`Executor`]) and the compiled-plan runner
+/// (`crate::plan`). Keeping the charge arithmetic in one place is what
+/// makes the two paths' `ResourceExhausted` behavior byte-identical: the
+/// same budgets, the same saturating counters, the same error messages.
+pub(crate) struct Meter {
+    limits: ExecLimits,
     /// Cooperative step counter (rows materialized/filtered/grouped),
     /// shared across subquery recursion — hence interior mutability.
     steps: Cell<u64>,
@@ -389,11 +396,10 @@ struct Executor<'a> {
     depth: Cell<u32>,
 }
 
-impl<'a> Executor<'a> {
-    fn new(db: &'a Database, opts: ExecOptions) -> Self {
-        Executor {
-            db,
-            opts,
+impl Meter {
+    pub(crate) fn new(limits: ExecLimits) -> Self {
+        Meter {
+            limits,
             steps: Cell::new(0),
             join_rows: Cell::new(0),
             depth: Cell::new(0),
@@ -401,10 +407,10 @@ impl<'a> Executor<'a> {
     }
 
     /// Charge `n` units against the cooperative step budget.
-    fn charge_steps(&self, n: u64) -> Result<(), EngineError> {
+    pub(crate) fn charge_steps(&self, n: u64) -> Result<(), EngineError> {
         let total = self.steps.get().saturating_add(n);
         self.steps.set(total);
-        match self.opts.limits.max_steps {
+        match self.limits.max_steps {
             Some(budget) if total > budget => {
                 Err(EngineError::resource_exhausted("step budget", budget))
             }
@@ -414,15 +420,58 @@ impl<'a> Executor<'a> {
 
     /// Charge `n` units against the join build/probe budget (also counts
     /// toward the step budget — join work is work).
-    fn charge_join(&self, n: u64) -> Result<(), EngineError> {
+    pub(crate) fn charge_join(&self, n: u64) -> Result<(), EngineError> {
         let total = self.join_rows.get().saturating_add(n);
         self.join_rows.set(total);
-        if let Some(budget) = self.opts.limits.max_join_rows {
+        if let Some(budget) = self.limits.max_join_rows {
             if total > budget {
                 return Err(EngineError::resource_exhausted("join row budget", budget));
             }
         }
         self.charge_steps(n)
+    }
+
+    /// Enter a query block: enforces the subquery depth budget. On `Err`
+    /// the depth counter is untouched, so no unwind is needed.
+    pub(crate) fn enter_block(&self) -> Result<(), EngineError> {
+        let depth = self.depth.get() + 1;
+        if let Some(budget) = self.limits.max_subquery_depth {
+            if depth > budget {
+                return Err(EngineError::resource_exhausted(
+                    "subquery depth budget",
+                    u64::from(budget),
+                ));
+            }
+        }
+        self.depth.set(depth);
+        Ok(())
+    }
+
+    /// Leave a query block entered with [`Meter::enter_block`].
+    pub(crate) fn exit_block(&self) {
+        self.depth.set(self.depth.get() - 1);
+    }
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+    opts: ExecOptions,
+    meter: Meter,
+}
+
+impl<'a> Executor<'a> {
+    fn new(db: &'a Database, opts: ExecOptions) -> Self {
+        Executor { db, opts, meter: Meter::new(opts.limits) }
+    }
+
+    /// Charge `n` units against the cooperative step budget.
+    fn charge_steps(&self, n: u64) -> Result<(), EngineError> {
+        self.meter.charge_steps(n)
+    }
+
+    /// Charge `n` units against the join build/probe budget.
+    fn charge_join(&self, n: u64) -> Result<(), EngineError> {
+        self.meter.charge_join(n)
     }
 
     /// Depth-guarded entry point for a query block: enforces the subquery
@@ -432,18 +481,9 @@ impl<'a> Executor<'a> {
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
     ) -> Result<ResultSet, EngineError> {
-        let depth = self.depth.get() + 1;
-        if let Some(budget) = self.opts.limits.max_subquery_depth {
-            if depth > budget {
-                return Err(EngineError::resource_exhausted(
-                    "subquery depth budget",
-                    u64::from(budget),
-                ));
-            }
-        }
-        self.depth.set(depth);
+        self.meter.enter_block()?;
         let result = self.select_inner(stmt, outer);
-        self.depth.set(depth - 1);
+        self.meter.exit_block();
         result
     }
 
@@ -692,7 +732,7 @@ impl<'a> Executor<'a> {
     ) -> Result<RowSet, EngineError> {
         if self.opts.hash_join && kind != JoinKind::Cross {
             if let Some(pred) = on {
-                if let Some(keys) = equi_join_keys(pred, &left, &right) {
+                if let Some(keys) = equi_join_keys(pred, &left.bindings, &right.bindings) {
                     return self.hash_join(left, right, kind, &keys, outer);
                 }
             }
@@ -1002,6 +1042,33 @@ impl<'a> Executor<'a> {
             Expr::Function { name, args, distinct } if is_aggregate_name(name) => {
                 self.eval_aggregate(name, args, *distinct, group, bindings, outer)
             }
+            // AND/OR need the same three-valued short-circuit as scalar
+            // `eval` — routing them into `eval_binary` would hit its
+            // `unreachable!` arm (e.g. `HAVING COUNT(*) > 1 AND x = 1`).
+            Expr::Binary { left, op: BinOp::And, right } => {
+                let l = truth(&self.eval_grouped(left, rep, group, bindings, outer)?);
+                if l == Some(false) {
+                    return Ok(bool_value(Some(false)));
+                }
+                let r = truth(&self.eval_grouped(right, rep, group, bindings, outer)?);
+                Ok(bool_value(match (l, r) {
+                    (Some(true), Some(true)) => Some(true),
+                    (_, Some(false)) => Some(false),
+                    _ => None,
+                }))
+            }
+            Expr::Binary { left, op: BinOp::Or, right } => {
+                let l = truth(&self.eval_grouped(left, rep, group, bindings, outer)?);
+                if l == Some(true) {
+                    return Ok(bool_value(Some(true)));
+                }
+                let r = truth(&self.eval_grouped(right, rep, group, bindings, outer)?);
+                Ok(bool_value(match (l, r) {
+                    (Some(false), Some(false)) => Some(false),
+                    (_, Some(true)) => Some(true),
+                    _ => None,
+                }))
+            }
             Expr::Binary { left, op, right } => {
                 let l = self.eval_grouped(left, rep, group, bindings, outer)?;
                 let r = self.eval_grouped(right, rep, group, bindings, outer)?;
@@ -1048,62 +1115,7 @@ impl<'a> Executor<'a> {
                 values.push(v);
             }
         }
-        if distinct {
-            let mut seen: HashSet<HashKey> = HashSet::new();
-            values.retain(|v| seen.insert(v.hash_key()));
-        }
-        match name {
-            "COUNT" => Ok(Value::Int(values.len() as i64)),
-            "SUM" | "AVG" => {
-                if values.is_empty() {
-                    return Ok(Value::Null);
-                }
-                let mut sum = 0.0;
-                // Checked i64 accumulator for the all-int case, so huge sums
-                // surface a TypeError instead of a lossy f64 → i64 cast.
-                let mut int_sum: Option<i64> = Some(0);
-                for v in &values {
-                    int_sum = match (int_sum, v) {
-                        (Some(acc), Value::Int(n)) => Some(acc.checked_add(*n).ok_or_else(
-                            || EngineError::type_error(format!("integer overflow in {name}")),
-                        )?),
-                        _ => None,
-                    };
-                    sum += v
-                        .as_f64()
-                        .ok_or_else(|| EngineError::type_error(format!("{name} over non-numeric")))?;
-                }
-                if name == "AVG" {
-                    Ok(Value::Float(sum / values.len() as f64))
-                } else if let Some(s) = int_sum {
-                    Ok(Value::Int(s))
-                } else {
-                    Ok(Value::Float(sum))
-                }
-            }
-            "MIN" | "MAX" => {
-                let mut best: Option<Value> = None;
-                for v in values {
-                    best = Some(match best {
-                        None => v,
-                        Some(b) => {
-                            let keep_v = match v.sql_cmp(&b) {
-                                Some(std::cmp::Ordering::Less) => name == "MIN",
-                                Some(std::cmp::Ordering::Greater) => name == "MAX",
-                                _ => false,
-                            };
-                            if keep_v {
-                                v
-                            } else {
-                                b
-                            }
-                        }
-                    });
-                }
-                Ok(best.unwrap_or(Value::Null))
-            }
-            other => Err(EngineError::unsupported(format!("aggregate {other}"))),
-        }
+        finish_aggregate(name, distinct, values)
     }
 
     /// Scalar expression evaluation.
@@ -1112,7 +1124,7 @@ impl<'a> Executor<'a> {
             Expr::Literal(l) => Ok(match l {
                 snails_sql::Literal::Int(n) => Value::Int(*n),
                 snails_sql::Literal::Float(x) => Value::Float(*x),
-                snails_sql::Literal::Str(s) => Value::Str(s.clone()),
+                snails_sql::Literal::Str(s) => Value::from(s.as_str()),
                 snails_sql::Literal::Null => Value::Null,
             }),
             Expr::Column(c) => scope.resolve(c),
@@ -1294,6 +1306,81 @@ impl<'a> Executor<'a> {
                 FunctionArg::Expr(e) => vals.push(self.eval(e, scope)?),
             }
         }
+        scalar_fn(name, &vals)
+    }
+}
+
+/// Finish an aggregate over the already-collected non-NULL argument values:
+/// applies `DISTINCT` and dispatches on the (uppercase) aggregate name.
+/// Shared between the interpreter and the compiled-plan runner so both paths
+/// produce identical values and identical error messages.
+pub(crate) fn finish_aggregate(
+    name: &str,
+    distinct: bool,
+    mut values: Vec<Value>,
+) -> Result<Value, EngineError> {
+    if distinct {
+        let mut seen: HashSet<HashKey> = HashSet::new();
+        values.retain(|v| seen.insert(v.hash_key()));
+    }
+    match name {
+        "COUNT" => Ok(Value::Int(values.len() as i64)),
+        "SUM" | "AVG" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum = 0.0;
+            // Checked i64 accumulator for the all-int case, so huge sums
+            // surface a TypeError instead of a lossy f64 → i64 cast.
+            let mut int_sum: Option<i64> = Some(0);
+            for v in &values {
+                int_sum = match (int_sum, v) {
+                    (Some(acc), Value::Int(n)) => Some(acc.checked_add(*n).ok_or_else(
+                        || EngineError::type_error(format!("integer overflow in {name}")),
+                    )?),
+                    _ => None,
+                };
+                sum += v
+                    .as_f64()
+                    .ok_or_else(|| EngineError::type_error(format!("{name} over non-numeric")))?;
+            }
+            if name == "AVG" {
+                Ok(Value::Float(sum / values.len() as f64))
+            } else if let Some(s) = int_sum {
+                Ok(Value::Int(s))
+            } else {
+                Ok(Value::Float(sum))
+            }
+        }
+        "MIN" | "MAX" => {
+            let mut best: Option<Value> = None;
+            for v in values {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_v = match v.sql_cmp(&b) {
+                            Some(std::cmp::Ordering::Less) => name == "MIN",
+                            Some(std::cmp::Ordering::Greater) => name == "MAX",
+                            _ => false,
+                        };
+                        if keep_v {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+        other => Err(EngineError::unsupported(format!("aggregate {other}"))),
+    }
+}
+
+/// Dispatch a scalar function over already-evaluated argument values.
+/// Shared between the interpreter and the compiled-plan runner.
+pub(crate) fn scalar_fn(name: &str, vals: &[Value]) -> Result<Value, EngineError> {
+    {
         let arg0 = vals.first();
         match name {
             "YEAR" => match arg0 {
@@ -1307,12 +1394,12 @@ impl<'a> Executor<'a> {
                 Some(other) => Err(EngineError::type_error(format!("YEAR over {other:?}"))),
             },
             "UPPER" => match arg0 {
-                Some(Value::Str(s)) => Ok(Value::Str(s.to_ascii_uppercase())),
+                Some(Value::Str(s)) => Ok(Value::from(s.to_ascii_uppercase())),
                 Some(Value::Null) => Ok(Value::Null),
                 _ => Err(EngineError::type_error("UPPER requires text")),
             },
             "LOWER" => match arg0 {
-                Some(Value::Str(s)) => Ok(Value::Str(s.to_ascii_lowercase())),
+                Some(Value::Str(s)) => Ok(Value::from(s.to_ascii_lowercase())),
                 Some(Value::Null) => Ok(Value::Null),
                 _ => Err(EngineError::type_error("LOWER requires text")),
             },
@@ -1342,7 +1429,7 @@ impl<'a> Executor<'a> {
                 Some(other) => Err(EngineError::type_error(format!("{name} over {other:?}"))),
             },
             "COALESCE" => {
-                for v in &vals {
+                for v in vals {
                     if !v.is_null() {
                         return Ok(v.clone());
                     }
@@ -1361,7 +1448,7 @@ impl<'a> Executor<'a> {
                         .as_i64()
                         .ok_or_else(|| EngineError::type_error("SUBSTRING length"))?
                         .max(0) as usize;
-                    Ok(Value::Str(s.chars().skip(start - 1).take(len).collect()))
+                    Ok(Value::from(s.chars().skip(start - 1).take(len).collect::<String>()))
                 }
                 _ => Err(EngineError::type_error("SUBSTRING(text, start, length)")),
             },
@@ -1390,14 +1477,14 @@ enum PlanItem {
     Expr(Expr),
 }
 
-fn eval_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
+pub(crate) fn eval_unary(op: UnaryOp, v: &Value) -> Result<Value, EngineError> {
     match op {
         UnaryOp::Not => Ok(bool_value(truth(v).map(|b| !b))),
         UnaryOp::Neg => v.checked_neg(),
     }
 }
 
-fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
+pub(crate) fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
     use std::cmp::Ordering;
     if op.is_comparison() {
         let b = l.sql_cmp(r).map(|o| match op {
@@ -1419,7 +1506,7 @@ fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
             // String + string = concatenation (T-SQL).
             if op == BinOp::Add {
                 if let (Value::Str(a), Value::Str(b)) = (l, r) {
-                    return Ok(Value::Str(format!("{a}{b}")));
+                    return Ok(Value::from(format!("{a}{b}")));
                 }
             }
             let arith = match op {
@@ -1438,18 +1525,41 @@ fn eval_binary(l: &Value, op: BinOp, r: &Value) -> Result<Value, EngineError> {
 }
 
 /// `LIKE` pattern matching with `%` and `_` wildcards (inputs pre-lowercased).
-fn like_match(s: &str, pattern: &str) -> bool {
-    fn rec(s: &[u8], p: &[u8]) -> bool {
-        match p.first() {
-            None => s.is_empty(),
+///
+/// Two-pointer greedy algorithm: on a mismatch after a `%`, the match
+/// restarts one character later in the subject rather than recursing over
+/// every split point, so the worst case is O(subject × pattern) instead of
+/// the exponential blow-up of the naive backtracking formulation on
+/// adversarial patterns like `%a%a%a%…`.
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
+    let (s, p) = (s.as_bytes(), pattern.as_bytes());
+    let (mut si, mut pi) = (0usize, 0usize);
+    // Position of the most recent `%` (pattern index after it, subject
+    // index where its match attempt started).
+    let mut star: Option<(usize, usize)> = None;
+    while si < s.len() {
+        match p.get(pi) {
             Some(b'%') => {
-                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+                pi += 1;
+                star = Some((pi, si));
             }
-            Some(b'_') => !s.is_empty() && rec(&s[1..], &p[1..]),
-            Some(&c) => s.first() == Some(&c) && rec(&s[1..], &p[1..]),
+            Some(&c) if c == b'_' || c == s[si] => {
+                si += 1;
+                pi += 1;
+            }
+            _ => match star {
+                // Let the last `%` absorb one more subject byte and retry.
+                Some((restart_p, restart_s)) => {
+                    si = restart_s + 1;
+                    pi = restart_p;
+                    star = Some((restart_p, si));
+                }
+                None => return false,
+            },
         }
     }
-    rec(s.as_bytes(), pattern.as_bytes())
+    // Subject exhausted: the rest of the pattern must be all `%`.
+    p[pi..].iter().all(|&c| c == b'%')
 }
 
 #[cfg(test)]
@@ -1980,6 +2090,44 @@ mod tests {
         assert!(!like_match("abc", "b%"));
         assert!(!like_match("abc", "____"));
         assert!(like_match("a%b", "a%b"));
+    }
+
+    /// Adversarial pattern that is exponential under naive backtracking:
+    /// `%a%a%a%…` against a long string of `b`s must fail fast under the
+    /// two-pointer matcher (the old recursive formulation would not return
+    /// within the lifetime of the test runner).
+    #[test]
+    fn like_match_adversarial_is_linear() {
+        let subject = "b".repeat(10_000);
+        let pattern = "%a".repeat(30) + "%";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&subject, &pattern));
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+        // And the matching variant still succeeds.
+        let subject = "ba".repeat(40);
+        assert!(like_match(&subject, &pattern));
+    }
+
+    /// `HAVING` with AND/OR over an aggregate used to panic: `eval_grouped`
+    /// forwarded `And`/`Or` into `eval_binary`, whose arm is `unreachable!`.
+    #[test]
+    fn having_with_logical_connectives() {
+        let db = wildlife_db();
+        let r = rows(
+            &db,
+            "SELECT SpCode, COUNT(*) FROM tbl_Observations GROUP BY SpCode \
+             HAVING COUNT(*) > 1 AND SpCode = 'ELK'",
+        );
+        assert_eq!(r, vec![vec![Value::from("ELK"), Value::Int(3)]]);
+        let r = rows(
+            &db,
+            "SELECT SpCode, COUNT(*) FROM tbl_Observations GROUP BY SpCode \
+             HAVING COUNT(*) > 2 OR SpCode = 'MDR' ORDER BY SpCode",
+        );
+        assert_eq!(r, vec![
+            vec![Value::from("ELK"), Value::Int(3)],
+            vec![Value::from("MDR"), Value::Int(1)],
+        ]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::error::EngineError;
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// Column data types (the subset used by the SNAILS schemas).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +39,11 @@ impl fmt::Display for DataType {
 /// A runtime value. `Null` compares before everything (T-SQL sort order) and
 /// equals only itself in *sorting*; SQL predicate semantics (NULL-propagating
 /// comparisons) are handled by the evaluator, not by `Ord`.
+///
+/// Text is interned behind `Arc<str>` so that cloning a value at operator
+/// boundaries (joins, projection, sorting, result materialization) copies a
+/// pointer instead of the character buffer — rows flow through the fully
+/// materializing executor by refcount bump.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
@@ -46,18 +52,24 @@ pub enum Value {
     Int(i64),
     /// Float.
     Float(f64),
-    /// Text (also dates, ISO-8601).
-    Str(String),
+    /// Text (also dates, ISO-8601), shared by refcount.
+    Str(Arc<str>),
 }
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
         Value::Str(s)
     }
 }
@@ -130,7 +142,7 @@ impl Value {
     /// Text view, if textual.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -377,7 +389,7 @@ mod tests {
 
     #[test]
     fn total_order_null_first() {
-        let mut vals = vec![Value::from("z"), Value::Int(3), Value::Null, Value::Float(1.5)];
+        let mut vals = [Value::from("z"), Value::Int(3), Value::Null, Value::Float(1.5)];
         vals.sort_by(Value::total_cmp);
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Float(1.5));

@@ -34,6 +34,15 @@ impl ExecutionOutcome {
     }
 }
 
+/// Loose per-value agreement: numeric cross-type equality within epsilon
+/// (COUNT renders Int, SUM may be Float), exact `total_cmp` otherwise.
+fn values_agree(x: &Value, y: &Value) -> bool {
+    match (x.as_f64(), y.as_f64()) {
+        (Some(p), Some(q)) => (p - q).abs() < 1e-9,
+        _ => x.total_cmp(y) == Ordering::Equal && x.is_null() == y.is_null(),
+    }
+}
+
 /// Sort key comparison for whole rows.
 fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
     for (x, y) in a.iter().zip(b) {
@@ -45,39 +54,48 @@ fn cmp_rows(a: &[Value], b: &[Value]) -> Ordering {
     Ordering::Equal
 }
 
-/// Multiset equality between two columns of values.
-fn columns_match(a: &[Value], b: &[Value]) -> bool {
-    if a.len() != b.len() {
-        return false;
-    }
-    let mut a = a.to_vec();
-    let mut b = b.to_vec();
-    a.sort_by(Value::total_cmp);
-    b.sort_by(Value::total_cmp);
-    a.iter().zip(&b).all(|(x, y)| {
-        // Numeric cross-type equality (COUNT renders Int, SUM may be Float).
-        match (x.as_f64(), y.as_f64()) {
-            (Some(p), Some(q)) => (p - q).abs() < 1e-9,
-            _ => x.total_cmp(y) == Ordering::Equal && x.is_null() == y.is_null(),
-        }
-    })
+/// Row indices `0..rows` ordered by the value in column `col` — a sorted
+/// view of the column without cloning any values.
+fn column_order(rs: &ResultSet, col: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..rs.row_count()).collect();
+    idx.sort_by(|&a, &b| rs.rows[a][col].total_cmp(&rs.rows[b][col]));
+    idx
+}
+
+/// Multiset equality between two columns, each given as (result set, column
+/// index, sorted row order). Both orders come from [`column_order`], so the
+/// pairwise walk sees each column ascending.
+fn columns_match(
+    gold: &ResultSet,
+    gi: usize,
+    g_order: &[usize],
+    pred: &ResultSet,
+    pj: usize,
+    p_order: &[usize],
+) -> bool {
+    g_order.len() == p_order.len()
+        && g_order
+            .iter()
+            .zip(p_order)
+            .all(|(&gr, &pr)| values_agree(&gold.rows[gr][gi], &pred.rows[pr][pj]))
 }
 
 /// Find an injective assignment of gold columns to predicted columns such
 /// that each pair matches as a multiset, by backtracking over the (small)
 /// candidate sets.
 fn assign_columns(gold: &ResultSet, predicted: &ResultSet) -> Option<Vec<usize>> {
-    let g_cols: Vec<Vec<Value>> = (0..gold.column_count())
-        .map(|i| gold.column_values(i))
+    let g_orders: Vec<Vec<usize>> = (0..gold.column_count())
+        .map(|i| column_order(gold, i))
         .collect();
-    let p_cols: Vec<Vec<Value>> = (0..predicted.column_count())
-        .map(|i| predicted.column_values(i))
+    let p_orders: Vec<Vec<usize>> = (0..predicted.column_count())
+        .map(|j| column_order(predicted, j))
         .collect();
-    let candidates: Vec<Vec<usize>> = g_cols
+    let candidates: Vec<Vec<usize>> = g_orders
         .iter()
-        .map(|g| {
-            (0..p_cols.len())
-                .filter(|&j| columns_match(g, &p_cols[j]))
+        .enumerate()
+        .map(|(i, g_order)| {
+            (0..p_orders.len())
+                .filter(|&j| columns_match(gold, i, g_order, predicted, j, &p_orders[j]))
                 .collect()
         })
         .collect();
@@ -103,8 +121,8 @@ fn assign_columns(gold: &ResultSet, predicted: &ResultSet) -> Option<Vec<usize>>
         }
         false
     }
-    let mut used = vec![false; p_cols.len()];
-    let mut assignment = Vec::with_capacity(g_cols.len());
+    let mut used = vec![false; p_orders.len()];
+    let mut assignment = Vec::with_capacity(g_orders.len());
     backtrack(&candidates, 0, &mut used, &mut assignment).then_some(assignment)
 }
 
@@ -119,21 +137,30 @@ pub fn match_result_sets(gold: &ResultSet, predicted: &ResultSet) -> ExecutionOu
     let Some(assignment) = assign_columns(gold, predicted) else {
         return ExecutionOutcome::NoMatch;
     };
-    // Row-wise verification on the matched columns: project both sides onto
-    // the assignment, sort, compare.
-    let mut gold_rows: Vec<Vec<Value>> = gold.rows.clone();
-    let mut pred_rows: Vec<Vec<Value>> = predicted
-        .rows
-        .iter()
-        .map(|r| assignment.iter().map(|&j| r[j].clone()).collect())
-        .collect();
-    gold_rows.sort_by(|a, b| cmp_rows(a, b));
-    pred_rows.sort_by(|a, b| cmp_rows(a, b));
-    let all_equal = gold_rows.iter().zip(&pred_rows).all(|(g, p)| {
-        g.iter().zip(p).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
-            (Some(a), Some(b)) => (a - b).abs() < 1e-9,
-            _ => x.total_cmp(y) == Ordering::Equal && x.is_null() == y.is_null(),
-        })
+    // Row-wise verification on the matched columns: sort *index
+    // permutations* of both sides — the gold rows by their full tuples, the
+    // predicted rows viewed through the assignment — then walk the
+    // permutations in lockstep. No row is cloned or rebuilt; the predicted
+    // projection exists only as the `assignment` indirection. Both sorts are
+    // stable with the same `total_cmp`-lexicographic comparator the cloning
+    // version used, so the visited value sequences (and verdict) are
+    // identical.
+    let mut gold_perm: Vec<usize> = (0..gold.row_count()).collect();
+    gold_perm.sort_by(|&a, &b| cmp_rows(&gold.rows[a], &gold.rows[b]));
+    let mut pred_perm: Vec<usize> = (0..predicted.row_count()).collect();
+    pred_perm.sort_by(|&a, &b| {
+        let (ra, rb) = (&predicted.rows[a], &predicted.rows[b]);
+        assignment
+            .iter()
+            .map(|&j| ra[j].total_cmp(&rb[j]))
+            .find(|&ord| ord != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    });
+    let all_equal = gold_perm.iter().zip(&pred_perm).all(|(&gr, &pr)| {
+        gold.rows[gr]
+            .iter()
+            .zip(&assignment)
+            .all(|(x, &j)| values_agree(x, &predicted.rows[pr][j]))
     });
     if all_equal {
         ExecutionOutcome::Match

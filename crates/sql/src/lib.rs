@@ -42,6 +42,59 @@ pub fn normalize(sql: &str) -> Result<String, ParseError> {
     Ok(parse(sql)?.to_string())
 }
 
+/// Token-stream cache key: a cheap normalization for plan/statement caches.
+///
+/// Two inputs get the same key **iff** they lex to the same token stream —
+/// whitespace, comments, and keyword case vanish, while identifier
+/// spelling, literals, and token order are preserved (identifier case
+/// affects output column names, so it must survive). Since the parser is a
+/// pure function of the token stream, equal keys imply equal ASTs; the
+/// length-prefixed encoding keeps distinct streams from colliding (e.g. a
+/// string literal containing `SELECT` never merges with the keyword).
+///
+/// Returns `None` when the input does not lex; callers fall back to the
+/// uncached parse path for its exact error.
+pub fn cache_key(sql: &str) -> Option<String> {
+    let tokens = tokenize(sql).ok()?;
+    let mut key = String::with_capacity(sql.len());
+    for t in &tokens {
+        match &t.kind {
+            TokenKind::Keyword(k) => {
+                key.push('k');
+                key.push_str(k.as_str());
+            }
+            TokenKind::Identifier { .. } => {
+                key.push('i');
+                key.push_str(&t.text.len().to_string());
+                key.push(':');
+                key.push_str(&t.text);
+            }
+            TokenKind::StringLit => {
+                key.push('s');
+                key.push_str(&t.text.len().to_string());
+                key.push(':');
+                key.push_str(&t.text);
+            }
+            TokenKind::Integer(n) => {
+                key.push('#');
+                key.push_str(&n.to_string());
+            }
+            TokenKind::Float(x) => {
+                // Bit pattern, so -0.0 / NaN spellings stay distinct and
+                // no formatting round-trip can merge different floats.
+                key.push('f');
+                key.push_str(&x.to_bits().to_string());
+            }
+            TokenKind::Symbol(s) => {
+                key.push('y');
+                key.push_str(s.as_str());
+            }
+        }
+        key.push(' ');
+    }
+    Some(key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +111,25 @@ mod tests {
     #[test]
     fn normalize_rejects_garbage() {
         assert!(normalize("this is not sql").is_err());
+    }
+
+    #[test]
+    fn cache_key_ignores_whitespace_and_keyword_case() {
+        let a = cache_key("SELECT a FROM t WHERE x = 'hi'").unwrap();
+        let b = cache_key("select   a\n FROM  T where x='hi'").unwrap();
+        // Keyword case and spacing normalize away; identifier case does not.
+        assert_ne!(a, b); // `t` vs `T`
+        let c = cache_key("select a from t WHERE x = 'hi'").unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_literals_and_identifiers() {
+        // A string literal spelling a keyword never merges with the keyword.
+        assert_ne!(cache_key("SELECT 'FROM'"), cache_key("SELECT FROM"));
+        // Adjacent tokens cannot re-associate across the length prefix.
+        assert_ne!(cache_key("SELECT 'ab', 'c'"), cache_key("SELECT 'a', 'bc'"));
+        assert_ne!(cache_key("SELECT 1"), cache_key("SELECT 1.0"));
+        assert!(cache_key("SELECT 'unterminated").is_none());
     }
 }

@@ -4,7 +4,7 @@
 #   ./scripts/check.sh
 #
 # Everything runs offline (--offline; external deps resolve to the
-# in-tree stand-ins under crates/compat/). A PR is ready when all four
+# in-tree stand-ins under crates/compat/). A PR is ready when all
 # stages pass.
 
 set -euo pipefail
@@ -19,6 +19,12 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --workspace -- -D warnings (offline)"
 cargo clippy --workspace --offline -- -D warnings
 
+echo "==> cargo clippy -p snails-engine --benches -- -D warnings (offline)"
+# The engine (plan/IR layer) and the bench harnesses are gated
+# separately so a workspace-level allow can never mask a regression in
+# the compiled-plan code or the criterion targets.
+cargo clippy -p snails-engine -p snails-bench --benches --offline -- -D warnings
+
 echo "==> snails bench --fault-profile flaky (smoke: zero aborted cells)"
 # The bench exits non-zero when any grid cell aborts without a record or
 # when parallel records diverge from serial; grep double-checks the
@@ -29,5 +35,23 @@ echo "$bench_out" | grep -q '"bench":"fault_summary","profile":"flaky","aborted_
     echo "error: flaky fault smoke run reported aborted cells" >&2
     exit 1
 }
+
+echo "==> BENCH_engine.json artifact (exists, well-formed, plan stage present)"
+# `snails bench` writes the artifact as its last act; it must exist, be
+# valid JSON, and carry the plan_exec stage with identical results.
+[ -f BENCH_engine.json ] || {
+    echo "error: snails bench did not write BENCH_engine.json" >&2
+    exit 1
+}
+python3 - <<'PY'
+import json, sys
+doc = json.load(open("BENCH_engine.json"))
+stages = {s["bench"]: s for s in doc["stages"]}
+assert "plan_exec" in stages, "plan_exec stage missing"
+assert stages["plan_exec"]["results_identical"], "compiled plans diverged"
+assert stages["grid_determinism"]["identical"], "grid not thread-deterministic"
+print(f"    plan_exec speedup {stages['plan_exec']['speedup']}x, "
+      f"{stages['plan_exec']['rows_per_s']} rows/s")
+PY
 
 echo "==> all checks passed"

@@ -200,6 +200,14 @@ fn bench(args: &[String]) {
     }
     let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
 
+    // Every stage line goes to stdout and into the BENCH_engine.json
+    // artifact written at the end of the run.
+    let mut stages: Vec<String> = Vec::new();
+    let mut emit = |line: String| {
+        println!("{line}");
+        stages.push(line);
+    };
+
     // Benchmark grid: the same (database × variant × workflow × question)
     // cells serially and on `threads` workers. The record comparison
     // doubles as a determinism check on every bench run.
@@ -232,28 +240,42 @@ fn bench(args: &[String]) {
     // Under a fault profile this comparison also proves the resilience
     // layer's determinism: same plans, failures, and retry counts at any
     // thread count.
-    let records_match =
+    let mut records_match =
         serial.records == parallel.records && serial.faults == parallel.faults;
-    println!(
+    emit(format!(
         "{{\"bench\":\"grid\",\"cells\":{},\"threads\":1,\"ms\":{serial_ms:.1}}}",
         serial.records.len()
-    );
-    println!(
+    ));
+    emit(format!(
         "{{\"bench\":\"grid\",\"cells\":{},\"threads\":{threads},\"ms\":{parallel_ms:.1},\
          \"speedup\":{:.2},\"records_match\":{records_match}}}",
         parallel.records.len(),
         serial_ms / parallel_ms
-    );
+    ));
+    // Determinism grid: records (and fault accounting) must be
+    // bit-identical at 1, 2, and 8 workers. The serial and `threads` runs
+    // above already cover their thread counts; fill in the rest.
+    for t in [2usize, 8] {
+        if t == threads {
+            continue;
+        }
+        let run = run_benchmark_on(&collection, &config(t));
+        records_match &= run.records == serial.records && run.faults == serial.faults;
+    }
+    emit(format!(
+        "{{\"bench\":\"grid_determinism\",\"threads\":[1,2,8],\
+         \"identical\":{records_match}}}"
+    ));
     // Fault accounting for the parallel run. Every planned cell must have
     // produced a record (failures become records; nothing aborts), so
     // aborted_cells is the completeness check CI asserts on.
     let aborted = parallel.faults.cells - parallel.records.len();
-    println!(
+    emit(format!(
         "{{\"bench\":\"fault_summary\",\"profile\":\"{}\",\"aborted_cells\":{aborted},\
          \"summary\":{}}}",
         profile.name,
         parallel.faults.to_json()
-    );
+    ));
     if aborted > 0 {
         eprintln!("error: {aborted} grid cells aborted without a record");
         std::process::exit(1);
@@ -276,12 +298,56 @@ fn bench(args: &[String]) {
     };
     let nested_ms = time_suite(ExecOptions { hash_join: false, ..Default::default() });
     let hash_ms = time_suite(ExecOptions { hash_join: true, ..Default::default() });
-    println!(
+    emit(format!(
         "{{\"bench\":\"gold_joins\",\"database\":\"NTSB\",\"queries\":{},\
          \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.1}}}",
         joins.len(),
         nested_ms / hash_ms
-    );
+    ));
+
+    // Plan-once-execute-many: the full NTSB gold workload executed `REPS`
+    // times — lex/parse/name-resolve on every execution (interpret) vs
+    // lowering each statement once and replaying its compiled plan from a
+    // warm cache. The warm-up pass below doubles as a result-identity
+    // check between the two paths.
+    let opts = ExecOptions::default();
+    let plans = snails::engine::PlanCache::new();
+    let mut gold_rows = 0usize;
+    let mut plans_identical = true;
+    for p in &db.questions {
+        let interpreted = run_sql(&db.db, &p.sql);
+        let planned = plans.run(&db.db, &p.sql, opts);
+        plans_identical &= planned == interpreted;
+        if let Ok(rs) = &planned {
+            gold_rows += rs.row_count();
+        }
+    }
+    const REPS: usize = 25;
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for p in &db.questions {
+            let _ = run_sql(&db.db, &p.sql);
+        }
+    }
+    let interp_ms = ms(t);
+    let t = Instant::now();
+    for _ in 0..REPS {
+        for p in &db.questions {
+            let _ = plans.run(&db.db, &p.sql, opts);
+        }
+    }
+    let plan_ms = ms(t);
+    let rows_per_s = (gold_rows * REPS) as f64 / (plan_ms / 1e3);
+    emit(format!(
+        "{{\"bench\":\"plan_exec\",\"database\":\"NTSB\",\"queries\":{},\"reps\":{REPS},\
+         \"interpret_ms\":{interp_ms:.1},\"plan_ms\":{plan_ms:.1},\"speedup\":{:.2},\
+         \"rows_per_s\":{rows_per_s:.0},\"cache_hits\":{},\"cache_misses\":{},\
+         \"results_identical\":{plans_identical}}}",
+        db.questions.len(),
+        interp_ms / plan_ms,
+        plans.hits(),
+        plans.misses()
+    ));
 
     // Synthetic equi join at a row count where the quadratic nested loop
     // dominates, showing the kernels' asymptotic headroom.
@@ -300,14 +366,29 @@ fn bench(args: &[String]) {
     };
     let nested_ms = time_one(ExecOptions { hash_join: false, ..Default::default() });
     let hash_ms = time_one(ExecOptions { hash_join: true, ..Default::default() });
-    println!(
+    emit(format!(
         "{{\"bench\":\"synthetic_join\",\"rows\":3000,\
          \"nested_ms\":{nested_ms:.1},\"hash_ms\":{hash_ms:.1},\"speedup\":{:.0}}}",
         nested_ms / hash_ms
+    ));
+
+    // Machine-readable artifact: every stage line above, wrapped in one
+    // JSON document (hand-assembled — each stage is already valid JSON).
+    let artifact = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"threads\": {threads},\n  \"stages\": [\n    {}\n  ]\n}}\n",
+        stages.join(",\n    ")
     );
+    if let Err(e) = std::fs::write("BENCH_engine.json", &artifact) {
+        eprintln!("error: could not write BENCH_engine.json: {e}");
+        std::process::exit(1);
+    }
 
     if !records_match {
-        eprintln!("error: parallel records diverged from serial records");
+        eprintln!("error: records diverged across thread counts");
+        std::process::exit(1);
+    }
+    if !plans_identical {
+        eprintln!("error: compiled-plan results diverged from the interpreter");
         std::process::exit(1);
     }
 }
