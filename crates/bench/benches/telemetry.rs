@@ -1,0 +1,65 @@
+//! Observability overhead: the same workloads with and without an
+//! installed telemetry scope.
+//!
+//! These pairs back the ≤5 % overhead contract in DESIGN.md §7: unscoped
+//! instrumentation must cost one thread-local read per call site, and a
+//! scoped run must stay within noise of the bare loop on a real workload
+//! (the `snails bench` plan_exec stage asserts the same thing end to end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snails_core::telemetry::{self, ClockMode, Metric, ObsCtx};
+use snails_engine::{ExecOptions, PlanCache};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_telemetry(c: &mut Criterion) {
+    // Raw registry primitives: the per-call floor for instrumented code.
+    let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+    c.bench_function("telemetry_counter_add_unscoped", |b| {
+        b.iter(|| telemetry::add(black_box(Metric::EngineExecStatements), 1))
+    });
+    {
+        let _scope = telemetry::scope(&ctx);
+        c.bench_function("telemetry_counter_add_scoped", |b| {
+            b.iter(|| telemetry::add(black_box(Metric::EngineExecStatements), 1))
+        });
+        c.bench_function("telemetry_histogram_observe_scoped", |b| {
+            b.iter(|| telemetry::observe(black_box(Metric::EngineExecSteps), 12345))
+        });
+        c.bench_function("telemetry_span_scoped", |b| {
+            b.iter(|| {
+                telemetry::task(0, || {
+                    let _span = telemetry::span("bench");
+                })
+            })
+        });
+    }
+
+    // Gold workload through a warm plan cache, bare vs. scoped — the same
+    // A/B the `snails bench` plan_exec stage records in BENCH_engine.json.
+    let db = snails_data::build_database("CWO");
+    let opts = ExecOptions::default();
+    let cache = PlanCache::new();
+    for q in &db.questions {
+        cache.run(&db.db, &q.sql, opts).unwrap();
+    }
+    c.bench_function("telemetry_gold_workload_off", |b| {
+        b.iter(|| {
+            for q in &db.questions {
+                black_box(cache.run(&db.db, &q.sql, opts).unwrap());
+            }
+        })
+    });
+    let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+    let _scope = telemetry::scope(&ctx);
+    c.bench_function("telemetry_gold_workload_on", |b| {
+        b.iter(|| {
+            for q in &db.questions {
+                black_box(cache.run(&db.db, &q.sql, opts).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

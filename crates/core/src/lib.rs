@@ -27,3 +27,13 @@ pub mod scheduler;
 
 pub use pipeline::{run_benchmark, BenchmarkConfig, BenchmarkRun, QueryRecord};
 pub use scheduler::available_threads;
+
+/// Telemetry types re-exported from the observability crate so binaries and
+/// downstream consumers of [`BenchmarkRun::telemetry`] need no direct
+/// `snails-obs` dependency.
+pub mod telemetry {
+    pub use snails_obs::{
+        add, gauge_set, observe, scope, span, task, ClockMode, HistSnapshot, Metric, ObsCtx,
+        Report, Section, Snapshot, SpanStat,
+    };
+}

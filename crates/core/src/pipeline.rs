@@ -11,8 +11,10 @@ use snails_llm::generate::mix_seed;
 use snails_llm::resilience::{CellExecution, CellPlan, Planner, ResilienceConfig};
 use snails_llm::{run_cell, SchemaView, Workflow};
 use snails_naturalness::category::SchemaVariant;
+use snails_obs::{ClockMode, Metric, ObsCtx, Report};
 use snails_sql::{extract_identifiers, parse};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Benchmark configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +42,11 @@ pub struct BenchmarkConfig {
     /// [`ExecLimits::guarded`], generous enough that no sane prediction on
     /// the SNAILS databases ever hits a budget.
     pub limits: ExecLimits,
+    /// Collect a telemetry [`Report`] for the run (metrics + simulated-clock
+    /// span rollup, surfaced as [`BenchmarkRun::telemetry`]). The report's
+    /// deterministic section is byte-identical at any thread count; `false`
+    /// (the default) records nothing and costs nothing on the hot paths.
+    pub telemetry: bool,
 }
 
 impl Default for BenchmarkConfig {
@@ -52,6 +59,7 @@ impl Default for BenchmarkConfig {
             threads: None,
             fault_profile: FaultProfile::NONE,
             limits: ExecLimits::guarded(),
+            telemetry: false,
         }
     }
 }
@@ -146,6 +154,8 @@ pub struct BenchmarkRun {
     /// Fault/retry/breaker accounting (all zeros when the fault layer is
     /// inert and no predicted query hit a budget).
     pub faults: FaultSummary,
+    /// Telemetry report, present iff [`BenchmarkConfig::telemetry`] was set.
+    pub telemetry: Option<Report>,
 }
 
 impl BenchmarkRun {
@@ -314,13 +324,20 @@ fn evaluate_with_context(
     plans: &PlanCache,
 ) -> QueryRecord {
     let variant = view.variant;
+    // Span guards are inert unless the scheduler installed an observability
+    // scope (telemetry runs); under the simulated clock their tick structure
+    // per task is exact, so the rollup joins the deterministic report.
+    let _cell = snails_obs::span("cell");
     // The resilience middleware: retries/breaker/corruption were planned
     // serially; `run_cell` executes the plan (and genuinely panics for
     // planned-panic cells — the scheduler's isolation handles those).
-    let (result, failure) = match run_cell(plan, workflow, db, view, pair, seed) {
-        CellExecution::Completed { result, failure } => (result, failure),
-        CellExecution::Failed(kind) => {
-            return failed_record(workflow, db, variant, pair, gold, qm, kind, plan.attempts)
+    let (result, failure) = {
+        let _s = snails_obs::span("cell.infer");
+        match run_cell(plan, workflow, db, view, pair, seed) {
+            CellExecution::Completed { result, failure } => (result, failure),
+            CellExecution::Failed(kind) => {
+                return failed_record(workflow, db, variant, pair, gold, qm, kind, plan.attempts)
+            }
         }
     };
 
@@ -345,17 +362,23 @@ fn evaluate_with_context(
     };
 
     // Denaturalize the raw output back to the Native namespace.
-    let Ok(native_sql) = snails_sql::denaturalize_query(&result.inference.raw_sql, denat)
-    else {
+    let denat_result = {
+        let _s = snails_obs::span("cell.denaturalize");
+        snails_sql::denaturalize_query(&result.inference.raw_sql, denat)
+    };
+    let Ok(native_sql) = denat_result else {
         return record; // unparseable output: excluded from linking analysis
     };
     record.parse_ok = true;
 
     // Schema linking (on the denaturalized query, appendix E.4).
-    let pred_stmt = parse(&native_sql).expect("denaturalization preserves parseability");
-    let pred_qi = extract_identifiers(&pred_stmt);
-    record.pred_ids = pred_qi.all();
-    record.linking = Some(query_linking(&gold.ids, &pred_qi));
+    {
+        let _s = snails_obs::span("cell.link");
+        let pred_stmt = parse(&native_sql).expect("denaturalization preserves parseability");
+        let pred_qi = extract_identifiers(&pred_stmt);
+        record.pred_ids = pred_qi.all();
+        record.linking = Some(query_linking(&gold.ids, &pred_qi));
+    }
 
     // Execution accuracy: run both queries, superset-match, audit. The
     // predicted query is untrusted model output and runs under the
@@ -364,6 +387,7 @@ fn evaluate_with_context(
     // questions frequently converge on the same denaturalized SQL, so the
     // statement is lowered once and re-executed from the compiled plan.
     let Some(gold_rs) = &gold.result else { return record };
+    let _exec = snails_obs::span("cell.exec");
     let pred_rs = match plans.run(
         &db.db,
         &native_sql,
@@ -474,6 +498,15 @@ pub fn run_benchmark_on(
         faults::silence_injected_panics();
     }
 
+    // Telemetry context for the run. The simulated clock keeps the span
+    // rollup deterministic; gold-query precompute above is deliberately
+    // outside the scope (the report describes planning + predicted-query
+    // work, not trusted fixtures).
+    let obs = config.telemetry.then(|| Arc::new(ObsCtx::new(ClockMode::Sim)));
+    // The serial planning pre-pass records the llm.* counters — install the
+    // scope on this thread for the item-building loop.
+    let _plan_scope = obs.as_ref().map(snails_obs::scope);
+
     let mut items: Vec<WorkItem<'_>> = Vec::new();
     for (di, &db) in dbs.iter().enumerate() {
         for vctx in &variants[di] {
@@ -492,7 +525,14 @@ pub fn run_benchmark_on(
                             );
                             planner.plan_cell(workflow.display_name(), cell_seed)
                         }
-                        None => CellPlan::clean(0),
+                        None => {
+                            // Keep the resilience counters reconcilable
+                            // with `FaultSummary` on every profile: a clean
+                            // cell is one planned cell with one attempt.
+                            snails_obs::add(Metric::LlmCellsPlanned, 1);
+                            snails_obs::add(Metric::LlmResilienceAttempts, 1);
+                            CellPlan::clean(0)
+                        }
                     };
                     items.push(WorkItem {
                         db,
@@ -513,9 +553,10 @@ pub fn run_benchmark_on(
     // name, and plan execution is a pure function of (db, sql, opts), so
     // sharing it across workers cannot perturb record content or order.
     let plans = PlanCache::new();
-    let records = scheduler::run_ordered_isolated(
+    let records = scheduler::run_ordered_observed(
         &items,
         threads,
+        obs.as_ref(),
         |_, it| {
             evaluate_with_context(
                 it.workflow,
@@ -564,7 +605,7 @@ pub fn run_benchmark_on(
             *faults.failures.entry(kind.name()).or_insert(0) += 1;
         }
     }
-    BenchmarkRun { records, faults }
+    BenchmarkRun { records, faults, telemetry: obs.map(|ctx| ctx.report()) }
 }
 
 /// Build the databases named in the config and run the benchmark.

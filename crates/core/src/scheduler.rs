@@ -18,10 +18,13 @@
 //! no rayon. `std::thread::scope` lets workers borrow the item slice and
 //! the closure without `Arc`.
 
+use snails_obs::{Metric as Obs, ObsCtx};
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Number of worker threads to use when the caller does not specify one.
 pub fn available_threads() -> usize {
@@ -75,6 +78,30 @@ where
     F: Fn(usize, &I) -> T + Sync,
     P: Fn(usize, &I, Box<dyn Any + Send>) -> T + Sync,
 {
+    run_ordered_observed(items, threads, None, f, on_panic)
+}
+
+/// [`run_ordered_isolated`] with optional observability: when `ctx` is
+/// `Some`, every worker installs the context as its scope (so metric and
+/// span calls inside `f` record into it), each item runs as
+/// [`snails_obs::task`] `i` (making span merging deterministic — see
+/// `snails_obs::trace`), and the scheduler reports its own telemetry:
+/// `core.scheduler.items` per item (deterministic), plus volatile shape
+/// metrics (workers, queue depth, chunks claimed/stolen, per-item wall
+/// time) that legitimately vary with the thread count.
+pub fn run_ordered_observed<I, T, F, P>(
+    items: &[I],
+    threads: usize,
+    ctx: Option<&Arc<ObsCtx>>,
+    f: F,
+    on_panic: P,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+    P: Fn(usize, &I, Box<dyn Any + Send>) -> T + Sync,
+{
     // `AssertUnwindSafe` is sound here: a caught panic either rethrows
     // (run_ordered, restoring the old abort-the-run behavior) or replaces
     // the item's result wholesale, so no partially-mutated state is
@@ -85,11 +112,26 @@ where
             Err(payload) => on_panic(i, item, payload),
         }
     };
+    // The task wrapper (panic isolation happens inside it, so the task
+    // always flushes normally) plus per-item accounting.
+    let observed = |i: usize, item: &I| -> T {
+        let Some(ctx) = ctx else { return call(i, item) };
+        let started = Instant::now();
+        let out = snails_obs::task(i as u64, || call(i, item));
+        ctx.registry.add(Obs::CoreSchedulerItems, 1);
+        ctx.registry
+            .observe(Obs::CoreSchedulerItemWallNs, started.elapsed().as_nanos() as u64);
+        out
+    };
 
     let n = items.len();
     let workers = threads.max(1).min(n.max(1));
+    if let Some(ctx) = ctx {
+        ctx.registry.gauge_set(Obs::CoreSchedulerWorkers, workers as i64);
+    }
     if workers == 1 {
-        return items.iter().enumerate().map(|(i, item)| call(i, item)).collect();
+        let _scope = ctx.map(snails_obs::scope);
+        return items.iter().enumerate().map(|(i, item)| observed(i, item)).collect();
     }
 
     let chunk = (n / (workers * CHUNKS_PER_WORKER)).max(1);
@@ -99,15 +141,28 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let _scope = ctx.map(snails_obs::scope);
                     let mut local: Vec<(usize, T)> = Vec::new();
+                    let mut claims = 0usize;
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= n {
                             break;
                         }
+                        if let Some(ctx) = ctx {
+                            claims += 1;
+                            ctx.registry.add(Obs::CoreSchedulerChunksClaimed, 1);
+                            if claims > 1 {
+                                ctx.registry.add(Obs::CoreSchedulerStealChunks, 1);
+                            }
+                            ctx.registry.gauge_set(
+                                Obs::CoreSchedulerQueueDepth,
+                                n.saturating_sub(start + chunk) as i64,
+                            );
+                        }
                         let end = (start + chunk).min(n);
                         for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                            local.push((i, call(i, item)));
+                            local.push((i, observed(i, item)));
                         }
                     }
                     local

@@ -9,6 +9,7 @@ use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::result::ResultSet;
 use crate::value::{ArithOp, HashKey, Value};
+use snails_obs::Metric as Obs;
 use snails_sql::{
     BinOp, ColumnRef, Expr, FunctionArg, JoinKind, SelectItem, SelectStatement, Statement,
     TableSource, UnaryOp,
@@ -101,7 +102,12 @@ pub fn execute_with(
     opts: ExecOptions,
 ) -> Result<ResultSet, EngineError> {
     match stmt {
-        Statement::Select(s) => Executor::new(db, opts).select(s, None),
+        Statement::Select(s) => {
+            let exec = Executor::new(db, opts);
+            let result = exec.select(s, None);
+            record_statement(&exec.meter, &result);
+            result
+        }
         Statement::CreateView { .. } => Err(EngineError::unsupported(
             "CREATE VIEW requires apply_ddl (mutable database)",
         )),
@@ -451,6 +457,30 @@ impl Meter {
     pub(crate) fn exit_block(&self) {
         self.depth.set(self.depth.get() - 1);
     }
+
+    /// Total step budget consumed so far.
+    pub(crate) fn steps_used(&self) -> u64 {
+        self.steps.get()
+    }
+
+    /// Total join budget consumed so far.
+    pub(crate) fn join_rows_used(&self) -> u64 {
+        self.join_rows.get()
+    }
+}
+
+/// Record statement-level telemetry after one execution through `meter`
+/// (shared by the interpreter and the compiled-plan runner, so both paths
+/// report through the identical accounting). No-ops without an installed
+/// observability scope.
+pub(crate) fn record_statement<T>(meter: &Meter, result: &Result<T, EngineError>) {
+    use snails_obs::Metric;
+    snails_obs::add(Metric::EngineExecStatements, 1);
+    snails_obs::observe(Metric::EngineExecSteps, meter.steps_used());
+    snails_obs::observe(Metric::EngineExecJoinRows, meter.join_rows_used());
+    if matches!(result, Err(e) if e.is_resource_exhausted()) {
+        snails_obs::add(Metric::EngineLimitsExhausted, 1);
+    }
 }
 
 struct Executor<'a> {
@@ -500,6 +530,7 @@ impl<'a> Executor<'a> {
         for join in &stmt.joins {
             let right = self.load_source(&join.source)?;
             rowset = self.join(rowset, right, join.kind, join.on.as_ref(), outer)?;
+            snails_obs::observe(Obs::EngineOpJoinRows, rowset.rows.len() as u64);
         }
 
         // WHERE.
@@ -513,6 +544,7 @@ impl<'a> Executor<'a> {
                 }
             }
             rowset.rows = kept;
+            snails_obs::observe(Obs::EngineOpFilterRows, rowset.rows.len() as u64);
         }
 
         let has_aggregates = stmt.items.iter().any(|i| match i {
@@ -559,6 +591,9 @@ impl<'a> Executor<'a> {
         } else {
             rowset.rows.iter().map(|r| (r.clone(), vec![r.clone()])).collect()
         };
+        if grouped {
+            snails_obs::observe(Obs::EngineOpGroupUnits, units.len() as u64);
+        }
 
         // HAVING.
         let units: Vec<_> = if let Some(h) = &stmt.having {
@@ -607,6 +642,7 @@ impl<'a> Executor<'a> {
             }
             projected.push((out_row, keys));
         }
+        snails_obs::observe(Obs::EngineOpProjectRows, projected.len() as u64);
 
         // DISTINCT.
         if stmt.distinct {
@@ -618,6 +654,7 @@ impl<'a> Executor<'a> {
 
         // ORDER BY (stable).
         if !stmt.order_by.is_empty() {
+            snails_obs::observe(Obs::EngineOpSortRows, projected.len() as u64);
             let descending: Vec<bool> = stmt.order_by.iter().map(|o| o.descending).collect();
             projected.sort_by(|(_, ka), (_, kb)| {
                 for (i, desc) in descending.iter().enumerate() {
@@ -689,6 +726,7 @@ impl<'a> Executor<'a> {
                 if dbo && shadowing_view.is_none() {
                     if let Some(t) = self.db.table(name) {
                         self.charge_steps(t.rows.len() as u64)?;
+                        snails_obs::observe(Obs::EngineOpScanRows, t.rows.len() as u64);
                         let columns: Vec<String> =
                             t.schema.column_names().map(str::to_owned).collect();
                         let width = columns.len();
@@ -703,6 +741,7 @@ impl<'a> Executor<'a> {
                     .or_else(|| self.db.view(schema.as_deref(), name))
                     .ok_or_else(|| EngineError::UnknownTable { name: name.clone() })?;
                 let rs = self.select(&view.query.clone(), None)?;
+                snails_obs::observe(Obs::EngineOpScanRows, rs.rows.len() as u64);
                 let width = rs.columns.len();
                 Ok(RowSet {
                     bindings: vec![Binding { name: binding_name, columns: rs.columns }],
@@ -712,6 +751,7 @@ impl<'a> Executor<'a> {
             }
             TableSource::Derived { query, alias } => {
                 let rs = self.select(query, None)?;
+                snails_obs::observe(Obs::EngineOpScanRows, rs.rows.len() as u64);
                 let width = rs.columns.len();
                 Ok(RowSet {
                     bindings: vec![Binding { name: alias.clone(), columns: rs.columns }],

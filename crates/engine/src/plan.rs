@@ -47,8 +47,10 @@ use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::exec::{
     bool_value, contains_aggregate, equi_join_keys, eval_binary, eval_unary, finish_aggregate,
-    is_aggregate_name, like_match, scalar_fn, truth, Binding, ExecLimits, ExecOptions, Meter,
+    is_aggregate_name, like_match, record_statement, scalar_fn, truth, Binding, ExecLimits,
+    ExecOptions, Meter,
 };
+use snails_obs::Metric as Obs;
 use crate::result::ResultSet;
 use crate::value::{HashKey, Value};
 
@@ -285,7 +287,10 @@ impl CompiledPlan {
                 ),
             });
         }
-        Runner::new(db, opts).run_select(&self.root, None)
+        let runner = Runner::new(db, opts);
+        let result = runner.run_select(&self.root, None);
+        record_statement(&runner.meter, &result);
+        result
     }
 }
 
@@ -879,6 +884,7 @@ impl<'a> Runner<'a> {
         for join in &sel.joins {
             let right = self.load_source(&join.source)?;
             rows = self.join(sel, rows, right, join, outer)?;
+            snails_obs::observe(Obs::EngineOpJoinRows, rows.len() as u64);
         }
 
         // WHERE.
@@ -892,6 +898,7 @@ impl<'a> Runner<'a> {
                 }
             }
             rows = kept;
+            snails_obs::observe(Obs::EngineOpFilterRows, rows.len() as u64);
         }
 
         // Plan-time projection errors surface here, after WHERE — exactly
@@ -935,6 +942,9 @@ impl<'a> Runner<'a> {
         } else {
             (0..rows.len()).map(|i| (Rep::Row(i), vec![i])).collect()
         };
+        if sel.grouped {
+            snails_obs::observe(Obs::EngineOpGroupUnits, units.len() as u64);
+        }
 
         // HAVING.
         let units: Vec<_> = if let Some(h) = &sel.having {
@@ -976,6 +986,7 @@ impl<'a> Runner<'a> {
             }
             projected.push((out_row, keys));
         }
+        snails_obs::observe(Obs::EngineOpProjectRows, projected.len() as u64);
 
         // DISTINCT.
         if sel.distinct {
@@ -985,6 +996,7 @@ impl<'a> Runner<'a> {
 
         // ORDER BY (stable).
         if !sel.order_by.is_empty() {
+            snails_obs::observe(Obs::EngineOpSortRows, projected.len() as u64);
             projected.sort_by(|(_, ka), (_, kb)| {
                 for (i, (_, desc)) in sel.order_by.iter().enumerate() {
                     let ord = ka[i].total_cmp(&kb[i]);
@@ -1039,9 +1051,14 @@ impl<'a> Runner<'a> {
                     .table(name)
                     .ok_or_else(|| EngineError::UnknownTable { name: name.clone() })?;
                 self.meter.charge_steps(t.rows.len() as u64)?;
+                snails_obs::observe(Obs::EngineOpScanRows, t.rows.len() as u64);
                 Ok(t.rows.clone())
             }
-            CSource::Sub { plan, .. } => Ok(self.run_select(plan, None)?.rows),
+            CSource::Sub { plan, .. } => {
+                let rows = self.run_select(plan, None)?.rows;
+                snails_obs::observe(Obs::EngineOpScanRows, rows.len() as u64);
+                Ok(rows)
+            }
             CSource::Missing(name) => Err(EngineError::UnknownTable { name: name.clone() }),
         }
     }
@@ -1544,15 +1561,33 @@ impl<'a> Runner<'a> {
 /// compiled plans snapshot catalog structure.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    plans: Mutex<HashMap<String, Arc<CompiledPlan>>>,
+    inner: Mutex<CacheInner>,
+    /// `None` = unbounded (the default).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Map plus FIFO insertion order, updated together under one lock.
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<String, Arc<CompiledPlan>>,
+    order: std::collections::VecDeque<String>,
 }
 
 impl PlanCache {
-    /// New empty cache.
+    /// New unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache holding at most `capacity` plans; when a compile would
+    /// overflow it, the oldest *inserted* entry is evicted (FIFO — cheap,
+    /// deterministic, and order-insensitive to concurrent hits, unlike
+    /// LRU). `capacity` is clamped to at least 1.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache { capacity: Some(capacity.max(1)), ..Self::default() }
     }
 
     /// Parse/compile `sql` (or fetch the cached plan) and execute it.
@@ -1578,17 +1613,33 @@ impl PlanCache {
             return compile(db, &stmt).map(Arc::new);
         };
         let key = format!("{}\u{1}{}", db.name, norm);
-        if let Some(p) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        // The lock is held across the compile: a racing lookup of the same
+        // key then blocks and *hits* instead of compiling twice, which makes
+        // the hit/miss/compile counts pure functions of the lookup sequence
+        // — identical at any thread count (the telemetry report's
+        // deterministic section depends on this). Compilation is cheap AST
+        // lowering, so the serialization is negligible next to execution.
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        if let Some(p) = inner.plans.get(&key) {
             self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            snails_obs::add(Obs::EnginePlanCacheHit, 1);
             return Ok(Arc::clone(p));
         }
         self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        snails_obs::add(Obs::EnginePlanCacheMiss, 1);
         let stmt = snails_sql::parse(sql).map_err(EngineError::from_parse)?;
         let plan = Arc::new(compile(db, &stmt)?);
-        self.plans
-            .lock()
-            .expect("plan cache poisoned")
-            .insert(key, Arc::clone(&plan));
+        snails_obs::add(Obs::EnginePlanCompile, 1);
+        inner.plans.insert(key.clone(), Arc::clone(&plan));
+        inner.order.push_back(key);
+        if let Some(cap) = self.capacity {
+            while inner.plans.len() > cap {
+                let oldest = inner.order.pop_front().expect("order tracks plans");
+                inner.plans.remove(&oldest);
+                self.evictions.fetch_add(1, AtomicOrdering::Relaxed);
+                snails_obs::add(Obs::EnginePlanCacheEviction, 1);
+            }
+        }
         Ok(plan)
     }
 
@@ -1602,9 +1653,14 @@ impl PlanCache {
         self.misses.load(AtomicOrdering::Relaxed)
     }
 
+    /// Plans evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(AtomicOrdering::Relaxed)
+    }
+
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.inner.lock().expect("plan cache poisoned").plans.len()
     }
 
     /// True when no plans are cached.

@@ -220,3 +220,54 @@ proptest! {
         assert_equivalent(&db, &sql, opts);
     }
 }
+
+/// Cache churn across two databases that share every table and column
+/// name: a bounded `PlanCache` interleaving warm and cold lookups must
+/// never serve one database's plan to the other, and its hit/miss/eviction
+/// counters must reconcile exactly with the lookup sequence.
+#[test]
+fn bounded_cache_churn_interleaves_databases_without_cross_serving() {
+    let mk = |name: &'static str, base: i64| {
+        let mut db = Database::new(name);
+        db.create_table(TableSchema::new("t").column("k", DataType::Int));
+        for i in 0..4 {
+            db.insert("t", vec![Value::Int(base + i)]).unwrap();
+        }
+        db
+    };
+    let alpha = mk("alpha", 0);
+    let beta = mk("beta", 100);
+    let queries = [
+        "SELECT k FROM t ORDER BY k",
+        "SELECT COUNT(*) FROM t",
+        "SELECT k FROM t WHERE k >= 2 ORDER BY k",
+        "SELECT MAX(k) FROM t",
+    ];
+    // 8 distinct (database, query) keys against capacity 3: FIFO eviction
+    // guarantees every round re-misses each key, and the immediate repeat
+    // right after each miss is a guaranteed hit (the freshly inserted plan
+    // is the newest entry, never the eviction victim).
+    let opts = ExecOptions::default();
+    let cache = PlanCache::with_capacity(3);
+    const ROUNDS: u64 = 4;
+    for _ in 0..ROUNDS {
+        for sql in &queries {
+            for db in [&alpha, &beta] {
+                let cold = cache.run(db, sql, opts).expect("query runs");
+                let warm = cache.run(db, sql, opts).expect("query runs");
+                let interpreted = run_sql_with(db, sql, opts).expect("query runs");
+                // Byte-identical to this database's interpreter result —
+                // a cross-served plan would surface the other database's
+                // rows (bases 0 vs 100 never overlap).
+                assert_eq!(cold, interpreted, "{}: {sql}", db.name);
+                assert_eq!(warm, interpreted, "{}: {sql}", db.name);
+            }
+        }
+    }
+    let pairs = ROUNDS * queries.len() as u64 * 2;
+    assert_eq!(cache.misses(), pairs, "every pair opens with a cold lookup");
+    assert_eq!(cache.hits(), pairs, "every pair closes with a warm hit");
+    assert_eq!(cache.len(), 3, "the cache never exceeds its capacity");
+    // Every miss inserted a plan; all but the resident plans were evicted.
+    assert_eq!(cache.evictions(), cache.misses() - cache.len() as u64);
+}

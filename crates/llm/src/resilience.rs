@@ -27,7 +27,19 @@ use crate::generate::mix_seed;
 use crate::schema_view::SchemaView;
 use crate::workflows::{run_workflow, Workflow, WorkflowResult};
 use snails_data::{GoldPair, SnailsDatabase};
+use snails_obs::Metric as Obs;
 use std::collections::BTreeMap;
+
+/// The telemetry counter for a drawn fault.
+fn fault_metric(kind: FaultKind) -> Obs {
+    match kind {
+        FaultKind::Timeout => Obs::LlmFaultsTimeout,
+        FaultKind::RateLimit => Obs::LlmFaultsRateLimit,
+        FaultKind::Truncated => Obs::LlmFaultsTruncated,
+        FaultKind::Garbage => Obs::LlmFaultsGarbage,
+        FaultKind::Panic => Obs::LlmFaultsPanic,
+    }
+}
 
 /// Bounded-retry policy with exponential backoff and deterministic jitter.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +133,7 @@ impl CircuitBreaker {
     pub fn state(&mut self, now_ms: u64) -> BreakerState {
         if self.state == BreakerState::Open && now_ms >= self.open_until_ms {
             self.state = BreakerState::HalfOpen;
+            snails_obs::add(Obs::LlmBreakerHalfOpen, 1);
         }
         self.state
     }
@@ -134,6 +147,9 @@ impl CircuitBreaker {
     /// Record a successful (or at least delivered) call.
     pub fn record_success(&mut self) {
         self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            snails_obs::add(Obs::LlmBreakerClose, 1);
+        }
         self.state = BreakerState::Closed;
     }
 
@@ -151,6 +167,7 @@ impl CircuitBreaker {
             self.state = BreakerState::Open;
             self.open_until_ms = now_ms + self.policy.cooldown_ms;
             self.trips += 1;
+            snails_obs::add(Obs::LlmBreakerTrips, 1);
         }
     }
 
@@ -263,18 +280,28 @@ impl Planner {
     /// Must be called serially, in grid order: breaker state and the clock
     /// thread through consecutive calls.
     pub fn plan_cell(&mut self, model: &'static str, cell_seed: u64) -> CellPlan {
+        snails_obs::add(Obs::LlmCellsPlanned, 1);
         let config = self.config;
         let breaker = self
             .breakers
             .entry(model)
             .or_insert_with(|| CircuitBreaker::new(config.breaker));
         if !breaker.allows(self.clock_ms) {
+            snails_obs::add(Obs::LlmCellsSkipped, 1);
             return CellPlan { seed: cell_seed, attempts: 0, outcome: CellOutcome::Skipped };
         }
         let mut attempts = 0u32;
         loop {
             attempts += 1;
-            match config.profile.draw(cell_seed, attempts) {
+            snails_obs::add(Obs::LlmResilienceAttempts, 1);
+            if attempts > 1 {
+                snails_obs::add(Obs::LlmResilienceRetries, 1);
+            }
+            let drawn = config.profile.draw(cell_seed, attempts);
+            if let Some(kind) = drawn {
+                snails_obs::add(fault_metric(kind), 1);
+            }
+            match drawn {
                 None => {
                     self.clock_ms += config.costs.call_ms;
                     breaker.record_success();
@@ -310,13 +337,16 @@ impl Planner {
                     breaker.record_failure(self.clock_ms);
                     let opened = !breaker.allows(self.clock_ms);
                     if attempts >= config.retry.max_attempts || opened {
+                        snails_obs::add(Obs::LlmCellsExhausted, 1);
                         return CellPlan {
                             seed: cell_seed,
                             attempts,
                             outcome: CellOutcome::Exhausted(kind.into()),
                         };
                     }
-                    self.clock_ms += config.retry.backoff_ms(attempts, cell_seed);
+                    let wait_ms = config.retry.backoff_ms(attempts, cell_seed);
+                    snails_obs::add(Obs::LlmResilienceBackoffMs, wait_ms);
+                    self.clock_ms += wait_ms;
                 }
             }
         }

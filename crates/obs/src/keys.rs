@@ -1,0 +1,222 @@
+//! The metric vocabulary: every metric the system records, registered by
+//! static key in one fixed table.
+//!
+//! A fixed schema is what makes the registry lock-free: a [`Metric`] is an
+//! index into preallocated atomic slots, so the record path is an array
+//! access plus a handful of `fetch_add`s — no hashing, no locking, no
+//! registration race. New subsystem metrics are added here, in one place,
+//! and a unit test guards name uniqueness and JSON-safety.
+
+/// What a metric slot stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic `u64` sum ([`crate::Registry::add`]).
+    Counter,
+    /// Last-write-wins `i64` level ([`crate::Registry::gauge_set`]).
+    Gauge,
+    /// Fixed-bucket distribution of `u64` samples
+    /// ([`crate::Registry::observe`]).
+    Histogram,
+}
+
+/// Static description of one metric.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricSpec {
+    /// Dotted static key, e.g. `engine.op.scan.rows`. Keys contain only
+    /// `[a-z0-9._]`, so they embed into JSON without escaping.
+    pub name: &'static str,
+    /// Slot kind.
+    pub kind: MetricKind,
+    /// Upper bucket bounds (inclusive) for histograms; empty otherwise.
+    /// Samples above the last bound land in an overflow bucket.
+    pub buckets: &'static [u64],
+    /// Volatile metrics (wall-clock timings, scheduler shape) legitimately
+    /// vary across runs and thread counts; they are reported in a separate
+    /// section and excluded from byte-identical comparisons.
+    pub volatile: bool,
+}
+
+/// Bucket bounds for row-count distributions (per-operator work).
+pub const ROWS_BUCKETS: &[u64] =
+    &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536];
+
+/// Bucket bounds for statement-level work totals (steps, join rows).
+pub const WORK_BUCKETS: &[u64] =
+    &[16, 64, 256, 1024, 4096, 16384, 65536, 262_144, 1_048_576, 16_777_216];
+
+/// Bucket bounds for wall-clock nanosecond samples.
+pub const NANOS_BUCKETS: &[u64] = &[
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+macro_rules! define_metrics {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal, $kind:ident, $buckets:expr, $volatile:expr;)*) => {
+        /// Every registered metric, by static key (see [`SPECS`]).
+        ///
+        /// The discriminant is the metric's slot index in the registry.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Metric {
+            $($(#[$doc])* $variant,)*
+        }
+
+        /// The full metric table, indexed by `Metric as usize`.
+        pub const SPECS: &[MetricSpec] = &[
+            $(MetricSpec {
+                name: $name,
+                kind: MetricKind::$kind,
+                buckets: $buckets,
+                volatile: $volatile,
+            },)*
+        ];
+
+        impl Metric {
+            /// Every metric, in registration order.
+            pub const ALL: &'static [Metric] = &[$(Metric::$variant,)*];
+        }
+    };
+}
+
+define_metrics! {
+    // ---- engine: compiled plans and the plan cache -----------------------
+    /// Statements lowered to a `CompiledPlan` (cache misses compile).
+    EnginePlanCompile => "engine.plan.compile", Counter, &[], false;
+    /// Plan-cache lookups served from a cached plan.
+    EnginePlanCacheHit => "engine.plan.cache_hit", Counter, &[], false;
+    /// Plan-cache lookups that had to compile.
+    EnginePlanCacheMiss => "engine.plan.cache_miss", Counter, &[], false;
+    /// Plans evicted from a bounded cache (FIFO order).
+    EnginePlanCacheEviction => "engine.plan.cache_eviction", Counter, &[], false;
+
+    // ---- engine: per-statement execution and budgets ---------------------
+    /// Statements executed (interpreter or compiled plan).
+    EngineExecStatements => "engine.exec.statements", Counter, &[], false;
+    /// Cooperative step budget consumed per statement.
+    EngineExecSteps => "engine.exec.steps", Histogram, WORK_BUCKETS, false;
+    /// Join build/probe budget consumed per statement.
+    EngineExecJoinRows => "engine.exec.join_rows", Histogram, WORK_BUCKETS, false;
+    /// Executions aborted by an `ExecLimits` budget.
+    EngineLimitsExhausted => "engine.limits.exhausted", Counter, &[], false;
+
+    // ---- engine: per-operator work ---------------------------------------
+    /// Rows produced per base-table / view / derived-table scan.
+    EngineOpScanRows => "engine.op.scan.rows", Histogram, ROWS_BUCKETS, false;
+    /// Rows produced per join (hash or nested loop).
+    EngineOpJoinRows => "engine.op.join.rows", Histogram, ROWS_BUCKETS, false;
+    /// Rows surviving each WHERE filter.
+    EngineOpFilterRows => "engine.op.filter.rows", Histogram, ROWS_BUCKETS, false;
+    /// Groups formed per GROUP BY (or 1 for a global aggregate).
+    EngineOpGroupUnits => "engine.op.group.units", Histogram, ROWS_BUCKETS, false;
+    /// Rows sorted per ORDER BY.
+    EngineOpSortRows => "engine.op.sort.rows", Histogram, ROWS_BUCKETS, false;
+    /// Rows projected per query block.
+    EngineOpProjectRows => "engine.op.project.rows", Histogram, ROWS_BUCKETS, false;
+
+    // ---- llm: resilience middleware --------------------------------------
+    /// Grid cells planned by the resilience pre-pass.
+    LlmCellsPlanned => "llm.cells.planned", Counter, &[], false;
+    /// Cells skipped because the model's breaker was open.
+    LlmCellsSkipped => "llm.cells.skipped", Counter, &[], false;
+    /// Cells that burned every retry on transient faults.
+    LlmCellsExhausted => "llm.cells.exhausted", Counter, &[], false;
+    /// Simulated API attempts across all cells.
+    LlmResilienceAttempts => "llm.resilience.attempts", Counter, &[], false;
+    /// Retries (attempts beyond each cell's first).
+    LlmResilienceRetries => "llm.resilience.retries", Counter, &[], false;
+    /// Total simulated backoff wait, in milliseconds.
+    LlmResilienceBackoffMs => "llm.resilience.backoff_ms", Counter, &[], false;
+    /// Circuit-breaker trips (Closed/HalfOpen → Open).
+    LlmBreakerTrips => "llm.breaker.trips", Counter, &[], false;
+    /// Breaker cooldown expiries (Open → HalfOpen).
+    LlmBreakerHalfOpen => "llm.breaker.half_open", Counter, &[], false;
+    /// Breaker recoveries (HalfOpen → Closed on a successful probe).
+    LlmBreakerClose => "llm.breaker.close", Counter, &[], false;
+    /// Timeout faults drawn.
+    LlmFaultsTimeout => "llm.faults.timeout", Counter, &[], false;
+    /// Rate-limit faults drawn.
+    LlmFaultsRateLimit => "llm.faults.rate_limit", Counter, &[], false;
+    /// Truncated-payload faults drawn.
+    LlmFaultsTruncated => "llm.faults.truncated", Counter, &[], false;
+    /// Garbage-payload faults drawn.
+    LlmFaultsGarbage => "llm.faults.garbage", Counter, &[], false;
+    /// Client-panic faults drawn.
+    LlmFaultsPanic => "llm.faults.panic", Counter, &[], false;
+
+    // ---- core: scheduler -------------------------------------------------
+    /// Work items completed by the scheduler.
+    CoreSchedulerItems => "core.scheduler.items", Counter, &[], false;
+    /// Worker threads used by the last scheduled run.
+    CoreSchedulerWorkers => "core.scheduler.workers", Gauge, &[], true;
+    /// Items still unclaimed at the most recent chunk claim.
+    CoreSchedulerQueueDepth => "core.scheduler.queue_depth", Gauge, &[], true;
+    /// Chunks claimed from the shared cursor.
+    CoreSchedulerChunksClaimed => "core.scheduler.chunks_claimed", Counter, &[], true;
+    /// Chunks claimed by a worker beyond its first (work stealing).
+    CoreSchedulerStealChunks => "core.scheduler.steal_chunks", Counter, &[], true;
+    /// Wall time per scheduled item, in nanoseconds.
+    CoreSchedulerItemWallNs => "core.scheduler.item_wall_ns", Histogram, NANOS_BUCKETS, true;
+}
+
+impl Metric {
+    /// The metric's static description.
+    pub fn spec(self) -> &'static MetricSpec {
+        &SPECS[self as usize]
+    }
+
+    /// The metric's static key.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn table_is_consistent() {
+        assert_eq!(Metric::ALL.len(), SPECS.len());
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(*m as usize, i, "discriminant mismatch for {}", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_json_safe() {
+        let mut seen = BTreeSet::new();
+        for spec in SPECS {
+            assert!(seen.insert(spec.name), "duplicate metric key {}", spec.name);
+            assert!(
+                spec.name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "key {} needs JSON escaping",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn histograms_have_sorted_bounds_and_scalars_have_none() {
+        for spec in SPECS {
+            match spec.kind {
+                MetricKind::Histogram => {
+                    assert!(!spec.buckets.is_empty(), "{} has no buckets", spec.name);
+                    assert!(
+                        spec.buckets.windows(2).all(|w| w[0] < w[1]),
+                        "{} bounds not strictly increasing",
+                        spec.name
+                    );
+                }
+                _ => assert!(spec.buckets.is_empty(), "{} is not a histogram", spec.name),
+            }
+        }
+    }
+}

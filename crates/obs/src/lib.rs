@@ -1,0 +1,374 @@
+#![warn(missing_docs)]
+
+//! # snails-obs
+//!
+//! Deterministic, zero-dependency observability for the SNAILS system:
+//!
+//! * a **lock-free metrics registry** ([`Registry`]) — atomic counters,
+//!   gauges, and fixed-bucket histograms registered by static key
+//!   ([`keys::SPECS`]), snapshot-able to JSON;
+//! * a **span tracer** ([`Tracer`]) — scoped [`span`] guards recording
+//!   name, parent, and duration into per-task buffers that merge
+//!   deterministically at drain time, with a simulated-clock mode
+//!   ([`ClockMode::Sim`]) so tests can assert exact span trees;
+//! * a **telemetry report** ([`Report`]) — one JSON document whose
+//!   deterministic section is byte-identical across thread counts.
+//!
+//! # Scoped recording
+//!
+//! Instrumented hot paths (the engine's operators, the resilience planner,
+//! the plan cache) do not take a registry parameter — they call the free
+//! functions [`add`], [`observe`], and [`span`], which resolve the *current*
+//! [`ObsCtx`] through a thread-local. When no context is installed every
+//! call is a near-free no-op (one thread-local read), so uninstrumented
+//! workloads — gold-query execution, unit tests, benchmark baselines — pay
+//! nothing and record nothing.
+//!
+//! A context is installed with [`scope`] (per worker thread) and work items
+//! are delimited with [`task`] (per scheduler item), which also carries the
+//! task id that makes span merging deterministic:
+//!
+//! ```
+//! use snails_obs::{keys::Metric, ClockMode, ObsCtx};
+//! use std::sync::Arc;
+//!
+//! let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+//! {
+//!     let _scope = snails_obs::scope(&ctx);
+//!     snails_obs::task(7, || {
+//!         let _span = snails_obs::span("cell");
+//!         snails_obs::add(Metric::CoreSchedulerItems, 1);
+//!     });
+//! }
+//! let report = ctx.report();
+//! assert_eq!(report.counter("core.scheduler.items"), 1);
+//! assert_eq!(report.spans["cell"].count, 1);
+//! ```
+
+pub mod keys;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use keys::Metric;
+pub use metrics::{HistSnapshot, Registry, Section, Snapshot};
+pub use report::Report;
+pub use trace::{ClockMode, SpanRecord, SpanStat, Tracer};
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// One observed run: a metrics registry plus a span tracer sharing a clock
+/// mode.
+pub struct ObsCtx {
+    /// The run's metrics.
+    pub registry: Registry,
+    /// The run's spans.
+    pub tracer: Tracer,
+}
+
+impl ObsCtx {
+    /// A fresh context with all metrics at zero and no spans.
+    pub fn new(mode: ClockMode) -> Self {
+        ObsCtx { registry: Registry::new(), tracer: Tracer::new(mode) }
+    }
+
+    /// Snapshot everything recorded so far into a [`Report`]
+    /// (non-destructive for metrics; spans are aggregated in place).
+    pub fn report(&self) -> Report {
+        Report {
+            metrics: self.registry.snapshot(),
+            spans: self.tracer.rollup(),
+            clock: self.tracer.mode(),
+        }
+    }
+}
+
+/// Span bookkeeping for the task currently running on this thread.
+struct TaskState {
+    id: u64,
+    next_seq: u32,
+    /// Sim-clock tick counter (unused in wall mode).
+    tick: u64,
+    /// Open-span stack (`seq` of each enclosing span).
+    stack: Vec<u32>,
+    /// Completed spans, flushed to the tracer at task exit.
+    buf: Vec<SpanRecord>,
+}
+
+thread_local! {
+    static CURRENT_CTX: RefCell<Option<Arc<ObsCtx>>> = const { RefCell::new(None) };
+    static CURRENT_TASK: RefCell<Option<TaskState>> = const { RefCell::new(None) };
+}
+
+/// Install `ctx` as this thread's current observability context for the
+/// guard's lifetime. Nested scopes restore the previous context on drop.
+#[must_use = "the context is uninstalled when the guard drops"]
+pub fn scope(ctx: &Arc<ObsCtx>) -> ScopeGuard {
+    let previous = CURRENT_CTX.with(|c| c.borrow_mut().replace(Arc::clone(ctx)));
+    ScopeGuard { previous }
+}
+
+/// Guard returned by [`scope`].
+pub struct ScopeGuard {
+    previous: Option<Arc<ObsCtx>>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT_CTX.with(|c| *c.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Run `f` as task `id`: spans recorded inside `f` are tagged with `id`,
+/// sequenced serially, and flushed to the current context's tracer when `f`
+/// returns. Without an installed context `f` just runs.
+///
+/// In [`ClockMode::Sim`] the task's virtual clock starts at 0, so the span
+/// tree recorded for a task depends only on the code it ran — not on the
+/// thread it ran on or what ran before it.
+pub fn task<R>(id: u64, f: impl FnOnce() -> R) -> R {
+    let Some(ctx) = CURRENT_CTX.with(|c| c.borrow().clone()) else {
+        return f();
+    };
+    let previous = CURRENT_TASK.with(|t| {
+        t.borrow_mut().replace(TaskState {
+            id,
+            next_seq: 0,
+            tick: 0,
+            stack: Vec::new(),
+            buf: Vec::new(),
+        })
+    });
+    // Flush-on-drop so an unwinding task (an isolated panic) still delivers
+    // the spans it completed before dying.
+    struct FlushGuard {
+        ctx: Arc<ObsCtx>,
+        previous: Option<TaskState>,
+    }
+    impl Drop for FlushGuard {
+        fn drop(&mut self) {
+            let state = CURRENT_TASK.with(|t| t.borrow_mut().take());
+            if let Some(mut state) = state {
+                self.ctx.tracer.flush(&mut state.buf);
+            }
+            CURRENT_TASK.with(|t| *t.borrow_mut() = self.previous.take());
+        }
+    }
+    let _guard = FlushGuard { ctx, previous };
+    f()
+}
+
+/// Read the current clock: per-task ticks in sim mode, nanoseconds since
+/// the tracer epoch in wall mode. Must be called with a task installed.
+fn clock_now(ctx: &ObsCtx, state: &mut TaskState) -> u64 {
+    match ctx.tracer.mode() {
+        ClockMode::Wall => ctx.tracer.wall_now(),
+        ClockMode::Sim => {
+            let t = state.tick;
+            state.tick += 1;
+            t
+        }
+    }
+}
+
+/// Open a span named `name` in the current task. The span closes (and is
+/// buffered) when the guard drops. Outside a [`task`] — or without an
+/// installed [`scope`] — the guard is inert.
+#[must_use = "the span closes when the guard drops"]
+pub fn span(name: &'static str) -> Span {
+    let Some(ctx) = CURRENT_CTX.with(|c| c.borrow().clone()) else {
+        return Span { active: None };
+    };
+    let opened = CURRENT_TASK.with(|t| {
+        let mut t = t.borrow_mut();
+        let state = t.as_mut()?;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let parent = state.stack.last().copied();
+        let start = clock_now(&ctx, state);
+        state.stack.push(seq);
+        Some((seq, parent, start))
+    });
+    match opened {
+        Some((seq, parent, start)) => {
+            Span { active: Some(ActiveSpan { ctx, name, seq, parent, start }) }
+        }
+        None => Span { active: None },
+    }
+}
+
+struct ActiveSpan {
+    ctx: Arc<ObsCtx>,
+    name: &'static str,
+    seq: u32,
+    parent: Option<u32>,
+    start: u64,
+}
+
+/// Guard returned by [`span`].
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.active.take() else { return };
+        CURRENT_TASK.with(|t| {
+            let mut t = t.borrow_mut();
+            let Some(state) = t.as_mut() else { return };
+            let end = clock_now(&s.ctx, state);
+            // Pop this span (and, defensively, anything opened after it that
+            // leaked without closing — cannot happen with guard discipline).
+            while let Some(top) = state.stack.pop() {
+                if top == s.seq {
+                    break;
+                }
+            }
+            state.buf.push(SpanRecord {
+                name: s.name,
+                task: state.id,
+                seq: s.seq,
+                parent: s.parent,
+                start: s.start,
+                end,
+            });
+        });
+    }
+}
+
+/// Add `n` to counter `m` in the current context (no-op when none).
+pub fn add(m: Metric, n: u64) {
+    CURRENT_CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.registry.add(m, n);
+        }
+    });
+}
+
+/// Set gauge `m` to `v` in the current context (no-op when none).
+pub fn gauge_set(m: Metric, v: i64) {
+    CURRENT_CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.registry.gauge_set(m, v);
+        }
+    });
+}
+
+/// Record histogram sample `v` for `m` in the current context (no-op when
+/// none).
+pub fn observe(m: Metric, v: u64) {
+    CURRENT_CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            ctx.registry.observe(m, v);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscoped_calls_are_inert() {
+        add(Metric::EnginePlanCacheHit, 1);
+        observe(Metric::EngineOpScanRows, 10);
+        gauge_set(Metric::CoreSchedulerWorkers, 4);
+        let _span = span("nothing");
+        // Nothing to assert beyond "does not panic": there is no registry
+        // to have recorded into.
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        let a = Arc::new(ObsCtx::new(ClockMode::Sim));
+        let b = Arc::new(ObsCtx::new(ClockMode::Sim));
+        {
+            let _ga = scope(&a);
+            add(Metric::LlmResilienceAttempts, 1);
+            {
+                let _gb = scope(&b);
+                add(Metric::LlmResilienceAttempts, 10);
+            }
+            add(Metric::LlmResilienceAttempts, 1);
+        }
+        add(Metric::LlmResilienceAttempts, 100); // no scope: dropped
+        assert_eq!(a.registry.counter(Metric::LlmResilienceAttempts), 2);
+        assert_eq!(b.registry.counter(Metric::LlmResilienceAttempts), 10);
+    }
+
+    #[test]
+    fn sim_clock_span_tree_is_exact() {
+        let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+        {
+            let _g = scope(&ctx);
+            task(3, || {
+                let _outer = span("outer");
+                {
+                    let _inner = span("inner");
+                }
+                let _sibling = span("sibling");
+            });
+        }
+        let spans = ctx.tracer.drain_sorted();
+        assert_eq!(
+            spans,
+            vec![
+                // Ticks: outer start=0, inner start=1, inner end=2,
+                // sibling start=3, sibling end=4, outer end=5. Buffer order
+                // is completion order; (task, seq) sort restores entry order.
+                SpanRecord { name: "outer", task: 3, seq: 0, parent: None, start: 0, end: 5 },
+                SpanRecord { name: "inner", task: 3, seq: 1, parent: Some(0), start: 1, end: 2 },
+                SpanRecord {
+                    name: "sibling",
+                    task: 3,
+                    seq: 2,
+                    parent: Some(0),
+                    start: 3,
+                    end: 4
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_survive_task_panics() {
+        let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+        let _g = scope(&ctx);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            task(1, || {
+                let _s = span("doomed");
+                std::panic::panic_any(42i32); // payload avoids the default hook's message
+            })
+        }));
+        assert!(result.is_err());
+        let spans = ctx.tracer.drain_sorted();
+        assert_eq!(spans.len(), 1, "the unwound span still flushed");
+        assert_eq!(spans[0].name, "doomed");
+        // A fresh task on the same thread starts clean.
+        task(2, || {
+            let _s = span("after");
+        });
+        assert_eq!(ctx.tracer.drain_sorted()[0].task, 2);
+    }
+
+    #[test]
+    fn report_combines_metrics_and_spans() {
+        let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+        {
+            let _g = scope(&ctx);
+            task(0, || {
+                let _s = span("work");
+                add(Metric::EnginePlanCacheHit, 9);
+                add(Metric::EnginePlanCacheMiss, 1);
+            });
+        }
+        let report = ctx.report();
+        assert_eq!(report.counter("engine.plan.cache_hit"), 9);
+        assert_eq!(report.plan_cache_hit_rate(), Some(0.9));
+        assert_eq!(report.spans["work"].count, 1);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"clock\":\"sim\",\"deterministic\":{"));
+        assert!(json.contains("\"spans\":{\"work\":{\"count\":1,\"total\":1}}"));
+    }
+}

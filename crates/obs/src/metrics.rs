@@ -1,0 +1,328 @@
+//! The lock-free metrics registry and its deterministic snapshots.
+
+use crate::keys::{Metric, MetricKind, SPECS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Storage for one registered metric.
+enum Slot {
+    Counter(AtomicU64),
+    Gauge(AtomicI64),
+    Hist(HistSlot),
+}
+
+/// Fixed-bucket histogram storage: one counter per bound plus an overflow
+/// bucket, a sample count, and a saturating sample sum.
+struct HistSlot {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A metrics registry over the static [`crate::keys::SPECS`] table.
+///
+/// All update paths are lock-free: a metric id indexes a preallocated slot
+/// and the update is a relaxed atomic RMW. Snapshots iterate the table in
+/// registration order, so two registries that received the same multiset of
+/// updates produce byte-identical snapshots regardless of thread
+/// interleaving.
+pub struct Registry {
+    slots: Box<[Slot]>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry with every metric in [`crate::keys::SPECS`] at zero.
+    pub fn new() -> Self {
+        let slots = SPECS
+            .iter()
+            .map(|spec| match spec.kind {
+                MetricKind::Counter => Slot::Counter(AtomicU64::new(0)),
+                MetricKind::Gauge => Slot::Gauge(AtomicI64::new(0)),
+                MetricKind::Histogram => Slot::Hist(HistSlot {
+                    buckets: (0..=spec.buckets.len()).map(|_| AtomicU64::new(0)).collect(),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                }),
+            })
+            .collect();
+        Registry { slots }
+    }
+
+    /// Add `n` to a counter. No-op (debug panic) on a non-counter metric.
+    pub fn add(&self, m: Metric, n: u64) {
+        match &self.slots[m as usize] {
+            Slot::Counter(c) => {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+            _ => debug_assert!(false, "{} is not a counter", m.name()),
+        }
+    }
+
+    /// Set a gauge to `v` (last write wins).
+    pub fn gauge_set(&self, m: Metric, v: i64) {
+        match &self.slots[m as usize] {
+            Slot::Gauge(g) => g.store(v, Ordering::Relaxed),
+            _ => debug_assert!(false, "{} is not a gauge", m.name()),
+        }
+    }
+
+    /// Record one histogram sample.
+    pub fn observe(&self, m: Metric, v: u64) {
+        match &self.slots[m as usize] {
+            Slot::Hist(h) => {
+                let bounds = m.spec().buckets;
+                let idx = bounds.partition_point(|&b| b < v);
+                h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+                h.count.fetch_add(1, Ordering::Relaxed);
+                let mut cur = h.sum.load(Ordering::Relaxed);
+                loop {
+                    let next = cur.saturating_add(v);
+                    match h.sum.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+            _ => debug_assert!(false, "{} is not a histogram", m.name()),
+        }
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, m: Metric) -> u64 {
+        match &self.slots[m as usize] {
+            Slot::Counter(c) => c.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, m: Metric) -> i64 {
+        match &self.slots[m as usize] {
+            Slot::Gauge(g) => g.load(Ordering::Relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Point-in-time copy of every registered metric, split into the
+    /// deterministic and volatile sections.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap =
+            Snapshot { deterministic: Section::default(), volatile: Section::default() };
+        for (m, spec) in Metric::ALL.iter().zip(SPECS) {
+            let section =
+                if spec.volatile { &mut snap.volatile } else { &mut snap.deterministic };
+            match &self.slots[*m as usize] {
+                Slot::Counter(c) => {
+                    section.counters.insert(spec.name, c.load(Ordering::Relaxed));
+                }
+                Slot::Gauge(g) => {
+                    section.gauges.insert(spec.name, g.load(Ordering::Relaxed));
+                }
+                Slot::Hist(h) => {
+                    section.histograms.insert(
+                        spec.name,
+                        HistSnapshot {
+                            bounds: spec.buckets,
+                            counts: h
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Inclusive upper bounds, from the metric spec.
+    pub bounds: &'static [u64],
+    /// Per-bucket sample counts; the final entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+}
+
+/// One report section: every metric of the matching volatility class,
+/// keyed by static name (sorted, so JSON rendering is deterministic).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Section {
+    /// Counter values.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Histogram values.
+    pub histograms: BTreeMap<&'static str, HistSnapshot>,
+}
+
+impl Section {
+    /// Render as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    ///
+    /// Keys come from the static table (no escaping needed) and maps are
+    /// ordered, so equal sections render to identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{{\"count\":{},\"sum\":{},\"bounds\":[", h.count, h.sum);
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A full registry snapshot: deterministic and volatile sections.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Metrics whose values are pure functions of the workload (identical
+    /// at any thread count).
+    pub deterministic: Section,
+    /// Wall-clock timings and scheduler-shape metrics.
+    pub volatile: Section,
+}
+
+impl Snapshot {
+    /// Counter value by static key, searching both sections (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.deterministic
+            .counters
+            .get(name)
+            .or_else(|| self.volatile.counters.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Histogram snapshot by static key, searching both sections.
+    pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
+        self.deterministic
+            .histograms
+            .get(name)
+            .or_else(|| self.volatile.histograms.get(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::Metric;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        r.add(Metric::EnginePlanCacheHit, 3);
+        r.add(Metric::EnginePlanCacheHit, 4);
+        assert_eq!(r.counter(Metric::EnginePlanCacheHit), 7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("engine.plan.cache_hit"), 7);
+        assert_eq!(snap.counter("engine.plan.cache_miss"), 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        r.gauge_set(Metric::CoreSchedulerWorkers, 8);
+        r.gauge_set(Metric::CoreSchedulerWorkers, 2);
+        assert_eq!(r.gauge(Metric::CoreSchedulerWorkers), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_bound_inclusively_with_overflow() {
+        let r = Registry::new();
+        // ROWS_BUCKETS starts [1, 2, 4, ...] and ends at 65536.
+        r.observe(Metric::EngineOpScanRows, 0); // bucket 0 (<= 1)
+        r.observe(Metric::EngineOpScanRows, 1); // bucket 0 (<= 1, inclusive)
+        r.observe(Metric::EngineOpScanRows, 2); // bucket 1
+        r.observe(Metric::EngineOpScanRows, 3); // bucket 2 (<= 4)
+        r.observe(Metric::EngineOpScanRows, 1 << 40); // overflow
+        let snap = r.snapshot();
+        let h = snap.histogram("engine.op.scan.rows").unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 6 + (1 << 40));
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[2], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1, "overflow bucket");
+        assert_eq!(h.counts.len(), h.bounds.len() + 1);
+    }
+
+    #[test]
+    fn equal_update_multisets_render_identical_json() {
+        let a = Registry::new();
+        let b = Registry::new();
+        for i in 0..100u64 {
+            a.add(Metric::LlmResilienceAttempts, 1);
+            a.observe(Metric::EngineExecSteps, i * 17);
+        }
+        // Same multiset, different order.
+        for i in (0..100u64).rev() {
+            b.observe(Metric::EngineExecSteps, i * 17);
+            b.add(Metric::LlmResilienceAttempts, 1);
+        }
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa, sb);
+        assert_eq!(sa.deterministic.to_json(), sb.deterministic.to_json());
+    }
+
+    #[test]
+    fn volatile_metrics_stay_out_of_the_deterministic_section() {
+        let r = Registry::new();
+        r.add(Metric::CoreSchedulerChunksClaimed, 5);
+        r.add(Metric::CoreSchedulerItems, 5);
+        let snap = r.snapshot();
+        assert!(!snap.deterministic.counters.contains_key("core.scheduler.chunks_claimed"));
+        assert_eq!(snap.volatile.counters["core.scheduler.chunks_claimed"], 5);
+        assert_eq!(snap.deterministic.counters["core.scheduler.items"], 5);
+    }
+}

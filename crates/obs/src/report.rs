@@ -1,0 +1,78 @@
+//! The structured telemetry report: one JSON document combining the
+//! metrics snapshot with the span rollup.
+
+use crate::metrics::Snapshot;
+use crate::trace::{rollup_to_json, ClockMode, SpanStat};
+use std::collections::BTreeMap;
+
+/// A point-in-time telemetry report for one observed run.
+///
+/// The report is split into a **deterministic** section — counters, gauges,
+/// and histograms whose values are pure functions of the workload, plus the
+/// span rollup when the tracer ran on the simulated clock — and a
+/// **volatile** section (wall-clock timings, scheduler shape, and the span
+/// rollup under the wall clock). Two runs of the same workload at any
+/// thread counts render byte-identical deterministic sections.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Metrics snapshot (both sections).
+    pub metrics: Snapshot,
+    /// Per-name span aggregate.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Clock the spans were recorded on (decides which section they join).
+    pub clock: ClockMode,
+}
+
+impl Report {
+    /// The deterministic section as one JSON object. This is the byte
+    /// string compared across thread counts.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = self.metrics.deterministic.to_json();
+        if self.clock == ClockMode::Sim {
+            out.pop(); // strip the closing brace, append the span rollup
+            out.push_str(",\"spans\":");
+            out.push_str(&rollup_to_json(&self.spans));
+            out.push('}');
+        }
+        out
+    }
+
+    /// The volatile section as one JSON object.
+    pub fn volatile_json(&self) -> String {
+        let mut out = self.metrics.volatile.to_json();
+        if self.clock == ClockMode::Wall {
+            out.pop();
+            out.push_str(",\"spans\":");
+            out.push_str(&rollup_to_json(&self.spans));
+            out.push('}');
+        }
+        out
+    }
+
+    /// The full report:
+    /// `{"clock":"sim","deterministic":{...},"volatile":{...}}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"clock\":\"{}\",\"deterministic\":{},\"volatile\":{}}}",
+            match self.clock {
+                ClockMode::Sim => "sim",
+                ClockMode::Wall => "wall",
+            },
+            self.deterministic_json(),
+            self.volatile_json()
+        )
+    }
+
+    /// Counter value by static key (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// Plan-cache hit rate over all lookups (`None` before any lookup).
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.counter("engine.plan.cache_hit");
+        let misses = self.counter("engine.plan.cache_miss");
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+}

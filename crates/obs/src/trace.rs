@@ -1,0 +1,138 @@
+//! The span tracer: scoped guards recording name, parent, and duration
+//! into per-task buffers that merge deterministically at drain time.
+//!
+//! # Determinism model
+//!
+//! Spans are always recorded inside a *task* (one scheduler work item, see
+//! [`crate::task`]). A task runs on exactly one thread, so the spans of one
+//! task have a well-defined serial order; each gets a per-task sequence
+//! number and a parent link into the same task. Worker threads buffer spans
+//! locally and flush one task at a time into the tracer, and
+//! [`Tracer::drain_sorted`] sorts the combined buffer by `(task, seq)` —
+//! so the drained stream is identical at any thread count.
+//!
+//! Durations come from the tracer's [`ClockMode`]:
+//!
+//! * [`ClockMode::Wall`] — monotonic nanoseconds since the tracer's epoch.
+//!   Real timings; not reproducible across runs.
+//! * [`ClockMode::Sim`] — a virtual per-task clock that advances by one
+//!   tick per clock read. Start/end ticks are then pure functions of the
+//!   task's span structure, so tests (and the telemetry report's
+//!   deterministic section) can assert exact span trees.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Where span timestamps come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockMode {
+    /// Monotonic wall clock (nanoseconds since the tracer epoch).
+    Wall,
+    /// Deterministic per-task tick counter.
+    Sim,
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name.
+    pub name: &'static str,
+    /// Task (work item) the span belongs to.
+    pub task: u64,
+    /// Per-task sequence number, assigned at span *start* — so `seq` orders
+    /// spans by entry even though buffers fill in completion order.
+    pub seq: u32,
+    /// `seq` of the enclosing span within the same task, if any.
+    pub parent: Option<u32>,
+    /// Start timestamp (ns since epoch, or sim ticks).
+    pub start: u64,
+    /// End timestamp (ns since epoch, or sim ticks).
+    pub end: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in clock units.
+    pub fn duration(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Aggregate of all spans sharing a name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration, in clock units.
+    pub total: u64,
+}
+
+/// Collects completed spans from every worker thread.
+pub struct Tracer {
+    mode: ClockMode,
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Tracer {
+    /// An empty tracer. The wall epoch is captured now.
+    pub fn new(mode: ClockMode) -> Self {
+        Tracer { mode, epoch: Instant::now(), spans: Mutex::new(Vec::new()) }
+    }
+
+    /// The tracer's clock mode.
+    pub fn mode(&self) -> ClockMode {
+        self.mode
+    }
+
+    /// Nanoseconds since the tracer epoch (wall mode only).
+    pub(crate) fn wall_now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Flush one task's completed spans into the shared buffer (called once
+    /// per task, at task exit — one lock acquisition per task, not per
+    /// span).
+    pub(crate) fn flush(&self, task_spans: &mut Vec<SpanRecord>) {
+        if task_spans.is_empty() {
+            return;
+        }
+        self.spans.lock().expect("tracer poisoned").append(task_spans);
+    }
+
+    /// Remove and return every recorded span, sorted by `(task, seq)` —
+    /// the deterministic merged order.
+    pub fn drain_sorted(&self) -> Vec<SpanRecord> {
+        let mut spans = std::mem::take(&mut *self.spans.lock().expect("tracer poisoned"));
+        spans.sort_by_key(|s| (s.task, s.seq));
+        spans
+    }
+
+    /// Per-name rollup of every recorded span (non-destructive).
+    pub fn rollup(&self) -> BTreeMap<&'static str, SpanStat> {
+        let spans = self.spans.lock().expect("tracer poisoned");
+        let mut out: BTreeMap<&'static str, SpanStat> = BTreeMap::new();
+        for s in spans.iter() {
+            let stat = out.entry(s.name).or_default();
+            stat.count += 1;
+            stat.total += s.duration();
+        }
+        out
+    }
+}
+
+/// Render a span rollup as one JSON object
+/// (`{"name":{"count":n,"total":t},...}`); map order makes equal rollups
+/// render to identical bytes.
+pub fn rollup_to_json(rollup: &BTreeMap<&'static str, SpanStat>) -> String {
+    let mut out = String::from("{");
+    for (i, (name, stat)) in rollup.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{{\"count\":{},\"total\":{}}}", stat.count, stat.total);
+    }
+    out.push('}');
+    out
+}

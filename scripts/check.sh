@@ -36,6 +36,35 @@ echo "$bench_out" | grep -q '"bench":"fault_summary","profile":"flaky","aborted_
     exit 1
 }
 
+echo "==> snails bench --telemetry (smoke: deterministic report, full key coverage)"
+# Telemetry smoke: the report must parse, the deterministic section must
+# be byte-identical across thread counts (the bench exits non-zero
+# otherwise), and every registered metric key must appear exactly once.
+telemetry_out=$(mktemp)
+trap 'rm -f "$telemetry_out"' EXIT
+cargo run -q --release --offline --bin snails -- bench --telemetry "$telemetry_out" > /dev/null
+python3 - "$telemetry_out" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["clock"] == "sim", "benchmark telemetry must use the simulated clock"
+seen = []
+for section in (report["deterministic"], report["volatile"]):
+    for kind in ("counters", "gauges", "histograms"):
+        seen.extend(section[kind])
+assert len(seen) == len(set(seen)), "duplicate metric key in report"
+for key in ("engine.plan.compile", "engine.op.scan.rows", "engine.exec.steps",
+            "llm.cells.planned", "llm.resilience.attempts",
+            "core.scheduler.items", "core.scheduler.workers"):
+    assert key in seen, f"metric key {key} missing from report"
+hit = report["deterministic"]["counters"]["engine.plan.cache_hit"]
+miss = report["deterministic"]["counters"]["engine.plan.cache_miss"]
+assert hit + miss > 0, "grid run recorded no plan-cache lookups"
+spans = report["deterministic"]["spans"]
+assert spans["cell"]["count"] > 0, "no cell spans recorded"
+print(f"    {len(seen)} metric keys, plan-cache hit rate "
+      f"{hit / (hit + miss):.3f}, {spans['cell']['count']} cell spans")
+PY
+
 echo "==> BENCH_engine.json artifact (exists, well-formed, plan stage present)"
 # `snails bench` writes the artifact as its last act; it must exist, be
 # valid JSON, and carry the plan_exec stage with identical results.
@@ -51,7 +80,8 @@ assert "plan_exec" in stages, "plan_exec stage missing"
 assert stages["plan_exec"]["results_identical"], "compiled plans diverged"
 assert stages["grid_determinism"]["identical"], "grid not thread-deterministic"
 print(f"    plan_exec speedup {stages['plan_exec']['speedup']}x, "
-      f"{stages['plan_exec']['rows_per_s']} rows/s")
+      f"{stages['plan_exec']['rows_per_s']} rows/s, telemetry overhead "
+      f"{stages['plan_exec']['telemetry_overhead_pct']}%")
 PY
 
 echo "==> all checks passed"

@@ -7,6 +7,9 @@
 //! cargo run --release --bin experiments -- --fig8  # one section only
 //! cargo run --release --bin experiments -- --fault-profile flaky
 //!                                                  # inject simulated API faults
+//! cargo run --release --bin experiments -- --telemetry telemetry.json
+//!                                                  # write the benchmark's
+//!                                                  # observability report
 //! ```
 
 use snails_core::dataset_figures as ds;
@@ -25,6 +28,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     fault_profile: FaultProfile,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +39,7 @@ fn parse_args() -> Args {
         seed: 2024,
         threads: None,
         fault_profile: FaultProfile::NONE,
+        telemetry: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -59,6 +64,9 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|s| FaultProfile::by_name(&s))
                     .expect("--fault-profile takes none|flaky|hostile");
+            }
+            "--telemetry" => {
+                args.telemetry = Some(argv.next().expect("--telemetry takes an output path"));
             }
             flag if flag.starts_with("--") => args.only = Some(flag[2..].to_owned()),
             other => panic!("unknown argument {other}"),
@@ -211,6 +219,7 @@ fn main() {
             workflows: Workflow::all(),
             threads: args.threads,
             fault_profile: args.fault_profile,
+            telemetry: args.telemetry.is_some(),
             ..Default::default()
         };
         let r = run_benchmark_on(&collection, &config);
@@ -219,6 +228,17 @@ fn main() {
             started.elapsed(),
             r.records.len()
         );
+        if let (Some(path), Some(report)) = (&args.telemetry, &r.telemetry) {
+            std::fs::write(path, report.to_json()).expect("write telemetry report");
+            eprintln!(
+                "[{:>7.1?}] wrote telemetry report {path} (plan-cache hit rate {})",
+                started.elapsed(),
+                report
+                    .plan_cache_hit_rate()
+                    .map(|r| format!("{r:.3}"))
+                    .unwrap_or_else(|| "n/a".into())
+            );
+        }
         if !args.fault_profile.is_inert() {
             // JSON line so fault runs can be diffed/asserted by scripts.
             eprintln!(

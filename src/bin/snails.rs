@@ -9,12 +9,14 @@
 //! snails sql <DB> "<query>"              # execute SQL on a benchmark DB
 //! snails list                            # the nine databases
 //! snails bench [threads] [--fault-profile none|flaky|hostile]
-//!                                        # wall-clock timings (JSON lines)
+//!              [--telemetry <path>]      # wall-clock timings (JSON lines)
 //! ```
 
+use snails::core::telemetry;
 use snails::engine::{run_sql_with, DataType, ExecOptions, TableSchema};
 use snails::naturalness::{Classifier, Naturalness, NaturalnessProfile};
 use snails::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -46,7 +48,7 @@ fn print_usage() {
          USAGE:\n  snails classify <identifier>...\n  snails abbreviate <identifier> [low|least]\n  \
          snails expand <identifier>...\n  snails audit <DB>\n  snails ask <DB> <question-id> [model]\n  \
          snails sql <DB> \"<query>\"\n  snails list\n  \
-         snails bench [threads] [--fault-profile none|flaky|hostile]"
+         snails bench [threads] [--fault-profile none|flaky|hostile] [--telemetry <path>]"
     );
 }
 
@@ -180,6 +182,7 @@ fn sql(args: &[String]) {
 fn bench(args: &[String]) {
     let mut threads = snails::core::available_threads();
     let mut profile = FaultProfile::NONE;
+    let mut telemetry_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--fault-profile" {
@@ -188,6 +191,12 @@ fn bench(args: &[String]) {
                 std::process::exit(2);
             };
             profile = p;
+        } else if arg == "--telemetry" {
+            let Some(p) = it.next() else {
+                eprintln!("bench: --telemetry takes an output path");
+                std::process::exit(2);
+            };
+            telemetry_path = Some(p.clone());
         } else {
             match arg.parse() {
                 Ok(n) if n > 0 => threads = n,
@@ -226,6 +235,7 @@ fn bench(args: &[String]) {
         ],
         threads: Some(t),
         fault_profile: profile,
+        telemetry: telemetry_path.is_some(),
         ..Default::default()
     };
     // Untimed warm-up pass so the serial baseline is not billed for page
@@ -240,6 +250,12 @@ fn bench(args: &[String]) {
     // Under a fault profile this comparison also proves the resilience
     // layer's determinism: same plans, failures, and retry counts at any
     // thread count.
+    // Deterministic telemetry sections must also be byte-identical at any
+    // thread count (volatile sections — scheduler shape — are exempt).
+    let det_json =
+        |run: &BenchmarkRun| run.telemetry.as_ref().map(telemetry::Report::deterministic_json);
+    let serial_telemetry = det_json(&serial);
+    let mut telemetry_identical = det_json(&parallel) == serial_telemetry;
     let mut records_match =
         serial.records == parallel.records && serial.faults == parallel.faults;
     emit(format!(
@@ -261,6 +277,7 @@ fn bench(args: &[String]) {
         }
         let run = run_benchmark_on(&collection, &config(t));
         records_match &= run.records == serial.records && run.faults == serial.faults;
+        telemetry_identical &= det_json(&run) == serial_telemetry;
     }
     emit(format!(
         "{{\"bench\":\"grid_determinism\",\"threads\":[1,2,8],\
@@ -279,6 +296,27 @@ fn bench(args: &[String]) {
     if aborted > 0 {
         eprintln!("error: {aborted} grid cells aborted without a record");
         std::process::exit(1);
+    }
+    // Structured telemetry report: the parallel run's full report (metrics
+    // + sim-clock span rollup) goes to the requested path; the stage line
+    // carries the headline numbers into BENCH_engine.json.
+    if let Some(path) = &telemetry_path {
+        let report = parallel.telemetry.as_ref().expect("telemetry was enabled");
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: could not write telemetry report {path}: {e}");
+            std::process::exit(1);
+        }
+        let hit_rate = report.plan_cache_hit_rate().unwrap_or(0.0);
+        emit(format!(
+            "{{\"bench\":\"telemetry\",\"path\":{path:?},\
+             \"identical_across_threads\":{telemetry_identical},\
+             \"plan_cache_hit_rate\":{hit_rate:.3},\"statements\":{},\
+             \"resilience_attempts\":{},\"resilience_retries\":{},\"breaker_trips\":{}}}",
+            report.counter("engine.exec.statements"),
+            report.counter("llm.resilience.attempts"),
+            report.counter("llm.resilience.retries"),
+            report.counter("llm.breaker.trips"),
+        ));
     }
 
     // Join kernels on the join-heavy gold queries (NTSB: composite-key
@@ -330,23 +368,44 @@ fn bench(args: &[String]) {
         }
     }
     let interp_ms = ms(t);
-    let t = Instant::now();
-    for _ in 0..REPS {
-        for p in &db.questions {
-            let _ = plans.run(&db.db, &p.sql, opts);
+    let run_plans = || {
+        for _ in 0..REPS {
+            for p in &db.questions {
+                let _ = plans.run(&db.db, &p.sql, opts);
+            }
         }
+    };
+    // Telemetry overhead on the same workload: the identical compiled-plan
+    // loop with a metrics scope installed, so every per-operator observe
+    // and cache-hit counter fires. The two loops alternate and each takes
+    // its best of three passes, so scheduling drift cannot masquerade as
+    // overhead. The contract is ≤5% overhead; the measured ratio is
+    // recorded in the artifact either way.
+    let obs = Arc::new(telemetry::ObsCtx::new(telemetry::ClockMode::Sim));
+    let (mut plan_ms, mut telemetry_ms) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..3 {
+        let t = Instant::now();
+        run_plans();
+        plan_ms = plan_ms.min(ms(t));
+        let t = Instant::now();
+        {
+            let _scope = telemetry::scope(&obs);
+            run_plans();
+        }
+        telemetry_ms = telemetry_ms.min(ms(t));
     }
-    let plan_ms = ms(t);
+    let telemetry_overhead_pct = (telemetry_ms / plan_ms - 1.0) * 100.0;
     let rows_per_s = (gold_rows * REPS) as f64 / (plan_ms / 1e3);
+    let (cache_hits, cache_misses) = (plans.hits(), plans.misses());
     emit(format!(
         "{{\"bench\":\"plan_exec\",\"database\":\"NTSB\",\"queries\":{},\"reps\":{REPS},\
          \"interpret_ms\":{interp_ms:.1},\"plan_ms\":{plan_ms:.1},\"speedup\":{:.2},\
-         \"rows_per_s\":{rows_per_s:.0},\"cache_hits\":{},\"cache_misses\":{},\
-         \"results_identical\":{plans_identical}}}",
+         \"rows_per_s\":{rows_per_s:.0},\"cache_hits\":{cache_hits},\
+         \"cache_misses\":{cache_misses},\"results_identical\":{plans_identical},\
+         \"telemetry_ms\":{telemetry_ms:.1},\
+         \"telemetry_overhead_pct\":{telemetry_overhead_pct:.1}}}",
         db.questions.len(),
-        interp_ms / plan_ms,
-        plans.hits(),
-        plans.misses()
+        interp_ms / plan_ms
     ));
 
     // Synthetic equi join at a row count where the quadratic nested loop
@@ -385,6 +444,10 @@ fn bench(args: &[String]) {
 
     if !records_match {
         eprintln!("error: records diverged across thread counts");
+        std::process::exit(1);
+    }
+    if !telemetry_identical {
+        eprintln!("error: deterministic telemetry diverged across thread counts");
         std::process::exit(1);
     }
     if !plans_identical {

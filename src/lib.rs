@@ -51,6 +51,7 @@ pub mod prelude {
         evaluate_question, run_benchmark, run_benchmark_on, BenchmarkConfig, BenchmarkRun,
         FaultSummary, QueryRecord,
     };
+    pub use snails_core::telemetry::Report;
     pub use snails_data::{build_all, build_database, GoldPair, SnailsDatabase};
     pub use snails_engine::{run_sql, Database, ExecLimits, ResultSet, Value};
     pub use snails_eval::{match_result_sets, query_linking, ExecutionOutcome};

@@ -139,3 +139,45 @@ fn cross_join_bomb_is_contained_as_resource_exhausted() {
         Ok(_) => panic!("cross-join bomb completed under guarded limits"),
     }
 }
+
+#[test]
+fn hostile_telemetry_reconciles_with_fault_summary() {
+    // The resilience layer is counted twice, independently: `FaultSummary`
+    // aggregates the planner's `CellPlan`s after the run, while the
+    // telemetry counters are recorded live inside `plan_cell`. The two
+    // accounting paths must agree exactly.
+    let config = BenchmarkConfig { telemetry: true, ..base_config(4, FaultProfile::HOSTILE) };
+    let run = run_benchmark(&config);
+    let report = run.telemetry.as_ref().expect("telemetry was enabled");
+    assert_eq!(report.counter("llm.cells.planned"), run.faults.cells as u64);
+    assert_eq!(report.counter("llm.resilience.attempts"), run.faults.attempts);
+    assert_eq!(report.counter("llm.resilience.retries"), run.faults.retries);
+    assert_eq!(report.counter("llm.breaker.trips"), run.faults.breaker_trips);
+    // Breaker-gated cells are exactly the circuit-open failure records.
+    let circuit_open = run
+        .records
+        .iter()
+        .filter(|r| r.failure == Some(FailureKind::CircuitOpen))
+        .count() as u64;
+    assert_eq!(report.counter("llm.cells.skipped"), circuit_open);
+    // Retries waited: a hostile grid cannot have zero backoff.
+    assert!(report.counter("llm.resilience.backoff_ms") > 0);
+    // Fault draws are per attempt, failure records per cell, so the draw
+    // counters bound the record counts from above.
+    let panic_records = run
+        .records
+        .iter()
+        .filter(|r| r.failure == Some(FailureKind::Panic))
+        .count() as u64;
+    assert!(report.counter("llm.faults.panic") >= panic_records);
+
+    // The deterministic telemetry section stays byte-identical across
+    // thread counts even with faults, retries, and isolated panics.
+    let det = report.deterministic_json();
+    for threads in [1usize, 8] {
+        let config =
+            BenchmarkConfig { telemetry: true, ..base_config(threads, FaultProfile::HOSTILE) };
+        let report = run_benchmark(&config).telemetry.expect("telemetry was enabled");
+        assert_eq!(report.deterministic_json(), det, "threads = {threads}");
+    }
+}
