@@ -1,0 +1,390 @@
+//! Columnar storage primitives for the vectorized executor.
+//!
+//! A [`ColumnSet`] is the column-major mirror of a table's (or any
+//! materialized relation's) row storage: one typed vector per column —
+//! [`ColData::I64`], [`ColData::F64`], or dictionary-encoded
+//! [`ColData::Str`] — each with a validity [`Bitmap`] marking NULLs, and a
+//! [`ColData::Mixed`] fallback for columns whose non-NULL values span more
+//! than one runtime type (the engine is dynamically typed, so a declared
+//! `int` column can legally hold text).
+//!
+//! The representation is lossless: [`ColumnSet::value`] reconstructs a
+//! [`Value`] that is `==` to the original under the engine's value
+//! equality (floats keep their exact bit pattern, including `-0.0` and NaN
+//! payloads; text comes back as a refcount clone of the dictionary's
+//! interned `Arc<str>`). That is what lets the vectorized executor in
+//! [`crate::vector`] promise byte-identical result sets to the row-at-a-
+//! time interpreter: any column it cannot type stays `Mixed` and flows
+//! through the same scalar kernels.
+//!
+//! Dictionary encoding serves two masters: repeated strings in a column
+//! collapse to a `u32` code (cheap gathers, cheap equality), and each
+//! distinct string's ASCII-lowercase form is computed **once** at build
+//! time ([`Dict::lower`]), so case-insensitive comparisons, `LIKE`
+//! matching, and hash/group keys on the hot path never re-lowercase per
+//! row.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A fixed-length bit vector; bit `i` set means "row `i` is valid
+/// (non-NULL)" in the column that owns it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-false bitmap of `len` bits.
+    pub fn new_false(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// An empty bitmap with room for `cap` pushed bits.
+    pub fn with_capacity(cap: usize) -> Bitmap {
+        Bitmap { words: Vec::with_capacity(cap.div_ceil(64)), len: 0 }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Set bit `i` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        let mask = 1u64 << (i % 64);
+        if v {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Append one bit.
+    #[inline]
+    pub fn push(&mut self, v: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if v {
+            let i = self.len;
+            self.words[i / 64] |= 1u64 << (i % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A string dictionary: the distinct strings of one column in first-seen
+/// order, with their ASCII-lowercase forms precomputed.
+#[derive(Debug, Default)]
+pub struct Dict {
+    /// Distinct strings, indexed by code (original case preserved).
+    pub strs: Vec<Arc<str>>,
+    /// `lower[code]` is `strs[code].to_ascii_lowercase()`, interned once.
+    pub lower: Vec<Arc<str>>,
+}
+
+impl Dict {
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strs.len()
+    }
+
+    /// True when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strs.is_empty()
+    }
+}
+
+/// One column's values in columnar form.
+///
+/// Typed variants hold every row's value in a contiguous vector plus a
+/// validity bitmap (invalid ≙ SQL NULL; the slot in the value vector is a
+/// zero placeholder). A column is typed only when **all** of its non-NULL
+/// values share one runtime [`Value`] variant, so reconstruction is exact.
+#[derive(Debug)]
+pub enum ColData {
+    /// All non-NULL values are `Value::Int`.
+    I64 {
+        /// Row values (0 where invalid).
+        vals: Vec<i64>,
+        /// Validity: set ≙ non-NULL.
+        valid: Bitmap,
+    },
+    /// All non-NULL values are `Value::Float`.
+    F64 {
+        /// Row values (0.0 where invalid); bit patterns preserved.
+        vals: Vec<f64>,
+        /// Validity: set ≙ non-NULL.
+        valid: Bitmap,
+    },
+    /// All non-NULL values are `Value::Str`, dictionary-encoded.
+    Str {
+        /// Dictionary codes (0 where invalid).
+        codes: Vec<u32>,
+        /// Validity: set ≙ non-NULL.
+        valid: Bitmap,
+        /// The column's dictionary.
+        dict: Arc<Dict>,
+    },
+    /// Non-NULL values span more than one runtime type: verbatim values.
+    Mixed {
+        /// Row values, exactly as stored in the row representation.
+        vals: Vec<Value>,
+    },
+}
+
+impl ColData {
+    /// Reconstruct row `i`'s [`Value`] (equal to the original row value).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColData::I64 { vals, valid } => {
+                if valid.get(i) {
+                    Value::Int(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColData::F64 { vals, valid } => {
+                if valid.get(i) {
+                    Value::Float(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            ColData::Str { codes, valid, dict } => {
+                if valid.get(i) {
+                    Value::Str(Arc::clone(&dict.strs[codes[i] as usize]))
+                } else {
+                    Value::Null
+                }
+            }
+            ColData::Mixed { vals } => vals[i].clone(),
+        }
+    }
+}
+
+/// A relation in column-major form: one [`ColData`] per column, all of the
+/// same length.
+#[derive(Debug, Default)]
+pub struct ColumnSet {
+    /// Columns, in schema order.
+    pub cols: Vec<ColData>,
+    /// Row count (every column's length).
+    pub len: usize,
+}
+
+/// Classification of a column's non-NULL value types during a build pass.
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Unseen,
+    Int,
+    Float,
+    Str,
+    Mixed,
+}
+
+impl ColumnSet {
+    /// Build the columnar form of `rows` (each of width `width`).
+    ///
+    /// Two passes per column: classify the non-NULL value types, then fill
+    /// the chosen representation. An all-NULL column becomes `I64` with an
+    /// all-false validity bitmap (reconstruction is NULL either way).
+    pub fn from_rows(width: usize, rows: &[Vec<Value>]) -> ColumnSet {
+        let n = rows.len();
+        let mut cols = Vec::with_capacity(width);
+        for c in 0..width {
+            let mut kind = Kind::Unseen;
+            for row in rows {
+                kind = match (kind, &row[c]) {
+                    (k, Value::Null) => k,
+                    (Kind::Unseen | Kind::Int, Value::Int(_)) => Kind::Int,
+                    (Kind::Unseen | Kind::Float, Value::Float(_)) => Kind::Float,
+                    (Kind::Unseen | Kind::Str, Value::Str(_)) => Kind::Str,
+                    _ => Kind::Mixed,
+                };
+                if kind == Kind::Mixed {
+                    break;
+                }
+            }
+            let col = match kind {
+                Kind::Unseen | Kind::Int => {
+                    let mut vals = Vec::with_capacity(n);
+                    let mut valid = Bitmap::with_capacity(n);
+                    for row in rows {
+                        match &row[c] {
+                            Value::Int(v) => {
+                                vals.push(*v);
+                                valid.push(true);
+                            }
+                            _ => {
+                                vals.push(0);
+                                valid.push(false);
+                            }
+                        }
+                    }
+                    ColData::I64 { vals, valid }
+                }
+                Kind::Float => {
+                    let mut vals = Vec::with_capacity(n);
+                    let mut valid = Bitmap::with_capacity(n);
+                    for row in rows {
+                        match &row[c] {
+                            Value::Float(v) => {
+                                vals.push(*v);
+                                valid.push(true);
+                            }
+                            _ => {
+                                vals.push(0.0);
+                                valid.push(false);
+                            }
+                        }
+                    }
+                    ColData::F64 { vals, valid }
+                }
+                Kind::Str => {
+                    let mut codes = Vec::with_capacity(n);
+                    let mut valid = Bitmap::with_capacity(n);
+                    let mut dict = Dict::default();
+                    let mut intern: HashMap<Arc<str>, u32> = HashMap::new();
+                    for row in rows {
+                        match &row[c] {
+                            Value::Str(s) => {
+                                let code = match intern.get(s.as_ref()) {
+                                    Some(&code) => code,
+                                    None => {
+                                        let code = dict.strs.len() as u32;
+                                        dict.strs.push(Arc::clone(s));
+                                        dict.lower
+                                            .push(Arc::from(s.to_ascii_lowercase()));
+                                        intern.insert(Arc::clone(s), code);
+                                        code
+                                    }
+                                };
+                                codes.push(code);
+                                valid.push(true);
+                            }
+                            _ => {
+                                codes.push(0);
+                                valid.push(false);
+                            }
+                        }
+                    }
+                    ColData::Str { codes, valid, dict: Arc::new(dict) }
+                }
+                Kind::Mixed => ColData::Mixed {
+                    vals: rows.iter().map(|row| row[c].clone()).collect(),
+                },
+            };
+            cols.push(col);
+        }
+        ColumnSet { cols, len: n }
+    }
+
+    /// Reconstruct the [`Value`] at column `col`, row `row`.
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.cols[col].value(row)
+    }
+
+    /// Reconstruct the full row at `row`.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let mut b = Bitmap::with_capacity(3);
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), (0..130).filter(|i| i % 3 == 0).count());
+        let mut f = Bitmap::new_false(70);
+        f.set(69, true);
+        assert!(f.get(69) && !f.get(0));
+        f.set(69, false);
+        assert_eq!(f.count_ones(), 0);
+    }
+
+    #[test]
+    fn columns_reconstruct_exactly() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Float(-0.0), Value::from("Ab"), Value::Int(9)],
+            vec![Value::Null, Value::Null, Value::Null, Value::from("x")],
+            vec![Value::Int(-5), Value::Float(f64::NAN), Value::from("Ab"), Value::Float(2.5)],
+        ];
+        let cs = ColumnSet::from_rows(4, &rows);
+        assert_eq!(cs.len, 3);
+        assert!(matches!(cs.cols[0], ColData::I64 { .. }));
+        assert!(matches!(cs.cols[1], ColData::F64 { .. }));
+        assert!(matches!(cs.cols[2], ColData::Str { .. }));
+        assert!(matches!(cs.cols[3], ColData::Mixed { .. }));
+        for (ri, row) in rows.iter().enumerate() {
+            assert_eq!(&cs.row(ri), row, "row {ri}");
+        }
+        // -0.0 and NaN bit patterns survive the round trip.
+        match &cs.cols[1] {
+            ColData::F64 { vals, .. } => {
+                assert!(vals[0].is_sign_negative() && vals[0] == 0.0);
+                assert!(vals[2].is_nan());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dictionary_interns_and_lowercases_once() {
+        let rows: Vec<Vec<Value>> =
+            vec![vec![Value::from("CA")], vec![Value::from("or")], vec![Value::from("CA")]];
+        let cs = ColumnSet::from_rows(1, &rows);
+        match &cs.cols[0] {
+            ColData::Str { codes, dict, .. } => {
+                assert_eq!(codes, &[0, 1, 0]);
+                assert_eq!(dict.len(), 2);
+                assert_eq!(dict.lower[0].as_ref(), "ca");
+                assert_eq!(dict.lower[1].as_ref(), "or");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn all_null_column_stays_null() {
+        let rows: Vec<Vec<Value>> = vec![vec![Value::Null], vec![Value::Null]];
+        let cs = ColumnSet::from_rows(1, &rows);
+        assert_eq!(cs.value(0, 0), Value::Null);
+        assert_eq!(cs.value(0, 1), Value::Null);
+    }
+}

@@ -1,9 +1,11 @@
 //! Catalog: databases, table schemas, tables, and views.
 
+use crate::batch::ColumnSet;
 use crate::error::EngineError;
 use crate::value::{DataType, Value};
 use snails_sql::SelectStatement;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// A column definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,24 +50,43 @@ impl TableSchema {
     }
 }
 
-/// A table: schema + rows.
-#[derive(Debug, Clone, PartialEq)]
+/// A table: schema + rows, with a lazily built columnar mirror.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
-    /// Row storage.
+    /// Row storage (the source of truth).
     pub rows: Vec<Vec<Value>>,
+    /// Columnar mirror of `rows`, built on first [`Table::columnar`] call
+    /// and dropped by [`Database::table_mut`] (every mutation path goes
+    /// through it), so the cache can never serve stale columns.
+    columnar: OnceLock<Arc<ColumnSet>>,
+}
+
+// `columnar` is a pure cache of `rows`, so equality ignores it.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
     /// Empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table { schema, rows: Vec::new(), columnar: OnceLock::new() }
     }
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The table's columnar mirror, building it on first use. Subsequent
+    /// calls are a refcount bump until the table is next mutated.
+    pub fn columnar(&self) -> Arc<ColumnSet> {
+        Arc::clone(self.columnar.get_or_init(|| {
+            Arc::new(ColumnSet::from_rows(self.schema.columns.len(), &self.rows))
+        }))
     }
 }
 
@@ -116,11 +137,17 @@ impl Database {
             .map(|&i| &self.tables[i])
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup. Handing out `&mut` invalidates the table's
+    /// columnar cache — every mutation path (insert, bulk load, direct row
+    /// edits) funnels through here, so a stale mirror is unreachable.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
         self.table_index
             .get(&name.to_ascii_uppercase())
-            .map(|&i| &mut self.tables[i])
+            .map(|&i| {
+                let t = &mut self.tables[i];
+                t.columnar.take();
+                t
+            })
     }
 
     /// All tables in creation order.
@@ -278,6 +305,28 @@ mod tests {
         // Re-creating replaces.
         db.create_view(ViewDef { schema: Some("db_nl".into()), name: "locations".into(), query: q });
         assert_eq!(db.views().count(), 1);
+    }
+
+    #[test]
+    fn columnar_cache_invalidates_on_mutation() {
+        let mut db = demo();
+        db.insert("tbl_Locations", vec![Value::Int(1), Value::from("Shasta")]).unwrap();
+        let t = db.table("tbl_Locations").unwrap();
+        let cols = t.columnar();
+        assert_eq!(cols.len, 1);
+        assert_eq!(cols.row(0), vec![Value::Int(1), Value::from("Shasta")]);
+        // Same Arc on a second call (cache hit).
+        assert!(Arc::ptr_eq(&cols, &t.columnar()));
+        // Mutation through table_mut rebuilds on next access.
+        db.insert("tbl_Locations", vec![Value::Int(2), Value::Null]).unwrap();
+        let cols2 = db.table("tbl_Locations").unwrap().columnar();
+        assert_eq!(cols2.len, 2);
+        assert_eq!(cols2.value(1, 1), Value::Null);
+        // Equality ignores the cache.
+        let a = db.table("tbl_Locations").unwrap().clone();
+        let mut b = a.clone();
+        b.columnar.take();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -77,13 +77,35 @@ pub struct ExecOptions {
     /// when this is `false` (the flag exists for A/B timing and for the
     /// hash/nested equivalence tests).
     pub hash_join: bool,
+    /// Run compiled plans ([`crate::plan::CompiledPlan::execute`]) through
+    /// the batch-at-a-time columnar executor (`crate::vector`), the
+    /// default. The vectorized path produces byte-identical result sets,
+    /// errors, and budget-exhaustion points to the row-at-a-time plan
+    /// runner; the flag exists for A/B timing and differential testing.
+    /// The AST interpreter ([`execute_with`]) ignores it — it *is* the
+    /// row-at-a-time oracle.
+    pub vectorized: bool,
+    /// Batch granularity (rows per batch) for the vectorized executor.
+    /// Purely a blocking factor: results are identical for any value ≥ 1
+    /// (values below 1 are clamped). Default [`DEFAULT_BATCH_SIZE`].
+    pub batch_size: usize,
     /// Resource budgets; [`ExecLimits::UNLIMITED`] by default.
     pub limits: ExecLimits,
 }
 
+/// Default rows-per-batch for the vectorized executor: large enough to
+/// amortize per-batch dispatch, small enough to keep a batch's working set
+/// in cache (see DESIGN.md §5 for the measured 256/1024/4096 sweep).
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { hash_join: true, limits: ExecLimits::UNLIMITED }
+        ExecOptions {
+            hash_join: true,
+            vectorized: true,
+            batch_size: DEFAULT_BATCH_SIZE,
+            limits: ExecLimits::UNLIMITED,
+        }
     }
 }
 

@@ -55,11 +55,15 @@ use crate::result::ResultSet;
 use crate::value::{HashKey, Value};
 
 /// Index of a [`CExpr`] node in its block's arena.
-type ExprId = usize;
+///
+/// Arenas are built in post-order — every node is pushed after its
+/// children — so a child's id is always smaller than its parent's. The
+/// vectorized executor relies on this for one-pass per-node analyses.
+pub(crate) type ExprId = usize;
 
 /// A compiled scalar expression: the typed IR evaluated over slot indices.
 #[derive(Debug)]
-enum CExpr {
+pub(crate) enum CExpr {
     /// A literal, pre-converted to a [`Value`] (strings already interned).
     Const(Value),
     /// A column reference resolved at plan time: hop `up` frames out, then
@@ -113,7 +117,7 @@ enum CExpr {
 
 /// Compiled function argument.
 #[derive(Debug)]
-enum CArg {
+pub(crate) enum CArg {
     /// `*` — raises `{name}(*) is not valid` in argument position, exactly
     /// where the interpreter raises it.
     Wildcard,
@@ -125,7 +129,7 @@ enum CArg {
 /// interpreter's `eval_grouped`: aggregate calls compute over the group's
 /// rows, everything else over the representative row.
 #[derive(Debug)]
-enum GExpr {
+pub(crate) enum GExpr {
     /// An aggregate call.
     Agg { name: String, distinct: bool, arg: AggArg },
     /// Short-circuit `AND` over grouped operands.
@@ -143,7 +147,7 @@ enum GExpr {
 
 /// Compiled aggregate argument.
 #[derive(Debug)]
-enum AggArg {
+pub(crate) enum AggArg {
     /// `COUNT(*)`.
     CountStar,
     /// Ordinary argument expression, evaluated per group row.
@@ -158,14 +162,14 @@ enum AggArg {
 /// evaluator iff it contains an aggregate (decided statically, exactly as
 /// the interpreter's per-call `contains_aggregate` check decides).
 #[derive(Debug)]
-enum CUnit {
+pub(crate) enum CUnit {
     Row(ExprId),
     Grouped(GExpr),
 }
 
 /// Compiled projection item.
 #[derive(Debug)]
-enum CItem {
+pub(crate) enum CItem {
     /// Copy a source column by combined-row offset (wildcard expansion).
     Passthrough(usize),
     /// Evaluate an expression.
@@ -174,7 +178,7 @@ enum CItem {
 
 /// Compiled `ORDER BY` key.
 #[derive(Debug)]
-enum COrder {
+pub(crate) enum COrder {
     /// Alias reference into the output row (T-SQL `ORDER BY alias`).
     Output(usize),
     /// Arbitrary expression over the unit.
@@ -183,7 +187,7 @@ enum COrder {
 
 /// A compiled `FROM`/`JOIN` source.
 #[derive(Debug)]
-enum CSource {
+pub(crate) enum CSource {
     /// Base table: rows re-read from the database at execution.
     Table { name: String, width: usize },
     /// View or derived table: a nested block run with no parent scope.
@@ -194,7 +198,7 @@ enum CSource {
 }
 
 impl CSource {
-    fn width(&self) -> usize {
+    pub(crate) fn width(&self) -> usize {
         match self {
             CSource::Table { width, .. } | CSource::Sub { width, .. } => *width,
             CSource::Missing(_) => 0,
@@ -204,45 +208,45 @@ impl CSource {
 
 /// A compiled join step.
 #[derive(Debug)]
-struct CJoin {
-    kind: JoinKind,
-    source: CSource,
+pub(crate) struct CJoin {
+    pub(crate) kind: JoinKind,
+    pub(crate) source: CSource,
     /// Combined width of everything left of this join.
-    left_width: usize,
+    pub(crate) left_width: usize,
     /// `ON` predicate compiled against the accumulated (left + right)
     /// bindings.
-    on: Option<ExprId>,
+    pub(crate) on: Option<ExprId>,
     /// Equi-key pairs `(left key, right key)` compiled in side-local
     /// scopes, present iff the interpreter's `equi_join_keys` extraction
     /// succeeds on the same bindings — so the hash/nested decision is
     /// reached from literally the same classification.
-    hash_keys: Option<Vec<(ExprId, ExprId)>>,
+    pub(crate) hash_keys: Option<Vec<(ExprId, ExprId)>>,
 }
 
 /// One compiled query block (a `SELECT` plus an optional `UNION` chain).
 #[derive(Debug)]
-struct CSelect {
+pub(crate) struct CSelect {
     /// Flat expression arena for this block.
-    arena: Vec<CExpr>,
+    pub(crate) arena: Vec<CExpr>,
     /// `FROM` source; `None` is the zero-width single-row set (`SELECT 1`).
-    source: Option<CSource>,
-    joins: Vec<CJoin>,
-    where_clause: Option<ExprId>,
+    pub(crate) source: Option<CSource>,
+    pub(crate) joins: Vec<CJoin>,
+    pub(crate) where_clause: Option<ExprId>,
     /// True when the block aggregates (explicit `GROUP BY` or aggregate
     /// functions anywhere in items/`HAVING`/`ORDER BY`).
-    grouped: bool,
-    group_by: Vec<ExprId>,
-    having: Option<CUnit>,
+    pub(crate) grouped: bool,
+    pub(crate) group_by: Vec<ExprId>,
+    pub(crate) having: Option<CUnit>,
     /// Output names and item plans; `Err` for a plan-time projection error
     /// (unknown binding in `alias.*`), surfaced after `WHERE` runs —
     /// exactly where the interpreter surfaces it.
-    projection: Result<(Vec<String>, Vec<CItem>), EngineError>,
-    order_by: Vec<(COrder, bool)>,
-    distinct: bool,
-    top: Option<u64>,
-    union: Option<(UnionKind, Box<CSelect>)>,
+    pub(crate) projection: Result<(Vec<String>, Vec<CItem>), EngineError>,
+    pub(crate) order_by: Vec<(COrder, bool)>,
+    pub(crate) distinct: bool,
+    pub(crate) top: Option<u64>,
+    pub(crate) union: Option<(UnionKind, Box<CSelect>)>,
     /// Combined row width of the `FROM`/`JOIN` row set.
-    width: usize,
+    pub(crate) width: usize,
 }
 
 /// A statement compiled against one database's catalog structure.
@@ -252,8 +256,8 @@ struct CSelect {
 /// against the database it was compiled for.
 #[derive(Debug)]
 pub struct CompiledPlan {
-    db_name: String,
-    root: CSelect,
+    pub(crate) db_name: String,
+    pub(crate) root: CSelect,
 }
 
 /// Lower a parsed statement into a [`CompiledPlan`] for `db`.
@@ -278,6 +282,13 @@ impl CompiledPlan {
     /// Output-identical to running the original statement through
     /// [`crate::execute_with`] with the same options, provided `db` has the
     /// same structure it had at compile time.
+    ///
+    /// A plan is **mode-agnostic**: [`compile`] takes no [`ExecOptions`],
+    /// so the same `CompiledPlan` serves the vectorized executor
+    /// (`opts.vectorized`, the default — see [`crate::vector`]) and the
+    /// row-at-a-time runner alike; the dispatch happens here, per
+    /// execution. Both paths produce byte-identical results, errors, and
+    /// budget accounting.
     pub fn execute(&self, db: &Database, opts: ExecOptions) -> Result<ResultSet, EngineError> {
         if db.name != self.db_name {
             return Err(EngineError::Catalog {
@@ -286,6 +297,9 @@ impl CompiledPlan {
                     self.db_name, db.name
                 ),
             });
+        }
+        if opts.vectorized {
+            return crate::vector::execute_plan(self, db, opts);
         }
         let runner = Runner::new(db, opts);
         let result = runner.run_select(&self.root, None);
@@ -786,13 +800,13 @@ fn block_is_correlated(sel: &CSelect, level: u32) -> bool {
 /// this chain; correlated subqueries re-bind by running under a new frame
 /// whose parent is the current one.
 #[derive(Clone, Copy)]
-struct Frame<'a> {
-    row: &'a [Value],
-    parent: Option<&'a Frame<'a>>,
+pub(crate) struct Frame<'a> {
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Frame<'a>>,
 }
 
 impl<'a> Frame<'a> {
-    fn slot(&self, up: u32, idx: usize) -> &Value {
+    pub(crate) fn slot(&self, up: u32, idx: usize) -> &Value {
         let mut f = self;
         for _ in 0..up {
             f = f.parent.expect("slot depth matches compile-time scope chain");
@@ -808,10 +822,10 @@ enum Rep {
     Nulls(Vec<Value>),
 }
 
-struct Runner<'a> {
-    db: &'a Database,
-    opts: ExecOptions,
-    meter: Meter,
+pub(crate) struct Runner<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) opts: ExecOptions,
+    pub(crate) meter: Meter,
     /// Per-execution results of uncorrelated subquery blocks, keyed by
     /// block address (each `Box<CSelect>` is a distinct, pinned block).
     /// Only consulted when [`Self::memo_enabled`] holds.
@@ -819,7 +833,7 @@ struct Runner<'a> {
 }
 
 impl<'a> Runner<'a> {
-    fn new(db: &'a Database, opts: ExecOptions) -> Self {
+    pub(crate) fn new(db: &'a Database, opts: ExecOptions) -> Self {
         Runner {
             db,
             opts,
@@ -860,7 +874,7 @@ impl<'a> Runner<'a> {
     }
     /// Depth-guarded entry point for a compiled block, mirroring the
     /// interpreter's `select` wrapper.
-    fn run_select(
+    pub(crate) fn run_select(
         &self,
         sel: &CSelect,
         outer: Option<&Frame<'_>>,
@@ -901,6 +915,48 @@ impl<'a> Runner<'a> {
             snails_obs::observe(Obs::EngineOpFilterRows, rows.len() as u64);
         }
 
+        let mut result = self.tail(sel, rows, outer)?;
+
+        // UNION [ALL].
+        if let Some((kind, rhs)) = &sel.union {
+            let rhs_rs = self.run_select(rhs, outer)?;
+            if rhs_rs.column_count() != result.column_count() {
+                return Err(EngineError::type_error(format!(
+                    "UNION arity mismatch: {} vs {} columns",
+                    result.column_count(),
+                    rhs_rs.column_count()
+                )));
+            }
+            result.rows.extend(rhs_rs.rows);
+            if *kind == UnionKind::Distinct {
+                let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
+                result.rows.retain(|row| seen.insert(row.iter().map(Value::hash_key).collect()));
+            }
+        }
+
+        if let Some(budget) = self.opts.limits.max_output_rows {
+            if result.rows.len() as u64 > budget {
+                return Err(EngineError::resource_exhausted("output row budget", budget));
+            }
+        }
+
+        Ok(result)
+    }
+
+    /// The post-`WHERE` stages of one block — projection-error surfacing,
+    /// grouping, `HAVING`, projection, `DISTINCT`, `ORDER BY`, `TOP` —
+    /// over already-filtered `rows`. Factored out of `run_select_inner` so
+    /// the vectorized executor (`crate::vector`) can hand exactly these
+    /// semantics a materialized row set when a block's unit expressions
+    /// contain subqueries (or the input is empty) and scalar evaluation is
+    /// the cheapest exact path. `UNION` and the output-row budget stay in
+    /// the caller.
+    pub(crate) fn tail(
+        &self,
+        sel: &CSelect,
+        rows: Vec<Vec<Value>>,
+        outer: Option<&Frame<'_>>,
+    ) -> Result<ResultSet, EngineError> {
         // Plan-time projection errors surface here, after WHERE — exactly
         // where the interpreter calls `projection_plan`.
         let (out_columns, items) = match &sel.projection {
@@ -1015,32 +1071,7 @@ impl<'a> Runner<'a> {
             out_rows.truncate(n as usize);
         }
 
-        let mut result = ResultSet { columns: out_columns.clone(), rows: out_rows };
-
-        // UNION [ALL].
-        if let Some((kind, rhs)) = &sel.union {
-            let rhs_rs = self.run_select(rhs, outer)?;
-            if rhs_rs.column_count() != result.column_count() {
-                return Err(EngineError::type_error(format!(
-                    "UNION arity mismatch: {} vs {} columns",
-                    result.column_count(),
-                    rhs_rs.column_count()
-                )));
-            }
-            result.rows.extend(rhs_rs.rows);
-            if *kind == UnionKind::Distinct {
-                let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
-                result.rows.retain(|row| seen.insert(row.iter().map(Value::hash_key).collect()));
-            }
-        }
-
-        if let Some(budget) = self.opts.limits.max_output_rows {
-            if result.rows.len() as u64 > budget {
-                return Err(EngineError::resource_exhausted("output row budget", budget));
-            }
-        }
-
-        Ok(result)
+        Ok(ResultSet { columns: out_columns.clone(), rows: out_rows })
     }
 
     fn load_source(&self, src: &CSource) -> Result<Vec<Vec<Value>>, EngineError> {
@@ -1081,7 +1112,7 @@ impl<'a> Runner<'a> {
 
     /// Build/probe hash join — identical structure, charge points, and
     /// output order to the interpreter's `hash_join`.
-    fn hash_join(
+    pub(crate) fn hash_join(
         &self,
         sel: &CSelect,
         left: Vec<Vec<Value>>,
@@ -1179,7 +1210,7 @@ impl<'a> Runner<'a> {
         Ok(rows)
     }
 
-    fn nested_join(
+    pub(crate) fn nested_join(
         &self,
         sel: &CSelect,
         left: Vec<Vec<Value>>,
@@ -1379,7 +1410,12 @@ impl<'a> Runner<'a> {
 
     /// Scalar IR evaluation — mirror of the interpreter's `eval`, arm by
     /// arm, minus the per-row name resolution it no longer needs.
-    fn eval(&self, sel: &CSelect, id: ExprId, frame: &Frame<'_>) -> Result<Value, EngineError> {
+    pub(crate) fn eval(
+        &self,
+        sel: &CSelect,
+        id: ExprId,
+        frame: &Frame<'_>,
+    ) -> Result<Value, EngineError> {
         match &sel.arena[id] {
             CExpr::Const(v) => Ok(v.clone()),
             CExpr::Slot { up, idx } => Ok(frame.slot(*up, *idx).clone()),

@@ -1,0 +1,1680 @@
+//! Batch-at-a-time columnar execution of [`CompiledPlan`]s.
+//!
+//! The row-at-a-time plan runner ([`crate::plan::Runner`]) clones every
+//! table row on scan, materializes every join output row, and evaluates
+//! expressions one row at a time. This module executes the *same* compiled
+//! IR over the columnar table mirrors built by [`crate::catalog::Table::
+//! columnar`]: scans are refcount bumps, joins carry row ids instead of
+//! cloned rows, predicates evaluate [`CExpr`] kernels over column slices
+//! into selection vectors, and rows are materialized only at final
+//! projection.
+//!
+//! # Equivalence contract
+//!
+//! The vectorized path promises **byte-identical** behavior to the
+//! row-at-a-time runner: the same `ResultSet`s, the same `EngineError`s
+//! (including which error surfaces first), and the same
+//! [`ExecLimits`](crate::ExecLimits) accounting — a finite budget trips at
+//! the identical logical row. Two mechanisms make this cheap to guarantee:
+//!
+//! 1. **Pure-then-commit evaluation.** Vectorized expression evaluation is
+//!    side-effect free: no meter charges, no telemetry, no subquery runs.
+//!    Any node that *could* diverge — a subquery, a frozen plan-time error,
+//!    or any per-row kernel error (overflow, type error) — aborts the
+//!    vector attempt with [`Unvec`], and the affected scope is re-run
+//!    through the scalar runner, which **is** the oracle semantics. Because
+//!    vector evaluation is unmasked (it evaluates both `AND`/`OR` arms,
+//!    every `CASE` branch, every `IN` list item), it evaluates a superset
+//!    of what the short-circuiting scalar path evaluates, so every scalar
+//!    error is seen as a vector abort — spurious aborts merely cost a
+//!    scalar replay, never a wrong answer.
+//! 2. **Identical charge sequences.** Bulk charges (scan, filter, group)
+//!    happen at the same sequence points as the row path; per-row charges
+//!    (hash-join probe) run in the same row order. Fallbacks are decided
+//!    *before* the first charge of the affected scope, so a delegated scope
+//!    replays the row path's exact charge/error interleaving.
+//!
+//! The nested-loop interpreter ([`crate::execute_with`]) and the row plan
+//! runner remain available (`ExecOptions { vectorized: false, .. }`) as
+//! differential-testing oracles; `tests/vector_equivalence.rs` fuzzes the
+//! three against each other.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use snails_obs::Metric as Obs;
+use snails_sql::{BinOp, JoinKind, UnionKind};
+
+use crate::batch::{Bitmap, ColData, ColumnSet, Dict};
+use crate::catalog::Database;
+use crate::error::EngineError;
+use crate::exec::{
+    bool_value, eval_binary, eval_unary, finish_aggregate, like_match, record_statement,
+    scalar_fn, truth, ExecOptions,
+};
+use crate::plan::{
+    AggArg, CArg, CExpr, CItem, CJoin, COrder, CSelect, CSource, CUnit, CompiledPlan, ExprId,
+    Frame, GExpr, Runner,
+};
+use crate::result::ResultSet;
+use crate::value::{HashKey, Value};
+
+/// Row-id sentinel for the NULL-padded side of an outer join.
+const NONE_RID: u32 = u32::MAX;
+
+/// Execute `plan` through the vectorized engine. Entry point for
+/// [`CompiledPlan::execute`] when `opts.vectorized` is set.
+pub(crate) fn execute_plan(
+    plan: &CompiledPlan,
+    db: &Database,
+    opts: ExecOptions,
+) -> Result<ResultSet, EngineError> {
+    let runner = Runner::new(db, opts);
+    let result = run_select(&runner, &plan.root);
+    record_statement(&runner.meter, &result);
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Relations: column sources + row-id permutations
+// ---------------------------------------------------------------------------
+
+/// A relation in late-materialized form: one or more columnar sources plus,
+/// per source, a row-id vector mapping each logical row to a physical row of
+/// that source (`NONE_RID` ≙ the all-NULL pad of an outer join). Joins and
+/// filters permute row ids; values are gathered on demand.
+struct Rel {
+    srcs: Vec<Arc<ColumnSet>>,
+    /// `rowids[s][i]` = physical row of source `s` backing logical row `i`.
+    rowids: Vec<Vec<u32>>,
+    len: usize,
+    /// Combined-row column `c` lives at `col_map[c] = (src, local column)`.
+    col_map: Vec<(u32, u32)>,
+    width: usize,
+}
+
+impl Rel {
+    /// Wrap one columnar source 1:1 (a base-table scan).
+    fn from_set(cols: Arc<ColumnSet>) -> Rel {
+        let len = cols.len;
+        let width = cols.width();
+        Rel {
+            srcs: vec![cols],
+            rowids: vec![(0..len as u32).collect()],
+            len,
+            col_map: (0..width).map(|c| (0u32, c as u32)).collect(),
+            width,
+        }
+    }
+
+    /// Columnarize materialized rows (derived tables, join fallbacks).
+    fn from_rows(width: usize, rows: &[Vec<Value>]) -> Rel {
+        Rel::from_set(Arc::new(ColumnSet::from_rows(width, rows)))
+    }
+
+    /// The zero-width single-row relation (`SELECT` with no `FROM`).
+    fn unit() -> Rel {
+        Rel { srcs: Vec::new(), rowids: Vec::new(), len: 1, col_map: Vec::new(), width: 0 }
+    }
+
+    /// Keep only the logical rows in `keep`, in order.
+    fn keep(self, keep: &[u32]) -> Rel {
+        let rowids = self
+            .rowids
+            .iter()
+            .map(|ids| keep.iter().map(|&i| ids[i as usize]).collect())
+            .collect();
+        Rel { srcs: self.srcs, rowids, len: keep.len(), col_map: self.col_map, width: self.width }
+    }
+
+    /// Reconstruct logical row `i` as the row path's combined row.
+    fn materialize_row(&self, i: usize) -> Vec<Value> {
+        self.col_map
+            .iter()
+            .map(|&(s, c)| {
+                let rid = self.rowids[s as usize][i];
+                if rid == NONE_RID {
+                    Value::Null
+                } else {
+                    self.srcs[s as usize].cols[c as usize].value(rid as usize)
+                }
+            })
+            .collect()
+    }
+
+    /// Reconstruct every logical row (fallback to the scalar runner).
+    fn materialize_all(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.materialize_row(i)).collect()
+    }
+
+    /// Gather combined-row column `col` at the selected logical rows into a
+    /// typed vector.
+    fn gather(&self, col: usize, sel: &[u32]) -> VCol {
+        let (s, c) = self.col_map[col];
+        let ids = &self.rowids[s as usize];
+        match &self.srcs[s as usize].cols[c as usize] {
+            ColData::I64 { vals, valid } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut v = Bitmap::with_capacity(sel.len());
+                for &i in sel {
+                    let rid = ids[i as usize];
+                    if rid != NONE_RID && valid.get(rid as usize) {
+                        out.push(vals[rid as usize]);
+                        v.push(true);
+                    } else {
+                        out.push(0);
+                        v.push(false);
+                    }
+                }
+                VCol::I64 { vals: out, valid: v }
+            }
+            ColData::F64 { vals, valid } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut v = Bitmap::with_capacity(sel.len());
+                for &i in sel {
+                    let rid = ids[i as usize];
+                    if rid != NONE_RID && valid.get(rid as usize) {
+                        out.push(vals[rid as usize]);
+                        v.push(true);
+                    } else {
+                        out.push(0.0);
+                        v.push(false);
+                    }
+                }
+                VCol::F64 { vals: out, valid: v }
+            }
+            ColData::Str { codes, valid, dict } => {
+                let mut out = Vec::with_capacity(sel.len());
+                let mut v = Bitmap::with_capacity(sel.len());
+                for &i in sel {
+                    let rid = ids[i as usize];
+                    if rid != NONE_RID && valid.get(rid as usize) {
+                        out.push(codes[rid as usize]);
+                        v.push(true);
+                    } else {
+                        out.push(0);
+                        v.push(false);
+                    }
+                }
+                VCol::Str { codes: out, valid: v, dict: Arc::clone(dict) }
+            }
+            ColData::Mixed { vals } => VCol::Vals(
+                sel.iter()
+                    .map(|&i| {
+                        let rid = ids[i as usize];
+                        if rid == NONE_RID {
+                            Value::Null
+                        } else {
+                            vals[rid as usize].clone()
+                        }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized values
+// ---------------------------------------------------------------------------
+
+/// An evaluated expression over a selection: one entry per selected row
+/// (`Const` broadcasts). Booleans are `I64` 0/1 with NULL as invalid,
+/// matching [`bool_value`].
+enum VCol {
+    Const(Value),
+    I64 { vals: Vec<i64>, valid: Bitmap },
+    F64 { vals: Vec<f64>, valid: Bitmap },
+    Str { codes: Vec<u32>, valid: Bitmap, dict: Arc<Dict> },
+    Vals(Vec<Value>),
+}
+
+/// Vector evaluation aborted: the expression needs the scalar runner
+/// (subquery, frozen error, or a row-level kernel error). Purely a control
+/// signal — the scalar replay recomputes and surfaces the exact error.
+struct Unvec;
+
+type VRes = Result<VCol, Unvec>;
+
+impl VCol {
+    /// Reconstruct the value at selection position `i`.
+    fn value_at(&self, i: usize) -> Value {
+        match self {
+            VCol::Const(v) => v.clone(),
+            VCol::I64 { vals, valid } => {
+                if valid.get(i) {
+                    Value::Int(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::F64 { vals, valid } => {
+                if valid.get(i) {
+                    Value::Float(vals[i])
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::Str { codes, valid, dict } => {
+                if valid.get(i) {
+                    Value::Str(Arc::clone(&dict.strs[codes[i] as usize]))
+                } else {
+                    Value::Null
+                }
+            }
+            VCol::Vals(vals) => vals[i].clone(),
+        }
+    }
+
+    /// [`truth`] at selection position `i`, without materializing.
+    fn truth_at(&self, i: usize) -> Option<bool> {
+        match self {
+            VCol::Const(v) => truth(v),
+            VCol::I64 { vals, valid } => valid.get(i).then(|| vals[i] != 0),
+            VCol::F64 { vals, valid } => valid.get(i).then(|| vals[i] != 0.0),
+            VCol::Str { valid, .. } => valid.get(i).then_some(true),
+            VCol::Vals(vals) => truth(&vals[i]),
+        }
+    }
+}
+
+/// Build a boolean column from per-row three-valued results.
+fn bool_col(bits: impl Iterator<Item = Option<bool>>, cap: usize) -> VCol {
+    let mut vals = Vec::with_capacity(cap);
+    let mut valid = Bitmap::with_capacity(cap);
+    for b in bits {
+        match b {
+            Some(x) => {
+                vals.push(i64::from(x));
+                valid.push(true);
+            }
+            None => {
+                vals.push(0);
+                valid.push(false);
+            }
+        }
+    }
+    VCol::I64 { vals, valid }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison cells (allocation-free sql_cmp over typed columns)
+// ---------------------------------------------------------------------------
+
+/// A borrowed scalar view for comparisons. `LowStr` is already lowercase
+/// (dictionary `lower`, or a pre-lowered constant); `RawStr` still needs
+/// lowercasing (values out of `Mixed` columns).
+enum Cell<'a> {
+    Null,
+    Int(i64),
+    Float(f64),
+    LowStr(&'a str),
+    RawStr(&'a str),
+}
+
+impl<'a> Cell<'a> {
+    fn num(&self) -> Option<f64> {
+        match self {
+            Cell::Int(n) => Some(*n as f64),
+            Cell::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+}
+
+/// Mirror of [`Value::sql_cmp`] over cells: NULL propagates, Int×Int exact,
+/// text case-insensitive, mixed numeric via f64, text×number incomparable.
+fn cmp_cells(a: &Cell<'_>, b: &Cell<'_>) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Cell::Null, _) | (_, Cell::Null) => None,
+        (Cell::Int(x), Cell::Int(y)) => Some(x.cmp(y)),
+        (Cell::LowStr(x), Cell::LowStr(y)) => Some(x.cmp(y)),
+        (Cell::LowStr(_) | Cell::RawStr(_), Cell::LowStr(_) | Cell::RawStr(_)) => {
+            let lower = |c: &Cell<'_>| match c {
+                Cell::LowStr(s) => (*s).to_owned(),
+                Cell::RawStr(s) => s.to_ascii_lowercase(),
+                _ => unreachable!(),
+            };
+            Some(lower(a).cmp(&lower(b)))
+        }
+        _ => a.num()?.partial_cmp(&b.num()?),
+    }
+}
+
+/// The cell at selection position `i`. `const_lower` carries the pre-lowered
+/// form of a constant string column, so broadcast constants compare without
+/// per-row allocation.
+fn cell_at<'a>(col: &'a VCol, i: usize, const_lower: &'a Option<String>) -> Cell<'a> {
+    match col {
+        VCol::Const(v) => match v {
+            Value::Null => Cell::Null,
+            Value::Int(n) => Cell::Int(*n),
+            Value::Float(x) => Cell::Float(*x),
+            Value::Str(_) => {
+                Cell::LowStr(const_lower.as_deref().expect("const string pre-lowered"))
+            }
+        },
+        VCol::I64 { vals, valid } => {
+            if valid.get(i) {
+                Cell::Int(vals[i])
+            } else {
+                Cell::Null
+            }
+        }
+        VCol::F64 { vals, valid } => {
+            if valid.get(i) {
+                Cell::Float(vals[i])
+            } else {
+                Cell::Null
+            }
+        }
+        VCol::Str { codes, valid, dict } => {
+            if valid.get(i) {
+                Cell::LowStr(&dict.lower[codes[i] as usize])
+            } else {
+                Cell::Null
+            }
+        }
+        VCol::Vals(vals) => match &vals[i] {
+            Value::Null => Cell::Null,
+            Value::Int(n) => Cell::Int(*n),
+            Value::Float(x) => Cell::Float(*x),
+            Value::Str(s) => Cell::RawStr(s),
+        },
+    }
+}
+
+/// Pre-lowered form of a constant string column, computed once per kernel.
+fn const_lower(col: &VCol) -> Option<String> {
+    match col {
+        VCol::Const(Value::Str(s)) => Some(s.to_ascii_lowercase()),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash/group keys
+// ---------------------------------------------------------------------------
+
+/// One key component with [`HashKey`]'s equivalence classes: numerics
+/// unified on normalized f64 bits, text lowercased (a refcount bump out of
+/// the dictionary's precomputed `lower`, not a fresh `String`).
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum VKey {
+    Null,
+    Num(u64),
+    Str(Arc<str>),
+}
+
+impl VKey {
+    fn num(x: f64) -> VKey {
+        let x = if x == 0.0 { 0.0 } else { x };
+        VKey::Num(x.to_bits())
+    }
+
+    /// Unmatchable as a *join* key (NULL or NaN), mirroring the row hash
+    /// join's `side_key`. Group keys have no such rule — NULL groups with
+    /// itself and NaN groups by bit pattern, as in [`Value::hash_key`].
+    fn unmatchable(&self) -> bool {
+        match self {
+            VKey::Null => true,
+            VKey::Num(bits) => f64::from_bits(*bits).is_nan(),
+            VKey::Str(_) => false,
+        }
+    }
+}
+
+/// Multiplicative mixer for pre-hashed `u64` keys (single-column numeric
+/// join/group keys). SipHash dominates the per-row cost of the build,
+/// probe, and group loops at millions of rows; key *bits* already encode
+/// the full equivalence class ([`VKey::num`]), so a strong mix of the bits
+/// is enough. Lookup order never depends on hasher output — emission and
+/// group order come from build/insertion order — so this cannot perturb
+/// determinism.
+#[derive(Default)]
+struct U64Hasher(u64);
+
+impl std::hash::Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut x = self.0 ^ n;
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+type FastMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<U64Hasher>>;
+
+/// Join-unmatchable sentinel for pre-hashed numeric keys. `u64::MAX` is a
+/// NaN bit pattern, which [`VKey::num`] can only produce for NaN floats —
+/// and NaN is itself unmatchable — so the sentinel never collides with a
+/// live key.
+const DEAD_KEY: u64 = u64::MAX;
+
+/// The key component at selection position `i`.
+fn key_at(col: &VCol, i: usize) -> VKey {
+    match col {
+        VCol::Const(v) => match v {
+            Value::Null => VKey::Null,
+            Value::Int(n) => VKey::num(*n as f64),
+            Value::Float(x) => VKey::num(*x),
+            Value::Str(s) => VKey::Str(Arc::from(s.to_ascii_lowercase())),
+        },
+        VCol::I64 { vals, valid } => {
+            if valid.get(i) {
+                VKey::num(vals[i] as f64)
+            } else {
+                VKey::Null
+            }
+        }
+        VCol::F64 { vals, valid } => {
+            if valid.get(i) {
+                VKey::num(vals[i])
+            } else {
+                VKey::Null
+            }
+        }
+        VCol::Str { codes, valid, dict } => {
+            if valid.get(i) {
+                VKey::Str(Arc::clone(&dict.lower[codes[i] as usize]))
+            } else {
+                VKey::Null
+            }
+        }
+        VCol::Vals(vals) => match &vals[i] {
+            Value::Null => VKey::Null,
+            Value::Int(n) => VKey::num(*n as f64),
+            Value::Float(x) => VKey::num(*x),
+            Value::Str(s) => VKey::Str(Arc::from(s.to_ascii_lowercase())),
+        },
+    }
+}
+
+/// A full join key: the single-component case skips the inner `Vec`.
+#[derive(PartialEq, Eq, Hash)]
+enum JoinKey {
+    One(VKey),
+    Many(Vec<VKey>),
+}
+
+// ---------------------------------------------------------------------------
+// Scalar-only analysis
+// ---------------------------------------------------------------------------
+
+/// Per-node "must run through the scalar runner" flags for a block's arena:
+/// true when the subtree contains a subquery, a frozen [`CExpr::Err`], an
+/// outer-frame slot, or a construct that always errors. One forward pass —
+/// the arena is post-order, so children precede parents.
+fn scalar_flags(sel: &CSelect) -> Vec<bool> {
+    let mut f = Vec::with_capacity(sel.arena.len());
+    for node in &sel.arena {
+        let flag = match node {
+            CExpr::Err(_)
+            | CExpr::Subquery { .. }
+            | CExpr::InSubquery { .. }
+            | CExpr::Exists { .. } => true,
+            CExpr::Slot { up, .. } => *up > 0,
+            CExpr::Const(_) => false,
+            CExpr::Unary { expr, .. } | CExpr::IsNull { expr, .. } | CExpr::Like { expr, .. } => {
+                f[*expr]
+            }
+            CExpr::And { left, right }
+            | CExpr::Or { left, right }
+            | CExpr::Binary { left, right, .. } => f[*left] || f[*right],
+            CExpr::Func { args, .. } => args.iter().any(|a| match a {
+                CArg::Wildcard => true,
+                CArg::Expr(id) => f[*id],
+            }),
+            CExpr::InList { expr, list, .. } => f[*expr] || list.iter().any(|&i| f[i]),
+            CExpr::Between { expr, low, high, .. } => f[*expr] || f[*low] || f[*high],
+            CExpr::Case { operand, branches, else_expr } => {
+                operand.map(|o| f[o]).unwrap_or(false)
+                    || branches.iter().any(|&(w, t)| f[w] || f[t])
+                    || else_expr.map(|e| f[e]).unwrap_or(false)
+            }
+        };
+        f.push(flag);
+    }
+    f
+}
+
+/// True when a unit expression cannot be vectorized.
+fn unit_scalar(u: &CUnit, flags: &[bool]) -> bool {
+    match u {
+        CUnit::Row(id) => flags[*id],
+        CUnit::Grouped(g) => gexpr_scalar(g, flags),
+    }
+}
+
+fn gexpr_scalar(g: &GExpr, flags: &[bool]) -> bool {
+    match g {
+        GExpr::Agg { arg, .. } => match arg {
+            AggArg::CountStar => false,
+            AggArg::Expr(id) => flags[*id],
+            AggArg::StarInvalid | AggArg::Missing => true,
+        },
+        GExpr::And(l, r) | GExpr::Or(l, r) => gexpr_scalar(l, flags) || gexpr_scalar(r, flags),
+        GExpr::Binary { left, right, .. } => {
+            gexpr_scalar(left, flags) || gexpr_scalar(right, flags)
+        }
+        GExpr::Unary { expr, .. } => gexpr_scalar(expr, flags),
+        GExpr::Row(id) => flags[*id],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized expression evaluation (pure: no charges, no subqueries)
+// ---------------------------------------------------------------------------
+
+/// Evaluator for one block's arena over one relation. All evaluation is
+/// unmasked and side-effect free; see the module docs for why that is
+/// sufficient for exact equivalence.
+struct Ev<'a> {
+    sel: &'a CSelect,
+    rel: &'a Rel,
+    flags: &'a [bool],
+}
+
+impl<'a> Ev<'a> {
+    /// Evaluate node `id` at the selected logical rows.
+    fn eval(&self, id: ExprId, rows: &[u32]) -> VRes {
+        if self.flags[id] {
+            return Err(Unvec);
+        }
+        match &self.sel.arena[id] {
+            CExpr::Const(v) => Ok(VCol::Const(v.clone())),
+            CExpr::Slot { idx, .. } => Ok(self.rel.gather(*idx, rows)),
+            CExpr::Err(_)
+            | CExpr::Subquery { .. }
+            | CExpr::InSubquery { .. }
+            | CExpr::Exists { .. } => Err(Unvec),
+            CExpr::Unary { op, expr } => {
+                let e = self.eval(*expr, rows)?;
+                match op {
+                    snails_sql::UnaryOp::Not => Ok(bool_col(
+                        (0..rows.len()).map(|i| e.truth_at(i).map(|b| !b)),
+                        rows.len(),
+                    )),
+                    snails_sql::UnaryOp::Neg => {
+                        let mut out = Vec::with_capacity(rows.len());
+                        for i in 0..rows.len() {
+                            out.push(eval_unary(*op, &e.value_at(i)).map_err(|_| Unvec)?);
+                        }
+                        Ok(VCol::Vals(out))
+                    }
+                }
+            }
+            CExpr::And { left, right } => {
+                let l = self.eval(*left, rows)?;
+                let r = self.eval(*right, rows)?;
+                Ok(bool_col(
+                    (0..rows.len()).map(|i| match (l.truth_at(i), r.truth_at(i)) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    }),
+                    rows.len(),
+                ))
+            }
+            CExpr::Or { left, right } => {
+                let l = self.eval(*left, rows)?;
+                let r = self.eval(*right, rows)?;
+                Ok(bool_col(
+                    (0..rows.len()).map(|i| match (l.truth_at(i), r.truth_at(i)) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    }),
+                    rows.len(),
+                ))
+            }
+            CExpr::Binary { left, op, right } => {
+                let l = self.eval(*left, rows)?;
+                let r = self.eval(*right, rows)?;
+                if op.is_comparison() {
+                    Ok(compare(&l, *op, &r, rows.len()))
+                } else {
+                    let mut out = Vec::with_capacity(rows.len());
+                    for i in 0..rows.len() {
+                        out.push(
+                            eval_binary(&l.value_at(i), *op, &r.value_at(i))
+                                .map_err(|_| Unvec)?,
+                        );
+                    }
+                    Ok(VCol::Vals(out))
+                }
+            }
+            CExpr::Func { name, args } => {
+                let mut cols = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        CArg::Wildcard => return Err(Unvec),
+                        CArg::Expr(id) => cols.push(self.eval(*id, rows)?),
+                    }
+                }
+                let mut out = Vec::with_capacity(rows.len());
+                let mut vals = Vec::with_capacity(cols.len());
+                for i in 0..rows.len() {
+                    vals.clear();
+                    vals.extend(cols.iter().map(|c| c.value_at(i)));
+                    out.push(scalar_fn(name, &vals).map_err(|_| Unvec)?);
+                }
+                Ok(VCol::Vals(out))
+            }
+            CExpr::IsNull { expr, negated } => {
+                let e = self.eval(*expr, rows)?;
+                Ok(bool_col(
+                    (0..rows.len()).map(|i| {
+                        let is_null = match &e {
+                            VCol::Const(v) => v.is_null(),
+                            VCol::I64 { valid, .. }
+                            | VCol::F64 { valid, .. }
+                            | VCol::Str { valid, .. } => !valid.get(i),
+                            VCol::Vals(vals) => vals[i].is_null(),
+                        };
+                        Some(is_null != *negated)
+                    }),
+                    rows.len(),
+                ))
+            }
+            CExpr::InList { expr, list, negated } => {
+                let v = self.eval(*expr, rows)?;
+                let items: Vec<VCol> =
+                    list.iter().map(|&i| self.eval(i, rows)).collect::<Result<_, _>>()?;
+                let vl = const_lower(&v);
+                let il: Vec<Option<String>> = items.iter().map(const_lower).collect();
+                Ok(bool_col(
+                    (0..rows.len()).map(|i| {
+                        let c = cell_at(&v, i, &vl);
+                        let mut saw_null = matches!(c, Cell::Null);
+                        let mut found = false;
+                        for (item, lower) in items.iter().zip(&il) {
+                            match cmp_cells(&c, &cell_at(item, i, lower)) {
+                                Some(std::cmp::Ordering::Equal) => {
+                                    found = true;
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => saw_null = true,
+                            }
+                        }
+                        let b = if found {
+                            Some(true)
+                        } else if saw_null {
+                            None
+                        } else {
+                            Some(false)
+                        };
+                        b.map(|x| x != *negated)
+                    }),
+                    rows.len(),
+                ))
+            }
+            CExpr::Between { expr, low, high, negated } => {
+                let v = self.eval(*expr, rows)?;
+                let lo = self.eval(*low, rows)?;
+                let hi = self.eval(*high, rows)?;
+                let (vl, lol, hil) = (const_lower(&v), const_lower(&lo), const_lower(&hi));
+                Ok(bool_col(
+                    (0..rows.len()).map(|i| {
+                        let c = cell_at(&v, i, &vl);
+                        let ge = cmp_cells(&c, &cell_at(&lo, i, &lol))
+                            .map(|o| o != std::cmp::Ordering::Less);
+                        let le = cmp_cells(&c, &cell_at(&hi, i, &hil))
+                            .map(|o| o != std::cmp::Ordering::Greater);
+                        let b = match (ge, le) {
+                            (Some(a), Some(b)) => Some(a && b),
+                            (Some(false), _) | (_, Some(false)) => Some(false),
+                            _ => None,
+                        };
+                        b.map(|x| x != *negated)
+                    }),
+                    rows.len(),
+                ))
+            }
+            CExpr::Like { expr, pattern, negated } => {
+                let e = self.eval(*expr, rows)?;
+                match &e {
+                    VCol::Str { codes, valid, dict } => {
+                        // Memoize the match per dictionary code: each
+                        // distinct string is tested once, against the
+                        // precomputed lowercase form.
+                        let mut memo: Vec<Option<bool>> = vec![None; dict.len()];
+                        Ok(bool_col(
+                            (0..rows.len()).map(|i| {
+                                if !valid.get(i) {
+                                    return None;
+                                }
+                                let code = codes[i] as usize;
+                                let m = *memo[code].get_or_insert_with(|| {
+                                    like_match(&dict.lower[code], pattern)
+                                });
+                                Some(m != *negated)
+                            }),
+                            rows.len(),
+                        ))
+                    }
+                    VCol::Const(Value::Null) => Ok(VCol::Const(Value::Null)),
+                    VCol::Const(Value::Str(s)) => {
+                        let m = like_match(&s.to_ascii_lowercase(), pattern);
+                        Ok(VCol::Const(bool_value(Some(m != *negated))))
+                    }
+                    VCol::Const(_) => Err(Unvec),
+                    VCol::I64 { valid, .. } | VCol::F64 { valid, .. } => {
+                        // Any valid row is a type error in the row path.
+                        if (0..rows.len()).any(|i| valid.get(i)) {
+                            Err(Unvec)
+                        } else {
+                            Ok(VCol::Const(Value::Null))
+                        }
+                    }
+                    VCol::Vals(vals) => {
+                        let mut out = Vec::with_capacity(rows.len());
+                        for v in vals.iter().take(rows.len()) {
+                            match v {
+                                Value::Null => out.push(Value::Null),
+                                Value::Str(s) => {
+                                    let m = like_match(&s.to_ascii_lowercase(), pattern);
+                                    out.push(bool_value(Some(m != *negated)));
+                                }
+                                _ => return Err(Unvec),
+                            }
+                        }
+                        Ok(VCol::Vals(out))
+                    }
+                }
+            }
+            CExpr::Case { operand, branches, else_expr } => {
+                let op_col = match operand {
+                    Some(o) => Some(self.eval(*o, rows)?),
+                    None => None,
+                };
+                let mut whens = Vec::with_capacity(branches.len());
+                let mut thens = Vec::with_capacity(branches.len());
+                for &(w, t) in branches {
+                    whens.push(self.eval(w, rows)?);
+                    thens.push(self.eval(t, rows)?);
+                }
+                let else_col = match else_expr {
+                    Some(e) => Some(self.eval(*e, rows)?),
+                    None => None,
+                };
+                let opl = op_col.as_ref().and_then(const_lower);
+                let wl: Vec<Option<String>> = whens.iter().map(const_lower).collect();
+                let mut out = Vec::with_capacity(rows.len());
+                for i in 0..rows.len() {
+                    let mut chosen: Option<Value> = None;
+                    for (bi, w) in whens.iter().enumerate() {
+                        let hit = match &op_col {
+                            Some(oc) => {
+                                cmp_cells(&cell_at(oc, i, &opl), &cell_at(w, i, &wl[bi]))
+                                    == Some(std::cmp::Ordering::Equal)
+                            }
+                            None => w.truth_at(i) == Some(true),
+                        };
+                        if hit {
+                            chosen = Some(thens[bi].value_at(i));
+                            break;
+                        }
+                    }
+                    out.push(chosen.unwrap_or_else(|| {
+                        else_col.as_ref().map(|e| e.value_at(i)).unwrap_or(Value::Null)
+                    }));
+                }
+                Ok(VCol::Vals(out))
+            }
+        }
+    }
+}
+
+/// Vectorized three-valued comparison kernel.
+fn compare(l: &VCol, op: BinOp, r: &VCol, n: usize) -> VCol {
+    use std::cmp::Ordering;
+    let (ll, rl) = (const_lower(l), const_lower(r));
+    bool_col(
+        (0..n).map(|i| {
+            cmp_cells(&cell_at(l, i, &ll), &cell_at(r, i, &rl)).map(|o| match op {
+                BinOp::Eq => o == Ordering::Equal,
+                BinOp::NotEq => o != Ordering::Equal,
+                BinOp::Lt => o == Ordering::Less,
+                BinOp::LtEq => o != Ordering::Greater,
+                BinOp::Gt => o == Ordering::Greater,
+                BinOp::GtEq => o != Ordering::Less,
+                _ => unreachable!("is_comparison"),
+            })
+        }),
+        n,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Block execution
+// ---------------------------------------------------------------------------
+
+/// Depth-guarded vectorized execution of one block, mirroring
+/// [`Runner::run_select`].
+fn run_select(r: &Runner<'_>, sel: &CSelect) -> Result<ResultSet, EngineError> {
+    r.meter.enter_block()?;
+    let result = run_select_inner(r, sel);
+    r.meter.exit_block();
+    result
+}
+
+fn run_select_inner(r: &Runner<'_>, sel: &CSelect) -> Result<ResultSet, EngineError> {
+    let batch = r.opts.batch_size.max(1);
+    let flags = scalar_flags(sel);
+
+    // FROM and JOINs.
+    let mut rel = match &sel.source {
+        Some(src) => load_source(r, src, batch)?,
+        None => Rel::unit(),
+    };
+    for join in &sel.joins {
+        let right = load_source(r, &join.source, batch)?;
+        rel = join_step(r, sel, rel, right, join, batch, &flags)?;
+        snails_obs::observe(Obs::EngineOpJoinRows, rel.len as u64);
+    }
+
+    // WHERE.
+    if let Some(pred) = sel.where_clause {
+        rel = filter(r, sel, rel, pred, batch, &flags)?;
+    }
+
+    let mut result = tail(r, sel, &rel, &flags)?;
+
+    // UNION [ALL] — mirror of the row path, recursing vectorized.
+    if let Some((kind, rhs)) = &sel.union {
+        let rhs_rs = run_select(r, rhs)?;
+        if rhs_rs.column_count() != result.column_count() {
+            return Err(EngineError::type_error(format!(
+                "UNION arity mismatch: {} vs {} columns",
+                result.column_count(),
+                rhs_rs.column_count()
+            )));
+        }
+        result.rows.extend(rhs_rs.rows);
+        if *kind == UnionKind::Distinct {
+            let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
+            result.rows.retain(|row| seen.insert(row.iter().map(Value::hash_key).collect()));
+        }
+    }
+
+    if let Some(budget) = r.opts.limits.max_output_rows {
+        if result.rows.len() as u64 > budget {
+            return Err(EngineError::resource_exhausted("output row budget", budget));
+        }
+    }
+
+    Ok(result)
+}
+
+/// Load a `FROM`/`JOIN` source as a relation. Base tables are a refcount
+/// bump of the cached columnar mirror — no row clone.
+fn load_source(r: &Runner<'_>, src: &CSource, batch: usize) -> Result<Rel, EngineError> {
+    match src {
+        CSource::Table { name, .. } => {
+            let t = r
+                .db
+                .table(name)
+                .ok_or_else(|| EngineError::UnknownTable { name: name.clone() })?;
+            let cols = t.columnar();
+            r.meter.charge_steps(cols.len as u64)?;
+            snails_obs::observe(Obs::EngineOpScanRows, cols.len as u64);
+            let batches = cols.len.div_ceil(batch) as u64;
+            snails_obs::add(Obs::EngineVecBatches, batches);
+            snails_obs::add(Obs::EngineOpScanBatches, batches);
+            for col in &cols.cols {
+                if let ColData::Str { dict, .. } = col {
+                    snails_obs::observe(Obs::EngineVecDictEntries, dict.len() as u64);
+                }
+            }
+            Ok(Rel::from_set(cols))
+        }
+        CSource::Sub { plan, width } => {
+            let rs = run_select(r, plan)?;
+            snails_obs::observe(Obs::EngineOpScanRows, rs.rows.len() as u64);
+            let batches = rs.rows.len().div_ceil(batch) as u64;
+            snails_obs::add(Obs::EngineVecBatches, batches);
+            snails_obs::add(Obs::EngineOpScanBatches, batches);
+            Ok(Rel::from_rows(*width, &rs.rows))
+        }
+        CSource::Missing(name) => Err(EngineError::UnknownTable { name: name.clone() }),
+    }
+}
+
+/// `WHERE` over a relation: bulk step charge (as the row path), then
+/// batch-at-a-time predicate evaluation into a selection vector, falling
+/// back to per-row scalar evaluation for any batch the vector kernels
+/// cannot prove error-free.
+fn filter(
+    r: &Runner<'_>,
+    sel: &CSelect,
+    rel: Rel,
+    pred: ExprId,
+    batch: usize,
+    flags: &[bool],
+) -> Result<Rel, EngineError> {
+    r.meter.charge_steps(rel.len as u64)?;
+    let ev = Ev { sel, rel: &rel, flags };
+    let mut keep: Vec<u32> = Vec::new();
+    let mut start = 0usize;
+    while start < rel.len {
+        let end = (start + batch).min(rel.len);
+        let rows: Vec<u32> = (start as u32..end as u32).collect();
+        let before = keep.len();
+        let vcol = if flags[pred] { Err(Unvec) } else { ev.eval(pred, &rows) };
+        match vcol {
+            Ok(col) => {
+                for (i, &row) in rows.iter().enumerate() {
+                    if col.truth_at(i) == Some(true) {
+                        keep.push(row);
+                    }
+                }
+            }
+            Err(Unvec) => {
+                // Scalar replay in row order: identical evaluation (and,
+                // via subqueries, identical charges) to the row path.
+                for &row in &rows {
+                    let vals = rel.materialize_row(row as usize);
+                    let frame = Frame { row: &vals, parent: None };
+                    if truth(&r.eval(sel, pred, &frame)?) == Some(true) {
+                        keep.push(row);
+                    }
+                }
+            }
+        }
+        snails_obs::add(Obs::EngineVecBatches, 1);
+        snails_obs::add(Obs::EngineOpFilterBatches, 1);
+        let kept = (keep.len() - before) as u64;
+        snails_obs::observe(Obs::EngineVecSelectivityPct, kept * 100 / (end - start) as u64);
+        start = end;
+    }
+    snails_obs::observe(Obs::EngineOpFilterRows, keep.len() as u64);
+    Ok(rel.keep(&keep))
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// One join step. Equi-key joins run the vectorized build/probe over row
+/// ids; everything else (non-equi `ON`, cross joins, `hash_join: false`,
+/// keys the vector kernels cannot prove error-free) materializes both sides
+/// and delegates to the scalar runner, whose charge/error interleaving is
+/// the contract.
+fn join_step(
+    r: &Runner<'_>,
+    sel: &CSelect,
+    left: Rel,
+    right: Rel,
+    join: &CJoin,
+    batch: usize,
+    flags: &[bool],
+) -> Result<Rel, EngineError> {
+    let width = join.left_width + join.source.width();
+    if r.opts.hash_join && join.kind != JoinKind::Cross {
+        if let (Some(keys), Some(_)) = (&join.hash_keys, join.on) {
+            let lk = side_keys(sel, &left, keys, true, batch, flags);
+            let rk = side_keys(sel, &right, keys, false, batch, flags);
+            if let (Some(lk), Some(rk)) = (lk, rk) {
+                return hash_join_vec(r, left, right, join, lk, rk);
+            }
+            // Key evaluation needs the scalar runner: delegate the whole
+            // join before any charge, so accounting replays exactly.
+            let rows = r.hash_join(
+                sel,
+                left.materialize_all(),
+                right.materialize_all(),
+                join,
+                keys,
+                None,
+            )?;
+            return Ok(Rel::from_rows(width, &rows));
+        }
+    }
+    let rows = r.nested_join(sel, left.materialize_all(), right.materialize_all(), join, None)?;
+    Ok(Rel::from_rows(width, &rows))
+}
+
+/// Evaluate one side's key tuples, batch at a time. `None` aborts to the
+/// scalar join (subquery in a key, or any row-level evaluation error);
+/// evaluation is pure, so aborting is free. Per-row `None` entries mark
+/// unmatchable keys (NULL/NaN component), as in the row path's `side_key`.
+fn side_keys(
+    sel: &CSelect,
+    rel: &Rel,
+    keys: &[(ExprId, ExprId)],
+    left_side: bool,
+    batch: usize,
+    flags: &[bool],
+) -> Option<Vec<Option<JoinKey>>> {
+    let pick = |k: &(ExprId, ExprId)| if left_side { k.0 } else { k.1 };
+    if keys.iter().any(|k| flags[pick(k)]) {
+        return None;
+    }
+    let ev = Ev { sel, rel, flags };
+    let mut out: Vec<Option<JoinKey>> = Vec::with_capacity(rel.len);
+    let mut start = 0usize;
+    while start < rel.len {
+        let end = (start + batch).min(rel.len);
+        let rows: Vec<u32> = (start as u32..end as u32).collect();
+        let cols: Vec<VCol> =
+            keys.iter().map(|k| ev.eval(pick(k), &rows)).collect::<Result<_, _>>().ok()?;
+        for i in 0..rows.len() {
+            if let [col] = cols.as_slice() {
+                // Single-column key: no tuple allocation.
+                let k = key_at(col, i);
+                out.push((!k.unmatchable()).then_some(JoinKey::One(k)));
+                continue;
+            }
+            let mut tuple = Vec::with_capacity(cols.len());
+            let mut dead = false;
+            for c in &cols {
+                let k = key_at(c, i);
+                if k.unmatchable() {
+                    dead = true;
+                    break;
+                }
+                tuple.push(k);
+            }
+            out.push(if dead { None } else { Some(JoinKey::Many(tuple)) });
+        }
+        snails_obs::add(Obs::EngineVecBatches, 1);
+        snails_obs::add(Obs::EngineOpJoinBatches, 1);
+        start = end;
+    }
+    Some(out)
+}
+
+/// Build/probe hash join over row ids — identical structure, charge points,
+/// and emission order to [`Runner::hash_join`], with keys pre-evaluated
+/// (and pre-proven error-free) by [`side_keys`]. Single-column numeric keys
+/// take a pre-hashed `u64` fast path; everything else hashes [`JoinKey`]s.
+fn hash_join_vec(
+    r: &Runner<'_>,
+    left: Rel,
+    right: Rel,
+    join: &CJoin,
+    lkeys: Vec<Option<JoinKey>>,
+    rkeys: Vec<Option<JoinKey>>,
+) -> Result<Rel, EngineError> {
+    let emits = match (fast_bits(&lkeys), fast_bits(&rkeys)) {
+        (Some(lb), Some(rb)) => {
+            hash_join_pairs::<u64, std::hash::BuildHasherDefault<U64Hasher>>(
+                r, join.kind, &lb, &rb,
+            )?
+        }
+        _ => hash_join_pairs::<JoinKey, std::collections::hash_map::RandomState>(
+            r, join.kind, &lkeys, &rkeys,
+        )?,
+    };
+    Ok(combine(left, right, &emits))
+}
+
+/// Pre-hashed bits for one side's keys when every live key is a single
+/// numeric component; `None` when any key is textual or composite.
+fn fast_bits(keys: &[Option<JoinKey>]) -> Option<Vec<Option<u64>>> {
+    keys.iter()
+        .map(|k| match k {
+            None => Some(None),
+            Some(JoinKey::One(VKey::Num(b))) => Some(Some(*b)),
+            Some(_) => None,
+        })
+        .collect()
+}
+
+/// The build/probe loops, generic over the key representation (`None` =
+/// unmatchable). Charge points and emission order are the row path's.
+fn hash_join_pairs<K: std::hash::Hash + Eq, S: std::hash::BuildHasher + Default>(
+    r: &Runner<'_>,
+    kind: JoinKind,
+    lkeys: &[Option<K>],
+    rkeys: &[Option<K>],
+) -> Result<Vec<(u32, u32)>, EngineError> {
+    let mut emits: Vec<(u32, u32)> = Vec::new();
+    match kind {
+        JoinKind::Inner | JoinKind::Left | JoinKind::Full => {
+            let mut table: HashMap<&K, Vec<u32>, S> = HashMap::default();
+            r.meter.charge_join(rkeys.len() as u64)?;
+            for (ri, k) in rkeys.iter().enumerate() {
+                if let Some(k) = k {
+                    table.entry(k).or_default().push(ri as u32);
+                }
+            }
+            let mut right_matched = vec![false; rkeys.len()];
+            for (li, k) in lkeys.iter().enumerate() {
+                let hits: &[u32] = match k {
+                    Some(k) => table.get(k).map(Vec::as_slice).unwrap_or(&[]),
+                    None => &[],
+                };
+                r.meter.charge_join(1 + hits.len() as u64)?;
+                for &ri in hits {
+                    emits.push((li as u32, ri));
+                    right_matched[ri as usize] = true;
+                }
+                if hits.is_empty() && kind != JoinKind::Inner {
+                    emits.push((li as u32, NONE_RID));
+                }
+            }
+            if kind == JoinKind::Full {
+                for (ri, m) in right_matched.iter().enumerate() {
+                    if !m {
+                        emits.push((NONE_RID, ri as u32));
+                    }
+                }
+            }
+        }
+        JoinKind::Right => {
+            let mut table: HashMap<&K, Vec<u32>, S> = HashMap::default();
+            r.meter.charge_join(lkeys.len() as u64)?;
+            for (li, k) in lkeys.iter().enumerate() {
+                if let Some(k) = k {
+                    table.entry(k).or_default().push(li as u32);
+                }
+            }
+            for (ri, k) in rkeys.iter().enumerate() {
+                let hits: &[u32] = match k {
+                    Some(k) => table.get(k).map(Vec::as_slice).unwrap_or(&[]),
+                    None => &[],
+                };
+                r.meter.charge_join(1 + hits.len() as u64)?;
+                for &li in hits {
+                    emits.push((li, ri as u32));
+                }
+                if hits.is_empty() {
+                    emits.push((NONE_RID, ri as u32));
+                }
+            }
+        }
+        JoinKind::Cross => unreachable!("cross joins never take the hash path"),
+    }
+    Ok(emits)
+}
+
+/// Stitch two relations into the joined relation described by `emits`
+/// (pairs of logical row ids, `NONE_RID` for outer-join pads).
+fn combine(left: Rel, right: Rel, emits: &[(u32, u32)]) -> Rel {
+    let mut rowids: Vec<Vec<u32>> = Vec::with_capacity(left.srcs.len() + right.srcs.len());
+    for ids in &left.rowids {
+        rowids.push(
+            emits
+                .iter()
+                .map(|&(l, _)| if l == NONE_RID { NONE_RID } else { ids[l as usize] })
+                .collect(),
+        );
+    }
+    for ids in &right.rowids {
+        rowids.push(
+            emits
+                .iter()
+                .map(|&(_, rr)| if rr == NONE_RID { NONE_RID } else { ids[rr as usize] })
+                .collect(),
+        );
+    }
+    let shift = left.srcs.len() as u32;
+    let mut col_map = left.col_map;
+    col_map.extend(right.col_map.iter().map(|&(s, c)| (s + shift, c)));
+    let mut srcs = left.srcs;
+    srcs.extend(right.srcs);
+    Rel { srcs, rowids, len: emits.len(), col_map, width: left.width + right.width }
+}
+
+// ---------------------------------------------------------------------------
+// Tail: GROUP BY / HAVING / projection / DISTINCT / ORDER BY / TOP
+// ---------------------------------------------------------------------------
+
+/// Does the tail reference anything the vector kernels refuse to touch?
+fn tail_needs_scalar(sel: &CSelect, flags: &[bool]) -> bool {
+    if sel.group_by.iter().any(|&g| flags[g]) {
+        return true;
+    }
+    if let Some(h) = &sel.having {
+        if unit_scalar(h, flags) {
+            return true;
+        }
+    }
+    if let Ok((_, items)) = &sel.projection {
+        for item in items {
+            if let CItem::Expr(u) = item {
+                if unit_scalar(u, flags) {
+                    return true;
+                }
+            }
+        }
+    }
+    sel.order_by.iter().any(|(key, _)| match key {
+        COrder::Output(_) => false,
+        COrder::Unit(u) => unit_scalar(u, flags),
+    })
+}
+
+/// The tail of one block. Everything up to the commit point is *pure*
+/// pre-evaluation; any [`Unvec`] (or plain evaluation error) falls back to
+/// [`Runner::tail`] over materialized rows, which — having made no charges
+/// yet — replays the row path's exact charge/error interleaving.
+fn tail(
+    r: &Runner<'_>,
+    sel: &CSelect,
+    rel: &Rel,
+    flags: &[bool],
+) -> Result<ResultSet, EngineError> {
+    // Plan-time projection errors surface here, exactly as in the row path.
+    let (out_columns, items) = match &sel.projection {
+        Ok(p) => p,
+        Err(e) => return Err(e.clone()),
+    };
+    if tail_needs_scalar(sel, flags) {
+        return r.tail(sel, rel.materialize_all(), None);
+    }
+    // Global aggregate over zero rows: the representative is a synthetic
+    // all-NULL row no selection vector can address — delegate (free: no
+    // charges precede it and there is nothing to materialize).
+    if sel.grouped && sel.group_by.is_empty() && rel.len == 0 {
+        return r.tail(sel, Vec::new(), None);
+    }
+
+    let ev = Ev { sel, rel, flags };
+    let all: Vec<u32> = (0..rel.len as u32).collect();
+
+    // -- Pure phase ------------------------------------------------------
+    // Units as representative row ids plus, when grouped, member row-id
+    // sets. The ungrouped 1:1 case carries no member sets at all —
+    // aggregates cannot appear ungrouped, so they are never consulted and
+    // the per-row singleton vectors the row path builds would be pure
+    // allocator churn.
+    let group_units: Option<Vec<(u32, Vec<u32>)>> = if sel.grouped {
+        Some(if sel.group_by.is_empty() {
+            vec![(0, all.clone())]
+        } else {
+            let cols: Vec<VCol> = match sel
+                .group_by
+                .iter()
+                .map(|&g| ev.eval(g, &all))
+                .collect::<Result<_, Unvec>>()
+            {
+                Ok(c) => c,
+                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+            };
+            let mut units: Vec<(u32, Vec<u32>)> = Vec::new();
+            // Single integer key: group on pre-hashed key bits (the bits
+            // *are* the `hash_key` equivalence class; `DEAD_KEY` is a NaN
+            // pattern no integer can reach, so it can stand in for the
+            // NULL group).
+            if let [VCol::I64 { vals, valid }] = cols.as_slice() {
+                let mut groups: FastMap<usize> = FastMap::default();
+                for (i, &val) in vals.iter().enumerate().take(rel.len) {
+                    let bits = if valid.get(i) {
+                        let VKey::Num(b) = VKey::num(val as f64) else { unreachable!() };
+                        b
+                    } else {
+                        DEAD_KEY
+                    };
+                    match groups.entry(bits) {
+                        Entry::Occupied(e) => units[*e.get()].1.push(i as u32),
+                        Entry::Vacant(e) => {
+                            e.insert(units.len());
+                            units.push((i as u32, vec![i as u32]));
+                        }
+                    }
+                }
+            } else {
+                let mut groups: HashMap<Vec<VKey>, usize> = HashMap::new();
+                for i in 0..rel.len {
+                    let key: Vec<VKey> = cols.iter().map(|c| key_at(c, i)).collect();
+                    match groups.entry(key) {
+                        Entry::Occupied(e) => units[*e.get()].1.push(i as u32),
+                        Entry::Vacant(e) => {
+                            e.insert(units.len());
+                            units.push((i as u32, vec![i as u32]));
+                        }
+                    }
+                }
+            }
+            units
+        })
+    } else {
+        None
+    };
+    let reps: Vec<u32> = match &group_units {
+        Some(units) => units.iter().map(|u| u.0).collect(),
+        None => all,
+    };
+    let units = Units { reps: &reps, members: group_units.as_deref() };
+    let n_units = units.reps.len();
+
+    let having: Option<Vec<Value>> = match &sel.having {
+        Some(h) => match eval_unit_vec(&ev, h, &units) {
+            Ok(v) => Some(v),
+            Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+        },
+        None => None,
+    };
+
+    // Projection and ORDER BY unit keys over *all* units — a pure superset
+    // of the row path's post-HAVING evaluation, so extra work on filtered
+    // units is unobservable.
+    let mut item_vals: Vec<Vec<Value>> = Vec::with_capacity(items.len());
+    for item in items {
+        let vals = match item {
+            CItem::Passthrough(idx) => {
+                let col = rel.gather(*idx, units.reps);
+                (0..n_units).map(|i| col.value_at(i)).collect()
+            }
+            CItem::Expr(u) => match eval_unit_vec(&ev, u, &units) {
+                Ok(v) => v,
+                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+            },
+        };
+        item_vals.push(vals);
+    }
+    let mut order_vals: Vec<Option<Vec<Value>>> = Vec::with_capacity(sel.order_by.len());
+    for (key, _) in &sel.order_by {
+        order_vals.push(match key {
+            COrder::Output(_) => None,
+            COrder::Unit(u) => match eval_unit_vec(&ev, u, &units) {
+                Ok(v) => Some(v),
+                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+            },
+        });
+    }
+
+    // -- Commit phase ----------------------------------------------------
+    // Charges and observations in the row path's exact order.
+    if sel.grouped && !sel.group_by.is_empty() {
+        r.meter.charge_steps(rel.len as u64)?;
+    }
+    if sel.grouped {
+        snails_obs::observe(Obs::EngineOpGroupUnits, n_units as u64);
+    }
+    let kept: Vec<usize> = match &having {
+        Some(hv) => (0..n_units).filter(|&i| truth(&hv[i]) == Some(true)).collect(),
+        None => (0..n_units).collect(),
+    };
+    r.meter.charge_steps(kept.len() as u64)?;
+
+    let mut projected: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(kept.len());
+    for &u in &kept {
+        let out_row: Vec<Value> = item_vals.iter().map(|col| col[u].clone()).collect();
+        let mut keys = Vec::with_capacity(sel.order_by.len());
+        for (k, (key, _)) in sel.order_by.iter().enumerate() {
+            match key {
+                COrder::Output(i) => keys.push(out_row[*i].clone()),
+                COrder::Unit(_) => {
+                    keys.push(order_vals[k].as_ref().expect("unit key precomputed")[u].clone())
+                }
+            }
+        }
+        projected.push((out_row, keys));
+    }
+    snails_obs::observe(Obs::EngineOpProjectRows, projected.len() as u64);
+
+    if sel.distinct {
+        let mut seen: HashSet<Vec<HashKey>> = HashSet::new();
+        projected.retain(|(row, _)| seen.insert(row.iter().map(Value::hash_key).collect()));
+    }
+
+    if !sel.order_by.is_empty() {
+        snails_obs::observe(Obs::EngineOpSortRows, projected.len() as u64);
+        projected.sort_by(|(_, ka), (_, kb)| {
+            for (i, (_, desc)) in sel.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut out_rows: Vec<Vec<Value>> = projected.into_iter().map(|(row, _)| row).collect();
+    if let Some(n) = sel.top {
+        out_rows.truncate(n as usize);
+    }
+    Ok(ResultSet { columns: out_columns.clone(), rows: out_rows })
+}
+
+/// Tail evaluation units: one representative row id per unit plus, when
+/// grouped, the member row-id set per unit (absent in the ungrouped 1:1
+/// case, where no aggregate can reference it).
+struct Units<'a> {
+    reps: &'a [u32],
+    members: Option<&'a [(u32, Vec<u32>)]>,
+}
+
+/// Evaluate one projection/`HAVING`/`ORDER BY` unit over every unit's
+/// representative (scalar units) or member set (grouped units). Pure.
+fn eval_unit_vec(ev: &Ev<'_>, u: &CUnit, units: &Units<'_>) -> Result<Vec<Value>, Unvec> {
+    match u {
+        CUnit::Row(id) => {
+            let col = ev.eval(*id, units.reps)?;
+            Ok((0..units.reps.len()).map(|i| col.value_at(i)).collect())
+        }
+        CUnit::Grouped(g) => eval_gexpr(ev, g, units),
+    }
+}
+
+/// Evaluate a grouped expression per unit. Aggregate arguments evaluate
+/// once over the concatenation of all member sets, then typed kernels
+/// reduce each segment; anything the kernels cannot prove error-free
+/// (overflow, text arithmetic, `DISTINCT` over mixed data) falls back to
+/// [`finish_aggregate`] on gathered values, and its errors abort to the
+/// scalar runner.
+fn eval_gexpr(ev: &Ev<'_>, g: &GExpr, units: &Units<'_>) -> Result<Vec<Value>, Unvec> {
+    let n = units.reps.len();
+    match g {
+        GExpr::Row(id) => {
+            let col = ev.eval(*id, units.reps)?;
+            Ok((0..n).map(|i| col.value_at(i)).collect())
+        }
+        GExpr::Agg { name, distinct, arg } => {
+            // A grouped unit outside a grouped block would mean the plan
+            // lowered an aggregate the block cannot host; the scalar
+            // runner owns that error.
+            let Some(members) = units.members else { return Err(Unvec) };
+            match arg {
+                AggArg::CountStar => {
+                    Ok(members.iter().map(|u| Value::Int(u.1.len() as i64)).collect())
+                }
+                // Always-erroring forms: the scalar runner owns the message.
+                AggArg::StarInvalid | AggArg::Missing => Err(Unvec),
+                AggArg::Expr(id) => {
+                    let mut concat: Vec<u32> = Vec::new();
+                    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(n);
+                    for (_, group) in members {
+                        let start = concat.len();
+                        concat.extend_from_slice(group);
+                        bounds.push((start, concat.len()));
+                    }
+                    let col = ev.eval(*id, &concat)?;
+                    let mut out = Vec::with_capacity(n);
+                    for &(start, end) in &bounds {
+                        out.push(reduce_segment(name, *distinct, &col, start, end)?);
+                    }
+                    Ok(out)
+                }
+            }
+        }
+        GExpr::And(left, right) => {
+            let l = eval_gexpr(ev, left, units)?;
+            let r = eval_gexpr(ev, right, units)?;
+            Ok((0..n)
+                .map(|i| {
+                    let (lt, rt) = (truth(&l[i]), truth(&r[i]));
+                    bool_value(match (lt, rt) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    })
+                })
+                .collect())
+        }
+        GExpr::Or(left, right) => {
+            let l = eval_gexpr(ev, left, units)?;
+            let r = eval_gexpr(ev, right, units)?;
+            Ok((0..n)
+                .map(|i| {
+                    let (lt, rt) = (truth(&l[i]), truth(&r[i]));
+                    bool_value(match (lt, rt) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    })
+                })
+                .collect())
+        }
+        GExpr::Binary { left, op, right } => {
+            let l = eval_gexpr(ev, left, units)?;
+            let r = eval_gexpr(ev, right, units)?;
+            (0..n).map(|i| eval_binary(&l[i], *op, &r[i]).map_err(|_| Unvec)).collect()
+        }
+        GExpr::Unary { op, expr } => {
+            let v = eval_gexpr(ev, expr, units)?;
+            (0..n).map(|i| eval_unary(*op, &v[i]).map_err(|_| Unvec)).collect()
+        }
+    }
+}
+
+/// Reduce one aggregate over the segment `[start, end)` of the evaluated
+/// argument column. Typed kernels handle the hot numeric cases; everything
+/// else gathers the non-NULL values and defers to [`finish_aggregate`],
+/// whose result — and NULL-skipping, empty-input, and overflow semantics —
+/// the kernels replicate exactly.
+fn reduce_segment(
+    name: &str,
+    distinct: bool,
+    col: &VCol,
+    start: usize,
+    end: usize,
+) -> Result<Value, Unvec> {
+    if !distinct {
+        match col {
+            VCol::I64 { vals, valid } => return reduce_i64(name, vals, valid, start, end),
+            VCol::F64 { vals, valid } => return reduce_f64(name, vals, valid, start, end),
+            _ => {}
+        }
+        if name.eq_ignore_ascii_case("COUNT") {
+            let n = (start..end).filter(|&i| !matches!(col.value_at(i), Value::Null)).count();
+            return Ok(Value::Int(n as i64));
+        }
+    }
+    let values: Vec<Value> = (start..end)
+        .map(|i| col.value_at(i))
+        .filter(|v| !v.is_null())
+        .collect();
+    finish_aggregate(name, distinct, values).map_err(|_| Unvec)
+}
+
+/// Typed aggregate kernel over an `i64` slice with validity.
+fn reduce_i64(
+    name: &str,
+    vals: &[i64],
+    valid: &Bitmap,
+    start: usize,
+    end: usize,
+) -> Result<Value, Unvec> {
+    let live = (start..end).filter(|&i| valid.get(i));
+    if name.eq_ignore_ascii_case("COUNT") {
+        return Ok(Value::Int(live.count() as i64));
+    }
+    let mut n = 0u64;
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "SUM" | "AVG" => {
+            // Mirror `finish_aggregate`: an exact integer running sum (its
+            // overflow is the statement's overflow) plus an f64 sum
+            // accumulated in input order for AVG.
+            let mut int_sum: i64 = 0;
+            let mut sum = 0.0f64;
+            for i in live {
+                int_sum = int_sum.checked_add(vals[i]).ok_or(Unvec)?;
+                sum += vals[i] as f64;
+                n += 1;
+            }
+            Ok(match (n, upper.as_str()) {
+                (0, _) => Value::Null,
+                (_, "AVG") => Value::Float(sum / n as f64),
+                _ => Value::Int(int_sum),
+            })
+        }
+        "MIN" | "MAX" => {
+            let want_min = upper == "MIN";
+            let mut best: Option<i64> = None;
+            for i in live {
+                let v = vals[i];
+                best = Some(match best {
+                    None => v,
+                    Some(b) if (want_min && v < b) || (!want_min && v > b) => v,
+                    Some(b) => b,
+                });
+            }
+            Ok(best.map_or(Value::Null, Value::Int))
+        }
+        _ => Err(Unvec),
+    }
+}
+
+/// Typed aggregate kernel over an `f64` slice with validity. Comparisons
+/// use `partial_cmp` with keep-on-incomparable, matching the scalar fold's
+/// `sql_cmp` (a NaN never displaces the running best, and a NaN first
+/// element is kept).
+fn reduce_f64(
+    name: &str,
+    vals: &[f64],
+    valid: &Bitmap,
+    start: usize,
+    end: usize,
+) -> Result<Value, Unvec> {
+    let live = (start..end).filter(|&i| valid.get(i));
+    if name.eq_ignore_ascii_case("COUNT") {
+        return Ok(Value::Int(live.count() as i64));
+    }
+    let mut n = 0u64;
+    let upper = name.to_ascii_uppercase();
+    match upper.as_str() {
+        "SUM" | "AVG" => {
+            let mut sum = 0.0f64;
+            for i in live {
+                sum += vals[i];
+                n += 1;
+            }
+            Ok(match (n, upper.as_str()) {
+                (0, _) => Value::Null,
+                (_, "AVG") => Value::Float(sum / n as f64),
+                _ => Value::Float(sum),
+            })
+        }
+        "MIN" | "MAX" => {
+            let want = if upper == "MIN" {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Greater
+            };
+            let mut best: Option<f64> = None;
+            for i in live {
+                let v = vals[i];
+                best = Some(match best {
+                    None => v,
+                    Some(b) if v.partial_cmp(&b) == Some(want) => v,
+                    Some(b) => b,
+                });
+            }
+            Ok(best.map_or(Value::Null, Value::Float))
+        }
+        _ => Err(Unvec),
+    }
+}
+

@@ -1,0 +1,340 @@
+//! Vectorized ↔ row-at-a-time equivalence: for every generated query in
+//! the supported T-SQL subset, the vectorized executor must produce a
+//! byte-identical outcome to both the row-at-a-time plan runner and the
+//! interpreter — the same `ResultSet` on success, the same `EngineError`
+//! on failure (including which error surfaces first), and the same
+//! `ExecLimits` exhaustion point under finite budgets — at every batch
+//! size, and with a deterministic telemetry section at any thread count.
+
+use proptest::prelude::*;
+use snails_engine::{
+    run_sql_with, DataType, Database, ExecLimits, ExecOptions, PlanCache, TableSchema, Value,
+};
+use snails_obs::{ClockMode, ObsCtx};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn fixture() -> Database {
+    let mut db = Database::new("fuzz");
+    db.create_table(
+        TableSchema::new("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Varchar)
+            .column("score", DataType::Float)
+            .column("tag", DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new("u")
+            .column("id", DataType::Int)
+            .column("t_id", DataType::Int)
+            .column("amount", DataType::Int),
+    );
+    for i in 0..20i64 {
+        db.insert(
+            "t",
+            vec![
+                Value::Int(i),
+                Value::from(format!("name{i}")),
+                Value::Float(i as f64 / 3.0),
+                if i % 5 == 0 { Value::Null } else { Value::from(format!("tag{}", i % 3)) },
+            ],
+        )
+        .unwrap();
+    }
+    for i in 0..30i64 {
+        db.insert("u", vec![Value::Int(i), Value::Int(i % 25), Value::Int(i * 7 % 13)])
+            .unwrap();
+    }
+    db
+}
+
+fn arb_column() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("id"), Just("name"), Just("score"), Just("tag"), Just("t_id"),
+        Just("amount"), Just("missing_col"),
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (-30i64..30).prop_map(|n| n.to_string()),
+        Just("'name3'".to_owned()),
+        Just("NULL".to_owned()),
+        Just("3.5".to_owned()),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = String> {
+    let cmp = prop_oneof![Just("="), Just("<>"), Just("<"), Just(">="), Just(">")];
+    prop_oneof![
+        (arb_column(), cmp, arb_scalar()).prop_map(|(c, op, v)| format!("{c} {op} {v}")),
+        arb_column().prop_map(|c| format!("{c} IS NOT NULL")),
+        arb_column().prop_map(|c| format!("{c} IN (1, 2, 'x')")),
+        arb_column().prop_map(|c| format!("{c} LIKE 'n%'")),
+        arb_column().prop_map(|c| format!("{c} NOT LIKE '%3'")),
+        arb_column().prop_map(|c| format!("{c} BETWEEN 1 AND 9")),
+        arb_column().prop_map(|c| format!("{c} IN (SELECT t_id FROM u)")),
+        // Kernel error paths: text arithmetic / overflow abort the vector
+        // attempt and must replay through the scalar runner identically.
+        arb_column().prop_map(|c| format!("{c} + name > 2")),
+        arb_column().prop_map(|c| format!("{c} * 9223372036854775807 > 0")),
+        arb_column().prop_map(|c| format!("CASE WHEN {c} > 3 THEN 1 ELSE 0 END = 1")),
+        (arb_column(), arb_column())
+            .prop_map(|(a, b)| format!("{a} > 2 AND {b} IS NOT NULL")),
+        (arb_column(), arb_column()).prop_map(|(a, b)| format!("{a} < 5 OR {b} = 'tag1'")),
+        Just("EXISTS (SELECT id FROM u WHERE u.t_id = t.id)".to_owned()),
+        Just("(SELECT COUNT(*) FROM u WHERE u.t_id = t.id) > 1".to_owned()),
+    ]
+}
+
+fn arb_projection() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("*".to_owned()),
+        Just("t.*".to_owned()),
+        Just("z.*".to_owned()), // unknown binding: projection error path
+        arb_column().prop_map(|c| c.to_owned()),
+        arb_column().prop_map(|c| format!("COUNT({c})")),
+        arb_column().prop_map(|c| format!("SUM({c})")),
+        arb_column().prop_map(|c| format!("AVG({c})")),
+        arb_column().prop_map(|c| format!("MIN({c}), MAX({c})")),
+        arb_column().prop_map(|c| format!("COUNT(DISTINCT {c})")),
+        arb_column().prop_map(|c| format!("SUM({c}) + COUNT(*) AS mix")),
+        arb_column().prop_map(|c| format!("UPPER({c}) AS up")),
+        arb_column().prop_map(|c| format!("CASE WHEN {c} IS NULL THEN 'n' ELSE 'v' END")),
+        Just("COUNT(*)".to_owned()),
+        Just("SUM(name)".to_owned()), // aggregate type error path
+        Just("id + amount AS total".to_owned()),
+        Just("(SELECT MAX(amount) FROM u)".to_owned()),
+    ]
+}
+
+fn arb_from() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("t".to_owned()),
+        Just("u".to_owned()),
+        Just("t JOIN u ON t.id = u.t_id".to_owned()),
+        Just("t LEFT JOIN u ON t.id = u.t_id".to_owned()),
+        Just("t RIGHT JOIN u ON t.id = u.t_id".to_owned()),
+        Just("t FULL JOIN u ON t.id = u.t_id".to_owned()),
+        Just("t CROSS JOIN u".to_owned()),
+        Just("t JOIN u ON t.id = u.t_id AND u.amount > 3".to_owned()),
+        Just("t JOIN u ON t.score > u.amount".to_owned()), // non-equi: nested loop
+        Just("t JOIN u ON t.tag = u.amount".to_owned()),   // text×num keys: unmatchable
+        Just("(SELECT id, name FROM t WHERE id < 9) d".to_owned()),
+        Just("nonexistent".to_owned()),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    (
+        arb_projection(),
+        arb_from(),
+        proptest::option::of(arb_predicate()),
+        proptest::option::of(arb_column()),
+        proptest::option::of(prop_oneof![
+            Just("COUNT(*) > 1".to_owned()),
+            Just("id > 3".to_owned()),
+            Just("COUNT(*) > 1 AND id > 3".to_owned()),
+            Just("name IS NOT NULL".to_owned()),
+        ]),
+        proptest::option::of(arb_column()),
+        proptest::option::of(0u64..5),
+        any::<bool>(),
+        proptest::option::of(Just("UNION SELECT t_id FROM u")),
+    )
+        .prop_map(|(proj, from, pred, group, having, order, top, distinct, union)| {
+            let mut q = String::from("SELECT ");
+            if distinct {
+                q.push_str("DISTINCT ");
+            }
+            if let Some(n) = top {
+                q.push_str(&format!("TOP {n} "));
+            }
+            q.push_str(&proj);
+            q.push_str(" FROM ");
+            q.push_str(&from);
+            if let Some(p) = pred {
+                q.push_str(" WHERE ");
+                q.push_str(&p);
+            }
+            if let Some(g) = group {
+                q.push_str(" GROUP BY ");
+                q.push_str(g);
+                if let Some(h) = having {
+                    q.push_str(" HAVING ");
+                    q.push_str(&h);
+                }
+            }
+            if let Some(o) = order {
+                q.push_str(" ORDER BY ");
+                q.push_str(o);
+                q.push_str(" DESC");
+            }
+            if let Some(u) = union {
+                q.push(' ');
+                q.push_str(u);
+            }
+            q
+        })
+}
+
+/// Odd, tiny, and production batch sizes — chunk-boundary edge cases
+/// (batch 1, batch not dividing the row count) get equal coverage.
+fn arb_batch() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(3), Just(7), Just(256), Just(1024), Just(4096)]
+}
+
+/// Full-outcome comparison of the three executors under `limits`:
+/// interpreter (the root oracle), the row-at-a-time plan runner, and the
+/// vectorized plan runner at `batch` — `Ok` matches field-for-field, `Err`
+/// variant-for-variant.
+fn assert_equivalent(db: &Database, sql: &str, batch: usize, limits: ExecLimits) {
+    let base = ExecOptions { limits, ..Default::default() };
+    let interpreted = run_sql_with(db, sql, base);
+    let row = PlanCache::new().run(db, sql, ExecOptions { vectorized: false, ..base });
+    assert_eq!(row, interpreted, "row plan diverged for {sql:?}");
+    let vec_opts = ExecOptions { vectorized: true, batch_size: batch, ..base };
+    let cache = PlanCache::new();
+    let cold = cache.run(db, sql, vec_opts);
+    assert_eq!(cold, interpreted, "vectorized (batch {batch}) diverged for {sql:?}");
+    // Warm cache hit: execution must not corrupt the shared plan.
+    let warm = cache.run(db, sql, vec_opts);
+    assert_eq!(warm, interpreted, "warm vectorized diverged for {sql:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Unlimited budgets, every batch size: vectorized execution is
+    /// byte-identical to the interpreter and the row plan runner.
+    #[test]
+    fn vector_matches_interpreter(sql in arb_query(), batch in arb_batch()) {
+        let db = fixture();
+        assert_equivalent(&db, &sql, batch, ExecLimits::UNLIMITED);
+    }
+
+    /// Tight budgets: the vectorized path must exhaust the *same* budget
+    /// at the same logical row — identical `ResourceExhausted`
+    /// resource/budget — or return the identical successful result.
+    #[test]
+    fn vector_matches_interpreter_under_limits(
+        sql in arb_query(),
+        batch in arb_batch(),
+        steps in prop_oneof![Just(10u64), Just(60), Just(400)],
+        join_rows in prop_oneof![Just(8u64), Just(120)],
+        depth in 1u32..3,
+    ) {
+        let db = fixture();
+        let limits = ExecLimits {
+            max_steps: Some(steps),
+            max_join_rows: Some(join_rows),
+            max_output_rows: Some(50),
+            max_subquery_depth: Some(depth),
+        };
+        assert_equivalent(&db, &sql, batch, limits);
+    }
+}
+
+/// Fixed workload exercising every vectorized operator (scan, filter,
+/// hash/nested join, group, order, union, scalar-fallback subquery).
+const WORKLOAD: &[&str] = &[
+    "SELECT id, name FROM t WHERE id > 4 AND tag IS NOT NULL ORDER BY id DESC",
+    "SELECT t.name, u.amount FROM t JOIN u ON t.id = u.t_id WHERE u.amount > 2",
+    "SELECT tag, COUNT(*), SUM(score) FROM t GROUP BY tag HAVING COUNT(*) > 1",
+    "SELECT t.id FROM t LEFT JOIN u ON t.id = u.t_id ORDER BY t.id",
+    "SELECT name FROM t WHERE EXISTS (SELECT id FROM u WHERE u.t_id = t.id)",
+    "SELECT DISTINCT amount FROM u UNION SELECT id FROM t WHERE id < 3",
+    "SELECT AVG(amount), MIN(t_id), MAX(t_id) FROM u",
+];
+
+/// Execute the workload, one fresh `PlanCache` per task so cache metrics
+/// are interleaving-independent, on `threads` workers claiming task ids
+/// from a shared cursor.
+fn run_workload(threads: usize, opts: ExecOptions) -> Arc<ObsCtx> {
+    let db = fixture();
+    let ctx = Arc::new(ObsCtx::new(ClockMode::Sim));
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let _scope = snails_obs::scope(&ctx);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= WORKLOAD.len() {
+                        break;
+                    }
+                    snails_obs::task(i as u64, || {
+                        let cache = PlanCache::new();
+                        cache.run(&db, WORKLOAD[i], opts).expect("workload query runs");
+                    });
+                }
+            });
+        }
+    });
+    ctx
+}
+
+/// The vectorized executor's telemetry — including the new batch counters,
+/// selectivity histogram, and dictionary-size histogram — lands in the
+/// deterministic section byte-identically at any thread count.
+#[test]
+fn vector_telemetry_deterministic_across_threads() {
+    let opts = ExecOptions::default();
+    let baseline = run_workload(1, opts).report().deterministic_json();
+    for threads in [2usize, 8] {
+        let json = run_workload(threads, opts).report().deterministic_json();
+        assert_eq!(json, baseline, "threads = {threads}");
+    }
+    // The baseline actually recorded vectorized work.
+    let report = run_workload(1, opts).report();
+    assert!(report.counter("engine.vec.batches") > 0, "no batches recorded");
+    assert!(report.counter("engine.op.join.batches") > 0, "no join batches");
+    let det = report.deterministic_json();
+    for key in ["engine.vec.selectivity_pct", "engine.vec.dict.entries"] {
+        assert!(det.contains(key), "{key} missing from deterministic section");
+    }
+}
+
+/// Shared metrics — everything except the vectorized-only instruments —
+/// agree exactly between the vectorized and row-at-a-time plan paths: the
+/// logical work (rows scanned/filtered/joined/grouped, steps, join rows,
+/// statements) is mode-invariant.
+#[test]
+fn shared_metrics_agree_with_row_path() {
+    let strip_vec_only = |ctx: Arc<ObsCtx>| {
+        let mut section = ctx.report().metrics.deterministic.clone();
+        section.counters.retain(|k, _| !k.starts_with("engine.vec.") && !k.ends_with(".batches"));
+        section.histograms.retain(|k, _| !k.starts_with("engine.vec."));
+        section.to_json()
+    };
+    let vec_json = strip_vec_only(run_workload(1, ExecOptions::default()));
+    let row_json =
+        strip_vec_only(run_workload(1, ExecOptions { vectorized: false, ..Default::default() }));
+    assert_eq!(vec_json, row_json, "shared deterministic metrics diverged across modes");
+}
+
+/// Compiled plans are execution-mode-agnostic: toggling `vectorized` (or
+/// the batch size) over one `PlanCache` serves the *same* cached plan —
+/// one miss, then hits — and every execution mode returns identical rows.
+#[test]
+fn mode_toggle_reuses_cached_plan() {
+    let db = fixture();
+    let cache = PlanCache::new();
+    let sql = "SELECT t.name, SUM(u.amount) FROM t JOIN u ON t.id = u.t_id \
+               GROUP BY t.name ORDER BY t.name";
+    let modes = [
+        ExecOptions::default(),
+        ExecOptions { vectorized: false, ..Default::default() },
+        ExecOptions { batch_size: 2, ..Default::default() },
+        ExecOptions { vectorized: false, hash_join: false, ..Default::default() },
+        ExecOptions { hash_join: false, ..Default::default() },
+    ];
+    let baseline = run_sql_with(&db, sql, ExecOptions::default()).expect("query runs");
+    for (i, opts) in modes.iter().enumerate() {
+        let rs = cache.run(&db, sql, *opts).expect("query runs");
+        assert_eq!(rs, baseline, "mode {i} diverged");
+    }
+    assert_eq!(cache.misses(), 1, "first lookup compiles once");
+    assert_eq!(cache.hits(), modes.len() as u64 - 1, "every toggle reuses the plan");
+    assert_eq!(cache.len(), 1, "one plan serves every mode");
+}

@@ -44,6 +44,9 @@ pub const ROWS_BUCKETS: &[u64] =
 pub const WORK_BUCKETS: &[u64] =
     &[16, 64, 256, 1024, 4096, 16384, 65536, 262_144, 1_048_576, 16_777_216];
 
+/// Bucket bounds for percentage distributions (selection-vector density).
+pub const PCT_BUCKETS: &[u64] = &[5, 10, 25, 50, 75, 90, 100];
+
 /// Bucket bounds for wall-clock nanosecond samples.
 pub const NANOS_BUCKETS: &[u64] = &[
     1_000,
@@ -117,6 +120,21 @@ define_metrics! {
     EngineOpSortRows => "engine.op.sort.rows", Histogram, ROWS_BUCKETS, false;
     /// Rows projected per query block.
     EngineOpProjectRows => "engine.op.project.rows", Histogram, ROWS_BUCKETS, false;
+
+    // ---- engine: vectorized executor -------------------------------------
+    /// Column batches processed by the vectorized executor (all operators).
+    EngineVecBatches => "engine.vec.batches", Counter, &[], false;
+    /// Batches consumed by vectorized base-table scans.
+    EngineOpScanBatches => "engine.op.scan.batches", Counter, &[], false;
+    /// Batches evaluated by vectorized WHERE filters.
+    EngineOpFilterBatches => "engine.op.filter.batches", Counter, &[], false;
+    /// Batches probed by vectorized hash joins.
+    EngineOpJoinBatches => "engine.op.join.batches", Counter, &[], false;
+    /// Selection-vector density per filter batch (surviving rows as a
+    /// percentage of batch rows, 0–100).
+    EngineVecSelectivityPct => "engine.vec.selectivity_pct", Histogram, PCT_BUCKETS, false;
+    /// Dictionary entries per string column touched by a vectorized scan.
+    EngineVecDictEntries => "engine.vec.dict.entries", Histogram, ROWS_BUCKETS, false;
 
     // ---- llm: resilience middleware --------------------------------------
     /// Grid cells planned by the resilience pre-pass.

@@ -53,6 +53,8 @@ for section in (report["deterministic"], report["volatile"]):
         seen.extend(section[kind])
 assert len(seen) == len(set(seen)), "duplicate metric key in report"
 for key in ("engine.plan.compile", "engine.op.scan.rows", "engine.exec.steps",
+            "engine.vec.batches", "engine.vec.selectivity_pct",
+            "engine.vec.dict.entries",
             "llm.cells.planned", "llm.resilience.attempts",
             "core.scheduler.items", "core.scheduler.workers"):
     assert key in seen, f"metric key {key} missing from report"
@@ -82,6 +84,21 @@ assert stages["grid_determinism"]["identical"], "grid not thread-deterministic"
 print(f"    plan_exec speedup {stages['plan_exec']['speedup']}x, "
       f"{stages['plan_exec']['rows_per_s']} rows/s, telemetry overhead "
       f"{stages['plan_exec']['telemetry_overhead_pct']}%")
+# Vectorized executor: must beat the row-at-a-time plan path on the gold
+# workload, return byte-identical results everywhere, and sustain the
+# million-row synthetic join.
+vec = stages["vector_exec"]
+assert vec["results_identical"], "vectorized results diverged"
+assert vec["speedup_vs_row_plan"] >= 1.0, (
+    f"vectorized slower than row plans ({vec['speedup_vs_row_plan']}x)")
+join = stages["synthetic_join"]
+assert join["results_identical"], "synthetic join results diverged"
+assert join["rows"] >= 1_000_000, "synthetic join below the 1M-row scale"
+assert join["speedup"] >= 1.0, f"vectorized join slower ({join['speedup']}x)"
+assert "vector_batch_sweep" in stages, "batch-size sweep missing"
+print(f"    vector_exec {vec['speedup_vs_interpreter']}x vs interpreter, "
+      f"{vec['speedup_vs_row_plan']}x vs row plans; synthetic_join "
+      f"{join['speedup']}x at {join['rows_per_s']} rows/s")
 PY
 
 echo "==> all checks passed"
