@@ -19,12 +19,17 @@
 //!   (31a–47b), computed from a [`pipeline::BenchmarkRun`].
 
 pub mod ablation;
+pub mod checkpoint;
 pub mod dataset_figures;
 pub mod measures;
 pub mod pipeline;
 pub mod result_figures;
 pub mod scheduler;
 
+pub use checkpoint::{
+    grid_fingerprint, manifest_from_run, merge_manifests, CheckpointSpec, CheckpointStats, Shard,
+    ShardManifest,
+};
 pub use pipeline::{run_benchmark, BenchmarkConfig, BenchmarkRun, QueryRecord};
 pub use scheduler::available_threads;
 

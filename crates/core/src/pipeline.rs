@@ -1,5 +1,8 @@
 //! The benchmark pipeline (Figures 6 and 7).
 
+use crate::checkpoint::{
+    self, CellDelta, CellLoad, CellStore, CheckpointSpec, CheckpointStats, Shard,
+};
 use crate::measures::{query_measures, QueryMeasures};
 use crate::scheduler;
 use snails_data::SnailsDatabase;
@@ -47,6 +50,18 @@ pub struct BenchmarkConfig {
     /// deterministic section is byte-identical at any thread count; `false`
     /// (the default) records nothing and costs nothing on the hot paths.
     pub telemetry: bool,
+    /// The slice of the grid this invocation executes
+    /// ([`Shard::FULL`] by default). Fault planning always covers the full
+    /// grid (breaker state must evolve in grid order), so every shard's
+    /// records are bit-identical to the corresponding slice of a full run;
+    /// [`crate::checkpoint::merge_manifests`] folds shard manifests back
+    /// into the full run.
+    pub shard: Shard,
+    /// Checkpoint store for crash recovery: completed cells are persisted
+    /// as they finish and verified records are restored instead of
+    /// re-executed on the next run. `None` (the default) neither reads nor
+    /// writes checkpoints.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl Default for BenchmarkConfig {
@@ -60,6 +75,8 @@ impl Default for BenchmarkConfig {
             fault_profile: FaultProfile::NONE,
             limits: ExecLimits::guarded(),
             telemetry: false,
+            shard: Shard::FULL,
+            checkpoint: None,
         }
     }
 }
@@ -144,18 +161,41 @@ impl FaultSummary {
             self.total_failures(),
         )
     }
+
+    /// Fold another summary into this one (componentwise sums). Shard
+    /// summaries cover disjoint cell sets, so merging them in any order —
+    /// or any grouping — reproduces the single-run summary exactly.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.cells += other.cells;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.breaker_trips += other.breaker_trips;
+        for (name, count) in &other.failures {
+            *self.failures.entry(name).or_insert(0) += count;
+        }
+    }
 }
 
 /// A full benchmark run.
 #[derive(Debug, Default)]
 pub struct BenchmarkRun {
-    /// All per-query records.
+    /// Per-query records — the full grid in grid order, or (under
+    /// [`BenchmarkConfig::shard`]) this shard's cells in grid order.
     pub records: Vec<QueryRecord>,
     /// Fault/retry/breaker accounting (all zeros when the fault layer is
-    /// inert and no predicted query hit a budget).
+    /// inert and no predicted query hit a budget). Covers only this shard's
+    /// cells, so shard summaries sum to the full-run summary.
     pub faults: FaultSummary,
     /// Telemetry report, present iff [`BenchmarkConfig::telemetry`] was set.
     pub telemetry: Option<Report>,
+    /// Checkpoint accounting, present iff [`BenchmarkConfig::checkpoint`]
+    /// was set.
+    pub checkpoint: Option<CheckpointStats>,
+    /// The run's [grid fingerprint](crate::checkpoint::grid_fingerprint).
+    pub fingerprint: u64,
+    /// Total grid cells (across all shards, whether or not this invocation
+    /// executed them).
+    pub grid_cells: usize,
 }
 
 impl BenchmarkRun {
@@ -252,6 +292,7 @@ impl<'a> EvalContext<'a> {
             ExecLimits::UNLIMITED,
             &self.plans,
         )
+        .0
     }
 }
 
@@ -309,6 +350,10 @@ fn failed_record(
     }
 }
 
+/// Evaluate one grid cell. Returns the record plus the denaturalized SQL
+/// when the cell reached the execution stage — the checkpoint layer
+/// persists that SQL so a resumed run can re-warm the plan cache without
+/// re-running the cell.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_with_context(
     workflow: Workflow,
@@ -322,7 +367,7 @@ fn evaluate_with_context(
     plan: &CellPlan,
     limits: ExecLimits,
     plans: &PlanCache,
-) -> QueryRecord {
+) -> (QueryRecord, Option<String>) {
     let variant = view.variant;
     // Span guards are inert unless the scheduler installed an observability
     // scope (telemetry runs); under the simulated clock their tick structure
@@ -336,7 +381,10 @@ fn evaluate_with_context(
         match run_cell(plan, workflow, db, view, pair, seed) {
             CellExecution::Completed { result, failure } => (result, failure),
             CellExecution::Failed(kind) => {
-                return failed_record(workflow, db, variant, pair, gold, qm, kind, plan.attempts)
+                return (
+                    failed_record(workflow, db, variant, pair, gold, qm, kind, plan.attempts),
+                    None,
+                )
             }
         }
     };
@@ -367,7 +415,7 @@ fn evaluate_with_context(
         snails_sql::denaturalize_query(&result.inference.raw_sql, denat)
     };
     let Ok(native_sql) = denat_result else {
-        return record; // unparseable output: excluded from linking analysis
+        return (record, None); // unparseable output: excluded from linking analysis
     };
     record.parse_ok = true;
 
@@ -386,7 +434,7 @@ fn evaluate_with_context(
     // queries flow through the shared plan cache: distinct workflows and
     // questions frequently converge on the same denaturalized SQL, so the
     // statement is lowered once and re-executed from the compiled plan.
-    let Some(gold_rs) = &gold.result else { return record };
+    let Some(gold_rs) = &gold.result else { return (record, None) };
     let _exec = snails_obs::span("cell.exec");
     let pred_rs = match plans.run(
         &db.db,
@@ -398,14 +446,14 @@ fn evaluate_with_context(
             if e.is_resource_exhausted() {
                 record.failure = Some(FailureKind::ResourceExhausted);
             }
-            return record;
+            return (record, Some(native_sql));
         }
     };
     if match_result_sets(gold_rs, &pred_rs).is_match() {
         record.set_matched = true;
         record.exec_correct = audit_semantics(&pair.sql, &native_sql);
     }
-    record
+    (record, Some(native_sql))
 }
 
 /// Per-(database, variant) shared state for a benchmark run: the schema
@@ -428,6 +476,23 @@ struct WorkItem<'a> {
     /// Retry/breaker/fault plan for this cell, computed by the serial
     /// planning pre-pass (see [`run_benchmark_on`]).
     plan: CellPlan,
+    /// Circuit-breaker trips the planning of *this* cell caused. Attributing
+    /// trips to cells (instead of reading the planner's global total) makes
+    /// [`FaultSummary`] componentwise-summable over disjoint shards.
+    trips: u64,
+}
+
+/// A pending cell of a (possibly sharded, possibly resumed) run: the work
+/// item plus its grid-global index.
+struct ExecSlot<'a, 'b> {
+    global: usize,
+    item: &'b WorkItem<'a>,
+}
+
+/// A cell restored from the checkpoint store instead of executed.
+struct Restored {
+    record: QueryRecord,
+    delta: Option<CellDelta>,
 }
 
 /// Run the benchmark over a prebuilt collection.
@@ -512,7 +577,7 @@ pub fn run_benchmark_on(
         for vctx in &variants[di] {
             for &workflow in &config.workflows {
                 for (qi, pair) in db.questions.iter().enumerate() {
-                    let plan = match planner.as_mut() {
+                    let (plan, trips) = match planner.as_mut() {
                         Some(planner) => {
                             let cell_seed = mix_seed(
                                 &[
@@ -523,7 +588,10 @@ pub fn run_benchmark_on(
                                 ],
                                 &[config.seed, pair.id as u64],
                             );
-                            planner.plan_cell(workflow.display_name(), cell_seed)
+                            let before = planner.breaker_trips();
+                            let plan =
+                                planner.plan_cell(workflow.display_name(), cell_seed);
+                            (plan, planner.breaker_trips() - before)
                         }
                         None => {
                             // Keep the resilience counters reconcilable
@@ -531,7 +599,7 @@ pub fn run_benchmark_on(
                             // cell is one planned cell with one attempt.
                             snails_obs::add(Metric::LlmCellsPlanned, 1);
                             snails_obs::add(Metric::LlmResilienceAttempts, 1);
-                            CellPlan::clean(0)
+                            (CellPlan::clean(0), 0)
                         }
                     };
                     items.push(WorkItem {
@@ -542,6 +610,7 @@ pub fn run_benchmark_on(
                         gold: &golds[di][qi],
                         qm: &vctx.measures[qi],
                         plan,
+                        trips,
                     });
                 }
             }
@@ -549,35 +618,144 @@ pub fn run_benchmark_on(
     }
 
     let threads = config.threads.unwrap_or_else(scheduler::available_threads);
+    let fingerprint = checkpoint::grid_fingerprint(config, &dbs);
+    let shard = config.shard;
     // One plan cache for the whole grid: cache keys include the database
     // name, and plan execution is a pure function of (db, sql, opts), so
     // sharing it across workers cannot perturb record content or order.
     let plans = PlanCache::new();
-    let records = scheduler::run_ordered_observed(
-        &items,
+
+    // Restore pass: load any verified checkpoint records for this shard's
+    // cells before executing what remains. Corruption quarantines the file
+    // and recomputes the cell — it never aborts and is never silently
+    // trusted.
+    let store = config.checkpoint.as_ref().map(|spec| {
+        CellStore::open(spec, fingerprint)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint dir {:?}: {e}", spec.dir))
+    });
+    let mut stats = CheckpointStats::default();
+    let mut restored: Vec<Option<Restored>> = Vec::with_capacity(items.len());
+    for (global, item) in items.iter().enumerate() {
+        let slot = match (&store, shard.contains(global)) {
+            (Some(store), true) => match store.load(global, config.telemetry) {
+                CellLoad::Hit { record, exec_sql, delta } => {
+                    stats.hits += 1;
+                    snails_obs::add(Metric::CkptHit, 1);
+                    // Re-warm the plan cache with the SQL this cell executed,
+                    // in grid order — a resumed run then reaches the
+                    // remaining cells with the same cache contents the
+                    // uninterrupted run would have had at *some* interleaving
+                    // (cache contents only affect speed, never results).
+                    if let Some(sql) = &exec_sql {
+                        plans.warm(&item.db.db, sql);
+                    }
+                    Some(Restored { record, delta })
+                }
+                CellLoad::Miss => {
+                    stats.misses += 1;
+                    snails_obs::add(Metric::CkptMiss, 1);
+                    None
+                }
+                CellLoad::Corrupt => {
+                    stats.corrupt += 1;
+                    snails_obs::add(Metric::CkptCorrupt, 1);
+                    None
+                }
+            },
+            _ => None,
+        };
+        restored.push(slot);
+    }
+
+    // The cells this invocation still owes: in-shard and not restored.
+    let pending: Vec<ExecSlot<'_, '_>> = items
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| shard.contains(*i) && restored[*i].is_none())
+        .map(|(global, item)| ExecSlot { global, item })
+        .collect();
+
+    // Per-cell telemetry capture is only needed when a record must carry its
+    // deterministic telemetry delta into the store (checkpoint + telemetry).
+    let capture = store.is_some() && obs.is_some();
+    let run_cell_slot = |slot: &ExecSlot<'_, '_>| {
+        let it = slot.item;
+        evaluate_with_context(
+            it.workflow,
+            it.db,
+            &it.vctx.view,
+            it.pair,
+            config.seed,
+            &it.vctx.denat,
+            it.gold,
+            it.qm,
+            &it.plan,
+            config.limits,
+            &plans,
+        )
+    };
+    let computed = scheduler::run_ordered_observed_keyed(
+        &pending,
         threads,
         obs.as_ref(),
-        |_, it| {
-            evaluate_with_context(
-                it.workflow,
-                it.db,
-                &it.vctx.view,
-                it.pair,
-                config.seed,
-                &it.vctx.denat,
-                it.gold,
-                it.qm,
-                &it.plan,
-                config.limits,
-                &plans,
-            )
+        // Task ids are grid-global, so the span streams of sharded and
+        // resumed runs interleave exactly like the full run's.
+        |_, slot| slot.global as u64,
+        |_, slot| {
+            if !capture {
+                let (record, exec_sql) = run_cell_slot(slot);
+                if let Some(store) = &store {
+                    let _ = store.store(slot.global, &record, exec_sql.as_deref(), None);
+                    snails_obs::add(Metric::CkptWritten, 1);
+                }
+                return record;
+            }
+            // Capture this cell's deterministic telemetry in a nested
+            // temporary context, persist it alongside the record, then fold
+            // it into the run context — so a future resume can replay the
+            // cell's exact telemetry without re-executing it.
+            let temp = Arc::new(ObsCtx::new(ClockMode::Sim));
+            let outcome = {
+                let _scope = snails_obs::scope(&temp);
+                snails_obs::task(slot.global as u64, || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_cell_slot(slot)
+                    }))
+                })
+            };
+            let snap = temp.registry.snapshot();
+            let rollup = temp.tracer.rollup();
+            let delta = CellDelta::capture(&snap, &rollup);
+            let ctx = obs.as_ref().expect("capture implies telemetry");
+            ctx.registry.absorb(&snap);
+            ctx.tracer.absorb(temp.tracer.drain_sorted());
+            match outcome {
+                Ok((record, exec_sql)) => {
+                    let store = store.as_ref().expect("capture implies checkpointing");
+                    let _ = store.store(
+                        slot.global,
+                        &record,
+                        exec_sql.as_deref(),
+                        Some(&delta),
+                    );
+                    ctx.registry.add(Metric::CkptWritten, 1);
+                    record
+                }
+                // A panicking cell (an injected fault) is never
+                // checkpointed — its partial telemetry was folded in above
+                // (matching the uncheckpointed run, where the unwound task
+                // still flushes), and the panic continues to the scheduler's
+                // isolation layer, which substitutes the failure record.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         },
-        |_, it, payload| {
+        |_, slot, payload| {
             // Only planned (injected) panics are absorbed into failure
             // records; a genuine bug still aborts the run loudly.
             if !faults::is_injected_panic(payload.as_ref()) {
                 std::panic::resume_unwind(payload);
             }
+            let it = slot.item;
             failed_record(
                 it.workflow,
                 it.db,
@@ -590,22 +768,77 @@ pub fn run_benchmark_on(
             )
         },
     );
+    stats.written = store.as_ref().map_or(0, |s| s.written());
 
-    let mut faults = FaultSummary {
-        cells: items.len(),
-        breaker_trips: planner.as_ref().map_or(0, Planner::breaker_trips),
-        ..FaultSummary::default()
-    };
-    for it in &items {
+    // Reassemble this shard's records in grid order, replaying restored
+    // cells' stored telemetry so the final report is indistinguishable from
+    // having executed them.
+    let mut restored_spans: BTreeMap<&'static str, snails_obs::SpanStat> = BTreeMap::new();
+    let mut computed_iter = computed.into_iter();
+    let mut records = Vec::with_capacity(pending.len() + stats.hits as usize);
+    for (global, slot) in restored.into_iter().enumerate() {
+        if !shard.contains(global) {
+            continue;
+        }
+        match slot {
+            Some(r) => {
+                if let Some(ctx) = obs.as_ref() {
+                    if let Some(delta) = &r.delta {
+                        delta
+                            .replay(&ctx.registry)
+                            .expect("verified delta replays cleanly");
+                        for (name, count, total) in &delta.spans {
+                            let stat = restored_spans.entry(name).or_default();
+                            stat.count += count;
+                            stat.total += total;
+                        }
+                    }
+                    // The scheduler counts executed items; a restored cell
+                    // is an item this run *accounts for* without executing.
+                    ctx.registry.add(Metric::CoreSchedulerItems, 1);
+                }
+                records.push(r.record);
+            }
+            None => records.push(
+                computed_iter.next().expect("one computed record per pending cell"),
+            ),
+        }
+    }
+    debug_assert!(computed_iter.next().is_none());
+
+    let mut faults = FaultSummary::default();
+    for (i, it) in items.iter().enumerate() {
+        if !shard.contains(i) {
+            continue;
+        }
+        faults.cells += 1;
         faults.attempts += u64::from(it.plan.attempts);
         faults.retries += u64::from(it.plan.retries());
+        faults.breaker_trips += it.trips;
     }
     for r in &records {
         if let Some(kind) = r.failure {
             *faults.failures.entry(kind.name()).or_insert(0) += 1;
         }
     }
-    BenchmarkRun { records, faults, telemetry: obs.map(|ctx| ctx.report()) }
+
+    let telemetry = obs.map(|ctx| {
+        let mut report = ctx.report();
+        for (name, stat) in restored_spans {
+            let slot = report.spans.entry(name).or_default();
+            slot.count += stat.count;
+            slot.total += stat.total;
+        }
+        report
+    });
+    BenchmarkRun {
+        records,
+        faults,
+        telemetry,
+        checkpoint: store.is_some().then_some(stats),
+        fingerprint,
+        grid_cells: items.len(),
+    }
 }
 
 /// Build the databases named in the config and run the benchmark.

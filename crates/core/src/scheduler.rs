@@ -102,6 +102,30 @@ where
     F: Fn(usize, &I) -> T + Sync,
     P: Fn(usize, &I, Box<dyn Any + Send>) -> T + Sync,
 {
+    run_ordered_observed_keyed(items, threads, ctx, |i, _| i as u64, f, on_panic)
+}
+
+/// [`run_ordered_observed`] with caller-chosen task ids: `key(i, item)`
+/// labels item `i`'s [`snails_obs::task`]. The checkpoint layer uses this
+/// to run a *subset* of the grid (a shard, or the cells a resumed run still
+/// owes) while tagging each cell's spans with its grid-global index — so
+/// the merged span stream of a sharded or resumed run interleaves exactly
+/// like the uninterrupted full run's.
+pub fn run_ordered_observed_keyed<I, T, K, F, P>(
+    items: &[I],
+    threads: usize,
+    ctx: Option<&Arc<ObsCtx>>,
+    key: K,
+    f: F,
+    on_panic: P,
+) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    K: Fn(usize, &I) -> u64 + Sync,
+    F: Fn(usize, &I) -> T + Sync,
+    P: Fn(usize, &I, Box<dyn Any + Send>) -> T + Sync,
+{
     // `AssertUnwindSafe` is sound here: a caught panic either rethrows
     // (run_ordered, restoring the old abort-the-run behavior) or replaces
     // the item's result wholesale, so no partially-mutated state is
@@ -117,7 +141,7 @@ where
     let observed = |i: usize, item: &I| -> T {
         let Some(ctx) = ctx else { return call(i, item) };
         let started = Instant::now();
-        let out = snails_obs::task(i as u64, || call(i, item));
+        let out = snails_obs::task(key(i, item), || call(i, item));
         ctx.registry.add(Obs::CoreSchedulerItems, 1);
         ctx.registry
             .observe(Obs::CoreSchedulerItemWallNs, started.elapsed().as_nanos() as u64);

@@ -19,6 +19,30 @@ pub enum MetricKind {
     Histogram,
 }
 
+/// Which report section a metric belongs to.
+///
+/// The split encodes *what the value is a pure function of*:
+///
+/// * **Deterministic** — a pure function of the workload. Byte-identical at
+///   any thread count *and* across run assemblies (fresh, checkpoint-resumed,
+///   shard-merged): these are the bytes compared by the determinism gates.
+/// * **Assembly** — a pure function of (workload, run assembly). Still
+///   byte-identical at any thread count, but legitimately different between
+///   a fresh run, a resume (restored cells skip plan compilation), and a
+///   shard merge (each shard process compiles its own plans). Plan-cache and
+///   checkpoint accounting live here.
+/// * **Volatile** — wall-clock timings and scheduler shape; varies run to
+///   run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Pure function of the workload.
+    Deterministic,
+    /// Pure function of (workload, run assembly).
+    Assembly,
+    /// Varies run to run (timings, scheduler shape).
+    Volatile,
+}
+
 /// Static description of one metric.
 #[derive(Debug, Clone, Copy)]
 pub struct MetricSpec {
@@ -30,10 +54,8 @@ pub struct MetricSpec {
     /// Upper bucket bounds (inclusive) for histograms; empty otherwise.
     /// Samples above the last bound land in an overflow bucket.
     pub buckets: &'static [u64],
-    /// Volatile metrics (wall-clock timings, scheduler shape) legitimately
-    /// vary across runs and thread counts; they are reported in a separate
-    /// section and excluded from byte-identical comparisons.
-    pub volatile: bool,
+    /// Report section ([`MetricClass`]).
+    pub class: MetricClass,
 }
 
 /// Bucket bounds for row-count distributions (per-operator work).
@@ -59,7 +81,7 @@ pub const NANOS_BUCKETS: &[u64] = &[
 ];
 
 macro_rules! define_metrics {
-    ($($(#[$doc:meta])* $variant:ident => $name:literal, $kind:ident, $buckets:expr, $volatile:expr;)*) => {
+    ($($(#[$doc:meta])* $variant:ident => $name:literal, $kind:ident, $buckets:expr, $class:ident;)*) => {
         /// Every registered metric, by static key (see [`SPECS`]).
         ///
         /// The discriminant is the metric's slot index in the registry.
@@ -75,7 +97,7 @@ macro_rules! define_metrics {
                 name: $name,
                 kind: MetricKind::$kind,
                 buckets: $buckets,
-                volatile: $volatile,
+                class: MetricClass::$class,
             },)*
         ];
 
@@ -88,97 +110,116 @@ macro_rules! define_metrics {
 
 define_metrics! {
     // ---- engine: compiled plans and the plan cache -----------------------
+    // Plan-cache accounting is *assembly*-classified: totals are pure
+    // functions of the lookup sequence (identical at any thread count), but
+    // a checkpoint resume skips lookups for restored cells and a shard
+    // merge sums independent caches, so the values legitimately differ
+    // across run assemblies while everything deterministic stays identical.
     /// Statements lowered to a `CompiledPlan` (cache misses compile).
-    EnginePlanCompile => "engine.plan.compile", Counter, &[], false;
+    EnginePlanCompile => "engine.plan.compile", Counter, &[], Assembly;
     /// Plan-cache lookups served from a cached plan.
-    EnginePlanCacheHit => "engine.plan.cache_hit", Counter, &[], false;
+    EnginePlanCacheHit => "engine.plan.cache_hit", Counter, &[], Assembly;
     /// Plan-cache lookups that had to compile.
-    EnginePlanCacheMiss => "engine.plan.cache_miss", Counter, &[], false;
+    EnginePlanCacheMiss => "engine.plan.cache_miss", Counter, &[], Assembly;
     /// Plans evicted from a bounded cache (FIFO order).
-    EnginePlanCacheEviction => "engine.plan.cache_eviction", Counter, &[], false;
+    EnginePlanCacheEviction => "engine.plan.cache_eviction", Counter, &[], Assembly;
+    /// Plans pre-compiled by the resume-warm pass (restored checkpoint
+    /// cells replaying their statements into the cache before execution).
+    EnginePlanResumeWarm => "engine.plan.resume_warm", Counter, &[], Assembly;
 
     // ---- engine: per-statement execution and budgets ---------------------
     /// Statements executed (interpreter or compiled plan).
-    EngineExecStatements => "engine.exec.statements", Counter, &[], false;
+    EngineExecStatements => "engine.exec.statements", Counter, &[], Deterministic;
     /// Cooperative step budget consumed per statement.
-    EngineExecSteps => "engine.exec.steps", Histogram, WORK_BUCKETS, false;
+    EngineExecSteps => "engine.exec.steps", Histogram, WORK_BUCKETS, Deterministic;
     /// Join build/probe budget consumed per statement.
-    EngineExecJoinRows => "engine.exec.join_rows", Histogram, WORK_BUCKETS, false;
+    EngineExecJoinRows => "engine.exec.join_rows", Histogram, WORK_BUCKETS, Deterministic;
     /// Executions aborted by an `ExecLimits` budget.
-    EngineLimitsExhausted => "engine.limits.exhausted", Counter, &[], false;
+    EngineLimitsExhausted => "engine.limits.exhausted", Counter, &[], Deterministic;
 
     // ---- engine: per-operator work ---------------------------------------
     /// Rows produced per base-table / view / derived-table scan.
-    EngineOpScanRows => "engine.op.scan.rows", Histogram, ROWS_BUCKETS, false;
+    EngineOpScanRows => "engine.op.scan.rows", Histogram, ROWS_BUCKETS, Deterministic;
     /// Rows produced per join (hash or nested loop).
-    EngineOpJoinRows => "engine.op.join.rows", Histogram, ROWS_BUCKETS, false;
+    EngineOpJoinRows => "engine.op.join.rows", Histogram, ROWS_BUCKETS, Deterministic;
     /// Rows surviving each WHERE filter.
-    EngineOpFilterRows => "engine.op.filter.rows", Histogram, ROWS_BUCKETS, false;
+    EngineOpFilterRows => "engine.op.filter.rows", Histogram, ROWS_BUCKETS, Deterministic;
     /// Groups formed per GROUP BY (or 1 for a global aggregate).
-    EngineOpGroupUnits => "engine.op.group.units", Histogram, ROWS_BUCKETS, false;
+    EngineOpGroupUnits => "engine.op.group.units", Histogram, ROWS_BUCKETS, Deterministic;
     /// Rows sorted per ORDER BY.
-    EngineOpSortRows => "engine.op.sort.rows", Histogram, ROWS_BUCKETS, false;
+    EngineOpSortRows => "engine.op.sort.rows", Histogram, ROWS_BUCKETS, Deterministic;
     /// Rows projected per query block.
-    EngineOpProjectRows => "engine.op.project.rows", Histogram, ROWS_BUCKETS, false;
+    EngineOpProjectRows => "engine.op.project.rows", Histogram, ROWS_BUCKETS, Deterministic;
 
     // ---- engine: vectorized executor -------------------------------------
     /// Column batches processed by the vectorized executor (all operators).
-    EngineVecBatches => "engine.vec.batches", Counter, &[], false;
+    EngineVecBatches => "engine.vec.batches", Counter, &[], Deterministic;
     /// Batches consumed by vectorized base-table scans.
-    EngineOpScanBatches => "engine.op.scan.batches", Counter, &[], false;
+    EngineOpScanBatches => "engine.op.scan.batches", Counter, &[], Deterministic;
     /// Batches evaluated by vectorized WHERE filters.
-    EngineOpFilterBatches => "engine.op.filter.batches", Counter, &[], false;
+    EngineOpFilterBatches => "engine.op.filter.batches", Counter, &[], Deterministic;
     /// Batches probed by vectorized hash joins.
-    EngineOpJoinBatches => "engine.op.join.batches", Counter, &[], false;
+    EngineOpJoinBatches => "engine.op.join.batches", Counter, &[], Deterministic;
     /// Selection-vector density per filter batch (surviving rows as a
     /// percentage of batch rows, 0–100).
-    EngineVecSelectivityPct => "engine.vec.selectivity_pct", Histogram, PCT_BUCKETS, false;
+    EngineVecSelectivityPct => "engine.vec.selectivity_pct", Histogram, PCT_BUCKETS, Deterministic;
     /// Dictionary entries per string column touched by a vectorized scan.
-    EngineVecDictEntries => "engine.vec.dict.entries", Histogram, ROWS_BUCKETS, false;
+    EngineVecDictEntries => "engine.vec.dict.entries", Histogram, ROWS_BUCKETS, Deterministic;
 
     // ---- llm: resilience middleware --------------------------------------
     /// Grid cells planned by the resilience pre-pass.
-    LlmCellsPlanned => "llm.cells.planned", Counter, &[], false;
+    LlmCellsPlanned => "llm.cells.planned", Counter, &[], Deterministic;
     /// Cells skipped because the model's breaker was open.
-    LlmCellsSkipped => "llm.cells.skipped", Counter, &[], false;
+    LlmCellsSkipped => "llm.cells.skipped", Counter, &[], Deterministic;
     /// Cells that burned every retry on transient faults.
-    LlmCellsExhausted => "llm.cells.exhausted", Counter, &[], false;
+    LlmCellsExhausted => "llm.cells.exhausted", Counter, &[], Deterministic;
     /// Simulated API attempts across all cells.
-    LlmResilienceAttempts => "llm.resilience.attempts", Counter, &[], false;
+    LlmResilienceAttempts => "llm.resilience.attempts", Counter, &[], Deterministic;
     /// Retries (attempts beyond each cell's first).
-    LlmResilienceRetries => "llm.resilience.retries", Counter, &[], false;
+    LlmResilienceRetries => "llm.resilience.retries", Counter, &[], Deterministic;
     /// Total simulated backoff wait, in milliseconds.
-    LlmResilienceBackoffMs => "llm.resilience.backoff_ms", Counter, &[], false;
+    LlmResilienceBackoffMs => "llm.resilience.backoff_ms", Counter, &[], Deterministic;
     /// Circuit-breaker trips (Closed/HalfOpen → Open).
-    LlmBreakerTrips => "llm.breaker.trips", Counter, &[], false;
+    LlmBreakerTrips => "llm.breaker.trips", Counter, &[], Deterministic;
     /// Breaker cooldown expiries (Open → HalfOpen).
-    LlmBreakerHalfOpen => "llm.breaker.half_open", Counter, &[], false;
+    LlmBreakerHalfOpen => "llm.breaker.half_open", Counter, &[], Deterministic;
     /// Breaker recoveries (HalfOpen → Closed on a successful probe).
-    LlmBreakerClose => "llm.breaker.close", Counter, &[], false;
+    LlmBreakerClose => "llm.breaker.close", Counter, &[], Deterministic;
     /// Timeout faults drawn.
-    LlmFaultsTimeout => "llm.faults.timeout", Counter, &[], false;
+    LlmFaultsTimeout => "llm.faults.timeout", Counter, &[], Deterministic;
     /// Rate-limit faults drawn.
-    LlmFaultsRateLimit => "llm.faults.rate_limit", Counter, &[], false;
+    LlmFaultsRateLimit => "llm.faults.rate_limit", Counter, &[], Deterministic;
     /// Truncated-payload faults drawn.
-    LlmFaultsTruncated => "llm.faults.truncated", Counter, &[], false;
+    LlmFaultsTruncated => "llm.faults.truncated", Counter, &[], Deterministic;
     /// Garbage-payload faults drawn.
-    LlmFaultsGarbage => "llm.faults.garbage", Counter, &[], false;
+    LlmFaultsGarbage => "llm.faults.garbage", Counter, &[], Deterministic;
     /// Client-panic faults drawn.
-    LlmFaultsPanic => "llm.faults.panic", Counter, &[], false;
+    LlmFaultsPanic => "llm.faults.panic", Counter, &[], Deterministic;
 
     // ---- core: scheduler -------------------------------------------------
     /// Work items completed by the scheduler.
-    CoreSchedulerItems => "core.scheduler.items", Counter, &[], false;
+    CoreSchedulerItems => "core.scheduler.items", Counter, &[], Deterministic;
     /// Worker threads used by the last scheduled run.
-    CoreSchedulerWorkers => "core.scheduler.workers", Gauge, &[], true;
+    CoreSchedulerWorkers => "core.scheduler.workers", Gauge, &[], Volatile;
     /// Items still unclaimed at the most recent chunk claim.
-    CoreSchedulerQueueDepth => "core.scheduler.queue_depth", Gauge, &[], true;
+    CoreSchedulerQueueDepth => "core.scheduler.queue_depth", Gauge, &[], Volatile;
     /// Chunks claimed from the shared cursor.
-    CoreSchedulerChunksClaimed => "core.scheduler.chunks_claimed", Counter, &[], true;
+    CoreSchedulerChunksClaimed => "core.scheduler.chunks_claimed", Counter, &[], Volatile;
     /// Chunks claimed by a worker beyond its first (work stealing).
-    CoreSchedulerStealChunks => "core.scheduler.steal_chunks", Counter, &[], true;
+    CoreSchedulerStealChunks => "core.scheduler.steal_chunks", Counter, &[], Volatile;
     /// Wall time per scheduled item, in nanoseconds.
-    CoreSchedulerItemWallNs => "core.scheduler.item_wall_ns", Histogram, NANOS_BUCKETS, true;
+    CoreSchedulerItemWallNs => "core.scheduler.item_wall_ns", Histogram, NANOS_BUCKETS, Volatile;
+
+    // ---- core: checkpoint / resume ---------------------------------------
+    /// Grid cells restored from a verified checkpoint record.
+    CkptHit => "checkpoint.hit", Counter, &[], Assembly;
+    /// Grid cells with no usable checkpoint record (fresh or insufficient).
+    CkptMiss => "checkpoint.miss", Counter, &[], Assembly;
+    /// Checkpoint records that failed validation (truncated, bit-flipped,
+    /// foreign fingerprint) and were quarantined for recompute.
+    CkptCorrupt => "checkpoint.corrupt", Counter, &[], Assembly;
+    /// Checkpoint records written this run.
+    CkptWritten => "checkpoint.written", Counter, &[], Assembly;
 }
 
 impl Metric {
@@ -190,6 +231,13 @@ impl Metric {
     /// The metric's static key.
     pub fn name(self) -> &'static str {
         self.spec().name
+    }
+
+    /// Resolve a metric by its static key (linear scan — intended for
+    /// cold paths like checkpoint restore and manifest merge, never for
+    /// the record hot path).
+    pub fn by_name(name: &str) -> Option<Metric> {
+        Metric::ALL.iter().copied().find(|m| m.name() == name)
     }
 }
 
@@ -235,6 +283,32 @@ mod tests {
                 }
                 _ => assert!(spec.buckets.is_empty(), "{} is not a histogram", spec.name),
             }
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for m in Metric::ALL {
+            assert_eq!(Metric::by_name(m.name()), Some(*m));
+        }
+        assert_eq!(Metric::by_name("no.such.metric"), None);
+    }
+
+    #[test]
+    fn plan_cache_and_checkpoint_metrics_are_assembly_classified() {
+        for name in [
+            "engine.plan.compile",
+            "engine.plan.cache_hit",
+            "engine.plan.cache_miss",
+            "engine.plan.cache_eviction",
+            "engine.plan.resume_warm",
+            "checkpoint.hit",
+            "checkpoint.miss",
+            "checkpoint.corrupt",
+            "checkpoint.written",
+        ] {
+            let m = Metric::by_name(name).unwrap();
+            assert_eq!(m.spec().class, MetricClass::Assembly, "{name}");
         }
     }
 }

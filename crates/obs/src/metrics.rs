@@ -1,6 +1,6 @@
 //! The lock-free metrics registry and its deterministic snapshots.
 
-use crate::keys::{Metric, MetricKind, SPECS};
+use crate::keys::{Metric, MetricClass, MetricKind, SPECS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -116,13 +116,15 @@ impl Registry {
     }
 
     /// Point-in-time copy of every registered metric, split into the
-    /// deterministic and volatile sections.
+    /// deterministic, assembly, and volatile sections.
     pub fn snapshot(&self) -> Snapshot {
-        let mut snap =
-            Snapshot { deterministic: Section::default(), volatile: Section::default() };
+        let mut snap = Snapshot::default();
         for (m, spec) in Metric::ALL.iter().zip(SPECS) {
-            let section =
-                if spec.volatile { &mut snap.volatile } else { &mut snap.deterministic };
+            let section = match spec.class {
+                MetricClass::Deterministic => &mut snap.deterministic,
+                MetricClass::Assembly => &mut snap.assembly,
+                MetricClass::Volatile => &mut snap.volatile,
+            };
             match &self.slots[*m as usize] {
                 Slot::Counter(c) => {
                     section.counters.insert(spec.name, c.load(Ordering::Relaxed));
@@ -148,6 +150,72 @@ impl Registry {
             }
         }
         snap
+    }
+
+    /// Fold another registry's snapshot into this registry: counters and
+    /// histogram buckets add, gauges are last-write-wins (taken only when
+    /// the absorbed value is nonzero, so an untouched gauge cannot clobber
+    /// a live one).
+    ///
+    /// This is the primitive behind checkpoint restore (replaying a stored
+    /// per-cell delta into the live run's registry) and per-cell capture
+    /// (folding a temporary cell-scoped registry back into the main one):
+    /// because every update is an atomic add of the recorded totals, a
+    /// registry that executed a cell and a registry that absorbed the
+    /// cell's stored delta hold identical values.
+    pub fn absorb(&self, snap: &Snapshot) {
+        for section in [&snap.deterministic, &snap.assembly, &snap.volatile] {
+            for (name, v) in &section.counters {
+                if *v > 0 {
+                    if let Some(m) = Metric::by_name(name) {
+                        self.add(m, *v);
+                    }
+                }
+            }
+            for (name, v) in &section.gauges {
+                if *v != 0 {
+                    if let Some(m) = Metric::by_name(name) {
+                        self.gauge_set(m, *v);
+                    }
+                }
+            }
+            for (name, h) in &section.histograms {
+                if h.count > 0 {
+                    if let Some(m) = Metric::by_name(name) {
+                        self.absorb_hist(m, h);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Add a histogram snapshot's buckets/count/sum directly into the slot
+    /// (bypassing per-sample bucketing — the snapshot already bucketed).
+    pub fn absorb_hist(&self, m: Metric, h: &HistSnapshot) {
+        match &self.slots[m as usize] {
+            Slot::Hist(slot) => {
+                for (bucket, &c) in slot.buckets.iter().zip(&h.counts) {
+                    if c > 0 {
+                        bucket.fetch_add(c, Ordering::Relaxed);
+                    }
+                }
+                slot.count.fetch_add(h.count, Ordering::Relaxed);
+                let mut cur = slot.sum.load(Ordering::Relaxed);
+                loop {
+                    let next = cur.saturating_add(h.sum);
+                    match slot.sum.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+            _ => debug_assert!(false, "{} is not a histogram", m.name()),
+        }
     }
 }
 
@@ -221,34 +289,73 @@ impl Section {
         out.push_str("}}");
         out
     }
+
+    /// Fold `other` into `self`: counters sum, gauges take the maximum
+    /// (shape levels like worker counts merge meaningfully; there are no
+    /// deterministic gauges), histograms merge bucketwise.
+    ///
+    /// Summation is commutative and associative, so merging shard sections
+    /// in any order or grouping yields identical bytes — the property the
+    /// deterministic-merge gate relies on.
+    pub fn merge(&mut self, other: &Section) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let slot = self.gauges.entry(k).or_insert(i64::MIN);
+            *slot = (*slot).max(*v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => {
+                    debug_assert_eq!(mine.bounds, h.bounds, "{k}: bucket bounds diverge");
+                    for (a, b) in mine.counts.iter_mut().zip(&h.counts) {
+                        *a += b;
+                    }
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                }
+                None => {
+                    self.histograms.insert(k, h.clone());
+                }
+            }
+        }
+    }
 }
 
-/// A full registry snapshot: deterministic and volatile sections.
+/// A full registry snapshot: deterministic, assembly, and volatile
+/// sections (see [`crate::keys::MetricClass`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Metrics whose values are pure functions of the workload (identical
-    /// at any thread count).
+    /// at any thread count and across run assemblies).
     pub deterministic: Section,
+    /// Metrics that are pure functions of (workload, run assembly):
+    /// plan-cache and checkpoint accounting — thread-count invariant, but
+    /// legitimately different between fresh, resumed, and sharded runs.
+    pub assembly: Section,
     /// Wall-clock timings and scheduler-shape metrics.
     pub volatile: Section,
 }
 
 impl Snapshot {
-    /// Counter value by static key, searching both sections (0 if absent).
+    /// Counter value by static key, searching every section (0 if absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.deterministic
             .counters
             .get(name)
+            .or_else(|| self.assembly.counters.get(name))
             .or_else(|| self.volatile.counters.get(name))
             .copied()
             .unwrap_or(0)
     }
 
-    /// Histogram snapshot by static key, searching both sections.
+    /// Histogram snapshot by static key, searching every section.
     pub fn histogram(&self, name: &str) -> Option<&HistSnapshot> {
         self.deterministic
             .histograms
             .get(name)
+            .or_else(|| self.assembly.histograms.get(name))
             .or_else(|| self.volatile.histograms.get(name))
     }
 }
@@ -324,5 +431,59 @@ mod tests {
         assert!(!snap.deterministic.counters.contains_key("core.scheduler.chunks_claimed"));
         assert_eq!(snap.volatile.counters["core.scheduler.chunks_claimed"], 5);
         assert_eq!(snap.deterministic.counters["core.scheduler.items"], 5);
+    }
+
+    #[test]
+    fn assembly_metrics_get_their_own_section() {
+        let r = Registry::new();
+        r.add(Metric::EnginePlanCacheHit, 3);
+        r.add(Metric::CkptCorrupt, 1);
+        let snap = r.snapshot();
+        assert!(!snap.deterministic.counters.contains_key("engine.plan.cache_hit"));
+        assert_eq!(snap.assembly.counters["engine.plan.cache_hit"], 3);
+        assert_eq!(snap.assembly.counters["checkpoint.corrupt"], 1);
+        // Name lookups still see every section.
+        assert_eq!(snap.counter("engine.plan.cache_hit"), 3);
+    }
+
+    #[test]
+    fn absorb_reproduces_the_source_registry() {
+        let src = Registry::new();
+        src.add(Metric::EngineExecStatements, 4);
+        src.add(Metric::EnginePlanCacheMiss, 2);
+        src.observe(Metric::EngineOpScanRows, 3);
+        src.observe(Metric::EngineOpScanRows, 1 << 40);
+        let dst = Registry::new();
+        dst.add(Metric::EngineExecStatements, 1);
+        dst.absorb(&src.snapshot());
+        let snap = dst.snapshot();
+        assert_eq!(snap.counter("engine.exec.statements"), 5);
+        assert_eq!(snap.counter("engine.plan.cache_miss"), 2);
+        let h = snap.histogram("engine.op.scan.rows").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 3 + (1u64 << 40));
+        assert_eq!(*h.counts.last().unwrap(), 1, "overflow bucket absorbed");
+    }
+
+    #[test]
+    fn section_merge_is_order_insensitive() {
+        let mk = |hits: u64, rows: &[u64]| {
+            let r = Registry::new();
+            r.add(Metric::CoreSchedulerItems, hits);
+            for &v in rows {
+                r.observe(Metric::EngineOpScanRows, v);
+            }
+            r.snapshot().deterministic
+        };
+        let (a, b, c) = (mk(1, &[5]), mk(2, &[9, 70000]), mk(4, &[]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left.to_json(), right.to_json());
+        assert_eq!(left.counters["core.scheduler.items"], 7);
+        assert_eq!(left.histograms["engine.op.scan.rows"].count, 3);
     }
 }

@@ -9,10 +9,14 @@ use std::collections::BTreeMap;
 ///
 /// The report is split into a **deterministic** section — counters, gauges,
 /// and histograms whose values are pure functions of the workload, plus the
-/// span rollup when the tracer ran on the simulated clock — and a
-/// **volatile** section (wall-clock timings, scheduler shape, and the span
-/// rollup under the wall clock). Two runs of the same workload at any
-/// thread counts render byte-identical deterministic sections.
+/// span rollup when the tracer ran on the simulated clock — an **assembly**
+/// section (plan-cache and checkpoint accounting: thread-count invariant
+/// but legitimately different between fresh, checkpoint-resumed, and
+/// shard-merged runs) — and a **volatile** section (wall-clock timings,
+/// scheduler shape, and the span rollup under the wall clock). Two runs of
+/// the same workload at any thread counts render byte-identical
+/// deterministic sections; resumed and merged runs of the same workload do
+/// too, which is the checkpoint layer's reconciliation contract.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Metrics snapshot (both sections).
@@ -37,6 +41,11 @@ impl Report {
         out
     }
 
+    /// The assembly section as one JSON object.
+    pub fn assembly_json(&self) -> String {
+        self.metrics.assembly.to_json()
+    }
+
     /// The volatile section as one JSON object.
     pub fn volatile_json(&self) -> String {
         let mut out = self.metrics.volatile.to_json();
@@ -50,15 +59,16 @@ impl Report {
     }
 
     /// The full report:
-    /// `{"clock":"sim","deterministic":{...},"volatile":{...}}`.
+    /// `{"clock":"sim","deterministic":{...},"assembly":{...},"volatile":{...}}`.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"clock\":\"{}\",\"deterministic\":{},\"volatile\":{}}}",
+            "{{\"clock\":\"{}\",\"deterministic\":{},\"assembly\":{},\"volatile\":{}}}",
             match self.clock {
                 ClockMode::Sim => "sim",
                 ClockMode::Wall => "wall",
             },
             self.deterministic_json(),
+            self.assembly_json(),
             self.volatile_json()
         )
     }

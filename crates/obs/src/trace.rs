@@ -101,6 +101,15 @@ impl Tracer {
         self.spans.lock().expect("tracer poisoned").append(task_spans);
     }
 
+    /// Append already-completed spans from another tracer (a temporary
+    /// per-cell context being folded back into the run's main context).
+    /// The records keep their original task ids, so the merged
+    /// [`Tracer::drain_sorted`] order is unchanged by *where* they were
+    /// recorded.
+    pub fn absorb(&self, mut spans: Vec<SpanRecord>) {
+        self.flush(&mut spans);
+    }
+
     /// Remove and return every recorded span, sorted by `(task, seq)` —
     /// the deterministic merged order.
     pub fn drain_sorted(&self) -> Vec<SpanRecord> {

@@ -48,7 +48,7 @@ import json, sys
 report = json.load(open(sys.argv[1]))
 assert report["clock"] == "sim", "benchmark telemetry must use the simulated clock"
 seen = []
-for section in (report["deterministic"], report["volatile"]):
+for section in (report["deterministic"], report["assembly"], report["volatile"]):
     for kind in ("counters", "gauges", "histograms"):
         seen.extend(section[kind])
 assert len(seen) == len(set(seen)), "duplicate metric key in report"
@@ -58,8 +58,8 @@ for key in ("engine.plan.compile", "engine.op.scan.rows", "engine.exec.steps",
             "llm.cells.planned", "llm.resilience.attempts",
             "core.scheduler.items", "core.scheduler.workers"):
     assert key in seen, f"metric key {key} missing from report"
-hit = report["deterministic"]["counters"]["engine.plan.cache_hit"]
-miss = report["deterministic"]["counters"]["engine.plan.cache_miss"]
+hit = report["assembly"]["counters"]["engine.plan.cache_hit"]
+miss = report["assembly"]["counters"]["engine.plan.cache_miss"]
 assert hit + miss > 0, "grid run recorded no plan-cache lookups"
 spans = report["deterministic"]["spans"]
 assert spans["cell"]["count"] > 0, "no cell spans recorded"
@@ -67,16 +67,55 @@ print(f"    {len(seen)} metric keys, plan-cache hit rate "
       f"{hit / (hit + miss):.3f}, {spans['cell']['count']} cell spans")
 PY
 
+echo "==> checkpoint kill/resume smoke (SIGKILL mid-grid, resume, byte-compare)"
+# Crash-recovery smoke: run the grid with a deterministic abort injected
+# after 200 checkpoint writes, resume from the surviving store, and
+# byte-compare the resumed manifest against an uninterrupted run. Also
+# merges a 2-way shard split into the same bytes.
+ckpt_dir=$(mktemp -d)
+manifest_dir=$(mktemp -d)
+trap 'rm -f "$telemetry_out"; rm -rf "$ckpt_dir" "$manifest_dir"' EXIT
+snails=./target/release/snails
+"$snails" grid --threads 4 --out "$manifest_dir/clean.txt" 2> /dev/null
+if "$snails" grid --threads 4 --ckpt "$ckpt_dir" --kill-after 200 \
+        --out "$manifest_dir/killed.txt" 2> /dev/null; then
+    echo "error: --kill-after 200 run was expected to abort mid-grid" >&2
+    exit 1
+fi
+[ ! -f "$manifest_dir/killed.txt" ] || {
+    echo "error: killed run should not have produced a manifest" >&2
+    exit 1
+}
+"$snails" grid --threads 4 --ckpt "$ckpt_dir" --out "$manifest_dir/resumed.txt" 2> /dev/null
+cmp -s "$manifest_dir/clean.txt" "$manifest_dir/resumed.txt" || {
+    echo "error: resumed manifest differs from the uninterrupted run" >&2
+    exit 1
+}
+"$snails" grid --threads 2 --shard 0/2 --out "$manifest_dir/s0.txt" 2> /dev/null
+"$snails" grid --threads 8 --shard 1/2 --out "$manifest_dir/s1.txt" 2> /dev/null
+"$snails" merge --out "$manifest_dir/merged.txt" \
+    "$manifest_dir/s1.txt" "$manifest_dir/s0.txt" 2> /dev/null
+cmp -s "$manifest_dir/clean.txt" "$manifest_dir/merged.txt" || {
+    echo "error: 2-way shard merge differs from the single-process run" >&2
+    exit 1
+}
+echo "    kill@200 resume and 2-way shard merge both byte-identical"
+
 echo "==> BENCH_engine.json artifact (exists, well-formed, plan stage present)"
 # `snails bench` writes the artifact as its last act; it must exist, be
 # valid JSON, and carry the plan_exec stage with identical results.
 [ -f BENCH_engine.json ] || {
-    echo "error: snails bench did not write BENCH_engine.json" >&2
+    echo "error: snails bench did not write BENCH_engine.json (re-run" \
+         "'cargo run --release --bin snails -- bench' to regenerate it)" >&2
     exit 1
 }
 python3 - <<'PY'
 import json, sys
-doc = json.load(open("BENCH_engine.json"))
+try:
+    doc = json.load(open("BENCH_engine.json"))
+except ValueError as exc:
+    sys.exit(f"error: BENCH_engine.json is not valid JSON ({exc}); "
+             "re-run 'cargo run --release --bin snails -- bench'")
 stages = {s["bench"]: s for s in doc["stages"]}
 assert "plan_exec" in stages, "plan_exec stage missing"
 assert stages["plan_exec"]["results_identical"], "compiled plans diverged"
@@ -96,6 +135,12 @@ assert join["results_identical"], "synthetic join results diverged"
 assert join["rows"] >= 1_000_000, "synthetic join below the 1M-row scale"
 assert join["speedup"] >= 1.0, f"vectorized join slower ({join['speedup']}x)"
 assert "vector_batch_sweep" in stages, "batch-size sweep missing"
+ckpt = stages["checkpoint_resume"]
+assert ckpt["identical"], "resume / shard-merge diverged from the cold run"
+assert ckpt["resume_hits"] > 0, "50% resume restored no checkpointed cells"
+print(f"    checkpoint_resume cold {ckpt['cold_ms']}ms, 50%-resume "
+      f"{ckpt['resume50_ms']}ms ({ckpt['resume_speedup']}x), 4-shard "
+      f"{ckpt['shard4_ms']}ms + merge {ckpt['merge_ms']}ms")
 print(f"    vector_exec {vec['speedup_vs_interpreter']}x vs interpreter, "
       f"{vec['speedup_vs_row_plan']}x vs row plans; synthetic_join "
       f"{join['speedup']}x at {join['rows_per_s']} rows/s")

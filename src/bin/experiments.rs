@@ -10,8 +10,12 @@
 //! cargo run --release --bin experiments -- --telemetry telemetry.json
 //!                                                  # write the benchmark's
 //!                                                  # observability report
+//! cargo run --release --bin experiments -- --ckpt ckpt-dir --shard 0/4
+//!                                                  # checkpoint benchmark cells
+//!                                                  # and run one shard of the grid
 //! ```
 
+use snails_core::checkpoint::{CheckpointSpec, Shard};
 use snails_core::dataset_figures as ds;
 use snails_core::pipeline::{run_benchmark_on, BenchmarkConfig, BenchmarkRun};
 use snails_core::result_figures as rf;
@@ -29,6 +33,8 @@ struct Args {
     threads: Option<usize>,
     fault_profile: FaultProfile,
     telemetry: Option<String>,
+    shard: Shard,
+    ckpt: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +46,8 @@ fn parse_args() -> Args {
         threads: None,
         fault_profile: FaultProfile::NONE,
         telemetry: None,
+        shard: Shard::FULL,
+        ckpt: None,
     };
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
@@ -67,6 +75,15 @@ fn parse_args() -> Args {
             }
             "--telemetry" => {
                 args.telemetry = Some(argv.next().expect("--telemetry takes an output path"));
+            }
+            "--shard" => {
+                args.shard = argv
+                    .next()
+                    .map(|s| Shard::parse(&s).expect("--shard takes i/n with 0 <= i < n"))
+                    .expect("--shard takes i/n with 0 <= i < n");
+            }
+            "--ckpt" => {
+                args.ckpt = Some(argv.next().expect("--ckpt takes a checkpoint directory"));
             }
             flag if flag.starts_with("--") => args.only = Some(flag[2..].to_owned()),
             other => panic!("unknown argument {other}"),
@@ -220,6 +237,8 @@ fn main() {
             threads: args.threads,
             fault_profile: args.fault_profile,
             telemetry: args.telemetry.is_some(),
+            shard: args.shard,
+            checkpoint: args.ckpt.as_ref().map(CheckpointSpec::at),
             ..Default::default()
         };
         let r = run_benchmark_on(&collection, &config);
@@ -228,6 +247,17 @@ fn main() {
             started.elapsed(),
             r.records.len()
         );
+        if let Some(stats) = r.checkpoint {
+            eprintln!(
+                "[{:>7.1?}] checkpoint {}: {} restored, {} recomputed, {} corrupt, {} written",
+                started.elapsed(),
+                config.shard.label(),
+                stats.hits,
+                stats.misses,
+                stats.corrupt,
+                stats.written
+            );
+        }
         if let (Some(path), Some(report)) = (&args.telemetry, &r.telemetry) {
             std::fs::write(path, report.to_json()).expect("write telemetry report");
             eprintln!(

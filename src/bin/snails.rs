@@ -10,6 +10,9 @@
 //! snails list                            # the nine databases
 //! snails bench [threads] [--fault-profile none|flaky|hostile]
 //!              [--telemetry <path>]      # wall-clock timings (JSON lines)
+//! snails grid [--shard i/n] [--ckpt DIR] [--out manifest]
+//!             [--kill-after N]           # one (shardable, resumable) grid run
+//! snails merge --out merged <manifest>.. # fold shard manifests into one run
 //! ```
 
 use snails::core::telemetry;
@@ -34,6 +37,8 @@ fn main() {
         "sql" => sql(&args[1..]),
         "list" => list(),
         "bench" => bench(&args[1..]),
+        "grid" => grid(&args[1..]),
+        "merge" => merge(&args[1..]),
         _ => {
             eprintln!("unknown command: {command}\n");
             print_usage();
@@ -48,7 +53,195 @@ fn print_usage() {
          USAGE:\n  snails classify <identifier>...\n  snails abbreviate <identifier> [low|least]\n  \
          snails expand <identifier>...\n  snails audit <DB>\n  snails ask <DB> <question-id> [model]\n  \
          snails sql <DB> \"<query>\"\n  snails list\n  \
-         snails bench [threads] [--fault-profile none|flaky|hostile] [--telemetry <path>]"
+         snails bench [threads] [--fault-profile none|flaky|hostile] [--telemetry <path>]\n  \
+         snails grid [--seed N] [--threads N] [--fault-profile P] [--telemetry]\n              \
+         [--shard i/n] [--ckpt DIR] [--kill-after N] [--out <manifest>]\n  \
+         snails merge [--out <manifest>] <shard-manifest>..."
+    );
+}
+
+/// The 1280-cell benchmark grid (CWO + KIS × 4 variants × 4 workflows × 40
+/// questions) shared by `snails grid`, the `bench` checkpoint stage, and
+/// the crash-recovery harness.
+fn grid_config() -> BenchmarkConfig {
+    BenchmarkConfig {
+        seed: 2024,
+        databases: vec!["CWO".into(), "KIS".into()],
+        variants: SchemaVariant::ALL.to_vec(),
+        workflows: vec![
+            Workflow::ZeroShot(ModelKind::Gpt4o),
+            Workflow::ZeroShot(ModelKind::Gpt35),
+            Workflow::DinSql,
+            Workflow::CodeS,
+        ],
+        ..Default::default()
+    }
+}
+
+/// One (shardable, resumable) grid invocation: the execution unit of the
+/// checkpoint layer. Writes this shard's manifest to `--out`, so separate
+/// processes — crashed-and-resumed, or sharded across machines — can be
+/// reconciled with `snails merge` and compared byte-for-byte.
+fn grid(args: &[String]) {
+    use snails::core::checkpoint::{manifest_from_run, CheckpointSpec, Shard};
+
+    let mut config = grid_config();
+    let mut out: Option<String> = None;
+    let mut kill_after: Option<u64> = None;
+    let mut ckpt: Option<String> = None;
+    let mut it = args.iter();
+    let missing = |flag: &str| -> ! {
+        eprintln!("grid: {flag} needs a value");
+        std::process::exit(2);
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => missing("--seed"),
+            },
+            "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => config.threads = Some(n),
+                _ => missing("--threads"),
+            },
+            "--fault-profile" => {
+                match it.next().and_then(|n| FaultProfile::by_name(n)) {
+                    Some(p) => config.fault_profile = p,
+                    None => {
+                        eprintln!("grid: --fault-profile takes none|flaky|hostile");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--telemetry" => config.telemetry = true,
+            "--shard" => match it.next().map(|s| Shard::parse(s)) {
+                Some(Ok(s)) => config.shard = s,
+                Some(Err(e)) => {
+                    eprintln!("grid: {e}");
+                    std::process::exit(2);
+                }
+                None => missing("--shard"),
+            },
+            "--ckpt" => match it.next() {
+                Some(dir) => ckpt = Some(dir.clone()),
+                None => missing("--ckpt"),
+            },
+            "--kill-after" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) => kill_after = Some(n),
+                None => missing("--kill-after"),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => missing("--out"),
+            },
+            other => {
+                eprintln!("grid: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if kill_after.is_some() && ckpt.is_none() {
+        eprintln!("grid: --kill-after requires --ckpt (it counts checkpoint writes)");
+        std::process::exit(2);
+    }
+    config.checkpoint = ckpt.map(|dir| CheckpointSpec {
+        dir: dir.into(),
+        kill_after_writes: kill_after,
+    });
+
+    let run = run_benchmark(&config);
+    let manifest = manifest_from_run(&run, &config);
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, manifest.to_string()) {
+            eprintln!("grid: could not write manifest {path}: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        print!("{manifest}");
+    }
+    let ckpt_json = run.checkpoint.map_or("null".to_owned(), |s| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"corrupt\":{},\"written\":{}}}",
+            s.hits, s.misses, s.corrupt, s.written
+        )
+    });
+    eprintln!(
+        "{{\"grid\":\"done\",\"cells\":{},\"shard\":\"{}/{}\",\"records\":{},\
+         \"fingerprint\":\"{:016x}\",\"checkpoint\":{ckpt_json}}}",
+        run.grid_cells,
+        config.shard.index,
+        config.shard.count,
+        run.records.len(),
+        run.fingerprint,
+    );
+}
+
+/// Fold shard manifests (from `snails grid --shard i/n --out ...`) into the
+/// single-run manifest. The merge validates that the shards belong to the
+/// same grid and tile it exactly; the output is byte-identical to the
+/// manifest an uninterrupted single-process run would have written.
+fn merge(args: &[String]) {
+    use snails::core::checkpoint::{merge_manifests, ShardManifest};
+
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("merge: --out needs a path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            inputs.push(arg.clone());
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("merge: usage `snails merge [--out <path>] <shard-manifest>...`");
+        std::process::exit(2);
+    }
+    let mut shards = Vec::new();
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("merge: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match ShardManifest::parse(&text) {
+            Ok(m) => shards.push(m),
+            Err(e) => {
+                eprintln!("merge: {path} is not a valid shard manifest: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let merged = match merge_manifests(shards) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("merge: {e}");
+            std::process::exit(1);
+        }
+    };
+    let text = merged.to_string();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &text) {
+                eprintln!("merge: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        None => print!("{text}"),
+    }
+    eprintln!(
+        "{{\"merge\":\"done\",\"shards\":{},\"cells\":{},\"failed_cells\":{}}}",
+        inputs.len(),
+        merged.total_cells,
+        merged.faults.total_failures()
     );
 }
 
@@ -317,6 +510,79 @@ fn bench(args: &[String]) {
             report.counter("llm.resilience.retries"),
             report.counter("llm.breaker.trips"),
         ));
+    }
+
+    // Checkpoint layer on the same 1280-cell grid: a cold write-through
+    // run, a resume after losing half the stored records, and a 4-way
+    // shard + merge. Each path must reproduce the cold run byte-for-byte
+    // (records, fault summary, and deterministic telemetry, all folded
+    // into the canonical manifest rendering).
+    {
+        use snails::core::checkpoint::{
+            manifest_from_run, merge_manifests, CheckpointSpec, Shard,
+        };
+        let base = |dir: &std::path::Path| BenchmarkConfig {
+            threads: Some(threads),
+            fault_profile: profile,
+            telemetry: true,
+            checkpoint: Some(CheckpointSpec::at(dir)),
+            ..grid_config()
+        };
+        let root =
+            std::env::temp_dir().join(format!("snails-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let cold_dir = root.join("cold");
+        let cfg = base(&cold_dir);
+        let t = Instant::now();
+        let cold = run_benchmark_on(&collection, &cfg);
+        let cold_ms = ms(t);
+        let cold_manifest = snails::core::checkpoint::manifest_from_run(&cold, &cfg).to_string();
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(cold_dir.join("cells"))
+            .expect("checkpoint cells dir exists")
+            .map(|e| e.expect("dir entry").path())
+            .collect();
+        files.sort();
+        for (i, f) in files.iter().enumerate() {
+            if i % 2 == 0 {
+                let _ = std::fs::remove_file(f);
+            }
+        }
+        let t = Instant::now();
+        let resumed = run_benchmark_on(&collection, &cfg);
+        let resume_ms = ms(t);
+        let resume_stats = resumed.checkpoint.expect("checkpoint stats present");
+        let mut ckpt_identical = manifest_from_run(&resumed, &cfg).to_string() == cold_manifest;
+        let shard_dir = root.join("shards");
+        let t = Instant::now();
+        let manifests: Vec<_> = (0..4)
+            .map(|index| {
+                let cfg = BenchmarkConfig {
+                    shard: Shard { index, count: 4 },
+                    ..base(&shard_dir)
+                };
+                let run = run_benchmark_on(&collection, &cfg);
+                manifest_from_run(&run, &cfg)
+            })
+            .collect();
+        let shard_ms = ms(t);
+        let t = Instant::now();
+        let merged = merge_manifests(manifests).expect("complete disjoint shards merge");
+        let merge_ms = ms(t);
+        ckpt_identical &= merged.to_string() == cold_manifest;
+        let _ = std::fs::remove_dir_all(&root);
+        emit(format!(
+            "{{\"bench\":\"checkpoint_resume\",\"cells\":{},\"cold_ms\":{cold_ms:.1},\
+             \"resume50_ms\":{resume_ms:.1},\"resume_hits\":{},\"resume_speedup\":{:.2},\
+             \"shard4_ms\":{shard_ms:.1},\"merge_ms\":{merge_ms:.2},\
+             \"identical\":{ckpt_identical}}}",
+            cold.grid_cells,
+            resume_stats.hits,
+            cold_ms / resume_ms,
+        ));
+        if !ckpt_identical {
+            eprintln!("error: checkpoint resume or shard merge diverged from the cold run");
+            std::process::exit(1);
+        }
     }
 
     // Join kernels on the join-heavy gold queries (NTSB: composite-key

@@ -1,0 +1,212 @@
+//! Crash-recovery contract for the sharded, checkpointed grid (PR 7
+//! acceptance criteria), driven through the real `snails` binary.
+//!
+//! A worker killed mid-grid at a deterministic injection point must leave a
+//! store that a fresh process resumes into the *byte-identical* manifest of
+//! an uninterrupted single-process run — records, fault summary, and the
+//! deterministic telemetry section — at any thread count, under both the
+//! `none` and `flaky` fault profiles. Disjoint shards merged out of order
+//! must produce the same bytes, and a corrupted record must be quarantined
+//! and recomputed, never aborting the run.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snails-killtest-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Run `snails grid` with the given flags, returning the raw process output.
+fn grid(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snails"))
+        .arg("grid")
+        .args(args)
+        .output()
+        .expect("spawn snails grid")
+}
+
+fn merge(out: &Path, manifests: &[&Path]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_snails"));
+    cmd.arg("merge").arg("--out").arg(out);
+    for m in manifests {
+        cmd.arg(m);
+    }
+    cmd.output().expect("spawn snails merge")
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read manifest {}: {e}", path.display()))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn cell_files(ckpt: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(ckpt.join("cells"))
+        .expect("cells dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rec"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// The full kill → resume → shard-merge invariant for one fault profile.
+fn kill_resume_merge_invariant(profile: &str, kill_after: &str, tag: &str) {
+    let dir = scratch(tag);
+    let manifest = |name: &str| dir.join(name);
+    let prof = ["--fault-profile", profile, "--telemetry"];
+
+    // Uninterrupted single-process reference, plus thread-invariance of the
+    // manifest itself (records + faults + deterministic telemetry).
+    let clean = manifest("clean.txt");
+    let out = grid(&[&prof[..], &["--threads", "8", "--out"], &[clean.to_str().unwrap()]].concat());
+    assert!(out.status.success(), "clean run failed: {}", stderr_of(&out));
+    let clean_bytes = read(&clean);
+    for threads in ["1", "2"] {
+        let m = manifest(&format!("clean-t{threads}.txt"));
+        let out =
+            grid(&[&prof[..], &["--threads", threads, "--out"], &[m.to_str().unwrap()]].concat());
+        assert!(out.status.success(), "threads={threads}: {}", stderr_of(&out));
+        assert_eq!(read(&m), clean_bytes, "manifest differs at threads={threads}");
+    }
+
+    // Kill a checkpointed worker after exactly `kill_after` record writes.
+    let ckpt = dir.join("ckpt");
+    let killed_out = manifest("killed.txt");
+    let out = grid(
+        &[
+            &prof[..],
+            &["--threads", "8", "--ckpt"],
+            &[ckpt.to_str().unwrap()],
+            &["--kill-after", kill_after, "--out"],
+            &[killed_out.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(!out.status.success(), "kill-injected run must abort");
+    assert!(!killed_out.exists(), "aborted run must not write a manifest");
+    // The abort fires on the thread that completes the Nth rename; peer
+    // threads may land a few more renames in the race window, so the store
+    // holds at least N but strictly fewer than all cells.
+    let survivors = cell_files(&ckpt).len();
+    let expected: usize = kill_after.parse().unwrap();
+    assert!(
+        survivors >= expected && survivors < 1280,
+        "kill@{expected} left {survivors} records"
+    );
+
+    // Resume from the survivors in a fresh process at a different thread
+    // count: byte-identical to the uninterrupted run, nothing corrupt.
+    let resumed = manifest("resumed.txt");
+    let out = grid(
+        &[
+            &prof[..],
+            &["--threads", "2", "--ckpt"],
+            &[ckpt.to_str().unwrap()],
+            &["--out", resumed.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "resume failed: {}", stderr_of(&out));
+    let status = stderr_of(&out);
+    assert!(status.contains(&format!("\"hits\":{survivors}")), "resume status: {status}");
+    assert!(status.contains("\"corrupt\":0"), "resume status: {status}");
+    assert_eq!(read(&resumed), clean_bytes, "resumed manifest diverged from clean run");
+
+    // Corrupt one surviving record in the now-complete store: the next run
+    // must quarantine + recompute it and still produce the same bytes.
+    let victim = &cell_files(&ckpt)[expected / 2];
+    let mut bytes = std::fs::read(victim).expect("read victim record");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(victim, &bytes).expect("corrupt victim record");
+    let healed = manifest("healed.txt");
+    let out = grid(
+        &[
+            &prof[..],
+            &["--threads", "8", "--ckpt"],
+            &[ckpt.to_str().unwrap()],
+            &["--out", healed.to_str().unwrap()],
+        ]
+        .concat(),
+    );
+    assert!(out.status.success(), "corrupt record must not abort: {}", stderr_of(&out));
+    let status = stderr_of(&out);
+    assert!(status.contains("\"corrupt\":1"), "corruption not detected: {status}");
+    assert_eq!(read(&healed), clean_bytes, "healed manifest diverged from clean run");
+    assert!(
+        ckpt.join("quarantine").read_dir().is_ok_and(|mut d| d.next().is_some()),
+        "corrupt record was not quarantined"
+    );
+
+    // Disjoint shards at mixed thread counts, merged out of order.
+    let shards: Vec<PathBuf> = (0..2)
+        .map(|i| {
+            let m = manifest(&format!("shard{i}.txt"));
+            let shard = format!("{i}/2");
+            let threads = if i == 0 { "1" } else { "8" };
+            let out = grid(
+                &[
+                    &prof[..],
+                    &["--threads", threads, "--shard", &shard],
+                    &["--out", m.to_str().unwrap()],
+                ]
+                .concat(),
+            );
+            assert!(out.status.success(), "shard {shard} failed: {}", stderr_of(&out));
+            m
+        })
+        .collect();
+    let merged = manifest("merged.txt");
+    let out = merge(&merged, &[&shards[1], &shards[0]]);
+    assert!(out.status.success(), "merge failed: {}", stderr_of(&out));
+    assert_eq!(read(&merged), clean_bytes, "merged manifest diverged from clean run");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_resume_merge_is_byte_identical_without_faults() {
+    kill_resume_merge_invariant("none", "64", "none");
+}
+
+#[test]
+fn kill_resume_merge_is_byte_identical_under_flaky_faults() {
+    kill_resume_merge_invariant("flaky", "640", "flaky");
+}
+
+#[test]
+fn merge_rejects_incomplete_and_mismatched_shards() {
+    let dir = scratch("reject");
+    let shard0 = dir.join("s0.txt");
+    let out = grid(&["--shard", "0/2", "--threads", "4", "--out", shard0.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    // One shard of two: the merge must refuse to fabricate the other half.
+    let merged = dir.join("m.txt");
+    let out = merge(&merged, &[&shard0]);
+    assert!(!out.status.success(), "merging an incomplete shard set must fail");
+    assert!(!merged.exists());
+
+    // A duplicated shard is just as incomplete.
+    let out = merge(&merged, &[&shard0, &shard0]);
+    assert!(!out.status.success(), "merging a duplicated shard must fail");
+
+    // Mismatched grids (different seed → different fingerprint) must not mix.
+    let other = dir.join("other.txt");
+    let out = grid(&["--seed", "7", "--shard", "1/2", "--threads", "4", "--out",
+        other.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let out = merge(&merged, &[&shard0, &other]);
+    assert!(!out.status.success(), "merging across grid fingerprints must fail");
+    let msg = stderr_of(&out);
+    assert!(msg.contains("fingerprint"), "error should name the mismatch: {msg}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
