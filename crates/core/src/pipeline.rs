@@ -62,6 +62,15 @@ pub struct BenchmarkConfig {
     /// re-executed on the next run. `None` (the default) neither reads nor
     /// writes checkpoints.
     pub checkpoint: Option<CheckpointSpec>,
+    /// Bound on the shared plan cache (FIFO eviction). `None` (the
+    /// default) keeps the cache unbounded, as before. Excluded from the
+    /// grid fingerprint: cache contents only affect speed, never record
+    /// content or order, so checkpoints remain valid across capacities.
+    pub cache_capacity: Option<usize>,
+    /// Run predicted queries through the cost-based planner
+    /// (DESIGN.md §10). On by default; results are byte-identical either
+    /// way, so this too stays out of the grid fingerprint.
+    pub optimize: bool,
 }
 
 impl Default for BenchmarkConfig {
@@ -77,6 +86,8 @@ impl Default for BenchmarkConfig {
             telemetry: false,
             shard: Shard::FULL,
             checkpoint: None,
+            cache_capacity: None,
+            optimize: true,
         }
     }
 }
@@ -289,7 +300,7 @@ impl<'a> EvalContext<'a> {
             &gold,
             &qm,
             &CellPlan::clean(0),
-            ExecLimits::UNLIMITED,
+            ExecOptions { limits: ExecLimits::UNLIMITED, ..Default::default() },
             &self.plans,
         )
         .0
@@ -365,7 +376,7 @@ fn evaluate_with_context(
     gold: &GoldContext,
     qm: &QueryMeasures,
     plan: &CellPlan,
-    limits: ExecLimits,
+    opts: ExecOptions,
     plans: &PlanCache,
 ) -> (QueryRecord, Option<String>) {
     let variant = view.variant;
@@ -436,11 +447,7 @@ fn evaluate_with_context(
     // statement is lowered once and re-executed from the compiled plan.
     let Some(gold_rs) = &gold.result else { return (record, None) };
     let _exec = snails_obs::span("cell.exec");
-    let pred_rs = match plans.run(
-        &db.db,
-        &native_sql,
-        ExecOptions { limits, ..Default::default() },
-    ) {
+    let pred_rs = match plans.run(&db.db, &native_sql, opts) {
         Ok(rs) => rs,
         Err(e) => {
             if e.is_resource_exhausted() {
@@ -623,7 +630,10 @@ pub fn run_benchmark_on(
     // One plan cache for the whole grid: cache keys include the database
     // name, and plan execution is a pure function of (db, sql, opts), so
     // sharing it across workers cannot perturb record content or order.
-    let plans = PlanCache::new();
+    let plans = match config.cache_capacity {
+        Some(c) => PlanCache::with_capacity(c),
+        None => PlanCache::new(),
+    };
 
     // Restore pass: load any verified checkpoint records for this shard's
     // cells before executing what remains. Corruption quarantines the file
@@ -690,7 +700,11 @@ pub fn run_benchmark_on(
             it.gold,
             it.qm,
             &it.plan,
-            config.limits,
+            ExecOptions {
+                limits: config.limits,
+                optimize: config.optimize,
+                ..Default::default()
+            },
             &plans,
         )
     };

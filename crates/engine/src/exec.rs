@@ -89,6 +89,16 @@ pub struct ExecOptions {
     /// Purely a blocking factor: results are identical for any value ≥ 1
     /// (values below 1 are clamped). Default [`DEFAULT_BATCH_SIZE`].
     pub batch_size: usize,
+    /// Run eligible compiled plans through the cost-based planner
+    /// ([`crate::optimize`]): predicate pushdown past joins, greedy join
+    /// reordering by estimated cardinality, and index/scan access-path
+    /// selection. On by default. The optimizer only engages when
+    /// `hash_join` is set and `limits` is [`ExecLimits::UNLIMITED`] —
+    /// under a finite budget the unoptimized plan runs, so *which* budget
+    /// trips first never depends on planner decisions (same gating rule
+    /// as subquery memoization; DESIGN.md §10). Results are byte-identical
+    /// either way; the flag exists for A/B timing and differential tests.
+    pub optimize: bool,
     /// Resource budgets; [`ExecLimits::UNLIMITED`] by default.
     pub limits: ExecLimits,
 }
@@ -104,6 +114,7 @@ impl Default for ExecOptions {
             hash_join: true,
             vectorized: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            optimize: true,
             limits: ExecLimits::UNLIMITED,
         }
     }

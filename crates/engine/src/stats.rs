@@ -1,0 +1,339 @@
+//! Table statistics and secondary hash indexes — the inputs of the
+//! cost-based planner ([`crate::optimize`]).
+//!
+//! Both artifacts are pure caches derived from a table's columnar mirror
+//! ([`crate::catalog::Table::columnar`]): statistics summarize each column
+//! (row count, distinct-value count, min/max, null count) and indexes map
+//! join-key equivalence classes to ascending row ids. They are built
+//! lazily on first use, cached on the [`Table`](crate::catalog::Table)
+//! beside the columnar mirror, and invalidated with it by
+//! `Database::table_mut`, so neither can ever serve stale data.
+//!
+//! NDV comes from the existing dictionary encodings where possible: a
+//! string column's distinct count is its dictionary's distinct lowered
+//! entries (lowered, because that is the engine's text equivalence class
+//! for joins and grouping); numeric columns hash their value bits.
+
+use crate::batch::{ColData, ColumnSet};
+use crate::value::Value;
+use crate::vector::VKey;
+use snails_obs::Metric as Obs;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+/// Largest magnitude below which every `i64` has a unique `f64` image.
+/// Join keys unify numerics on `f64` bits ([`VKey::num`]); within this
+/// range that unification is injective on integers, so an index keyed by
+/// `VKey` can also answer *exact* (`sql_cmp`) equality probes.
+const EXACT_I64: i64 = 9_007_199_254_740_992; // 2^53
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-NULL values (text compared lowercased, the
+    /// engine's equivalence class for joins and grouping).
+    pub ndv: u64,
+    /// Number of NULL entries.
+    pub null_count: u64,
+    /// Smallest non-NULL value, when the column admits a total order
+    /// (`None` for mixed-type columns and all-NULL columns).
+    pub min: Option<Value>,
+    /// Largest non-NULL value, under the same caveats as `min`.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL, in `[0, 1]`.
+    pub fn null_fraction(&self, row_count: u64) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / row_count as f64
+        }
+    }
+}
+
+/// Per-table statistics: row count plus one [`ColumnStats`] per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Number of rows at collection time.
+    pub row_count: u64,
+    /// One entry per schema column, in declaration order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Collect statistics from a columnar mirror. Pure and deterministic:
+    /// the result is a function of the table's rows alone.
+    pub(crate) fn from_columns(cols: &ColumnSet) -> TableStats {
+        let columns = cols.cols.iter().map(|c| column_stats(c, cols.len)).collect();
+        TableStats { row_count: cols.len as u64, columns }
+    }
+}
+
+fn column_stats(col: &ColData, len: usize) -> ColumnStats {
+    match col {
+        ColData::I64 { vals, valid } => {
+            let mut seen: HashSet<i64> = HashSet::new();
+            let (mut min, mut max): (Option<i64>, Option<i64>) = (None, None);
+            let mut nulls = 0u64;
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                if !valid.get(i) {
+                    nulls += 1;
+                    continue;
+                }
+                seen.insert(v);
+                min = Some(min.map_or(v, |m| m.min(v)));
+                max = Some(max.map_or(v, |m| m.max(v)));
+            }
+            ColumnStats {
+                ndv: seen.len() as u64,
+                null_count: nulls,
+                min: min.map(Value::Int),
+                max: max.map(Value::Int),
+            }
+        }
+        ColData::F64 { vals, valid } => {
+            let mut seen: HashSet<u64> = HashSet::new();
+            let (mut min, mut max): (Option<f64>, Option<f64>) = (None, None);
+            let mut nulls = 0u64;
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                if !valid.get(i) {
+                    nulls += 1;
+                    continue;
+                }
+                seen.insert(if v == 0.0 { 0.0f64.to_bits() } else { v.to_bits() });
+                if !v.is_nan() {
+                    min = Some(min.map_or(v, |m| m.min(v)));
+                    max = Some(max.map_or(v, |m| m.max(v)));
+                }
+            }
+            ColumnStats {
+                ndv: seen.len() as u64,
+                null_count: nulls,
+                min: min.map(Value::Float),
+                max: max.map(Value::Float),
+            }
+        }
+        ColData::Str { codes, valid, dict } => {
+            // NDV from the dictionary encoding: distinct *lowered* entries,
+            // the text equivalence class used by joins and grouping.
+            let lowered: HashSet<&str> =
+                dict.lower.iter().map(|s| s.as_ref()).collect();
+            let mut nulls = 0u64;
+            let (mut min, mut max): (Option<u32>, Option<u32>) = (None, None);
+            let by_lower = |a: &Option<u32>, code: u32, want_min: bool| -> bool {
+                a.is_none_or(|cur| {
+                    let (x, y) = (&dict.lower[code as usize], &dict.lower[cur as usize]);
+                    if want_min { x < y } else { x > y }
+                })
+            };
+            for (i, &code) in codes.iter().enumerate().take(len) {
+                if !valid.get(i) {
+                    nulls += 1;
+                    continue;
+                }
+                if by_lower(&min, code, true) {
+                    min = Some(code);
+                }
+                if by_lower(&max, code, false) {
+                    max = Some(code);
+                }
+            }
+            let as_value = |c: Option<u32>| {
+                c.map(|code| Value::Str(Arc::clone(&dict.strs[code as usize])))
+            };
+            ColumnStats {
+                ndv: lowered.len() as u64,
+                null_count: nulls,
+                min: as_value(min),
+                max: as_value(max),
+            }
+        }
+        ColData::Mixed { vals } => {
+            let mut seen: HashSet<crate::value::HashKey> = HashSet::new();
+            let mut nulls = 0u64;
+            for v in vals.iter().take(len) {
+                if v.is_null() {
+                    nulls += 1;
+                } else {
+                    seen.insert(v.hash_key());
+                }
+            }
+            ColumnStats { ndv: seen.len() as u64, null_count: nulls, min: None, max: None }
+        }
+    }
+}
+
+/// A secondary hash index over one column: join-key equivalence class
+/// ([`VKey`]) → ascending physical row ids. NULLs (and NaN floats) are
+/// excluded — they are unmatchable as join keys and can never satisfy an
+/// equality predicate.
+#[derive(Debug)]
+pub(crate) struct ColumnIndex {
+    pub(crate) map: HashMap<VKey, Vec<u32>>,
+    /// True when a `VKey` probe is also exact under `sql_cmp` equality —
+    /// i.e. the `f64`-bit unification is injective on this column's data
+    /// (always for floats and text; for integers only below 2^53). When
+    /// false the index still serves joins (whose contract *is* `VKey`
+    /// equivalence) but not `WHERE col = const` probes.
+    pub(crate) filter_exact: bool,
+}
+
+pub(crate) fn build_index(cols: &ColumnSet, col: usize) -> ColumnIndex {
+    let mut map: HashMap<VKey, Vec<u32>> = HashMap::new();
+    let mut filter_exact = true;
+    let len = cols.len;
+    let mut push = |k: VKey, i: usize| {
+        if !k.unmatchable() {
+            map.entry(k).or_default().push(i as u32);
+        }
+    };
+    match &cols.cols[col] {
+        ColData::I64 { vals, valid } => {
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                if valid.get(i) {
+                    filter_exact &= v.abs() < EXACT_I64;
+                    push(VKey::num(v as f64), i);
+                }
+            }
+        }
+        ColData::F64 { vals, valid } => {
+            for (i, &v) in vals.iter().enumerate().take(len) {
+                if valid.get(i) {
+                    push(VKey::num(v), i);
+                }
+            }
+        }
+        ColData::Str { codes, valid, dict } => {
+            for (i, &code) in codes.iter().enumerate().take(len) {
+                if valid.get(i) {
+                    push(VKey::Str(Arc::clone(&dict.lower[code as usize])), i);
+                }
+            }
+        }
+        ColData::Mixed { vals } => {
+            for (i, v) in vals.iter().enumerate().take(len) {
+                match v {
+                    Value::Null => {}
+                    Value::Int(n) => {
+                        filter_exact &= n.abs() < EXACT_I64;
+                        push(VKey::num(*n as f64), i);
+                    }
+                    Value::Float(x) => push(VKey::num(*x), i),
+                    Value::Str(s) => push(VKey::Str(Arc::from(s.to_ascii_lowercase())), i),
+                }
+            }
+        }
+    }
+    ColumnIndex { map, filter_exact }
+}
+
+/// Lazily built per-column indexes, cached on the owning `Table`.
+///
+/// Cloning a table clones its *data*, not this cache (a fresh clone
+/// rebuilds on first use) — the cache is pure, so this only costs time.
+#[derive(Debug, Default)]
+pub(crate) struct IndexCache(RwLock<HashMap<usize, Arc<ColumnIndex>>>);
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        IndexCache::default()
+    }
+}
+
+impl IndexCache {
+    /// Drop every cached index (table mutation).
+    pub(crate) fn clear(&self) {
+        self.0.write().expect("index cache poisoned").clear();
+    }
+
+    /// Fetch the index for `col`, building it under the write lock on first
+    /// use. Double-checked so a racing build happens exactly once — which
+    /// keeps the `engine.opt.index_builds` count a pure function of the
+    /// workload at any thread count (it still varies across run
+    /// *assemblies*, hence its Assembly metric class).
+    pub(crate) fn get_or_build(&self, col: usize, cols: &ColumnSet) -> Arc<ColumnIndex> {
+        if let Some(ix) = self.0.read().expect("index cache poisoned").get(&col) {
+            return Arc::clone(ix);
+        }
+        let mut w = self.0.write().expect("index cache poisoned");
+        if let Some(ix) = w.get(&col) {
+            return Arc::clone(ix);
+        }
+        let ix = Arc::new(build_index(cols, col));
+        snails_obs::add(Obs::EngineOptIndexBuilds, 1);
+        w.insert(col, Arc::clone(&ix));
+        ix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(rows: Vec<Vec<Value>>) -> ColumnSet {
+        ColumnSet::from_rows(rows.first().map_or(0, Vec::len), &rows)
+    }
+
+    #[test]
+    fn int_column_stats() {
+        let cols = set(vec![
+            vec![Value::Int(3)],
+            vec![Value::Int(1)],
+            vec![Value::Null],
+            vec![Value::Int(3)],
+        ]);
+        let s = TableStats::from_columns(&cols);
+        assert_eq!(s.row_count, 4);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[0].null_count, 1);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert!((s.columns[0].null_fraction(4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn string_ndv_is_case_insensitive() {
+        let cols = set(vec![
+            vec![Value::from("Apple")],
+            vec![Value::from("APPLE")],
+            vec![Value::from("pear")],
+        ]);
+        let s = TableStats::from_columns(&cols);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[0].min, Some(Value::from("Apple")));
+        assert_eq!(s.columns[0].max, Some(Value::from("pear")));
+    }
+
+    #[test]
+    fn index_maps_keys_to_ascending_rowids() {
+        let cols = set(vec![
+            vec![Value::Int(7)],
+            vec![Value::Int(2)],
+            vec![Value::Int(7)],
+            vec![Value::Null],
+        ]);
+        let ix = build_index(&cols, 0);
+        assert!(ix.filter_exact);
+        assert_eq!(ix.map.get(&VKey::num(7.0)), Some(&vec![0u32, 2]));
+        assert_eq!(ix.map.get(&VKey::num(2.0)), Some(&vec![1u32]));
+        // NULL rows are never indexed.
+        assert_eq!(ix.map.values().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn huge_ints_disable_exact_filter_probes() {
+        let cols = set(vec![vec![Value::Int(EXACT_I64 + 1)]]);
+        let ix = build_index(&cols, 0);
+        assert!(!ix.filter_exact);
+    }
+
+    #[test]
+    fn string_index_uses_lowered_keys() {
+        let cols = set(vec![vec![Value::from("Apple")], vec![Value::from("APPLE")]]);
+        let ix = build_index(&cols, 0);
+        assert!(ix.filter_exact);
+        assert_eq!(ix.map.get(&VKey::Str(Arc::from("apple"))), Some(&vec![0u32, 1]));
+    }
+}

@@ -61,7 +61,7 @@ use crate::result::ResultSet;
 use crate::value::{HashKey, Value};
 
 /// Row-id sentinel for the NULL-padded side of an outer join.
-const NONE_RID: u32 = u32::MAX;
+pub(crate) const NONE_RID: u32 = u32::MAX;
 
 /// Execute `plan` through the vectorized engine. Entry point for
 /// [`CompiledPlan::execute`] when `opts.vectorized` is set.
@@ -84,19 +84,19 @@ pub(crate) fn execute_plan(
 /// per source, a row-id vector mapping each logical row to a physical row of
 /// that source (`NONE_RID` ≙ the all-NULL pad of an outer join). Joins and
 /// filters permute row ids; values are gathered on demand.
-struct Rel {
-    srcs: Vec<Arc<ColumnSet>>,
+pub(crate) struct Rel {
+    pub(crate) srcs: Vec<Arc<ColumnSet>>,
     /// `rowids[s][i]` = physical row of source `s` backing logical row `i`.
-    rowids: Vec<Vec<u32>>,
-    len: usize,
+    pub(crate) rowids: Vec<Vec<u32>>,
+    pub(crate) len: usize,
     /// Combined-row column `c` lives at `col_map[c] = (src, local column)`.
-    col_map: Vec<(u32, u32)>,
-    width: usize,
+    pub(crate) col_map: Vec<(u32, u32)>,
+    pub(crate) width: usize,
 }
 
 impl Rel {
     /// Wrap one columnar source 1:1 (a base-table scan).
-    fn from_set(cols: Arc<ColumnSet>) -> Rel {
+    pub(crate) fn from_set(cols: Arc<ColumnSet>) -> Rel {
         let len = cols.len;
         let width = cols.width();
         Rel {
@@ -119,7 +119,7 @@ impl Rel {
     }
 
     /// Keep only the logical rows in `keep`, in order.
-    fn keep(self, keep: &[u32]) -> Rel {
+    pub(crate) fn keep(self, keep: &[u32]) -> Rel {
         let rowids = self
             .rowids
             .iter()
@@ -129,7 +129,7 @@ impl Rel {
     }
 
     /// Reconstruct logical row `i` as the row path's combined row.
-    fn materialize_row(&self, i: usize) -> Vec<Value> {
+    pub(crate) fn materialize_row(&self, i: usize) -> Vec<Value> {
         self.col_map
             .iter()
             .map(|&(s, c)| {
@@ -144,13 +144,13 @@ impl Rel {
     }
 
     /// Reconstruct every logical row (fallback to the scalar runner).
-    fn materialize_all(&self) -> Vec<Vec<Value>> {
+    pub(crate) fn materialize_all(&self) -> Vec<Vec<Value>> {
         (0..self.len).map(|i| self.materialize_row(i)).collect()
     }
 
     /// Gather combined-row column `col` at the selected logical rows into a
     /// typed vector.
-    fn gather(&self, col: usize, sel: &[u32]) -> VCol {
+    pub(crate) fn gather(&self, col: usize, sel: &[u32]) -> VCol {
         let (s, c) = self.col_map[col];
         let ids = &self.rowids[s as usize];
         match &self.srcs[s as usize].cols[c as usize] {
@@ -222,7 +222,7 @@ impl Rel {
 /// An evaluated expression over a selection: one entry per selected row
 /// (`Const` broadcasts). Booleans are `I64` 0/1 with NULL as invalid,
 /// matching [`bool_value`].
-enum VCol {
+pub(crate) enum VCol {
     Const(Value),
     I64 { vals: Vec<i64>, valid: Bitmap },
     F64 { vals: Vec<f64>, valid: Bitmap },
@@ -233,13 +233,13 @@ enum VCol {
 /// Vector evaluation aborted: the expression needs the scalar runner
 /// (subquery, frozen error, or a row-level kernel error). Purely a control
 /// signal — the scalar replay recomputes and surfaces the exact error.
-struct Unvec;
+pub(crate) struct Unvec;
 
-type VRes = Result<VCol, Unvec>;
+pub(crate) type VRes = Result<VCol, Unvec>;
 
 impl VCol {
     /// Reconstruct the value at selection position `i`.
-    fn value_at(&self, i: usize) -> Value {
+    pub(crate) fn value_at(&self, i: usize) -> Value {
         match self {
             VCol::Const(v) => v.clone(),
             VCol::I64 { vals, valid } => {
@@ -268,7 +268,7 @@ impl VCol {
     }
 
     /// [`truth`] at selection position `i`, without materializing.
-    fn truth_at(&self, i: usize) -> Option<bool> {
+    pub(crate) fn truth_at(&self, i: usize) -> Option<bool> {
         match self {
             VCol::Const(v) => truth(v),
             VCol::I64 { vals, valid } => valid.get(i).then(|| vals[i] != 0),
@@ -400,15 +400,15 @@ fn const_lower(col: &VCol) -> Option<String> {
 /// One key component with [`HashKey`]'s equivalence classes: numerics
 /// unified on normalized f64 bits, text lowercased (a refcount bump out of
 /// the dictionary's precomputed `lower`, not a fresh `String`).
-#[derive(PartialEq, Eq, Hash, Clone)]
-enum VKey {
+#[derive(Debug, PartialEq, Eq, Hash, Clone)]
+pub(crate) enum VKey {
     Null,
     Num(u64),
     Str(Arc<str>),
 }
 
 impl VKey {
-    fn num(x: f64) -> VKey {
+    pub(crate) fn num(x: f64) -> VKey {
         let x = if x == 0.0 { 0.0 } else { x };
         VKey::Num(x.to_bits())
     }
@@ -416,7 +416,7 @@ impl VKey {
     /// Unmatchable as a *join* key (NULL or NaN), mirroring the row hash
     /// join's `side_key`. Group keys have no such rule — NULL groups with
     /// itself and NaN groups by bit pattern, as in [`Value::hash_key`].
-    fn unmatchable(&self) -> bool {
+    pub(crate) fn unmatchable(&self) -> bool {
         match self {
             VKey::Null => true,
             VKey::Num(bits) => f64::from_bits(*bits).is_nan(),
@@ -465,7 +465,7 @@ type FastMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<U64Hasher>>;
 const DEAD_KEY: u64 = u64::MAX;
 
 /// The key component at selection position `i`.
-fn key_at(col: &VCol, i: usize) -> VKey {
+pub(crate) fn key_at(col: &VCol, i: usize) -> VKey {
     match col {
         VCol::Const(v) => match v {
             Value::Null => VKey::Null,
@@ -505,7 +505,7 @@ fn key_at(col: &VCol, i: usize) -> VKey {
 
 /// A full join key: the single-component case skips the inner `Vec`.
 #[derive(PartialEq, Eq, Hash)]
-enum JoinKey {
+pub(crate) enum JoinKey {
     One(VKey),
     Many(Vec<VKey>),
 }
@@ -518,7 +518,7 @@ enum JoinKey {
 /// true when the subtree contains a subquery, a frozen [`CExpr::Err`], an
 /// outer-frame slot, or a construct that always errors. One forward pass —
 /// the arena is post-order, so children precede parents.
-fn scalar_flags(sel: &CSelect) -> Vec<bool> {
+pub(crate) fn scalar_flags(sel: &CSelect) -> Vec<bool> {
     let mut f = Vec::with_capacity(sel.arena.len());
     for node in &sel.arena {
         let flag = match node {
@@ -582,15 +582,15 @@ fn gexpr_scalar(g: &GExpr, flags: &[bool]) -> bool {
 /// Evaluator for one block's arena over one relation. All evaluation is
 /// unmasked and side-effect free; see the module docs for why that is
 /// sufficient for exact equivalence.
-struct Ev<'a> {
-    sel: &'a CSelect,
-    rel: &'a Rel,
-    flags: &'a [bool],
+pub(crate) struct Ev<'a> {
+    pub(crate) sel: &'a CSelect,
+    pub(crate) rel: &'a Rel,
+    pub(crate) flags: &'a [bool],
 }
 
 impl<'a> Ev<'a> {
     /// Evaluate node `id` at the selected logical rows.
-    fn eval(&self, id: ExprId, rows: &[u32]) -> VRes {
+    pub(crate) fn eval(&self, id: ExprId, rows: &[u32]) -> VRes {
         if self.flags[id] {
             return Err(Unvec);
         }
@@ -959,7 +959,7 @@ fn load_source(r: &Runner<'_>, src: &CSource, batch: usize) -> Result<Rel, Engin
 /// batch-at-a-time predicate evaluation into a selection vector, falling
 /// back to per-row scalar evaluation for any batch the vector kernels
 /// cannot prove error-free.
-fn filter(
+pub(crate) fn filter(
     r: &Runner<'_>,
     sel: &CSelect,
     rel: Rel,
@@ -1265,7 +1265,7 @@ fn tail_needs_scalar(sel: &CSelect, flags: &[bool]) -> bool {
 /// pre-evaluation; any [`Unvec`] (or plain evaluation error) falls back to
 /// [`Runner::tail`] over materialized rows, which — having made no charges
 /// yet — replays the row path's exact charge/error interleaving.
-fn tail(
+pub(crate) fn tail(
     r: &Runner<'_>,
     sel: &CSelect,
     rel: &Rel,

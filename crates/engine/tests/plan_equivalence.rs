@@ -40,13 +40,32 @@ fn fixture() -> Database {
         db.insert("u", vec![Value::Int(i), Value::Int(i % 25), Value::Int(i * 7 % 13)])
             .unwrap();
     }
+    // Third table so the generated 3-table joins exercise the cost-based
+    // planner's reordering and restoration-sort paths.
+    db.create_table(
+        TableSchema::new("v")
+            .column("id", DataType::Int)
+            .column("u_id", DataType::Int)
+            .column("w", DataType::Varchar),
+    );
+    for i in 0..15i64 {
+        db.insert(
+            "v",
+            vec![
+                Value::Int(i),
+                Value::Int(i % 28),
+                if i % 4 == 0 { Value::Null } else { Value::from(format!("w{}", i % 6)) },
+            ],
+        )
+        .unwrap();
+    }
     db
 }
 
 fn arb_column() -> impl Strategy<Value = &'static str> {
     prop_oneof![
         Just("id"), Just("name"), Just("score"), Just("tag"), Just("t_id"),
-        Just("amount"), Just("missing_col"),
+        Just("amount"), Just("w"), Just("missing_col"),
     ]
 }
 
@@ -106,6 +125,8 @@ fn arb_from() -> impl Strategy<Value = String> {
         Just("t CROSS JOIN u".to_owned()),
         Just("t JOIN u ON t.id = u.t_id AND u.amount > 3".to_owned()),
         Just("t JOIN u ON t.score > u.amount".to_owned()), // non-equi: nested loop
+        Just("t JOIN u ON t.id = u.t_id JOIN v ON u.id = v.u_id".to_owned()),
+        Just("u JOIN v ON u.id = v.u_id JOIN t ON u.t_id = t.id".to_owned()),
         Just("(SELECT id, name FROM t WHERE id < 9) d".to_owned()),
         Just("nonexistent".to_owned()),
     ]
@@ -175,6 +196,18 @@ fn assert_equivalent(db: &Database, sql: &str, opts: ExecOptions) {
     // still agree — plans must not be corrupted by execution.
     let warm = cache.run(db, sql, opts);
     assert_eq!(warm, interpreted, "warm plan diverged for {sql:?}");
+    // Cost-based planner axis: flipping `optimize` must never change the
+    // outcome — results and errors alike. Under unlimited limits this
+    // pits the optimized pipeline against the plain one; under finite
+    // limits it verifies the gate (optimize=true must behave exactly as
+    // optimize=false, because the optimizer declines to engage).
+    let flipped = ExecOptions { optimize: !opts.optimize, ..opts };
+    let opt = cache.run(db, sql, flipped);
+    assert_eq!(
+        opt, interpreted,
+        "optimize={} plan diverged for {sql:?}",
+        flipped.optimize
+    );
 }
 
 proptest! {

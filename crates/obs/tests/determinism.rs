@@ -28,6 +28,18 @@ fn work(task: u64) {
         let _sibling = snails_obs::span("sibling");
         snails_obs::observe(Metric::EngineOpScanRows, task);
     }
+    // Cost-based planner telemetry (engine.opt.*): synthetic decisions
+    // whose shape depends only on the task id, so planner counters and
+    // the cardinality-error histogram join the thread-invariance bytes.
+    if task % 4 == 0 {
+        snails_obs::add(Metric::EngineOptPlans, 1);
+        snails_obs::add(Metric::EngineOptPredicatesPushed, task % 3);
+        snails_obs::observe(Metric::EngineOptCardErrPct, task * 13 % 220);
+        if task % 8 == 0 {
+            snails_obs::add(Metric::EngineOptJoinsReordered, 1);
+            snails_obs::add(Metric::EngineOptIndexProbes, task % 2);
+        }
+    }
 }
 
 /// Run all `TASKS` items on `threads` workers claiming task ids from a
@@ -65,6 +77,11 @@ fn deterministic_report_is_byte_identical_across_thread_counts() {
     assert_eq!(report.counter("engine.plan.cache_hit"), TASKS / 2);
     assert_eq!(report.spans["outer"].count, TASKS);
     assert_eq!(report.spans["inner"].count, TASKS / 2);
+    // Planner counters reconcile with the synthetic decision schedule and
+    // their histogram landed in the deterministic bytes compared above.
+    assert_eq!(report.counter("engine.opt.plans"), TASKS / 4);
+    assert_eq!(report.counter("engine.opt.joins_reordered"), TASKS / 8);
+    assert!(report.deterministic_json().contains("engine.opt.card_err_pct"));
 }
 
 #[test]
