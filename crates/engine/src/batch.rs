@@ -91,6 +91,12 @@ impl Bitmap {
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Drop every bit but keep the word capacity (pool recycling).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
 }
 
 /// A string dictionary: the distinct strings of one column in first-seen
@@ -313,6 +319,142 @@ impl ColumnSet {
     /// Number of columns.
     pub fn width(&self) -> usize {
         self.cols.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Buffer pooling
+// ---------------------------------------------------------------------------
+
+/// The recyclable buffer kinds, one free list each.
+#[derive(Default)]
+struct PoolInner {
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    i64s: Vec<Vec<i64>>,
+    f64s: Vec<Vec<f64>>,
+    vals: Vec<Vec<Value>>,
+    pairs: Vec<Vec<(u32, u32)>>,
+    bitmaps: Vec<Bitmap>,
+}
+
+impl PoolInner {
+    fn drain_into(&mut self, other: &mut PoolInner) {
+        fn top_up<T>(dst: &mut Vec<T>, src: &mut Vec<T>) {
+            while dst.len() < STASH_CAP {
+                match src.pop() {
+                    Some(b) => dst.push(b),
+                    None => break,
+                }
+            }
+            src.clear();
+        }
+        top_up(&mut other.u32s, &mut self.u32s);
+        top_up(&mut other.u64s, &mut self.u64s);
+        top_up(&mut other.i64s, &mut self.i64s);
+        top_up(&mut other.f64s, &mut self.f64s);
+        top_up(&mut other.vals, &mut self.vals);
+        top_up(&mut other.pairs, &mut self.pairs);
+        top_up(&mut other.bitmaps, &mut self.bitmaps);
+    }
+}
+
+/// Buffers kept warm per thread between executions, and the cap on how
+/// many of each kind a finished execution may leave behind.
+const STASH_CAP: usize = 64;
+
+thread_local! {
+    static STASH: std::cell::RefCell<PoolInner> =
+        std::cell::RefCell::new(PoolInner::default());
+}
+
+/// A per-execution buffer pool for the vectorized executor's hot-loop
+/// scratch memory: selection vectors, evaluated columns, validity bitmaps,
+/// key buffers.
+///
+/// Two layers with deliberately different lifetimes:
+///
+/// * **Recycle list (counted).** Buffers put back during *this* execution
+///   and handed out again. `hits`/`allocs` count at this layer only, so
+///   the counters are a pure function of the statement being executed —
+///   the deterministic `engine.vec.pool.{hits,allocs}` telemetry — and
+///   never of what earlier statements ran on the same OS thread.
+/// * **Thread-local stash (uncounted).** On construction the pool adopts
+///   the thread's stash; on drop it returns every buffer (capped at
+///   [`STASH_CAP`] per kind). A "pool alloc" that pops a stashed buffer
+///   costs no malloc, which is what drives steady-state hot-loop
+///   allocations to ~zero across the statements of a workload.
+///
+/// Interior mutability (`RefCell`) keeps the taking side `&self`, because
+/// the pool is threaded through shared evaluator structs.
+pub(crate) struct BatchPool {
+    recycled: std::cell::RefCell<PoolInner>,
+    reserve: std::cell::RefCell<PoolInner>,
+    hits: std::cell::Cell<u64>,
+    allocs: std::cell::Cell<u64>,
+}
+
+macro_rules! pool_kind {
+    ($take:ident, $put:ident, $field:ident, $ty:ty) => {
+        pub(crate) fn $take(&self) -> $ty {
+            if let Some(b) = self.recycled.borrow_mut().$field.pop() {
+                self.hits.set(self.hits.get() + 1);
+                return b;
+            }
+            self.allocs.set(self.allocs.get() + 1);
+            self.reserve.borrow_mut().$field.pop().unwrap_or_default()
+        }
+
+        pub(crate) fn $put(&self, mut b: $ty) {
+            b.clear();
+            self.recycled.borrow_mut().$field.push(b);
+        }
+    };
+}
+
+impl BatchPool {
+    /// A fresh pool seeded from the calling thread's stash.
+    pub(crate) fn new() -> BatchPool {
+        let reserve = STASH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        BatchPool {
+            recycled: std::cell::RefCell::new(PoolInner::default()),
+            reserve: std::cell::RefCell::new(reserve),
+            hits: std::cell::Cell::new(0),
+            allocs: std::cell::Cell::new(0),
+        }
+    }
+
+    pool_kind!(take_u32, put_u32, u32s, Vec<u32>);
+    pool_kind!(take_u64, put_u64, u64s, Vec<u64>);
+    pool_kind!(take_i64, put_i64, i64s, Vec<i64>);
+    pool_kind!(take_f64, put_f64, f64s, Vec<f64>);
+    pool_kind!(take_vals, put_vals, vals, Vec<Value>);
+    pool_kind!(take_pairs, put_pairs, pairs, Vec<(u32, u32)>);
+    pool_kind!(take_bitmap, put_bitmap, bitmaps, Bitmap);
+
+    /// This execution's deterministic `(hits, allocs)` counts.
+    pub(crate) fn counts(&self) -> (u64, u64) {
+        (self.hits.get(), self.allocs.get())
+    }
+}
+
+impl Drop for BatchPool {
+    fn drop(&mut self) {
+        // Flush the execution's deterministic counters. Dropping happens
+        // while the statement's obs scope is still installed (the pool
+        // lives inside the per-execution Runner).
+        let (hits, allocs) = self.counts();
+        if hits > 0 {
+            snails_obs::add(snails_obs::Metric::EngineVecPoolHits, hits);
+        }
+        if allocs > 0 {
+            snails_obs::add(snails_obs::Metric::EngineVecPoolAllocs, allocs);
+        }
+        STASH.with(|s| {
+            let stash = &mut *s.borrow_mut();
+            self.recycled.get_mut().drain_into(stash);
+            self.reserve.get_mut().drain_into(stash);
+        });
     }
 }
 

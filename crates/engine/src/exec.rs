@@ -87,8 +87,19 @@ pub struct ExecOptions {
     pub vectorized: bool,
     /// Batch granularity (rows per batch) for the vectorized executor.
     /// Purely a blocking factor: results are identical for any value ≥ 1
-    /// (values below 1 are clamped). Default [`DEFAULT_BATCH_SIZE`].
-    pub batch_size: usize,
+    /// (values below 1 are clamped). `None` — the default — picks the
+    /// size per query block from the block's live column width via
+    /// [`adaptive_batch_size`], so a batch's working set fits in L2
+    /// regardless of how wide the combined row is; `Some(n)` forces `n`
+    /// (the A/B sweep and the equivalence tests use this).
+    pub batch_size: Option<usize>,
+    /// Run vectorized query blocks as fused pipelines: `WHERE` (and the
+    /// optimizer's residual conjuncts) carry a selection vector straight
+    /// into the block tail instead of materializing an intermediate
+    /// relation per operator. On by default; results are byte-identical
+    /// either way — the flag exists for A/B timing and for the
+    /// fused-vs-unfused axis of the equivalence tests.
+    pub fusion: bool,
     /// Run eligible compiled plans through the cost-based planner
     /// ([`crate::optimize`]): predicate pushdown past joins, greedy join
     /// reordering by estimated cardinality, and index/scan access-path
@@ -103,17 +114,44 @@ pub struct ExecOptions {
     pub limits: ExecLimits,
 }
 
-/// Default rows-per-batch for the vectorized executor: large enough to
-/// amortize per-batch dispatch, small enough to keep a batch's working set
-/// in cache (see DESIGN.md §5 for the measured 256/1024/4096 sweep).
-pub const DEFAULT_BATCH_SIZE: usize = 1024;
+/// Bounds of the adaptive batch-size policy. The floor keeps per-batch
+/// dispatch amortized; the ceiling keeps even a one-column pipeline's
+/// working set comfortably inside L2.
+pub const MIN_BATCH_SIZE: usize = 256;
+/// Upper bound of [`adaptive_batch_size`]; see [`MIN_BATCH_SIZE`].
+pub const MAX_BATCH_SIZE: usize = 4096;
+
+/// Rows-per-batch working-set budget: roughly half a typical 256 KiB L2,
+/// leaving the other half for the dictionaries, hash tables, and output
+/// buffers a pipeline touches alongside its batch-sized scratch columns.
+const BATCH_L2_BUDGET: usize = 128 * 1024;
+
+/// Pick a batch size for a pipeline whose combined row spans `width` live
+/// columns, so the batch's working set — a handful of evaluated scratch
+/// columns plus a selection vector, each ~8–16 bytes per row per live
+/// column — fits the L2 budget. Pure function of `width` (never of data,
+/// threads, or prior statements), so every batch-count telemetry key stays
+/// byte-identical across thread counts. Power-of-two result clamped to
+/// [`MIN_BATCH_SIZE`]..=[`MAX_BATCH_SIZE`]; the measured sweep behind the
+/// constants is in DESIGN.md §5 and §11.
+pub fn adaptive_batch_size(width: usize) -> usize {
+    // ~24 bytes of scratch per row per live column (value + validity +
+    // selection/key share), plus fixed per-row overhead.
+    let per_row = 24 * width.max(1) + 16;
+    let raw = (BATCH_L2_BUDGET / per_row).max(1);
+    // Round *down* to a power of two: overshooting the budget is the
+    // failure mode the sweep caught (1024 slower than 256).
+    let pow2 = if raw.is_power_of_two() { raw } else { raw.next_power_of_two() / 2 };
+    pow2.clamp(MIN_BATCH_SIZE, MAX_BATCH_SIZE)
+}
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             hash_join: true,
             vectorized: true,
-            batch_size: DEFAULT_BATCH_SIZE,
+            batch_size: None,
+            fusion: true,
             optimize: true,
             limits: ExecLimits::UNLIMITED,
         }

@@ -56,15 +56,17 @@ use std::sync::Arc;
 use snails_obs::Metric as Obs;
 use snails_sql::{BinOp, JoinKind, UnaryOp};
 
-use crate::batch::{ColData, ColumnSet};
+use crate::batch::{BatchPool, ColData, ColumnSet};
 use crate::catalog::Database;
 use crate::error::EngineError;
-use crate::exec::{record_statement, ExecOptions};
+use crate::exec::{adaptive_batch_size, record_statement, ExecOptions};
 use crate::plan::{CExpr, CSelect, CSource, CompiledPlan, ExprId, Runner};
 use crate::result::ResultSet;
 use crate::stats::TableStats;
 use crate::value::Value;
-use crate::vector::{self, key_at, scalar_flags, Ev, JoinKey, Rel, Unvec, VKey, NONE_RID};
+use crate::vector::{
+    self, scalar_flags, Ev, JoinKey, KeyCol, Rel, SideKeys, Unvec, VKey, NONE_RID,
+};
 
 /// Engagement thresholds for the index-probe access path: below this many
 /// rows a scan is as cheap as a probe, and below this many distinct values
@@ -547,6 +549,8 @@ struct FilterApp {
     kept: u64,
     /// Per-batch `(input, kept)` for the selectivity histogram.
     batches: Vec<(u64, u64)>,
+    /// Rows handled by dictionary-code kernels, replayed at commit.
+    dict_rows: u64,
 }
 
 /// Apply one pushed conjunct to a source's surviving ids, purely.
@@ -556,14 +560,17 @@ fn pure_filter(
     rel: &Rel,
     pred: ExprId,
     batch: usize,
+    pool: &BatchPool,
 ) -> Result<(Vec<u32>, FilterApp), Unvec> {
-    let ev = Ev { sel, rel, flags };
+    let ev = Ev::new(sel, rel, flags, pool);
     let mut keep: Vec<u32> = Vec::new();
     let mut batches = Vec::new();
+    let mut rows = pool.take_u32();
     let mut start = 0usize;
     while start < rel.len {
         let end = (start + batch).min(rel.len);
-        let rows: Vec<u32> = (start as u32..end as u32).collect();
+        rows.clear();
+        rows.extend(start as u32..end as u32);
         let col = ev.eval(pred, &rows)?;
         let before = keep.len();
         for (i, &row) in rows.iter().enumerate() {
@@ -571,57 +578,79 @@ fn pure_filter(
                 keep.push(row);
             }
         }
+        col.recycle(pool);
         batches.push(((end - start) as u64, (keep.len() - before) as u64));
         start = end;
     }
+    pool.put_u32(rows);
     let kept_ids: Vec<u32> = keep.iter().map(|&i| rel.rowids[0][i as usize]).collect();
-    let app = FilterApp { input: rel.len as u64, kept: kept_ids.len() as u64, batches };
+    let app = FilterApp {
+        input: rel.len as u64,
+        kept: kept_ids.len() as u64,
+        batches,
+        dict_rows: ev.dict_rows.get(),
+    };
     Ok((kept_ids, app))
 }
 
-/// Evaluate one side's join-key tuples purely (no obs, no charges) —
-/// mirror of the vectorized `side_keys` with the side pre-picked. Returns
-/// the keys plus the number of batches consumed (replayed at commit).
+/// Evaluate one side's join keys purely (no obs, no charges) — mirror of
+/// the vectorized `side_keys` with the side pre-picked, accumulating the
+/// same typed [`SideKeys`] representation so the optimizer's joins run
+/// the code-space atom loops. Returns the keys plus the number of batches
+/// consumed (replayed at commit).
 fn pure_keys(
     sel: &CSelect,
     flags: &[bool],
     rel: &Rel,
     key_ids: &[ExprId],
     batch: usize,
-) -> Result<(Vec<Option<JoinKey>>, u64), Unvec> {
-    let ev = Ev { sel, rel, flags };
-    let mut out: Vec<Option<JoinKey>> = Vec::with_capacity(rel.len);
+    pool: &BatchPool,
+) -> Result<(SideKeys, u64), Unvec> {
+    let ev = Ev::new(sel, rel, flags, pool);
+    let mut acc = SideKeys::Cols(
+        key_ids
+            .iter()
+            .map(|_| {
+                let mut bits = pool.take_u64();
+                bits.reserve(rel.len);
+                KeyCol::Bits(bits)
+            })
+            .collect(),
+    );
     let mut batches = 0u64;
+    let mut rows = pool.take_u32();
     let mut start = 0usize;
     while start < rel.len {
         let end = (start + batch).min(rel.len);
-        let rows: Vec<u32> = (start as u32..end as u32).collect();
+        rows.clear();
+        rows.extend(start as u32..end as u32);
         let cols = key_ids
             .iter()
             .map(|&k| ev.eval(k, &rows))
             .collect::<Result<Vec<_>, _>>()?;
-        for i in 0..rows.len() {
-            if let [col] = cols.as_slice() {
-                let k = key_at(col, i);
-                out.push((!k.unmatchable()).then_some(JoinKey::One(k)));
-                continue;
-            }
-            let mut tuple = Vec::with_capacity(cols.len());
-            let mut dead = false;
-            for c in &cols {
-                let k = key_at(c, i);
-                if k.unmatchable() {
-                    dead = true;
-                    break;
+        match &mut acc {
+            SideKeys::Cols(kcols)
+                if kcols.iter().zip(&cols).all(|(kc, c)| kc.can_append(c)) =>
+            {
+                for (kc, c) in kcols.iter_mut().zip(&cols) {
+                    kc.append(c, rows.len());
                 }
-                tuple.push(k);
             }
-            out.push(if dead { None } else { Some(JoinKey::Many(tuple)) });
+            _ => {
+                let mut gen =
+                    std::mem::replace(&mut acc, SideKeys::Gen(Vec::new())).into_gen();
+                vector::append_gen(&mut gen, &cols, rows.len());
+                acc = SideKeys::Gen(gen);
+            }
+        }
+        for c in cols {
+            c.recycle(pool);
         }
         batches += 1;
         start = end;
     }
-    Ok((out, batches))
+    pool.put_u32(rows);
+    Ok((acc, batches))
 }
 
 /// Per-source pure-phase outcome.
@@ -646,6 +675,9 @@ struct JoinExec {
     key_batches: u64,
     est: f64,
     used_index: bool,
+    /// Rows streamed through the dictionary-code translation (replayed as
+    /// telemetry at commit).
+    dict_rows: u64,
 }
 
 /// Convert an equality-probe constant to its index key; `None` means the
@@ -866,7 +898,7 @@ fn attempt(
         }
         return None;
     }
-    let batch = r.opts.batch_size.max(1);
+    let batch = r.opts.batch_size.unwrap_or_else(|| adaptive_batch_size(sel.width)).max(1);
     let nsrc = dec.srcs.len();
 
     // ---- Pure phase (no charges, no obs; any surprise bails for free) --
@@ -890,7 +922,7 @@ fn attempt(
         }
         for &c in &to_filter {
             let rel = positioned(&s.set, ids, s.offset, sel.width);
-            let (kept, app) = pure_filter(sel, &flags, &rel, c, batch).ok()?;
+            let (kept, app) = pure_filter(sel, &flags, &rel, c, batch, &r.pool).ok()?;
             ids = kept;
             ex.filters.push(app);
         }
@@ -928,7 +960,7 @@ fn attempt(
                 .collect(),
             width: sel.width,
         };
-        let (lkeys, lb) = pure_keys(sel, &flags, &lrel, &left_ids, batch).ok()?;
+        let (lkeys, lb) = pure_keys(sel, &flags, &lrel, &left_ids, batch, &r.pool).ok()?;
 
         // Build side: an untouched right source with a plain single-column
         // key reuses the secondary index as a prebuilt build table — same
@@ -940,13 +972,14 @@ fn attempt(
         };
         let mut key_batches = lb;
         let mut used_index = false;
-        let mut emits: Vec<(u32, u32)> = Vec::new();
+        let mut dict_rows = 0u64;
+        let mut emits = r.pool.take_pairs();
         if let Some(col) = single_col.filter(|_| src_exec[right].untouched()) {
             let ix = db.table(&s.name)?.index(col);
             used_index = true;
-            for (li, k) in lkeys.iter().enumerate() {
-                if let Some(JoinKey::One(vk)) = k {
-                    if let Some(hits) = ix.map.get(vk) {
+            for li in 0..lkeys.len() {
+                if let Some(vk) = lkeys.one_at(li) {
+                    if let Some(hits) = ix.map.get(&vk) {
                         for &ri in hits {
                             emits.push((li as u32, ri));
                         }
@@ -955,24 +988,59 @@ fn attempt(
             }
         } else {
             let rrel = positioned(&s.set, src_ids[right].clone(), 0, s.width);
-            let (rkeys, rb) = pure_keys(sel, &flags, &rrel, &right_ids, batch).ok()?;
+            let (rkeys, rb) = pure_keys(sel, &flags, &rrel, &right_ids, batch, &r.pool).ok()?;
             key_batches += rb;
-            let mut table: HashMap<&JoinKey, Vec<u32>> = HashMap::new();
-            for (ri, k) in rkeys.iter().enumerate() {
-                if let Some(k) = k {
-                    table.entry(k).or_default().push(ri as u32);
+            // One- and two-column typed sides run the code-space atom
+            // loops (inner joins only here, build side = right); anything
+            // else falls back to hashing JoinKeys.
+            let pairs = match (lkeys, rkeys) {
+                (SideKeys::Cols(lc), SideKeys::Cols(rc)) if lc.len() <= 2 => {
+                    let atoms: Vec<(Vec<u64>, Vec<u64>)> = lc
+                        .into_iter()
+                        .zip(rc)
+                        .map(|(l, rcol)| vector::atom_pair(l, rcol, true, &mut dict_rows))
+                        .collect();
+                    let pairs = match atoms.as_slice() {
+                        [(l0, r0)] => vector::pure_inner_join_atoms(l0, r0, &r.pool),
+                        [(l0, r0), (l1, r1)] => {
+                            let lz: Vec<(u64, u64)> =
+                                l0.iter().zip(l1).map(|(&a, &b)| (a, b)).collect();
+                            let rz: Vec<(u64, u64)> =
+                                r0.iter().zip(r1).map(|(&a, &b)| (a, b)).collect();
+                            vector::pure_inner_join_atoms(&lz, &rz, &r.pool)
+                        }
+                        _ => unreachable!("guard admits one or two key columns"),
+                    };
+                    for (a, b) in atoms {
+                        r.pool.put_u64(a);
+                        r.pool.put_u64(b);
+                    }
+                    pairs
                 }
-            }
-            for (li, k) in lkeys.iter().enumerate() {
-                if let Some(k) = k {
-                    if let Some(hits) = table.get(k) {
-                        for &ri in hits {
-                            // Logical → physical for the filtered side.
-                            emits.push((li as u32, src_ids[right][ri as usize]));
+                (lk, rk) => {
+                    let (lg, rg) = (lk.into_gen(), rk.into_gen());
+                    let mut table: HashMap<&JoinKey, Vec<u32>> = HashMap::new();
+                    for (ri, k) in rg.iter().enumerate() {
+                        if let Some(k) = k {
+                            table.entry(k).or_default().push(ri as u32);
                         }
                     }
+                    let mut out = r.pool.take_pairs();
+                    for (li, k) in lg.iter().enumerate() {
+                        if let Some(k) = k {
+                            if let Some(hits) = table.get(k) {
+                                for &ri in hits {
+                                    out.push((li as u32, ri));
+                                }
+                            }
+                        }
+                    }
+                    out
                 }
-            }
+            };
+            // Logical → physical for the filtered side.
+            emits.extend(pairs.iter().map(|&(li, ri)| (li, src_ids[right][ri as usize])));
+            r.pool.put_pairs(pairs);
         }
 
         for a in &mut assign {
@@ -989,8 +1057,10 @@ fn attempt(
             key_batches,
             est: dec.est_joins[pos],
             used_index,
+            dict_rows,
         });
         n = emits.len();
+        r.pool.put_pairs(emits);
     }
 
     // Restore the FROM-order emission sequence: inner equi-join chains
@@ -1055,6 +1125,9 @@ fn attempt(
                     snails_obs::add(Obs::EngineOpFilterBatches, 1);
                     snails_obs::observe(Obs::EngineVecSelectivityPct, kept * 100 / inp.max(1));
                 }
+                if f.dict_rows > 0 {
+                    snails_obs::add(Obs::EngineVecDictKernelRows, f.dict_rows);
+                }
                 snails_obs::observe(Obs::EngineOpFilterRows, f.kept);
             }
         }
@@ -1072,6 +1145,9 @@ fn attempt(
             r.meter.charge_join(je.probe_len + je.emitted)?;
             snails_obs::add(Obs::EngineVecBatches, je.key_batches);
             snails_obs::add(Obs::EngineOpJoinBatches, je.key_batches);
+            if je.dict_rows > 0 {
+                snails_obs::add(Obs::EngineVecDictKernelRows, je.dict_rows);
+            }
             snails_obs::observe(Obs::EngineOpJoinRows, je.emitted);
             let err_pct =
                 ((je.est - je.emitted as f64).abs() / (je.emitted.max(1) as f64) * 100.0)
@@ -1080,11 +1156,35 @@ fn attempt(
         }
         let mut rel = rel;
         let before_residual = rel.len as u64;
-        for &c in &dec.residual {
-            rel = vector::filter(r, sel, rel, c, batch, &flags)?;
+        let after_residual;
+        let result;
+        if r.opts.fusion {
+            // Residual conjuncts chain a selection vector instead of
+            // re-materializing the joined row set after each predicate;
+            // the tail consumes the final selection directly.
+            let mut sel_rows: Option<Vec<u32>> = None;
+            for &c in &dec.residual {
+                let next = vector::filter_sel(r, sel, &rel, c, sel_rows.as_deref(), batch, &flags)?;
+                if let Some(prev) = sel_rows.replace(next) {
+                    r.pool.put_u32(prev);
+                }
+            }
+            if !dec.residual.is_empty() {
+                snails_obs::add(Obs::EngineVecFusedPipelines, 1);
+            }
+            after_residual = sel_rows.as_ref().map_or(rel.len as u64, |s| s.len() as u64);
+            result = vector::tail(r, sel, &rel, sel_rows.as_deref(), &flags);
+            if let Some(s) = sel_rows {
+                r.pool.put_u32(s);
+            }
+        } else {
+            for &c in &dec.residual {
+                rel = vector::filter(r, sel, rel, c, batch, &flags)?;
+            }
+            after_residual = rel.len as u64;
+            result = vector::tail(r, sel, &rel, None, &flags);
         }
-        let after_residual = rel.len as u64;
-        let result = vector::tail(r, sel, &rel, &flags)?;
+        let result = result?;
 
         if let Some(ex) = explain.as_mut() {
             ex.from_order = dec.srcs.iter().map(|s| s.name.clone()).collect();

@@ -860,6 +860,9 @@ pub(crate) struct Runner<'a> {
     /// block address (each `Box<CSelect>` is a distinct, pinned block).
     /// Only consulted when [`Self::memo_enabled`] holds.
     subquery_memo: RefCell<HashMap<usize, Result<Rc<ResultSet>, EngineError>>>,
+    /// Hot-loop buffer pool for the vectorized executors (see
+    /// [`crate::batch::BatchPool`]); unused on the scalar path.
+    pub(crate) pool: crate::batch::BatchPool,
 }
 
 impl<'a> Runner<'a> {
@@ -869,6 +872,7 @@ impl<'a> Runner<'a> {
             opts,
             meter: Meter::new(opts.limits),
             subquery_memo: RefCell::new(HashMap::new()),
+            pool: crate::batch::BatchPool::new(),
         }
     }
 

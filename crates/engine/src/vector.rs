@@ -46,12 +46,12 @@ use std::sync::Arc;
 use snails_obs::Metric as Obs;
 use snails_sql::{BinOp, JoinKind, UnionKind};
 
-use crate::batch::{Bitmap, ColData, ColumnSet, Dict};
+use crate::batch::{BatchPool, Bitmap, ColData, ColumnSet, Dict};
 use crate::catalog::Database;
 use crate::error::EngineError;
 use crate::exec::{
-    bool_value, eval_binary, eval_unary, finish_aggregate, like_match, record_statement,
-    scalar_fn, truth, ExecOptions,
+    adaptive_batch_size, bool_value, eval_binary, eval_unary, finish_aggregate, like_match,
+    record_statement, scalar_fn, truth, ExecOptions,
 };
 use crate::plan::{
     AggArg, CArg, CExpr, CItem, CJoin, COrder, CSelect, CSource, CUnit, CompiledPlan, ExprId,
@@ -108,6 +108,21 @@ impl Rel {
         }
     }
 
+    /// [`Rel::from_set`] with the identity row-id vector drawn from `pool`.
+    fn from_set_pooled(cols: Arc<ColumnSet>, pool: &BatchPool) -> Rel {
+        let len = cols.len;
+        let width = cols.width();
+        let mut ids = pool.take_u32();
+        ids.extend(0..len as u32);
+        Rel {
+            srcs: vec![cols],
+            rowids: vec![ids],
+            len,
+            col_map: (0..width).map(|c| (0u32, c as u32)).collect(),
+            width,
+        }
+    }
+
     /// Columnarize materialized rows (derived tables, join fallbacks).
     fn from_rows(width: usize, rows: &[Vec<Value>]) -> Rel {
         Rel::from_set(Arc::new(ColumnSet::from_rows(width, rows)))
@@ -118,14 +133,29 @@ impl Rel {
         Rel { srcs: Vec::new(), rowids: Vec::new(), len: 1, col_map: Vec::new(), width: 0 }
     }
 
-    /// Keep only the logical rows in `keep`, in order.
-    pub(crate) fn keep(self, keep: &[u32]) -> Rel {
+    /// Keep only the logical rows in `keep`, in order. The displaced
+    /// row-id vectors recycle through `pool`.
+    pub(crate) fn keep(self, keep: &[u32], pool: &BatchPool) -> Rel {
         let rowids = self
             .rowids
             .iter()
-            .map(|ids| keep.iter().map(|&i| ids[i as usize]).collect())
+            .map(|ids| {
+                let mut out = pool.take_u32();
+                out.extend(keep.iter().map(|&i| ids[i as usize]));
+                out
+            })
             .collect();
+        for ids in self.rowids {
+            pool.put_u32(ids);
+        }
         Rel { srcs: self.srcs, rowids, len: keep.len(), col_map: self.col_map, width: self.width }
+    }
+
+    /// Return the row-id vectors to `pool` once the relation is dead.
+    pub(crate) fn recycle(self, pool: &BatchPool) {
+        for ids in self.rowids {
+            pool.put_u32(ids);
+        }
     }
 
     /// Reconstruct logical row `i` as the row path's combined row.
@@ -148,15 +178,21 @@ impl Rel {
         (0..self.len).map(|i| self.materialize_row(i)).collect()
     }
 
+    /// Reconstruct the selected logical rows, in selection order (fused
+    /// pipelines falling back to the scalar runner mid-pipeline).
+    pub(crate) fn materialize_sel(&self, rows: &[u32]) -> Vec<Vec<Value>> {
+        rows.iter().map(|&i| self.materialize_row(i as usize)).collect()
+    }
+
     /// Gather combined-row column `col` at the selected logical rows into a
-    /// typed vector.
-    pub(crate) fn gather(&self, col: usize, sel: &[u32]) -> VCol {
+    /// typed vector, drawing output buffers from `pool`.
+    pub(crate) fn gather(&self, col: usize, sel: &[u32], pool: &BatchPool) -> VCol {
         let (s, c) = self.col_map[col];
         let ids = &self.rowids[s as usize];
         match &self.srcs[s as usize].cols[c as usize] {
             ColData::I64 { vals, valid } => {
-                let mut out = Vec::with_capacity(sel.len());
-                let mut v = Bitmap::with_capacity(sel.len());
+                let mut out = pool.take_i64();
+                let mut v = pool.take_bitmap();
                 for &i in sel {
                     let rid = ids[i as usize];
                     if rid != NONE_RID && valid.get(rid as usize) {
@@ -170,8 +206,8 @@ impl Rel {
                 VCol::I64 { vals: out, valid: v }
             }
             ColData::F64 { vals, valid } => {
-                let mut out = Vec::with_capacity(sel.len());
-                let mut v = Bitmap::with_capacity(sel.len());
+                let mut out = pool.take_f64();
+                let mut v = pool.take_bitmap();
                 for &i in sel {
                     let rid = ids[i as usize];
                     if rid != NONE_RID && valid.get(rid as usize) {
@@ -185,8 +221,8 @@ impl Rel {
                 VCol::F64 { vals: out, valid: v }
             }
             ColData::Str { codes, valid, dict } => {
-                let mut out = Vec::with_capacity(sel.len());
-                let mut v = Bitmap::with_capacity(sel.len());
+                let mut out = pool.take_u32();
+                let mut v = pool.take_bitmap();
                 for &i in sel {
                     let rid = ids[i as usize];
                     if rid != NONE_RID && valid.get(rid as usize) {
@@ -199,18 +235,18 @@ impl Rel {
                 }
                 VCol::Str { codes: out, valid: v, dict: Arc::clone(dict) }
             }
-            ColData::Mixed { vals } => VCol::Vals(
-                sel.iter()
-                    .map(|&i| {
-                        let rid = ids[i as usize];
-                        if rid == NONE_RID {
-                            Value::Null
-                        } else {
-                            vals[rid as usize].clone()
-                        }
-                    })
-                    .collect(),
-            ),
+            ColData::Mixed { vals } => {
+                let mut out = pool.take_vals();
+                out.extend(sel.iter().map(|&i| {
+                    let rid = ids[i as usize];
+                    if rid == NONE_RID {
+                        Value::Null
+                    } else {
+                        vals[rid as usize].clone()
+                    }
+                }));
+                VCol::Vals(out)
+            }
         }
     }
 }
@@ -277,12 +313,34 @@ impl VCol {
             VCol::Vals(vals) => truth(&vals[i]),
         }
     }
+
+    /// Return the column's buffers to `pool` once the column is dead.
+    /// Missing a call site is only a lost reuse, never a bug.
+    pub(crate) fn recycle(self, pool: &BatchPool) {
+        match self {
+            VCol::Const(_) => {}
+            VCol::I64 { vals, valid } => {
+                pool.put_i64(vals);
+                pool.put_bitmap(valid);
+            }
+            VCol::F64 { vals, valid } => {
+                pool.put_f64(vals);
+                pool.put_bitmap(valid);
+            }
+            VCol::Str { codes, valid, .. } => {
+                pool.put_u32(codes);
+                pool.put_bitmap(valid);
+            }
+            VCol::Vals(vals) => pool.put_vals(vals),
+        }
+    }
 }
 
-/// Build a boolean column from per-row three-valued results.
-fn bool_col(bits: impl Iterator<Item = Option<bool>>, cap: usize) -> VCol {
-    let mut vals = Vec::with_capacity(cap);
-    let mut valid = Bitmap::with_capacity(cap);
+/// Build a boolean column from per-row three-valued results, with buffers
+/// drawn from `pool`.
+fn bool_col(pool: &BatchPool, bits: impl Iterator<Item = Option<bool>>) -> VCol {
+    let mut vals = pool.take_i64();
+    let mut valid = pool.take_bitmap();
     for b in bits {
         match b {
             Some(x) => {
@@ -581,14 +639,29 @@ fn gexpr_scalar(g: &GExpr, flags: &[bool]) -> bool {
 
 /// Evaluator for one block's arena over one relation. All evaluation is
 /// unmasked and side-effect free; see the module docs for why that is
-/// sufficient for exact equivalence.
+/// sufficient for exact equivalence. Scratch buffers come from (and
+/// return to) the execution's [`BatchPool`]; rows routed through
+/// dictionary-code kernels accumulate in `dict_rows` for the caller to
+/// flush into telemetry at its commit point (evaluation itself must stay
+/// observation-free).
 pub(crate) struct Ev<'a> {
     pub(crate) sel: &'a CSelect,
     pub(crate) rel: &'a Rel,
     pub(crate) flags: &'a [bool],
+    pub(crate) pool: &'a BatchPool,
+    pub(crate) dict_rows: std::cell::Cell<u64>,
 }
 
 impl<'a> Ev<'a> {
+    pub(crate) fn new(sel: &'a CSelect, rel: &'a Rel, flags: &'a [bool], pool: &'a BatchPool) -> Ev<'a> {
+        Ev { sel, rel, flags, pool, dict_rows: std::cell::Cell::new(0) }
+    }
+
+    /// Count `n` rows processed by a dictionary-code kernel.
+    fn count_dict(&self, n: usize) {
+        self.dict_rows.set(self.dict_rows.get() + n as u64);
+    }
+
     /// Evaluate node `id` at the selected logical rows.
     pub(crate) fn eval(&self, id: ExprId, rows: &[u32]) -> VRes {
         if self.flags[id] {
@@ -596,7 +669,7 @@ impl<'a> Ev<'a> {
         }
         match &self.sel.arena[id] {
             CExpr::Const(v) => Ok(VCol::Const(v.clone())),
-            CExpr::Slot { idx, .. } => Ok(self.rel.gather(*idx, rows)),
+            CExpr::Slot { idx, .. } => Ok(self.rel.gather(*idx, rows, self.pool)),
             CExpr::Err(_)
             | CExpr::Subquery { .. }
             | CExpr::InSubquery { .. }
@@ -604,15 +677,27 @@ impl<'a> Ev<'a> {
             CExpr::Unary { op, expr } => {
                 let e = self.eval(*expr, rows)?;
                 match op {
-                    snails_sql::UnaryOp::Not => Ok(bool_col(
-                        (0..rows.len()).map(|i| e.truth_at(i).map(|b| !b)),
-                        rows.len(),
-                    )),
+                    snails_sql::UnaryOp::Not => {
+                        let out = bool_col(
+                            self.pool,
+                            (0..rows.len()).map(|i| e.truth_at(i).map(|b| !b)),
+                        );
+                        e.recycle(self.pool);
+                        Ok(out)
+                    }
                     snails_sql::UnaryOp::Neg => {
-                        let mut out = Vec::with_capacity(rows.len());
+                        let mut out = self.pool.take_vals();
                         for i in 0..rows.len() {
-                            out.push(eval_unary(*op, &e.value_at(i)).map_err(|_| Unvec)?);
+                            match eval_unary(*op, &e.value_at(i)) {
+                                Ok(v) => out.push(v),
+                                Err(_) => {
+                                    self.pool.put_vals(out);
+                                    e.recycle(self.pool);
+                                    return Err(Unvec);
+                                }
+                            }
                         }
+                        e.recycle(self.pool);
                         Ok(VCol::Vals(out))
                     }
                 }
@@ -620,40 +705,56 @@ impl<'a> Ev<'a> {
             CExpr::And { left, right } => {
                 let l = self.eval(*left, rows)?;
                 let r = self.eval(*right, rows)?;
-                Ok(bool_col(
+                let out = bool_col(
+                    self.pool,
                     (0..rows.len()).map(|i| match (l.truth_at(i), r.truth_at(i)) {
                         (Some(false), _) | (_, Some(false)) => Some(false),
                         (Some(true), Some(true)) => Some(true),
                         _ => None,
                     }),
-                    rows.len(),
-                ))
+                );
+                l.recycle(self.pool);
+                r.recycle(self.pool);
+                Ok(out)
             }
             CExpr::Or { left, right } => {
                 let l = self.eval(*left, rows)?;
                 let r = self.eval(*right, rows)?;
-                Ok(bool_col(
+                let out = bool_col(
+                    self.pool,
                     (0..rows.len()).map(|i| match (l.truth_at(i), r.truth_at(i)) {
                         (Some(true), _) | (_, Some(true)) => Some(true),
                         (Some(false), Some(false)) => Some(false),
                         _ => None,
                     }),
-                    rows.len(),
-                ))
+                );
+                l.recycle(self.pool);
+                r.recycle(self.pool);
+                Ok(out)
             }
             CExpr::Binary { left, op, right } => {
                 let l = self.eval(*left, rows)?;
                 let r = self.eval(*right, rows)?;
                 if op.is_comparison() {
-                    Ok(compare(&l, *op, &r, rows.len()))
+                    let out = self.compare(&l, *op, &r, rows.len());
+                    l.recycle(self.pool);
+                    r.recycle(self.pool);
+                    Ok(out)
                 } else {
-                    let mut out = Vec::with_capacity(rows.len());
+                    let mut out = self.pool.take_vals();
                     for i in 0..rows.len() {
-                        out.push(
-                            eval_binary(&l.value_at(i), *op, &r.value_at(i))
-                                .map_err(|_| Unvec)?,
-                        );
+                        match eval_binary(&l.value_at(i), *op, &r.value_at(i)) {
+                            Ok(v) => out.push(v),
+                            Err(_) => {
+                                self.pool.put_vals(out);
+                                l.recycle(self.pool);
+                                r.recycle(self.pool);
+                                return Err(Unvec);
+                            }
+                        }
                     }
+                    l.recycle(self.pool);
+                    r.recycle(self.pool);
                     Ok(VCol::Vals(out))
                 }
             }
@@ -665,18 +766,31 @@ impl<'a> Ev<'a> {
                         CArg::Expr(id) => cols.push(self.eval(*id, rows)?),
                     }
                 }
-                let mut out = Vec::with_capacity(rows.len());
+                let mut out = self.pool.take_vals();
                 let mut vals = Vec::with_capacity(cols.len());
                 for i in 0..rows.len() {
                     vals.clear();
                     vals.extend(cols.iter().map(|c| c.value_at(i)));
-                    out.push(scalar_fn(name, &vals).map_err(|_| Unvec)?);
+                    match scalar_fn(name, &vals) {
+                        Ok(v) => out.push(v),
+                        Err(_) => {
+                            self.pool.put_vals(out);
+                            for c in cols {
+                                c.recycle(self.pool);
+                            }
+                            return Err(Unvec);
+                        }
+                    }
+                }
+                for c in cols {
+                    c.recycle(self.pool);
                 }
                 Ok(VCol::Vals(out))
             }
             CExpr::IsNull { expr, negated } => {
                 let e = self.eval(*expr, rows)?;
-                Ok(bool_col(
+                let out = bool_col(
+                    self.pool,
                     (0..rows.len()).map(|i| {
                         let is_null = match &e {
                             VCol::Const(v) => v.is_null(),
@@ -687,48 +801,50 @@ impl<'a> Ev<'a> {
                         };
                         Some(is_null != *negated)
                     }),
-                    rows.len(),
-                ))
+                );
+                e.recycle(self.pool);
+                Ok(out)
             }
             CExpr::InList { expr, list, negated } => {
                 let v = self.eval(*expr, rows)?;
-                let items: Vec<VCol> =
-                    list.iter().map(|&i| self.eval(i, rows)).collect::<Result<_, _>>()?;
-                let vl = const_lower(&v);
-                let il: Vec<Option<String>> = items.iter().map(const_lower).collect();
-                Ok(bool_col(
-                    (0..rows.len()).map(|i| {
-                        let c = cell_at(&v, i, &vl);
-                        let mut saw_null = matches!(c, Cell::Null);
-                        let mut found = false;
-                        for (item, lower) in items.iter().zip(&il) {
-                            match cmp_cells(&c, &cell_at(item, i, lower)) {
-                                Some(std::cmp::Ordering::Equal) => {
-                                    found = true;
-                                    break;
-                                }
-                                Some(_) => {}
-                                None => saw_null = true,
-                            }
-                        }
-                        let b = if found {
-                            Some(true)
-                        } else if saw_null {
-                            None
-                        } else {
-                            Some(false)
-                        };
-                        b.map(|x| x != *negated)
-                    }),
-                    rows.len(),
-                ))
+                let items: Vec<VCol> = match list
+                    .iter()
+                    .map(|&i| self.eval(i, rows))
+                    .collect::<Result<_, _>>()
+                {
+                    Ok(items) => items,
+                    Err(Unvec) => {
+                        v.recycle(self.pool);
+                        return Err(Unvec);
+                    }
+                };
+                let out = self.in_list(&v, &items, *negated, rows.len());
+                v.recycle(self.pool);
+                for item in items {
+                    item.recycle(self.pool);
+                }
+                Ok(out)
             }
             CExpr::Between { expr, low, high, negated } => {
                 let v = self.eval(*expr, rows)?;
-                let lo = self.eval(*low, rows)?;
-                let hi = self.eval(*high, rows)?;
+                let lo = match self.eval(*low, rows) {
+                    Ok(c) => c,
+                    Err(Unvec) => {
+                        v.recycle(self.pool);
+                        return Err(Unvec);
+                    }
+                };
+                let hi = match self.eval(*high, rows) {
+                    Ok(c) => c,
+                    Err(Unvec) => {
+                        v.recycle(self.pool);
+                        lo.recycle(self.pool);
+                        return Err(Unvec);
+                    }
+                };
                 let (vl, lol, hil) = (const_lower(&v), const_lower(&lo), const_lower(&hi));
-                Ok(bool_col(
+                let out = bool_col(
+                    self.pool,
                     (0..rows.len()).map(|i| {
                         let c = cell_at(&v, i, &vl);
                         let ge = cmp_cells(&c, &cell_at(&lo, i, &lol))
@@ -742,18 +858,22 @@ impl<'a> Ev<'a> {
                         };
                         b.map(|x| x != *negated)
                     }),
-                    rows.len(),
-                ))
+                );
+                v.recycle(self.pool);
+                lo.recycle(self.pool);
+                hi.recycle(self.pool);
+                Ok(out)
             }
             CExpr::Like { expr, pattern, negated } => {
                 let e = self.eval(*expr, rows)?;
-                match &e {
+                let res = match &e {
                     VCol::Str { codes, valid, dict } => {
-                        // Memoize the match per dictionary code: each
-                        // distinct string is tested once, against the
-                        // precomputed lowercase form.
+                        // Code-space kernel: each distinct string is tested
+                        // once, against the precomputed lowercase form.
+                        self.count_dict(rows.len());
                         let mut memo: Vec<Option<bool>> = vec![None; dict.len()];
                         Ok(bool_col(
+                            self.pool,
                             (0..rows.len()).map(|i| {
                                 if !valid.get(i) {
                                     return None;
@@ -764,7 +884,6 @@ impl<'a> Ev<'a> {
                                 });
                                 Some(m != *negated)
                             }),
-                            rows.len(),
                         ))
                     }
                     VCol::Const(Value::Null) => Ok(VCol::Const(Value::Null)),
@@ -781,8 +900,8 @@ impl<'a> Ev<'a> {
                             Ok(VCol::Const(Value::Null))
                         }
                     }
-                    VCol::Vals(vals) => {
-                        let mut out = Vec::with_capacity(rows.len());
+                    VCol::Vals(vals) => 'vals: {
+                        let mut out = self.pool.take_vals();
                         for v in vals.iter().take(rows.len()) {
                             match v {
                                 Value::Null => out.push(Value::Null),
@@ -790,14 +909,22 @@ impl<'a> Ev<'a> {
                                     let m = like_match(&s.to_ascii_lowercase(), pattern);
                                     out.push(bool_value(Some(m != *negated)));
                                 }
-                                _ => return Err(Unvec),
+                                _ => {
+                                    self.pool.put_vals(out);
+                                    break 'vals Err(Unvec);
+                                }
                             }
                         }
                         Ok(VCol::Vals(out))
                     }
-                }
+                };
+                e.recycle(self.pool);
+                res
             }
             CExpr::Case { operand, branches, else_expr } => {
+                // On abort, children leak back to the pool lazily (a lost
+                // reuse, never a bug) — CASE is cold enough not to warrant
+                // per-child unwind plumbing.
                 let op_col = match operand {
                     Some(o) => Some(self.eval(*o, rows)?),
                     None => None,
@@ -814,7 +941,7 @@ impl<'a> Ev<'a> {
                 };
                 let opl = op_col.as_ref().and_then(const_lower);
                 let wl: Vec<Option<String>> = whens.iter().map(const_lower).collect();
-                let mut out = Vec::with_capacity(rows.len());
+                let mut out = self.pool.take_vals();
                 for i in 0..rows.len() {
                     let mut chosen: Option<Value> = None;
                     for (bi, w) in whens.iter().enumerate() {
@@ -834,30 +961,215 @@ impl<'a> Ev<'a> {
                         else_col.as_ref().map(|e| e.value_at(i)).unwrap_or(Value::Null)
                     }));
                 }
+                if let Some(c) = op_col {
+                    c.recycle(self.pool);
+                }
+                for c in whens.into_iter().chain(thens) {
+                    c.recycle(self.pool);
+                }
+                if let Some(c) = else_col {
+                    c.recycle(self.pool);
+                }
                 Ok(VCol::Vals(out))
             }
         }
     }
-}
 
-/// Vectorized three-valued comparison kernel.
-fn compare(l: &VCol, op: BinOp, r: &VCol, n: usize) -> VCol {
-    use std::cmp::Ordering;
-    let (ll, rl) = (const_lower(l), const_lower(r));
-    bool_col(
-        (0..n).map(|i| {
-            cmp_cells(&cell_at(l, i, &ll), &cell_at(r, i, &rl)).map(|o| match op {
-                BinOp::Eq => o == Ordering::Equal,
-                BinOp::NotEq => o != Ordering::Equal,
-                BinOp::Lt => o == Ordering::Less,
-                BinOp::LtEq => o != Ordering::Greater,
-                BinOp::Gt => o == Ordering::Greater,
-                BinOp::GtEq => o != Ordering::Less,
-                _ => unreachable!("is_comparison"),
-            })
-        }),
-        n,
-    )
+    /// Vectorized three-valued comparison kernel. Typed fast paths cover
+    /// the hot shapes — numeric column vs. numeric constant exactly as
+    /// [`cmp_cells`] would order them, and dictionary strings vs. a string
+    /// constant through a per-code ordering memo so each distinct string
+    /// is compared once instead of once per row. Everything else goes
+    /// through the generic cell loop.
+    fn compare(&self, l: &VCol, op: BinOp, r: &VCol, n: usize) -> VCol {
+        use std::cmp::Ordering;
+        let test = |o: Ordering| match op {
+            BinOp::Eq => o == Ordering::Equal,
+            BinOp::NotEq => o != Ordering::Equal,
+            BinOp::Lt => o == Ordering::Less,
+            BinOp::LtEq => o != Ordering::Greater,
+            BinOp::Gt => o == Ordering::Greater,
+            BinOp::GtEq => o != Ordering::Less,
+            _ => unreachable!("is_comparison"),
+        };
+        // Numeric column vs. numeric constant (either orientation).
+        match (l, r) {
+            (VCol::I64 { vals, valid }, VCol::Const(Value::Int(y))) => {
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| valid.get(i).then(|| test(vals[i].cmp(y)))),
+                );
+            }
+            (VCol::Const(Value::Int(x)), VCol::I64 { vals, valid }) => {
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| valid.get(i).then(|| test(x.cmp(&vals[i])))),
+                );
+            }
+            (VCol::I64 { vals, valid }, VCol::Const(Value::Float(y))) => {
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        (vals[i] as f64).partial_cmp(y).map(test)
+                    }),
+                );
+            }
+            (VCol::Const(Value::Float(x)), VCol::I64 { vals, valid }) => {
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        x.partial_cmp(&(vals[i] as f64)).map(test)
+                    }),
+                );
+            }
+            (VCol::F64 { vals, valid }, VCol::Const(c)) if c.as_f64().is_some() => {
+                let y = c.as_f64().expect("numeric const");
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        vals[i].partial_cmp(&y).map(test)
+                    }),
+                );
+            }
+            (VCol::Const(c), VCol::F64 { vals, valid }) if c.as_f64().is_some() => {
+                let x = c.as_f64().expect("numeric const");
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        x.partial_cmp(&vals[i]).map(test)
+                    }),
+                );
+            }
+            // Dictionary strings vs. a string constant: order each distinct
+            // code against the pre-lowered constant once.
+            (VCol::Str { codes, valid, dict }, VCol::Const(Value::Str(s)))
+            | (VCol::Const(Value::Str(s)), VCol::Str { codes, valid, dict }) => {
+                let flip = matches!(l, VCol::Const(_));
+                let target = s.to_ascii_lowercase();
+                self.count_dict(n);
+                // -1/0/1 = Less/Equal/Greater of `code` vs. `target`;
+                // 2 = not yet computed.
+                let mut memo: Vec<i8> = vec![2; dict.len()];
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        let code = codes[i] as usize;
+                        if memo[code] == 2 {
+                            memo[code] = match dict.lower[code].as_ref().cmp(target.as_str()) {
+                                Ordering::Less => -1,
+                                Ordering::Equal => 0,
+                                Ordering::Greater => 1,
+                            };
+                        }
+                        let o = match memo[code] {
+                            -1 => Ordering::Less,
+                            0 => Ordering::Equal,
+                            _ => Ordering::Greater,
+                        };
+                        Some(test(if flip { o.reverse() } else { o }))
+                    }),
+                );
+            }
+            _ => {}
+        }
+        let (ll, rl) = (const_lower(l), const_lower(r));
+        bool_col(
+            self.pool,
+            (0..n).map(|i| cmp_cells(&cell_at(l, i, &ll), &cell_at(r, i, &rl)).map(test)),
+        )
+    }
+
+    /// Vectorized `IN (list)` kernel. When the probe is a dictionary
+    /// string column and every list item is a constant, membership is
+    /// memoized per dictionary code (the full three-valued logic — NULL
+    /// items, incomparable numeric items — runs once per distinct string).
+    fn in_list(&self, v: &VCol, items: &[VCol], negated: bool, n: usize) -> VCol {
+        let il: Vec<Option<String>> = items.iter().map(const_lower).collect();
+        if let VCol::Str { codes, valid, dict } = v {
+            if items.iter().all(|it| matches!(it, VCol::Const(_))) {
+                self.count_dict(n);
+                // 0 = false, 1 = true, 2 = NULL result, 3 = not yet computed.
+                let mut memo: Vec<i8> = vec![3; dict.len()];
+                return bool_col(
+                    self.pool,
+                    (0..n).map(|i| {
+                        if !valid.get(i) {
+                            return None;
+                        }
+                        let code = codes[i] as usize;
+                        if memo[code] == 3 {
+                            let c = Cell::LowStr(&dict.lower[code]);
+                            let mut saw_null = false;
+                            let mut found = false;
+                            for (item, lower) in items.iter().zip(&il) {
+                                match cmp_cells(&c, &cell_at(item, 0, lower)) {
+                                    Some(std::cmp::Ordering::Equal) => {
+                                        found = true;
+                                        break;
+                                    }
+                                    Some(_) => {}
+                                    None => saw_null = true,
+                                }
+                            }
+                            memo[code] = if found {
+                                1
+                            } else if saw_null {
+                                2
+                            } else {
+                                0
+                            };
+                        }
+                        match memo[code] {
+                            2 => None,
+                            m => Some((m == 1) != negated),
+                        }
+                    }),
+                );
+            }
+        }
+        let vl = const_lower(v);
+        bool_col(
+            self.pool,
+            (0..n).map(|i| {
+                let c = cell_at(v, i, &vl);
+                let mut saw_null = matches!(c, Cell::Null);
+                let mut found = false;
+                for (item, lower) in items.iter().zip(&il) {
+                    match cmp_cells(&c, &cell_at(item, i, lower)) {
+                        Some(std::cmp::Ordering::Equal) => {
+                            found = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => saw_null = true,
+                    }
+                }
+                let b = if found {
+                    Some(true)
+                } else if saw_null {
+                    None
+                } else {
+                    Some(false)
+                };
+                b.map(|x| x != negated)
+            }),
+        )
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -874,7 +1186,7 @@ fn run_select(r: &Runner<'_>, sel: &CSelect) -> Result<ResultSet, EngineError> {
 }
 
 fn run_select_inner(r: &Runner<'_>, sel: &CSelect) -> Result<ResultSet, EngineError> {
-    let batch = r.opts.batch_size.max(1);
+    let batch = r.opts.batch_size.unwrap_or_else(|| adaptive_batch_size(sel.width)).max(1);
     let flags = scalar_flags(sel);
 
     // FROM and JOINs.
@@ -888,12 +1200,26 @@ fn run_select_inner(r: &Runner<'_>, sel: &CSelect) -> Result<ResultSet, EngineEr
         snails_obs::observe(Obs::EngineOpJoinRows, rel.len as u64);
     }
 
-    // WHERE.
+    // WHERE → tail. With fusion on, the filter emits a selection vector
+    // that feeds the tail directly — the intermediate filtered relation
+    // (a full set of row-id vectors) is never materialized. With fusion
+    // off, the filter materializes its output relation first (the
+    // pre-fusion operator-at-a-time shape, kept as an A/B and test axis).
+    let mut fused_sel: Option<Vec<u32>> = None;
     if let Some(pred) = sel.where_clause {
-        rel = filter(r, sel, rel, pred, batch, &flags)?;
+        if r.opts.fusion {
+            fused_sel = Some(filter_sel(r, sel, &rel, pred, None, batch, &flags)?);
+            snails_obs::add(Obs::EngineVecFusedPipelines, 1);
+        } else {
+            rel = filter(r, sel, rel, pred, batch, &flags)?;
+        }
     }
-
-    let mut result = tail(r, sel, &rel, &flags)?;
+    let result = tail(r, sel, &rel, fused_sel.as_deref(), &flags);
+    if let Some(s) = fused_sel {
+        r.pool.put_u32(s);
+    }
+    rel.recycle(&r.pool);
+    let mut result = result?;
 
     // UNION [ALL] — mirror of the row path, recursing vectorized.
     if let Some((kind, rhs)) = &sel.union {
@@ -941,7 +1267,7 @@ fn load_source(r: &Runner<'_>, src: &CSource, batch: usize) -> Result<Rel, Engin
                     snails_obs::observe(Obs::EngineVecDictEntries, dict.len() as u64);
                 }
             }
-            Ok(Rel::from_set(cols))
+            Ok(Rel::from_set_pooled(cols, &r.pool))
         }
         CSource::Sub { plan, width } => {
             let rs = run_select(r, plan)?;
@@ -955,27 +1281,41 @@ fn load_source(r: &Runner<'_>, src: &CSource, batch: usize) -> Result<Rel, Engin
     }
 }
 
-/// `WHERE` over a relation: bulk step charge (as the row path), then
-/// batch-at-a-time predicate evaluation into a selection vector, falling
+/// A filter pass producing a selection vector: bulk step charge (as the
+/// row path), then batch-at-a-time predicate evaluation over `input` (a
+/// prior pipeline stage's selection, or all rows when `None`), falling
 /// back to per-row scalar evaluation for any batch the vector kernels
-/// cannot prove error-free.
-pub(crate) fn filter(
+/// cannot prove error-free. The returned keep-vector comes from the
+/// runner's pool; callers hand it to the next fused stage (or to
+/// [`Rel::keep`]) and then recycle it.
+pub(crate) fn filter_sel(
     r: &Runner<'_>,
     sel: &CSelect,
-    rel: Rel,
+    rel: &Rel,
     pred: ExprId,
+    input: Option<&[u32]>,
     batch: usize,
     flags: &[bool],
-) -> Result<Rel, EngineError> {
-    r.meter.charge_steps(rel.len as u64)?;
-    let ev = Ev { sel, rel: &rel, flags };
-    let mut keep: Vec<u32> = Vec::new();
+) -> Result<Vec<u32>, EngineError> {
+    let n_input = input.map_or(rel.len, <[u32]>::len);
+    r.meter.charge_steps(n_input as u64)?;
+    let ev = Ev::new(sel, rel, flags, &r.pool);
+    let mut keep = r.pool.take_u32();
+    let mut scratch = r.pool.take_u32();
     let mut start = 0usize;
-    while start < rel.len {
-        let end = (start + batch).min(rel.len);
-        let rows: Vec<u32> = (start as u32..end as u32).collect();
+    while start < n_input {
+        let end = (start + batch).min(n_input);
+        let rows: &[u32] = match input {
+            Some(s) => &s[start..end],
+            None => {
+                scratch.clear();
+                scratch.extend(start as u32..end as u32);
+                &scratch
+            }
+        };
         let before = keep.len();
-        let vcol = if flags[pred] { Err(Unvec) } else { ev.eval(pred, &rows) };
+        let dict_snap = ev.dict_rows.get();
+        let vcol = if flags[pred] { Err(Unvec) } else { ev.eval(pred, rows) };
         match vcol {
             Ok(col) => {
                 for (i, &row) in rows.iter().enumerate() {
@@ -983,11 +1323,15 @@ pub(crate) fn filter(
                         keep.push(row);
                     }
                 }
+                col.recycle(&r.pool);
             }
             Err(Unvec) => {
                 // Scalar replay in row order: identical evaluation (and,
-                // via subqueries, identical charges) to the row path.
-                for &row in &rows {
+                // via subqueries, identical charges) to the row path. Any
+                // dict-kernel rows the aborted attempt counted are rolled
+                // back — the batch was not vector-processed.
+                ev.dict_rows.set(dict_snap);
+                for &row in rows {
                     let vals = rel.materialize_row(row as usize);
                     let frame = Frame { row: &vals, parent: None };
                     if truth(&r.eval(sel, pred, &frame)?) == Some(true) {
@@ -1002,8 +1346,29 @@ pub(crate) fn filter(
         snails_obs::observe(Obs::EngineVecSelectivityPct, kept * 100 / (end - start) as u64);
         start = end;
     }
+    let dict = ev.dict_rows.get();
+    if dict > 0 {
+        snails_obs::add(Obs::EngineVecDictKernelRows, dict);
+    }
     snails_obs::observe(Obs::EngineOpFilterRows, keep.len() as u64);
-    Ok(rel.keep(&keep))
+    r.pool.put_u32(scratch);
+    Ok(keep)
+}
+
+/// `WHERE` materializing its output relation (the unfused shape): run
+/// [`filter_sel`] over all rows, then compact the relation.
+pub(crate) fn filter(
+    r: &Runner<'_>,
+    sel: &CSelect,
+    rel: Rel,
+    pred: ExprId,
+    batch: usize,
+    flags: &[bool],
+) -> Result<Rel, EngineError> {
+    let keep = filter_sel(r, sel, &rel, pred, None, batch, flags)?;
+    let out = rel.keep(&keep, &r.pool);
+    r.pool.put_u32(keep);
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -1027,32 +1392,172 @@ fn join_step(
     let width = join.left_width + join.source.width();
     if r.opts.hash_join && join.kind != JoinKind::Cross {
         if let (Some(keys), Some(_)) = (&join.hash_keys, join.on) {
-            let lk = side_keys(sel, &left, keys, true, batch, flags);
-            let rk = side_keys(sel, &right, keys, false, batch, flags);
+            let lk = side_keys(sel, &left, keys, true, batch, flags, &r.pool);
+            let rk = side_keys(sel, &right, keys, false, batch, flags, &r.pool);
             if let (Some(lk), Some(rk)) = (lk, rk) {
                 return hash_join_vec(r, left, right, join, lk, rk);
             }
             // Key evaluation needs the scalar runner: delegate the whole
             // join before any charge, so accounting replays exactly.
-            let rows = r.hash_join(
-                sel,
-                left.materialize_all(),
-                right.materialize_all(),
-                join,
-                keys,
-                None,
-            )?;
+            let lrows = left.materialize_all();
+            let rrows = right.materialize_all();
+            left.recycle(&r.pool);
+            right.recycle(&r.pool);
+            let rows = r.hash_join(sel, lrows, rrows, join, keys, None)?;
             return Ok(Rel::from_rows(width, &rows));
         }
     }
-    let rows = r.nested_join(sel, left.materialize_all(), right.materialize_all(), join, None)?;
+    let lrows = left.materialize_all();
+    let rrows = right.materialize_all();
+    left.recycle(&r.pool);
+    right.recycle(&r.pool);
+    let rows = r.nested_join(sel, lrows, rrows, join, None)?;
     Ok(Rel::from_rows(width, &rows))
+}
+
+/// One join side's evaluated keys, in the cheapest exact representation
+/// the side admits: one typed [`KeyCol`] per key column, or the general
+/// tuple form `Gen` (`None` = unmatchable) when any column's shape defies
+/// the typed kernels.
+pub(crate) enum SideKeys {
+    Cols(Vec<KeyCol>),
+    Gen(Vec<Option<JoinKey>>),
+}
+
+/// One evaluated key *column*. `Bits` carries numeric keys as their
+/// [`VKey::num`] bit patterns ([`DEAD_KEY`] = NULL or NaN — both
+/// unmatchable, and every NaN maps to the sentinel so no two NaN bit
+/// patterns can spuriously match). `Codes` carries dictionary-string keys
+/// as raw `u32` codes (`u32::MAX` = NULL) plus the shared dictionary —
+/// the join loop never touches an `Arc<str>`.
+pub(crate) enum KeyCol {
+    Bits(Vec<u64>),
+    Codes { codes: Vec<u32>, dict: Arc<Dict> },
+}
+
+/// NULL sentinel inside [`KeyCol::Codes`].
+const NULL_CODE: u32 = u32::MAX;
+
+impl KeyCol {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            KeyCol::Bits(b) => b.len(),
+            KeyCol::Codes { codes, .. } => codes.len(),
+        }
+    }
+
+    /// The [`VKey`] at row `i`, or `None` for an unmatchable component.
+    pub(crate) fn at(&self, i: usize) -> Option<VKey> {
+        match self {
+            KeyCol::Bits(b) => (b[i] != DEAD_KEY).then(|| VKey::Num(b[i])),
+            KeyCol::Codes { codes, dict } => (codes[i] != NULL_CODE)
+                .then(|| VKey::Str(Arc::clone(&dict.lower[codes[i] as usize]))),
+        }
+    }
+
+    /// Can `append` extend this column with a batch of this shape?
+    /// (Checked for every column *before* appending any, so a mid-tuple
+    /// mismatch cannot leave columns at different lengths.)
+    pub(crate) fn can_append(&self, col: &VCol) -> bool {
+        match (self, col) {
+            (KeyCol::Bits(_), VCol::I64 { .. } | VCol::F64 { .. }) => true,
+            // An empty Bits column is shapeless: it adopts Codes form.
+            (KeyCol::Bits(b), VCol::Str { .. }) => b.is_empty(),
+            (KeyCol::Codes { dict, .. }, VCol::Str { dict: bd, .. }) => Arc::ptr_eq(dict, bd),
+            _ => false,
+        }
+    }
+
+    /// Append one batch (shape pre-checked by [`KeyCol::can_append`]).
+    pub(crate) fn append(&mut self, col: &VCol, n: usize) {
+        if matches!(self, KeyCol::Bits(b) if b.is_empty()) {
+            if let VCol::Str { dict, .. } = col {
+                *self = KeyCol::Codes { codes: Vec::new(), dict: Arc::clone(dict) };
+            }
+        }
+        match (self, col) {
+            (KeyCol::Bits(bits), VCol::I64 { vals, valid }) => {
+                for (i, &v) in vals.iter().take(n).enumerate() {
+                    bits.push(if valid.get(i) {
+                        let VKey::Num(b) = VKey::num(v as f64) else { unreachable!() };
+                        b
+                    } else {
+                        DEAD_KEY
+                    });
+                }
+            }
+            (KeyCol::Bits(bits), VCol::F64 { vals, valid }) => {
+                for (i, &v) in vals.iter().take(n).enumerate() {
+                    // NaN folds into DEAD_KEY: unmatchable, like NULL.
+                    bits.push(if valid.get(i) && !v.is_nan() {
+                        let VKey::Num(b) = VKey::num(v) else { unreachable!() };
+                        b
+                    } else {
+                        DEAD_KEY
+                    });
+                }
+            }
+            (KeyCol::Codes { codes, .. }, VCol::Str { codes: bc, valid, .. }) => {
+                for (i, &c) in bc.iter().take(n).enumerate() {
+                    codes.push(if valid.get(i) { c } else { NULL_CODE });
+                }
+            }
+            _ => unreachable!("append shape pre-checked by can_append"),
+        }
+    }
+}
+
+impl SideKeys {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            SideKeys::Cols(cols) => cols.first().map_or(0, KeyCol::len),
+            SideKeys::Gen(g) => g.len(),
+        }
+    }
+
+    /// The single-column key at row `i` (`None` = unmatchable). Only
+    /// meaningful for width-1 sides — index-probe callers guarantee that.
+    pub(crate) fn one_at(&self, i: usize) -> Option<VKey> {
+        match self {
+            SideKeys::Cols(cols) => cols[0].at(i),
+            SideKeys::Gen(g) => g[i].as_ref().map(|k| match k {
+                JoinKey::One(v) => v.clone(),
+                JoinKey::Many(_) => unreachable!("width-1 side holds One keys"),
+            }),
+        }
+    }
+
+    /// Degrade to the general representation (mixed shapes across
+    /// batches, or a representation pairing the join loop cannot fuse).
+    pub(crate) fn into_gen(self) -> Vec<Option<JoinKey>> {
+        match self {
+            SideKeys::Gen(g) => g,
+            SideKeys::Cols(cols) => {
+                let len = cols.first().map_or(0, KeyCol::len);
+                (0..len)
+                    .map(|i| -> Option<JoinKey> {
+                        if let [col] = cols.as_slice() {
+                            return col.at(i).map(JoinKey::One);
+                        }
+                        let mut tuple = Vec::with_capacity(cols.len());
+                        for c in &cols {
+                            tuple.push(c.at(i)?);
+                        }
+                        Some(JoinKey::Many(tuple))
+                    })
+                    .collect()
+            }
+        }
+    }
 }
 
 /// Evaluate one side's key tuples, batch at a time. `None` aborts to the
 /// scalar join (subquery in a key, or any row-level evaluation error);
-/// evaluation is pure, so aborting is free. Per-row `None` entries mark
-/// unmatchable keys (NULL/NaN component), as in the row path's `side_key`.
+/// evaluation is pure, so aborting is free. Single-column keys stay in
+/// their typed form — numeric bit patterns or dictionary codes — for the
+/// code-space join loops; composite or mixed-shape keys degrade to
+/// [`SideKeys::Gen`], whose `None` entries mark unmatchable keys
+/// (NULL/NaN component), as in the row path's `side_key`.
 fn side_keys(
     sel: &CSelect,
     rel: &Rel,
@@ -1060,91 +1565,412 @@ fn side_keys(
     left_side: bool,
     batch: usize,
     flags: &[bool],
-) -> Option<Vec<Option<JoinKey>>> {
+    pool: &BatchPool,
+) -> Option<SideKeys> {
     let pick = |k: &(ExprId, ExprId)| if left_side { k.0 } else { k.1 };
     if keys.iter().any(|k| flags[pick(k)]) {
         return None;
     }
-    let ev = Ev { sel, rel, flags };
-    let mut out: Vec<Option<JoinKey>> = Vec::with_capacity(rel.len);
+    let ev = Ev::new(sel, rel, flags, pool);
+    // Every column starts as an empty (shapeless) Bits accumulator; the
+    // first batch picks each column's real form. A shape any column cannot
+    // extend (a computed key flipping from typed to `Vals`, two sources
+    // with different dictionaries feeding one key, a Const/Bool key)
+    // degrades the whole side to Gen — checked before appending anything,
+    // so the columns never go out of step.
+    let mut acc = SideKeys::Cols(
+        keys.iter()
+            .map(|_| {
+                let mut bits = pool.take_u64();
+                bits.reserve(rel.len);
+                KeyCol::Bits(bits)
+            })
+            .collect(),
+    );
+    let mut scratch = pool.take_u32();
     let mut start = 0usize;
     while start < rel.len {
         let end = (start + batch).min(rel.len);
-        let rows: Vec<u32> = (start as u32..end as u32).collect();
+        scratch.clear();
+        scratch.extend(start as u32..end as u32);
+        let rows: &[u32] = &scratch;
         let cols: Vec<VCol> =
-            keys.iter().map(|k| ev.eval(pick(k), &rows)).collect::<Result<_, _>>().ok()?;
-        for i in 0..rows.len() {
-            if let [col] = cols.as_slice() {
-                // Single-column key: no tuple allocation.
-                let k = key_at(col, i);
-                out.push((!k.unmatchable()).then_some(JoinKey::One(k)));
-                continue;
-            }
-            let mut tuple = Vec::with_capacity(cols.len());
-            let mut dead = false;
-            for c in &cols {
-                let k = key_at(c, i);
-                if k.unmatchable() {
-                    dead = true;
-                    break;
+            keys.iter().map(|k| ev.eval(pick(k), rows)).collect::<Result<_, _>>().ok()?;
+        match &mut acc {
+            SideKeys::Cols(kcols)
+                if kcols.iter().zip(&cols).all(|(kc, c)| kc.can_append(c)) =>
+            {
+                for (kc, c) in kcols.iter_mut().zip(&cols) {
+                    kc.append(c, rows.len());
                 }
-                tuple.push(k);
             }
-            out.push(if dead { None } else { Some(JoinKey::Many(tuple)) });
+            _ => {
+                let mut gen =
+                    std::mem::replace(&mut acc, SideKeys::Gen(Vec::new())).into_gen();
+                append_gen(&mut gen, &cols, rows.len());
+                acc = SideKeys::Gen(gen);
+            }
+        }
+        for c in cols {
+            c.recycle(pool);
         }
         snails_obs::add(Obs::EngineVecBatches, 1);
         snails_obs::add(Obs::EngineOpJoinBatches, 1);
         start = end;
     }
-    Some(out)
+    pool.put_u32(scratch);
+    Some(acc)
+}
+
+/// Append one batch of evaluated key columns in the general [`JoinKey`]
+/// form (`None` = any component unmatchable).
+pub(crate) fn append_gen(out: &mut Vec<Option<JoinKey>>, cols: &[VCol], n: usize) {
+    if let [col] = cols {
+        for i in 0..n {
+            let k = key_at(col, i);
+            out.push((!k.unmatchable()).then_some(JoinKey::One(k)));
+        }
+        return;
+    }
+    for i in 0..n {
+        let mut tuple = Vec::with_capacity(cols.len());
+        let mut dead = false;
+        for c in cols {
+            let k = key_at(c, i);
+            if k.unmatchable() {
+                dead = true;
+                break;
+            }
+            tuple.push(k);
+        }
+        out.push(if dead { None } else { Some(JoinKey::Many(tuple)) });
+    }
 }
 
 /// Build/probe hash join over row ids — identical structure, charge points,
 /// and emission order to [`Runner::hash_join`], with keys pre-evaluated
-/// (and pre-proven error-free) by [`side_keys`]. Single-column numeric keys
-/// take a pre-hashed `u64` fast path; everything else hashes [`JoinKey`]s.
+/// (and pre-proven error-free) by [`side_keys`]. Each key column pairs
+/// into `u64` atoms — numeric columns join directly on key bits,
+/// dictionary-string columns on codes after a once-per-join code→code
+/// translation, and a string column against a numeric column can never
+/// match so it joins as all-unmatchable (pads and charge sequence are
+/// preserved). One- and two-column keys then run the flat code-space
+/// loops on `u64` / `(u64, u64)` atoms; wider keys (rare) and
+/// non-atomizable sides hash [`JoinKey`]s.
 fn hash_join_vec(
     r: &Runner<'_>,
     left: Rel,
     right: Rel,
     join: &CJoin,
-    lkeys: Vec<Option<JoinKey>>,
-    rkeys: Vec<Option<JoinKey>>,
+    lk: SideKeys,
+    rk: SideKeys,
 ) -> Result<Rel, EngineError> {
-    let emits = match (fast_bits(&lkeys), fast_bits(&rkeys)) {
-        (Some(lb), Some(rb)) => {
-            hash_join_pairs::<u64, std::hash::BuildHasherDefault<U64Hasher>>(
-                r, join.kind, &lb, &rb,
+    let emits = match (lk, rk) {
+        (SideKeys::Cols(lc), SideKeys::Cols(rc)) if lc.len() <= 2 => {
+            debug_assert_eq!(lc.len(), rc.len(), "join sides share the key list");
+            let build_right = join.kind != JoinKind::Right;
+            let mut dict_rows = 0u64;
+            let atoms: Vec<(Vec<u64>, Vec<u64>)> = lc
+                .into_iter()
+                .zip(rc)
+                .map(|(l, right_col)| atom_pair(l, right_col, build_right, &mut dict_rows))
+                .collect();
+            // Commit-point telemetry: code columns stream through the
+            // code-space loop (side_keys already proved vectorizability,
+            // so the join itself cannot abort).
+            if dict_rows > 0 {
+                snails_obs::add(Obs::EngineVecDictKernelRows, dict_rows);
+            }
+            let emits = match atoms.as_slice() {
+                [(l0, r0)] => join_atoms(r, join.kind, l0, r0)?,
+                [(l0, r0), (l1, r1)] => {
+                    let lz: Vec<(u64, u64)> =
+                        l0.iter().zip(l1).map(|(&a, &b)| (a, b)).collect();
+                    let rz: Vec<(u64, u64)> =
+                        r0.iter().zip(r1).map(|(&a, &b)| (a, b)).collect();
+                    join_atoms(r, join.kind, &lz, &rz)?
+                }
+                _ => unreachable!("guard admits one or two key columns"),
+            };
+            for (a, b) in atoms {
+                r.pool.put_u64(a);
+                r.pool.put_u64(b);
+            }
+            emits
+        }
+        (lk, rk) => {
+            let (lg, rg) = (lk.into_gen(), rk.into_gen());
+            hash_join_pairs::<JoinKey, std::collections::hash_map::RandomState>(
+                r, join.kind, &lg, &rg,
             )?
         }
-        _ => hash_join_pairs::<JoinKey, std::collections::hash_map::RandomState>(
-            r, join.kind, &lkeys, &rkeys,
-        )?,
     };
-    Ok(combine(left, right, &emits))
+    let joined = combine(left, right, &emits, &r.pool);
+    r.pool.put_pairs(emits);
+    Ok(joined)
 }
 
-/// Pre-hashed bits for one side's keys when every live key is a single
-/// numeric component; `None` when any key is textual or composite.
-fn fast_bits(keys: &[Option<JoinKey>]) -> Option<Vec<Option<u64>>> {
-    keys.iter()
-        .map(|k| match k {
-            None => Some(None),
-            Some(JoinKey::One(VKey::Num(b))) => Some(Some(*b)),
-            Some(_) => None,
-        })
-        .collect()
+/// Pair one key column across the two sides into `u64` atom vectors whose
+/// equality is exactly [`VKey`] equality. `build_right` names the build
+/// side for dictionary canonicalization (it does not affect emission
+/// order). A string column against a numeric column can never match (the
+/// row path's `HashKey` classes are disjoint), so the string side turns
+/// all-[`DEAD_KEY`] — for emissions and charges, a live key that matches
+/// nothing is indistinguishable from a dead one. Rows streamed through
+/// the code translation accumulate into `dict_rows` (the caller decides
+/// when that telemetry commits — the optimizer's pure phase defers it).
+pub(crate) fn atom_pair(
+    l: KeyCol,
+    right_col: KeyCol,
+    build_right: bool,
+    dict_rows: &mut u64,
+) -> (Vec<u64>, Vec<u64>) {
+    match (l, right_col) {
+        (KeyCol::Bits(lb), KeyCol::Bits(rb)) => (lb, rb),
+        (
+            KeyCol::Codes { codes: lc, dict: ld },
+            KeyCol::Codes { codes: rc, dict: rd },
+        ) => {
+            *dict_rows += (lc.len() + rc.len()) as u64;
+            // Canonicalize against the build side's dictionary; canonical
+            // codes are < 2^32, so they never collide with DEAD_KEY.
+            if build_right {
+                let (bbits, pbits) = translate_codes(&rc, &rd, &lc, &ld);
+                (pbits, bbits)
+            } else {
+                let (bbits, pbits) = translate_codes(&lc, &ld, &rc, &rd);
+                (bbits, pbits)
+            }
+        }
+        (KeyCol::Codes { codes, .. }, KeyCol::Bits(rb)) => (vec![DEAD_KEY; codes.len()], rb),
+        (KeyCol::Bits(lb), KeyCol::Codes { codes, .. }) => {
+            let n = codes.len();
+            (lb, vec![DEAD_KEY; n])
+        }
+    }
 }
 
-/// The build/probe loops, generic over the key representation (`None` =
-/// unmatchable). Charge points and emission order are the row path's.
+/// Case-insensitive code→code translation for a dictionary join. Each
+/// build code maps to its canonical code (the first build code sharing
+/// its lowercase form — dictionaries dedupe raw strings, so two codes can
+/// still collide case-insensitively); each probe code maps to the
+/// canonical build code of its lowercase form, or [`DEAD_KEY`] when the
+/// build dictionary has no such string. Built once per join — the
+/// per-row loops are then pure `u32 → u64` lookups.
+fn translate_codes(
+    build: &[u32],
+    bdict: &Dict,
+    probe: &[u32],
+    pdict: &Dict,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut canon: HashMap<&str, u64> = HashMap::with_capacity(bdict.len());
+    let mut bcanon: Vec<u64> = Vec::with_capacity(bdict.len());
+    for c in 0..bdict.len() {
+        let e = *canon.entry(bdict.lower[c].as_ref()).or_insert(c as u64);
+        bcanon.push(e);
+    }
+    let ptrans: Vec<u64> = (0..pdict.len())
+        .map(|p| canon.get(pdict.lower[p].as_ref()).copied().unwrap_or(DEAD_KEY))
+        .collect();
+    let bbits = build
+        .iter()
+        .map(|&c| if c == NULL_CODE { DEAD_KEY } else { bcanon[c as usize] })
+        .collect();
+    let pbits = probe
+        .iter()
+        .map(|&c| if c == NULL_CODE { DEAD_KEY } else { ptrans[c as usize] })
+        .collect();
+    (bbits, pbits)
+}
+
+/// A fixed-width join-key atom the flat code-space loops can build and
+/// probe on: one `u64` per key column, compared bit-for-bit, with
+/// [`DEAD_KEY`] in any column marking the whole key unmatchable.
+/// [`U64Hasher`] folds each column into its running state, so the tuple
+/// form hashes well with the same zero-cost hasher as the scalar form.
+pub(crate) trait AtomKey: Copy + Eq + std::hash::Hash {
+    fn dead(self) -> bool;
+}
+
+impl AtomKey for u64 {
+    fn dead(self) -> bool {
+        self == DEAD_KEY
+    }
+}
+
+impl AtomKey for (u64, u64) {
+    fn dead(self) -> bool {
+        self.0 == DEAD_KEY || self.1 == DEAD_KEY
+    }
+}
+
+/// Pure inner-join build/probe over atoms: build over the right side in
+/// ascending row order, probe in left order — the same emission sequence
+/// as the generic `JoinKey` table loop — with no charges and no
+/// observability (the cost-based planner's pure phase defers both to its
+/// commit point).
+pub(crate) fn pure_inner_join_atoms<K: AtomKey>(
+    lkeys: &[K],
+    rkeys: &[K],
+    pool: &BatchPool,
+) -> Vec<(u32, u32)> {
+    let mut table: HashMap<K, Vec<u32>, std::hash::BuildHasherDefault<U64Hasher>> =
+        HashMap::default();
+    for (ri, &k) in rkeys.iter().enumerate() {
+        if !k.dead() {
+            table.entry(k).or_default().push(ri as u32);
+        }
+    }
+    let mut emits = pool.take_pairs();
+    emits.reserve(lkeys.len());
+    for (li, &k) in lkeys.iter().enumerate() {
+        if !k.dead() {
+            if let Some(hits) = table.get(&k) {
+                for &ri in hits {
+                    emits.push((li as u32, ri));
+                }
+            }
+        }
+    }
+    emits
+}
+
+/// The atom build/probe loops ([`AtomKey::dead`] = unmatchable). The build
+/// is two-pass — count per key, prefix-sum, scatter into one flat row-id
+/// array — so a build side of `k` distinct keys costs three allocations
+/// instead of `k` per-key vectors. Probe charges mirror the row path
+/// per-row; when the budget is unlimited (nothing can trip) they
+/// accumulate and charge once, keeping the meter totals identical.
+fn join_atoms<K: AtomKey>(
+    r: &Runner<'_>,
+    kind: JoinKind,
+    lbits: &[K],
+    rbits: &[K],
+) -> Result<Vec<(u32, u32)>, EngineError> {
+    let bulk = r.opts.limits.is_unlimited();
+    let bkeys = match kind {
+        JoinKind::Right => lbits,
+        _ => rbits,
+    };
+    r.meter.charge_join(bkeys.len() as u64)?;
+    // Pass 1: group index per distinct key, count per group.
+    let mut groups: HashMap<K, u32, std::hash::BuildHasherDefault<U64Hasher>> =
+        HashMap::default();
+    let mut counts = r.pool.take_u32();
+    for &k in bkeys {
+        if !k.dead() {
+            match groups.entry(k) {
+                Entry::Occupied(e) => counts[*e.get() as usize] += 1,
+                Entry::Vacant(e) => {
+                    e.insert(counts.len() as u32);
+                    counts.push(1);
+                }
+            }
+        }
+    }
+    // Pass 2: prefix-sum offsets, scatter build rows ascending.
+    let mut starts = r.pool.take_u32();
+    let mut acc = 0u32;
+    for &c in &counts {
+        starts.push(acc);
+        acc += c;
+    }
+    let mut flat = r.pool.take_u32();
+    flat.resize(acc as usize, 0);
+    let mut cursor = r.pool.take_u32();
+    cursor.extend_from_slice(&starts);
+    for (bi, &k) in bkeys.iter().enumerate() {
+        if !k.dead() {
+            let g = groups[&k] as usize;
+            flat[cursor[g] as usize] = bi as u32;
+            cursor[g] += 1;
+        }
+    }
+    r.pool.put_u32(cursor);
+    let lookup = |k: K| -> &[u32] {
+        if k.dead() {
+            return &[];
+        }
+        match groups.get(&k) {
+            Some(&g) => &flat[starts[g as usize] as usize..][..counts[g as usize] as usize],
+            None => &[],
+        }
+    };
+    // Most equi-joins emit about one row per probe (foreign-key shape);
+    // reserving that much up front avoids the doubling-realloc chain on
+    // the pooled buffer's first growth.
+    let probe_len = if kind == JoinKind::Right { rbits.len() } else { lbits.len() };
+    let mut emits = r.pool.take_pairs();
+    emits.reserve(probe_len);
+    let mut charge_acc = 0u64;
+    match kind {
+        JoinKind::Inner | JoinKind::Left | JoinKind::Full => {
+            let mut right_matched =
+                if kind == JoinKind::Full { vec![false; rbits.len()] } else { Vec::new() };
+            for (li, &k) in lbits.iter().enumerate() {
+                let hits = lookup(k);
+                if bulk {
+                    charge_acc += 1 + hits.len() as u64;
+                } else {
+                    r.meter.charge_join(1 + hits.len() as u64)?;
+                }
+                for &ri in hits {
+                    emits.push((li as u32, ri));
+                    if kind == JoinKind::Full {
+                        right_matched[ri as usize] = true;
+                    }
+                }
+                if hits.is_empty() && kind != JoinKind::Inner {
+                    emits.push((li as u32, NONE_RID));
+                }
+            }
+            if bulk {
+                r.meter.charge_join(charge_acc)?;
+            }
+            if kind == JoinKind::Full {
+                for (ri, m) in right_matched.iter().enumerate() {
+                    if !m {
+                        emits.push((NONE_RID, ri as u32));
+                    }
+                }
+            }
+        }
+        JoinKind::Right => {
+            for (ri, &k) in rbits.iter().enumerate() {
+                let hits = lookup(k);
+                if bulk {
+                    charge_acc += 1 + hits.len() as u64;
+                } else {
+                    r.meter.charge_join(1 + hits.len() as u64)?;
+                }
+                for &li in hits {
+                    emits.push((li, ri as u32));
+                }
+                if hits.is_empty() {
+                    emits.push((NONE_RID, ri as u32));
+                }
+            }
+            if bulk {
+                r.meter.charge_join(charge_acc)?;
+            }
+        }
+        JoinKind::Cross => unreachable!("cross joins never take the hash path"),
+    }
+    r.pool.put_u32(counts);
+    r.pool.put_u32(starts);
+    r.pool.put_u32(flat);
+    Ok(emits)
+}
+
+/// The generic build/probe loops over [`JoinKey`]s (`None` = unmatchable).
+/// Charge points and emission order are the row path's.
 fn hash_join_pairs<K: std::hash::Hash + Eq, S: std::hash::BuildHasher + Default>(
     r: &Runner<'_>,
     kind: JoinKind,
     lkeys: &[Option<K>],
     rkeys: &[Option<K>],
 ) -> Result<Vec<(u32, u32)>, EngineError> {
-    let mut emits: Vec<(u32, u32)> = Vec::new();
+    let mut emits = r.pool.take_pairs();
     match kind {
         JoinKind::Inner | JoinKind::Left | JoinKind::Full => {
             let mut table: HashMap<&K, Vec<u32>, S> = HashMap::default();
@@ -1205,24 +2031,26 @@ fn hash_join_pairs<K: std::hash::Hash + Eq, S: std::hash::BuildHasher + Default>
 }
 
 /// Stitch two relations into the joined relation described by `emits`
-/// (pairs of logical row ids, `NONE_RID` for outer-join pads).
-fn combine(left: Rel, right: Rel, emits: &[(u32, u32)]) -> Rel {
+/// (pairs of logical row ids, `NONE_RID` for outer-join pads). The output
+/// row-id vectors come from `pool`; the inputs' vectors recycle into it.
+fn combine(left: Rel, right: Rel, emits: &[(u32, u32)], pool: &BatchPool) -> Rel {
     let mut rowids: Vec<Vec<u32>> = Vec::with_capacity(left.srcs.len() + right.srcs.len());
     for ids in &left.rowids {
-        rowids.push(
-            emits
-                .iter()
-                .map(|&(l, _)| if l == NONE_RID { NONE_RID } else { ids[l as usize] })
-                .collect(),
+        let mut out = pool.take_u32();
+        out.extend(
+            emits.iter().map(|&(l, _)| if l == NONE_RID { NONE_RID } else { ids[l as usize] }),
         );
+        rowids.push(out);
     }
     for ids in &right.rowids {
-        rowids.push(
-            emits
-                .iter()
-                .map(|&(_, rr)| if rr == NONE_RID { NONE_RID } else { ids[rr as usize] })
-                .collect(),
+        let mut out = pool.take_u32();
+        out.extend(
+            emits.iter().map(|&(_, rr)| if rr == NONE_RID { NONE_RID } else { ids[rr as usize] }),
         );
+        rowids.push(out);
+    }
+    for ids in left.rowids.into_iter().chain(right.rowids) {
+        pool.put_u32(ids);
     }
     let shift = left.srcs.len() as u32;
     let mut col_map = left.col_map;
@@ -1261,14 +2089,17 @@ fn tail_needs_scalar(sel: &CSelect, flags: &[bool]) -> bool {
     })
 }
 
-/// The tail of one block. Everything up to the commit point is *pure*
-/// pre-evaluation; any [`Unvec`] (or plain evaluation error) falls back to
-/// [`Runner::tail`] over materialized rows, which — having made no charges
-/// yet — replays the row path's exact charge/error interleaving.
+/// The tail of one block, over `input` (a fused filter's selection
+/// vector) or all of `rel` when `None`. Everything up to the commit point
+/// is *pure* pre-evaluation; any [`Unvec`] (or plain evaluation error)
+/// falls back to [`Runner::tail`] over the materialized selection, which
+/// — having made no charges yet — replays the row path's exact
+/// charge/error interleaving.
 pub(crate) fn tail(
     r: &Runner<'_>,
     sel: &CSelect,
     rel: &Rel,
+    input: Option<&[u32]>,
     flags: &[bool],
 ) -> Result<ResultSet, EngineError> {
     // Plan-time projection errors surface here, exactly as in the row path.
@@ -1276,89 +2107,194 @@ pub(crate) fn tail(
         Ok(p) => p,
         Err(e) => return Err(e.clone()),
     };
+    let n_input = input.map_or(rel.len, <[u32]>::len);
     if tail_needs_scalar(sel, flags) {
-        return r.tail(sel, rel.materialize_all(), None);
+        return match input {
+            Some(s) => r.tail(sel, rel.materialize_sel(s), None),
+            None => r.tail(sel, rel.materialize_all(), None),
+        };
     }
     // Global aggregate over zero rows: the representative is a synthetic
     // all-NULL row no selection vector can address — delegate (free: no
     // charges precede it and there is nothing to materialize).
-    if sel.grouped && sel.group_by.is_empty() && rel.len == 0 {
+    if sel.grouped && sel.group_by.is_empty() && n_input == 0 {
         return r.tail(sel, Vec::new(), None);
     }
 
-    let ev = Ev { sel, rel, flags };
-    let all: Vec<u32> = (0..rel.len as u32).collect();
+    let ev = Ev::new(sel, rel, flags, &r.pool);
+    let iota_buf: Option<Vec<u32>> = match input {
+        Some(_) => None,
+        None => {
+            let mut v = r.pool.take_u32();
+            v.extend(0..rel.len as u32);
+            Some(v)
+        }
+    };
+    let all: &[u32] = match input {
+        Some(s) => s,
+        None => iota_buf.as_deref().expect("iota built"),
+    };
+    let fallback = || match input {
+        Some(s) => r.tail(sel, rel.materialize_sel(s), None),
+        None => r.tail(sel, rel.materialize_all(), None),
+    };
 
     // -- Pure phase ------------------------------------------------------
-    // Units as representative row ids plus, when grouped, member row-id
-    // sets. The ungrouped 1:1 case carries no member sets at all —
+    // Units as representative row ids plus, when grouped, member row ids
+    // flattened into one pooled array with per-unit spans (two-pass: count
+    // and assign group indices, then prefix-sum and stable-scatter — so a
+    // grouping of `k` groups costs O(1) allocations, not `k` per-group
+    // vectors). The ungrouped 1:1 case carries no member sets at all —
     // aggregates cannot appear ungrouped, so they are never consulted and
     // the per-row singleton vectors the row path builds would be pure
     // allocator churn.
-    let group_units: Option<Vec<(u32, Vec<u32>)>> = if sel.grouped {
-        Some(if sel.group_by.is_empty() {
-            vec![(0, all.clone())]
+    let group_data: Option<GroupData> = if sel.grouped {
+        if sel.group_by.is_empty() {
+            let mut flat = r.pool.take_u32();
+            flat.extend_from_slice(all);
+            Some((vec![all[0]], flat, vec![(0, n_input as u32)]))
         } else {
             let cols: Vec<VCol> = match sel
                 .group_by
                 .iter()
-                .map(|&g| ev.eval(g, &all))
+                .map(|&g| ev.eval(g, all))
                 .collect::<Result<_, Unvec>>()
             {
                 Ok(c) => c,
-                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+                Err(Unvec) => return fallback(),
             };
-            let mut units: Vec<(u32, Vec<u32>)> = Vec::new();
-            // Single integer key: group on pre-hashed key bits (the bits
-            // *are* the `hash_key` equivalence class; `DEAD_KEY` is a NaN
-            // pattern no integer can reach, so it can stand in for the
-            // NULL group).
-            if let [VCol::I64 { vals, valid }] = cols.as_slice() {
-                let mut groups: FastMap<usize> = FastMap::default();
-                for (i, &val) in vals.iter().enumerate().take(rel.len) {
-                    let bits = if valid.get(i) {
-                        let VKey::Num(b) = VKey::num(val as f64) else { unreachable!() };
-                        b
-                    } else {
-                        DEAD_KEY
-                    };
-                    match groups.entry(bits) {
-                        Entry::Occupied(e) => units[*e.get()].1.push(i as u32),
-                        Entry::Vacant(e) => {
-                            e.insert(units.len());
-                            units.push((i as u32, vec![i as u32]));
-                        }
+            // Pass 1: group index per input position, in first-occurrence
+            // order (the row path's unit order).
+            let mut gidx = r.pool.take_u32();
+            let mut reps: Vec<u32> = Vec::new();
+            let mut counts: Vec<u32> = Vec::new();
+            match cols.as_slice() {
+                // Single integer key: group on pre-hashed key bits (the
+                // bits *are* the `hash_key` equivalence class; `DEAD_KEY`
+                // is a NaN pattern no integer can reach, so it can stand
+                // in for the NULL group).
+                [VCol::I64 { vals, valid }] => {
+                    let mut groups: FastMap<u32> = FastMap::default();
+                    for (i, &row) in all.iter().enumerate() {
+                        let bits = if valid.get(i) {
+                            let VKey::Num(b) = VKey::num(vals[i] as f64) else { unreachable!() };
+                            b
+                        } else {
+                            DEAD_KEY
+                        };
+                        let g = match groups.entry(bits) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                let g = reps.len() as u32;
+                                e.insert(g);
+                                reps.push(row);
+                                counts.push(0);
+                                g
+                            }
+                        };
+                        counts[g as usize] += 1;
+                        gidx.push(g);
                     }
                 }
-            } else {
-                let mut groups: HashMap<Vec<VKey>, usize> = HashMap::new();
-                for i in 0..rel.len {
-                    let key: Vec<VKey> = cols.iter().map(|c| key_at(c, i)).collect();
-                    match groups.entry(key) {
-                        Entry::Occupied(e) => units[*e.get()].1.push(i as u32),
-                        Entry::Vacant(e) => {
-                            e.insert(units.len());
-                            units.push((i as u32, vec![i as u32]));
-                        }
+                // Single dictionary-string key: group codes through a
+                // lazily built code→group map. Two codes sharing a
+                // lowercase form land in one group — the same
+                // case-insensitive equivalence class `HashKey` (and the
+                // NDV statistics in `crate::stats`) use.
+                [VCol::Str { codes, valid, dict }] => {
+                    ev.count_dict(all.len());
+                    const UNSEEN: u32 = u32::MAX;
+                    let mut code_group: Vec<u32> = vec![UNSEEN; dict.len()];
+                    let mut lower_group: HashMap<&str, u32> = HashMap::new();
+                    let mut null_group = UNSEEN;
+                    for (i, &row) in all.iter().enumerate() {
+                        let g = if valid.get(i) {
+                            let c = codes[i] as usize;
+                            let mut g = code_group[c];
+                            if g == UNSEEN {
+                                g = match lower_group.entry(dict.lower[c].as_ref()) {
+                                    Entry::Occupied(e) => *e.get(),
+                                    Entry::Vacant(e) => {
+                                        let g = reps.len() as u32;
+                                        e.insert(g);
+                                        reps.push(row);
+                                        counts.push(0);
+                                        g
+                                    }
+                                };
+                                code_group[c] = g;
+                            }
+                            g
+                        } else {
+                            if null_group == UNSEEN {
+                                null_group = reps.len() as u32;
+                                reps.push(row);
+                                counts.push(0);
+                            }
+                            null_group
+                        };
+                        counts[g as usize] += 1;
+                        gidx.push(g);
+                    }
+                }
+                _ => {
+                    let mut groups: HashMap<Vec<VKey>, u32> = HashMap::new();
+                    for (i, &row) in all.iter().enumerate() {
+                        let key: Vec<VKey> = cols.iter().map(|c| key_at(c, i)).collect();
+                        let g = match groups.entry(key) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                let g = reps.len() as u32;
+                                e.insert(g);
+                                reps.push(row);
+                                counts.push(0);
+                                g
+                            }
+                        };
+                        counts[g as usize] += 1;
+                        gidx.push(g);
                     }
                 }
             }
-            units
-        })
+            for c in cols {
+                c.recycle(&r.pool);
+            }
+            // Pass 2: prefix-sum spans, stable scatter (within-group row
+            // order is input order, as the row path's push-per-row built).
+            let mut spans: Vec<(u32, u32)> = Vec::with_capacity(counts.len());
+            let mut acc = 0u32;
+            for &c in &counts {
+                spans.push((acc, acc + c));
+                acc += c;
+            }
+            let mut cursor: Vec<u32> = spans.iter().map(|s| s.0).collect();
+            let mut flat = r.pool.take_u32();
+            flat.resize(n_input, 0);
+            for (i, &row) in all.iter().enumerate() {
+                let g = gidx[i] as usize;
+                flat[cursor[g] as usize] = row;
+                cursor[g] += 1;
+            }
+            r.pool.put_u32(gidx);
+            Some((reps, flat, spans))
+        }
     } else {
         None
     };
-    let reps: Vec<u32> = match &group_units {
-        Some(units) => units.iter().map(|u| u.0).collect(),
+    let reps: &[u32] = match &group_data {
+        Some((reps, _, _)) => reps,
         None => all,
     };
-    let units = Units { reps: &reps, members: group_units.as_deref() };
+    let units = Units {
+        reps,
+        members: group_data.as_ref().map(|(_, flat, spans)| (flat.as_slice(), spans.as_slice())),
+    };
     let n_units = units.reps.len();
 
     let having: Option<Vec<Value>> = match &sel.having {
         Some(h) => match eval_unit_vec(&ev, h, &units) {
             Ok(v) => Some(v),
-            Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+            Err(Unvec) => return fallback(),
         },
         None => None,
     };
@@ -1370,12 +2306,14 @@ pub(crate) fn tail(
     for item in items {
         let vals = match item {
             CItem::Passthrough(idx) => {
-                let col = rel.gather(*idx, units.reps);
-                (0..n_units).map(|i| col.value_at(i)).collect()
+                let col = rel.gather(*idx, units.reps, &r.pool);
+                let vals = (0..n_units).map(|i| col.value_at(i)).collect();
+                col.recycle(&r.pool);
+                vals
             }
             CItem::Expr(u) => match eval_unit_vec(&ev, u, &units) {
                 Ok(v) => v,
-                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+                Err(Unvec) => return fallback(),
             },
         };
         item_vals.push(vals);
@@ -1386,15 +2324,20 @@ pub(crate) fn tail(
             COrder::Output(_) => None,
             COrder::Unit(u) => match eval_unit_vec(&ev, u, &units) {
                 Ok(v) => Some(v),
-                Err(Unvec) => return r.tail(sel, rel.materialize_all(), None),
+                Err(Unvec) => return fallback(),
             },
         });
     }
 
     // -- Commit phase ----------------------------------------------------
-    // Charges and observations in the row path's exact order.
+    // Charges and observations in the row path's exact order. The pure
+    // phase succeeded, so its dict-kernel row counts commit here too.
+    let dict = ev.dict_rows.replace(0);
+    if dict > 0 {
+        snails_obs::add(Obs::EngineVecDictKernelRows, dict);
+    }
     if sel.grouped && !sel.group_by.is_empty() {
-        r.meter.charge_steps(rel.len as u64)?;
+        r.meter.charge_steps(n_input as u64)?;
     }
     if sel.grouped {
         snails_obs::observe(Obs::EngineOpGroupUnits, n_units as u64);
@@ -1444,15 +2387,29 @@ pub(crate) fn tail(
     if let Some(n) = sel.top {
         out_rows.truncate(n as usize);
     }
+    if let Some((_, flat, _)) = group_data {
+        r.pool.put_u32(flat);
+    }
+    if let Some(v) = iota_buf {
+        r.pool.put_u32(v);
+    }
     Ok(ResultSet { columns: out_columns.clone(), rows: out_rows })
 }
+
+/// Owned grouped-unit layout out of the grouping pass: `(reps, flat,
+/// spans)` in the row path's first-occurrence unit order.
+type GroupData = (Vec<u32>, Vec<u32>, Vec<(u32, u32)>);
+
+/// Grouped-unit member layout: `(flat, spans)` — member row ids of unit
+/// `u` are `flat[spans[u].0 as usize..spans[u].1 as usize]`.
+type MemberView<'a> = (&'a [u32], &'a [(u32, u32)]);
 
 /// Tail evaluation units: one representative row id per unit plus, when
 /// grouped, the member row-id set per unit (absent in the ungrouped 1:1
 /// case, where no aggregate can reference it).
 struct Units<'a> {
     reps: &'a [u32],
-    members: Option<&'a [(u32, Vec<u32>)]>,
+    members: Option<MemberView<'a>>,
 }
 
 /// Evaluate one projection/`HAVING`/`ORDER BY` unit over every unit's
@@ -1461,16 +2418,18 @@ fn eval_unit_vec(ev: &Ev<'_>, u: &CUnit, units: &Units<'_>) -> Result<Vec<Value>
     match u {
         CUnit::Row(id) => {
             let col = ev.eval(*id, units.reps)?;
-            Ok((0..units.reps.len()).map(|i| col.value_at(i)).collect())
+            let out = (0..units.reps.len()).map(|i| col.value_at(i)).collect();
+            col.recycle(ev.pool);
+            Ok(out)
         }
         CUnit::Grouped(g) => eval_gexpr(ev, g, units),
     }
 }
 
 /// Evaluate a grouped expression per unit. Aggregate arguments evaluate
-/// once over the concatenation of all member sets, then typed kernels
-/// reduce each segment; anything the kernels cannot prove error-free
-/// (overflow, text arithmetic, `DISTINCT` over mixed data) falls back to
+/// once over the pre-flattened member array, then typed kernels reduce
+/// each span; anything the kernels cannot prove error-free (overflow,
+/// text arithmetic, `DISTINCT` over mixed data) falls back to
 /// [`finish_aggregate`] on gathered values, and its errors abort to the
 /// scalar runner.
 fn eval_gexpr(ev: &Ev<'_>, g: &GExpr, units: &Units<'_>) -> Result<Vec<Value>, Unvec> {
@@ -1478,32 +2437,35 @@ fn eval_gexpr(ev: &Ev<'_>, g: &GExpr, units: &Units<'_>) -> Result<Vec<Value>, U
     match g {
         GExpr::Row(id) => {
             let col = ev.eval(*id, units.reps)?;
-            Ok((0..n).map(|i| col.value_at(i)).collect())
+            let out = (0..n).map(|i| col.value_at(i)).collect();
+            col.recycle(ev.pool);
+            Ok(out)
         }
         GExpr::Agg { name, distinct, arg } => {
             // A grouped unit outside a grouped block would mean the plan
             // lowered an aggregate the block cannot host; the scalar
             // runner owns that error.
-            let Some(members) = units.members else { return Err(Unvec) };
+            let Some((flat, spans)) = units.members else { return Err(Unvec) };
             match arg {
                 AggArg::CountStar => {
-                    Ok(members.iter().map(|u| Value::Int(u.1.len() as i64)).collect())
+                    Ok(spans.iter().map(|&(s, e)| Value::Int(i64::from(e - s))).collect())
                 }
                 // Always-erroring forms: the scalar runner owns the message.
                 AggArg::StarInvalid | AggArg::Missing => Err(Unvec),
                 AggArg::Expr(id) => {
-                    let mut concat: Vec<u32> = Vec::new();
-                    let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(n);
-                    for (_, group) in members {
-                        let start = concat.len();
-                        concat.extend_from_slice(group);
-                        bounds.push((start, concat.len()));
-                    }
-                    let col = ev.eval(*id, &concat)?;
+                    let col = ev.eval(*id, flat)?;
                     let mut out = Vec::with_capacity(n);
-                    for &(start, end) in &bounds {
-                        out.push(reduce_segment(name, *distinct, &col, start, end)?);
+                    for &(start, end) in spans {
+                        match reduce_segment(name, *distinct, &col, start as usize, end as usize)
+                        {
+                            Ok(v) => out.push(v),
+                            Err(Unvec) => {
+                                col.recycle(ev.pool);
+                                return Err(Unvec);
+                            }
+                        }
                     }
+                    col.recycle(ev.pool);
                     Ok(out)
                 }
             }
@@ -1587,44 +2549,43 @@ fn reduce_i64(
     end: usize,
 ) -> Result<Value, Unvec> {
     let live = (start..end).filter(|&i| valid.get(i));
+    // Matched without uppercasing: this runs once per group span, and a
+    // per-span String would be the grouped path's only hot allocation.
     if name.eq_ignore_ascii_case("COUNT") {
         return Ok(Value::Int(live.count() as i64));
     }
     let mut n = 0u64;
-    let upper = name.to_ascii_uppercase();
-    match upper.as_str() {
-        "SUM" | "AVG" => {
-            // Mirror `finish_aggregate`: an exact integer running sum (its
-            // overflow is the statement's overflow) plus an f64 sum
-            // accumulated in input order for AVG.
-            let mut int_sum: i64 = 0;
-            let mut sum = 0.0f64;
-            for i in live {
-                int_sum = int_sum.checked_add(vals[i]).ok_or(Unvec)?;
-                sum += vals[i] as f64;
-                n += 1;
-            }
-            Ok(match (n, upper.as_str()) {
-                (0, _) => Value::Null,
-                (_, "AVG") => Value::Float(sum / n as f64),
-                _ => Value::Int(int_sum),
-            })
+    if name.eq_ignore_ascii_case("SUM") || name.eq_ignore_ascii_case("AVG") {
+        // Mirror `finish_aggregate`: an exact integer running sum (its
+        // overflow is the statement's overflow) plus an f64 sum
+        // accumulated in input order for AVG.
+        let mut int_sum: i64 = 0;
+        let mut sum = 0.0f64;
+        for i in live {
+            int_sum = int_sum.checked_add(vals[i]).ok_or(Unvec)?;
+            sum += vals[i] as f64;
+            n += 1;
         }
-        "MIN" | "MAX" => {
-            let want_min = upper == "MIN";
-            let mut best: Option<i64> = None;
-            for i in live {
-                let v = vals[i];
-                best = Some(match best {
-                    None => v,
-                    Some(b) if (want_min && v < b) || (!want_min && v > b) => v,
-                    Some(b) => b,
-                });
-            }
-            Ok(best.map_or(Value::Null, Value::Int))
-        }
-        _ => Err(Unvec),
+        return Ok(match (n, name.eq_ignore_ascii_case("AVG")) {
+            (0, _) => Value::Null,
+            (_, true) => Value::Float(sum / n as f64),
+            (_, false) => Value::Int(int_sum),
+        });
     }
+    if name.eq_ignore_ascii_case("MIN") || name.eq_ignore_ascii_case("MAX") {
+        let want_min = name.eq_ignore_ascii_case("MIN");
+        let mut best: Option<i64> = None;
+        for i in live {
+            let v = vals[i];
+            best = Some(match best {
+                None => v,
+                Some(b) if (want_min && v < b) || (!want_min && v > b) => v,
+                Some(b) => b,
+            });
+        }
+        return Ok(best.map_or(Value::Null, Value::Int));
+    }
+    Err(Unvec)
 }
 
 /// Typed aggregate kernel over an `f64` slice with validity. Comparisons
@@ -1639,42 +2600,40 @@ fn reduce_f64(
     end: usize,
 ) -> Result<Value, Unvec> {
     let live = (start..end).filter(|&i| valid.get(i));
+    // As in `reduce_i64`: no uppercased String per span.
     if name.eq_ignore_ascii_case("COUNT") {
         return Ok(Value::Int(live.count() as i64));
     }
     let mut n = 0u64;
-    let upper = name.to_ascii_uppercase();
-    match upper.as_str() {
-        "SUM" | "AVG" => {
-            let mut sum = 0.0f64;
-            for i in live {
-                sum += vals[i];
-                n += 1;
-            }
-            Ok(match (n, upper.as_str()) {
-                (0, _) => Value::Null,
-                (_, "AVG") => Value::Float(sum / n as f64),
-                _ => Value::Float(sum),
-            })
+    if name.eq_ignore_ascii_case("SUM") || name.eq_ignore_ascii_case("AVG") {
+        let mut sum = 0.0f64;
+        for i in live {
+            sum += vals[i];
+            n += 1;
         }
-        "MIN" | "MAX" => {
-            let want = if upper == "MIN" {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Greater
-            };
-            let mut best: Option<f64> = None;
-            for i in live {
-                let v = vals[i];
-                best = Some(match best {
-                    None => v,
-                    Some(b) if v.partial_cmp(&b) == Some(want) => v,
-                    Some(b) => b,
-                });
-            }
-            Ok(best.map_or(Value::Null, Value::Float))
-        }
-        _ => Err(Unvec),
+        return Ok(match (n, name.eq_ignore_ascii_case("AVG")) {
+            (0, _) => Value::Null,
+            (_, true) => Value::Float(sum / n as f64),
+            (_, false) => Value::Float(sum),
+        });
     }
+    if name.eq_ignore_ascii_case("MIN") || name.eq_ignore_ascii_case("MAX") {
+        let want = if name.eq_ignore_ascii_case("MIN") {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        };
+        let mut best: Option<f64> = None;
+        for i in live {
+            let v = vals[i];
+            best = Some(match best {
+                None => v,
+                Some(b) if v.partial_cmp(&b) == Some(want) => v,
+                Some(b) => b,
+            });
+        }
+        return Ok(best.map_or(Value::Null, Value::Float));
+    }
+    Err(Unvec)
 }
 

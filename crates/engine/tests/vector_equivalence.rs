@@ -214,19 +214,27 @@ fn assert_equivalent(db: &Database, sql: &str, batch: usize, limits: ExecLimits)
     let interpreted = run_sql_with(db, sql, base);
     let row = PlanCache::new().run(db, sql, ExecOptions { vectorized: false, ..base });
     assert_eq!(row, interpreted, "row plan diverged for {sql:?}");
-    let vec_opts = ExecOptions { vectorized: true, batch_size: batch, ..base };
+    let vec_opts = ExecOptions { vectorized: true, batch_size: Some(batch), ..base };
     let cache = PlanCache::new();
     let cold = cache.run(db, sql, vec_opts);
     assert_eq!(cold, interpreted, "vectorized (batch {batch}) diverged for {sql:?}");
     // Warm cache hit: execution must not corrupt the shared plan.
     let warm = cache.run(db, sql, vec_opts);
     assert_eq!(warm, interpreted, "warm vectorized diverged for {sql:?}");
+    // Fusion axis: the unfused pipeline (materialize after every filter)
+    // must agree byte-for-byte with the fused default, with and without
+    // the cost-based planner.
+    let unfused = cache.run(db, sql, ExecOptions { fusion: false, ..vec_opts });
+    assert_eq!(unfused, interpreted, "unfused vectorized diverged for {sql:?}");
     // Cost-based planner axis: `vec_opts` above already runs with the
     // optimizer on (the default); the same plan with the optimizer off
     // must agree byte-for-byte too, cold and warm. Under finite limits
     // both flips hit the gate and must be exact no-ops.
     let plain = cache.run(db, sql, ExecOptions { optimize: false, ..vec_opts });
     assert_eq!(plain, interpreted, "unoptimized vectorized diverged for {sql:?}");
+    let plain_unfused =
+        cache.run(db, sql, ExecOptions { fusion: false, optimize: false, ..vec_opts });
+    assert_eq!(plain_unfused, interpreted, "unfused unoptimized diverged for {sql:?}");
     let plain_row = cache.run(
         db,
         sql,
@@ -367,7 +375,8 @@ fn mode_toggle_reuses_cached_plan() {
     let modes = [
         ExecOptions::default(),
         ExecOptions { vectorized: false, ..Default::default() },
-        ExecOptions { batch_size: 2, ..Default::default() },
+        ExecOptions { batch_size: Some(2), ..Default::default() },
+        ExecOptions { fusion: false, ..Default::default() },
         ExecOptions { vectorized: false, hash_join: false, ..Default::default() },
         ExecOptions { hash_join: false, ..Default::default() },
     ];
@@ -379,4 +388,128 @@ fn mode_toggle_reuses_cached_plan() {
     assert_eq!(cache.misses(), 1, "first lookup compiles once");
     assert_eq!(cache.hits(), modes.len() as u64 - 1, "every toggle reuses the plan");
     assert_eq!(cache.len(), 1, "one plan serves every mode");
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-code kernels: nasty cases checked against the interpreter.
+// ---------------------------------------------------------------------------
+
+/// Two tables with string keys drawn from *disjoint* dictionaries (each
+/// table's dictionary interns only its own inserts) whose values overlap
+/// only case-insensitively — the join must go through the code→code
+/// translation table, not raw code equality.
+fn dict_fixture() -> Database {
+    let mut db = Database::new("dict");
+    db.create_table(
+        TableSchema::new("a")
+            .column("id", DataType::Int)
+            .column("color", DataType::Varchar),
+    );
+    db.create_table(
+        TableSchema::new("b")
+            .column("id", DataType::Int)
+            .column("color", DataType::Varchar),
+    );
+    // a interns: Red, blue, GREEN, NULL; b interns: RED, Blue, plum, NULL.
+    let a_vals = ["Red", "blue", "GREEN", "Red", "blue"];
+    for (i, v) in a_vals.iter().enumerate() {
+        let c = if i == 3 { Value::Null } else { Value::from(*v) };
+        db.insert("a", vec![Value::Int(i as i64), c]).unwrap();
+    }
+    let b_vals = ["RED", "Blue", "plum", "RED", "Blue", "plum"];
+    for (i, v) in b_vals.iter().enumerate() {
+        let c = if i == 5 { Value::Null } else { Value::from(*v) };
+        db.insert("b", vec![Value::Int(i as i64), c]).unwrap();
+    }
+    db
+}
+
+/// Run `sql` on every (fusion × batch) combination of the vectorized path
+/// and demand byte-identical results to the interpreter.
+fn assert_dict_equivalent(db: &Database, sql: &str) {
+    let oracle = run_sql_with(db, sql, ExecOptions { vectorized: false, ..Default::default() })
+        .expect("oracle runs");
+    for fusion in [true, false] {
+        for batch in [1usize, 2, 3, 1024] {
+            let opts = ExecOptions {
+                batch_size: Some(batch),
+                fusion,
+                optimize: false,
+                ..Default::default()
+            };
+            let got = run_sql_with(db, sql, opts).expect("vectorized runs");
+            assert_eq!(got, oracle, "fusion={fusion} batch={batch} diverged for {sql:?}");
+        }
+    }
+}
+
+/// Equality/IN against a constant absent from the dictionary: the memo
+/// resolves every code to false without touching row data.
+#[test]
+fn dict_kernel_const_not_in_dictionary() {
+    let db = dict_fixture();
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color = 'chartreuse'");
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color <> 'chartreuse'");
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color IN ('x', 'y')");
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color NOT IN ('x', NULL)");
+}
+
+/// T-SQL comparisons are case-insensitive; the code kernel must compare
+/// lowered forms, and two codes sharing a lowercase form group together.
+#[test]
+fn dict_kernel_case_insensitive_equality() {
+    let db = dict_fixture();
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color = 'RED'");
+    assert_dict_equivalent(&db, "SELECT id FROM b WHERE color = 'red'");
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE color IN ('BLUE', 'green')");
+    assert_dict_equivalent(&db, "SELECT color, COUNT(*) FROM a GROUP BY color");
+    assert_dict_equivalent(&db, "SELECT color, COUNT(*) FROM b GROUP BY color ORDER BY color");
+}
+
+/// NULL validity must survive a selection vector: the second conjunct of a
+/// fused filter chain sees only surviving rows, at offsets that no longer
+/// align with physical positions.
+#[test]
+fn dict_kernel_null_validity_under_selection() {
+    let db = dict_fixture();
+    assert_dict_equivalent(&db, "SELECT id FROM a WHERE id > 0 AND color = 'red'");
+    assert_dict_equivalent(&db, "SELECT id FROM b WHERE id >= 2 AND color IS NULL");
+    assert_dict_equivalent(&db, "SELECT id FROM b WHERE id < 5 AND color NOT IN ('plum')");
+    assert_dict_equivalent(
+        &db,
+        "SELECT COUNT(*) FROM a WHERE id <> 1 AND color <> 'blue'",
+    );
+}
+
+/// Joins across disjoint dictionaries: equal strings carry unrelated codes
+/// on the two sides (and match only case-insensitively), so the kernel's
+/// translation table does the work. Every join kind crosses it.
+#[test]
+fn dict_kernel_cross_column_translation() {
+    let db = dict_fixture();
+    assert_dict_equivalent(
+        &db,
+        "SELECT a.id, b.id FROM a JOIN b ON a.color = b.color ORDER BY a.id",
+    );
+    assert_dict_equivalent(
+        &db,
+        "SELECT a.id, b.id FROM a LEFT JOIN b ON a.color = b.color ORDER BY a.id",
+    );
+    assert_dict_equivalent(
+        &db,
+        "SELECT a.id, b.id FROM a RIGHT JOIN b ON a.color = b.color ORDER BY b.id",
+    );
+    assert_dict_equivalent(
+        &db,
+        "SELECT a.id, b.id FROM a FULL JOIN b ON a.color = b.color ORDER BY a.id",
+    );
+    assert_dict_equivalent(
+        &db,
+        "SELECT a.color, COUNT(*) FROM a JOIN b ON a.color = b.color GROUP BY a.color",
+    );
+    // String key against a numeric key: types never match; the kernel
+    // degrades every code to the dead key and emits nothing (inner) or
+    // pads (outer).
+    assert_dict_equivalent(&db, "SELECT a.id FROM a JOIN b ON a.color = b.id");
+    assert_dict_equivalent(&db, "SELECT a.id, b.id FROM a LEFT JOIN b ON a.color = b.id");
 }

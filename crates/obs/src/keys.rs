@@ -165,6 +165,23 @@ define_metrics! {
     EngineVecSelectivityPct => "engine.vec.selectivity_pct", Histogram, PCT_BUCKETS, Deterministic;
     /// Dictionary entries per string column touched by a vectorized scan.
     EngineVecDictEntries => "engine.vec.dict.entries", Histogram, ROWS_BUCKETS, Deterministic;
+    /// Query blocks executed as a fused scan→filter→tail pipeline (a
+    /// selection vector carried between operators instead of a
+    /// materialized intermediate relation).
+    EngineVecFusedPipelines => "engine.vec.fused_pipelines", Counter, &[], Deterministic;
+    /// Buffer requests served by the per-execution `BatchPool` from a
+    /// buffer recycled earlier in the same execution.
+    EngineVecPoolHits => "engine.vec.pool.hits", Counter, &[], Deterministic;
+    /// Buffer requests the per-execution `BatchPool` could not serve from
+    /// its own recycle list (a pure function of the workload: whether the
+    /// backing memory came from the thread-local stash or a fresh malloc
+    /// is deliberately *not* distinguished, so the count stays identical
+    /// at any thread count).
+    EngineVecPoolAllocs => "engine.vec.pool.allocs", Counter, &[], Deterministic;
+    /// Rows processed by dictionary-code kernels (predicates, join keys,
+    /// and GROUP BY keys evaluated on `u32` codes without touching string
+    /// data in the hot loop).
+    EngineVecDictKernelRows => "engine.vec.dict_kernel_rows", Counter, &[], Deterministic;
 
     // ---- engine: cost-based planner --------------------------------------
     /// Statements executed through the cost-based plan (DESIGN.md §10).

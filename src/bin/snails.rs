@@ -26,6 +26,13 @@ use snails::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Bench-only counting allocator: `snails bench` reports steady-state
+/// hot-loop allocation counts for the vectorized stages (the buffer-pool
+/// contract), at the cost of two relaxed atomic increments per allocation
+/// everywhere in this binary.
+#[global_allocator]
+static ALLOC: snails_bench::CountingAlloc = snails_bench::CountingAlloc::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
@@ -811,25 +818,60 @@ fn bench(args: &[String]) {
         vec_ms = vec_ms.min(time_plans(vec_opts));
     }
     let vec_rows_per_s = (gold_rows * REPS) as f64 / (vec_ms / 1e3);
+    // Steady-state allocation accounting (cache, pool stash, and page
+    // tables are warm after the timing loops): one obs-scoped pass counts
+    // the batches executed, one unscoped pass is measured by the counting
+    // allocator. Materializing the result rows is the one per-row
+    // allocation the buffer pool cannot absorb, so it is subtracted.
+    let ctx = Arc::new(telemetry::ObsCtx::new(telemetry::ClockMode::Sim));
+    {
+        let _scope = telemetry::scope(&ctx);
+        for p in &db.questions {
+            let _ = plans.run(&db.db, &p.sql, vec_opts);
+        }
+    }
+    let vec_batches = ctx.report().counter("engine.vec.batches").max(1);
+    let before = ALLOC.snapshot();
+    for p in &db.questions {
+        let _ = plans.run(&db.db, &p.sql, vec_opts);
+    }
+    let d = ALLOC.snapshot().since(before);
+    let vec_allocs_per_batch =
+        d.allocs.saturating_sub(gold_rows as u64) as f64 / vec_batches as f64;
     emit(format!(
         "{{\"bench\":\"vector_exec\",\"database\":\"NTSB\",\"queries\":{},\"reps\":{REPS},\
          \"vector_ms\":{vec_ms:.1},\"speedup_vs_interpreter\":{:.2},\
          \"speedup_vs_row_plan\":{:.2},\"rows_per_s\":{vec_rows_per_s:.0},\
+         \"batches\":{vec_batches},\"hot_allocs\":{},\
+         \"allocs_per_batch\":{vec_allocs_per_batch:.2},\
          \"results_identical\":{vec_identical}}}",
         db.questions.len(),
         interp_ms / vec_ms,
-        plan_ms / vec_ms
+        plan_ms / vec_ms,
+        d.allocs
     ));
-    // Batch-size sweep over the same workload (see DESIGN.md §5 for why
-    // 1024 is the default).
+    // Batch-size sweep over the same workload. The default is no longer a
+    // fixed 1024: `batch_size: None` picks per query from the plan's row
+    // width (DESIGN.md §11), and the sweep records the adaptive run next
+    // to the fixed sizes — plus the picks at representative widths — so a
+    // mistuned default can't silently return.
     let sweep: Vec<String> = [256usize, 1024, 4096]
         .iter()
         .map(|&b| {
-            let o = ExecOptions { batch_size: b, optimize: false, ..Default::default() };
+            let o = ExecOptions { batch_size: Some(b), optimize: false, ..Default::default() };
             format!("\"ms_{b}\":{:.1}", time_plans(o))
         })
         .collect();
-    emit(format!("{{\"bench\":\"vector_batch_sweep\",{}}}", sweep.join(",")));
+    let adaptive_ms = time_plans(vec_opts);
+    emit(format!(
+        "{{\"bench\":\"vector_batch_sweep\",{},\"ms_adaptive\":{adaptive_ms:.1},\
+         \"adaptive_pick_width2\":{},\"adaptive_pick_width8\":{},\
+         \"adaptive_pick_width32\":{}}}",
+        sweep.join(","),
+        snails::engine::adaptive_batch_size(2),
+        snails::engine::adaptive_batch_size(8),
+        snails::engine::adaptive_batch_size(32)
+    ));
 
     // Synthetic equi join scaled past a million rows: 1.2M-row probe side
     // against a 100K-row build side, grouped back down to 100K keys. The
@@ -869,11 +911,30 @@ fn bench(args: &[String]) {
     let row_ms = time_one(row_opts);
     let vec_join_ms = time_one(vec_join_opts);
     let join_rows_per_s = PROBE_ROWS as f64 / (vec_join_ms / 1e3);
+    // Steady-state allocation accounting, as in `vector_exec` above. One
+    // statement spread over thousands of batches: per-statement setup
+    // amortizes away and what remains is the per-batch hot loop, which
+    // the buffer pool must keep allocation-free (check.sh gates ≤ 2).
+    let ctx = Arc::new(telemetry::ObsCtx::new(telemetry::ClockMode::Sim));
+    {
+        let _scope = telemetry::scope(&ctx);
+        join_plans.run(&sdb, sql, vec_join_opts).expect("synthetic join runs");
+    }
+    let join_batches = ctx.report().counter("engine.vec.batches").max(1);
+    let join_out_rows = interp_rs.as_ref().map_or(0, snails::engine::ResultSet::row_count) as u64;
+    let before = ALLOC.snapshot();
+    join_plans.run(&sdb, sql, vec_join_opts).expect("synthetic join runs");
+    let d = ALLOC.snapshot().since(before);
+    let join_allocs_per_batch =
+        d.allocs.saturating_sub(join_out_rows) as f64 / join_batches as f64;
     emit(format!(
         "{{\"bench\":\"synthetic_join\",\"rows\":{PROBE_ROWS},\
          \"row_plan_ms\":{row_ms:.1},\"vector_ms\":{vec_join_ms:.1},\"speedup\":{:.1},\
-         \"rows_per_s\":{join_rows_per_s:.0},\"results_identical\":{join_identical}}}",
-        row_ms / vec_join_ms
+         \"rows_per_s\":{join_rows_per_s:.0},\"batches\":{join_batches},\
+         \"hot_allocs\":{},\"allocs_per_batch\":{join_allocs_per_batch:.2},\
+         \"results_identical\":{join_identical}}}",
+        row_ms / vec_join_ms,
+        d.allocs
     ));
 
     // Cost-based planner on a star-shaped three-table join (DESIGN.md
@@ -977,6 +1038,28 @@ fn bench(args: &[String]) {
          \"records_match\":{bounded_match},\"misses_are\":\"{verdict}\"}}",
     ));
     records_match &= bounded_match;
+
+    // Grid-workload verdict: the unbounded grid runs at a ~0.50 hit rate.
+    // Reuse the capacity machinery — an unbounded run's miss count is the
+    // number of distinct statement keys D; a cache bounded at exactly D
+    // can then only miss on first sight. If its hit rate matches the
+    // unbounded run, every grid miss is compulsory (genuinely distinct
+    // SQL across naturalness variants), not a capacity or keying
+    // artifact.
+    let (unb_rate, _, unb_run) = cap_run(usize::MAX);
+    let unb_report = unb_run.telemetry.as_ref().expect("telemetry enabled");
+    let distinct = unb_report.counter("engine.plan.cache_miss").max(1);
+    let (rate_d, ev_d, _) = cap_run(distinct as usize);
+    let grid_verdict = if (unb_rate - rate_d).abs() < 0.02 && ev_d == 0 {
+        "compulsory"
+    } else {
+        "capacity"
+    };
+    emit(format!(
+        "{{\"bench\":\"grid_cache_verdict\",\"distinct_statements\":{distinct},\
+         \"hit_rate_unbounded\":{unb_rate:.3},\"hit_rate_at_distinct\":{rate_d:.3},\
+         \"evictions_at_distinct\":{ev_d},\"compulsory_vs_capacity\":\"{grid_verdict}\"}}",
+    ));
 
     // Machine-readable artifact: every stage line above, wrapped in one
     // JSON document (hand-assembled — each stage is already valid JSON).
