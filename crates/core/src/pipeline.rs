@@ -288,23 +288,56 @@ impl<'a> EvalContext<'a> {
         pair: &snails_data::GoldPair,
         seed: u64,
     ) -> QueryRecord {
-        let gold = gold_context(self.db, pair);
-        let qm = query_measures(self.db, self.view.variant, &gold.ids);
-        evaluate_with_context(
+        evaluate_cell_with(
             workflow,
             self.db,
             self.view,
+            &self.denat,
             pair,
             seed,
-            &self.denat,
-            &gold,
-            &qm,
-            &CellPlan::clean(0),
-            ExecOptions { limits: ExecLimits::UNLIMITED, ..Default::default() },
             &self.plans,
+            ExecOptions { limits: ExecLimits::UNLIMITED, ..Default::default() },
         )
         .0
     }
+}
+
+/// Evaluate one clean (no fault plan) grid cell against caller-owned shared
+/// state: a prebuilt denaturalization map, a shared [`PlanCache`], and the
+/// caller's [`ExecOptions`]. Returns the record plus the denaturalized SQL
+/// when the cell reached the execution stage.
+///
+/// This is the single-cell entry the serve layer uses: each tenant owns its
+/// plan cache and execution budgets, and the per-question gold context is
+/// recomputed per call (gold queries are trusted fixtures, cheap relative to
+/// inference). Batch callers should prefer [`run_benchmark_on`], which
+/// amortizes the gold context across the grid and layers in fault planning.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_cell_with(
+    workflow: Workflow,
+    db: &SnailsDatabase,
+    view: &SchemaView,
+    denat: &snails_sql::IdentifierMap,
+    pair: &snails_data::GoldPair,
+    seed: u64,
+    plans: &PlanCache,
+    opts: ExecOptions,
+) -> (QueryRecord, Option<String>) {
+    let gold = gold_context(db, pair);
+    let qm = query_measures(db, view.variant, &gold.ids);
+    evaluate_with_context(
+        workflow,
+        db,
+        view,
+        pair,
+        seed,
+        denat,
+        &gold,
+        &qm,
+        &CellPlan::clean(0),
+        opts,
+        plans,
+    )
 }
 
 /// Evaluate one workflow on one question at one variant.

@@ -220,6 +220,29 @@ impl FaultProfile {
         }
         None
     }
+
+    /// Collapse the per-attempt retry loop into its terminal outcome — a
+    /// pure function of `(seed, max_retries)`.
+    ///
+    /// Transient faults ([`FaultKind::is_transient`]) redraw on the next
+    /// attempt until one succeeds or the retry budget (`max_retries`
+    /// attempts *beyond* the first) is exhausted; the first clean draw or
+    /// non-transient fault is terminal. Returns the terminal fault (if any)
+    /// and the number of attempts consumed. Callers that don't replay
+    /// payload corruption themselves (the serve layer, which has no
+    /// completion to corrupt for transient kinds) use this instead of
+    /// hand-rolling the loop the resilience middleware already owns.
+    pub fn draw_terminal(&self, seed: u64, max_retries: u32) -> (Option<FaultKind>, u32) {
+        for attempt in 1..=(1 + max_retries) {
+            match self.draw(seed, attempt) {
+                None => return (None, attempt),
+                Some(kind) if !kind.is_transient() => return (Some(kind), attempt),
+                Some(kind) if attempt == 1 + max_retries => return (Some(kind), attempt),
+                Some(_) => {}
+            }
+        }
+        unreachable!("loop returns on every branch of its final iteration")
+    }
 }
 
 /// Uniform `[0, 1)` from a mixed seed.
@@ -363,6 +386,38 @@ mod tests {
         let profile = FaultProfile::FLAKY;
         let differs = (0..2000u64).any(|s| profile.draw(s, 1) != profile.draw(s, 2));
         assert!(differs);
+    }
+
+    #[test]
+    fn draw_terminal_matches_a_hand_rolled_retry_loop() {
+        let profile = FaultProfile::HOSTILE;
+        for seed in 0..2000u64 {
+            for budget in [0u32, 1, 3] {
+                let (terminal, attempts) = profile.draw_terminal(seed, budget);
+                // Reference loop: retry transients up to `budget` times.
+                let mut want = None;
+                let mut want_attempts = 0;
+                for attempt in 1..=(1 + budget) {
+                    want_attempts = attempt;
+                    match profile.draw(seed, attempt) {
+                        Some(k) if k.is_transient() && attempt <= budget => continue,
+                        other => {
+                            want = other;
+                            break;
+                        }
+                    }
+                }
+                assert_eq!((terminal, attempts), (want, want_attempts), "seed {seed} budget {budget}");
+                assert!(attempts >= 1 && attempts <= 1 + budget);
+                if let Some(k) = terminal {
+                    if k.is_transient() {
+                        assert_eq!(attempts, 1 + budget, "transient terminal only at exhaustion");
+                    }
+                }
+            }
+        }
+        // Inert profile: one clean attempt, always.
+        assert_eq!(FaultProfile::NONE.draw_terminal(42, 5), (None, 1));
     }
 
     #[test]

@@ -245,6 +245,43 @@ define_metrics! {
     /// Wall time per scheduled item, in nanoseconds.
     CoreSchedulerItemWallNs => "core.scheduler.item_wall_ns", Histogram, NANOS_BUCKETS, Volatile;
 
+    // ---- serve: admission control and batching ---------------------------
+    // Request/shed/batch accounting is *deterministic*-classified under the
+    // serve layer's `--serial` contract: with a simulated clock and a fixed
+    // poll order these counters are pure functions of (workload, queue
+    // depth, batch cap), identical at any fan-out thread count — they are
+    // part of the bytes the serve determinism gates compare. In wall-clock
+    // concurrent mode shed placement depends on arrival timing, so the
+    // byte-compare gates only ever run serially (DESIGN.md §12).
+    /// Requests admitted into the bounded queue.
+    ServeRequests => "serve.requests", Counter, &[], Deterministic;
+    /// Requests shed with a typed `Overloaded` response (queue full).
+    ServeShed => "serve.shed", Counter, &[], Deterministic;
+    /// Requests refused because the server was draining.
+    ServeDrainRefused => "serve.drain_refused", Counter, &[], Deterministic;
+    /// Responses delivered (every admitted request produces exactly one).
+    ServeResponses => "serve.responses", Counter, &[], Deterministic;
+    /// Responses carrying a typed error (engine, tenant, fault, internal).
+    ServeErrors => "serve.errors", Counter, &[], Deterministic;
+    /// Batches popped from the admission queue by a worker shard.
+    ServeBatches => "serve.batches", Counter, &[], Deterministic;
+    /// Requests per popped batch.
+    ServeBatchSize => "serve.batch.size", Histogram, ROWS_BUCKETS, Deterministic;
+    /// Faults injected into request execution by the serve fault profile.
+    ServeFaultsInjected => "serve.faults.injected", Counter, &[], Deterministic;
+
+    // ---- serve: queue shape and latency (wall clock) ---------------------
+    /// Admission-queue occupancy after the most recent admit/pop.
+    ServeQueueDepth => "serve.queue.depth", Gauge, &[], Volatile;
+    /// High-water admission-queue occupancy this run.
+    ServeQueueHighWater => "serve.queue.high_water", Gauge, &[], Volatile;
+    /// Requests popped but not yet answered.
+    ServeInflight => "serve.inflight", Gauge, &[], Volatile;
+    /// Wall time spent executing one request, in nanoseconds.
+    ServeExecWallNs => "serve.exec.wall_ns", Histogram, NANOS_BUCKETS, Volatile;
+    /// Per-tenant plan-cache hit rate (percent) sampled at report time.
+    ServeTenantHitRatePct => "serve.tenant.hit_rate_pct", Histogram, PCT_BUCKETS, Volatile;
+
     // ---- core: checkpoint / resume ---------------------------------------
     /// Grid cells restored from a verified checkpoint record.
     CkptHit => "checkpoint.hit", Counter, &[], Assembly;
@@ -327,6 +364,36 @@ mod tests {
             assert_eq!(Metric::by_name(m.name()), Some(*m));
         }
         assert_eq!(Metric::by_name("no.such.metric"), None);
+    }
+
+    #[test]
+    fn serve_admission_metrics_are_deterministic_and_shape_is_volatile() {
+        // The serve determinism gates byte-compare the deterministic
+        // section, so the admission counters must live there and the
+        // wall-clock shape must not.
+        for name in [
+            "serve.requests",
+            "serve.shed",
+            "serve.drain_refused",
+            "serve.responses",
+            "serve.errors",
+            "serve.batches",
+            "serve.batch.size",
+            "serve.faults.injected",
+        ] {
+            let m = Metric::by_name(name).unwrap();
+            assert_eq!(m.spec().class, MetricClass::Deterministic, "{name}");
+        }
+        for name in [
+            "serve.queue.depth",
+            "serve.queue.high_water",
+            "serve.inflight",
+            "serve.exec.wall_ns",
+            "serve.tenant.hit_rate_pct",
+        ] {
+            let m = Metric::by_name(name).unwrap();
+            assert_eq!(m.spec().class, MetricClass::Volatile, "{name}");
+        }
     }
 
     #[test]

@@ -1,0 +1,392 @@
+//! Protocol property and fuzz tests (ISSUE 10, satellite 1).
+//!
+//! Two layers of assurance on the framed wire protocol:
+//!
+//! 1. property round-trips — every message the generators can produce
+//!    encodes to a frame that decodes back to the identical message, in
+//!    one piece, byte-at-a-time, and in random chunkings;
+//! 2. a 512-case mutation gauntlet in the `CellStore` fuzz shape
+//!    (truncate / bit-flip / splice-junk) plus a hand-built corpus of
+//!    zero-length, oversized, unknown-opcode, trailing-byte, bad-UTF-8
+//!    and bad-value-tag frames: the decoder must answer a typed
+//!    [`ProtocolError`] or keep waiting for bytes — never panic, never
+//!    hang, never read past the declared length.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use snails_serve::protocol::{
+    decode_payload, encode_request, encode_response, fnv1a, MAX_FRAME,
+};
+use snails_serve::{FrameReader, Message, ProtocolError, Request, Response, ServeError, TenantStats, WireValue};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_string(rng: &mut TestRng) -> String {
+    const POOL: &[&str] = &[
+        "", "alpha", "beta", "CWO", "SELECT * FROM t", "naïve-ütf8 ✓", "a b\tc\n",
+        "tenant/with/slashes", "0", "\u{1F40C}",
+    ];
+    POOL[rng.below(POOL.len())].to_string()
+}
+
+fn arb_value(rng: &mut TestRng) -> WireValue {
+    match rng.below(5) {
+        0 => WireValue::Null,
+        1 => WireValue::Int(rng.next_u64() as i64),
+        2 => WireValue::Float(f64::from_bits(rng.next_u64())),
+        3 => WireValue::Float(f64::NAN),
+        _ => WireValue::Str(arb_string(rng)),
+    }
+}
+
+fn arb_request(rng: &mut TestRng) -> Request {
+    match rng.below(5) {
+        0 => Request::Ping { tag: rng.next_u64() },
+        1 => Request::Sql {
+            tag: rng.next_u64(),
+            tenant: arb_string(rng),
+            database: arb_string(rng),
+            sql: arb_string(rng),
+        },
+        2 => Request::Ask {
+            tag: rng.next_u64(),
+            tenant: arb_string(rng),
+            database: arb_string(rng),
+            question_id: rng.next_u64() as u32,
+            model: rng.next_u64() as u8,
+        },
+        3 => Request::Stats,
+        _ => Request::Shutdown,
+    }
+}
+
+fn arb_error(rng: &mut TestRng) -> ServeError {
+    match rng.below(10) {
+        0 => ServeError::Overloaded { depth: rng.next_u64() as u32 },
+        1 => ServeError::Draining,
+        2 => ServeError::UnknownTenant,
+        3 => ServeError::UnknownDatabase,
+        4 => ServeError::UnknownQuestion,
+        5 => ServeError::BadRequest,
+        6 => ServeError::Engine(arb_string(rng)),
+        7 => ServeError::Transient(arb_string(rng)),
+        8 => ServeError::Internal,
+        _ => ServeError::Protocol(arb_string(rng)),
+    }
+}
+
+fn arb_response(rng: &mut TestRng) -> Response {
+    match rng.below(6) {
+        0 => Response::Pong { tag: rng.next_u64() },
+        1 => {
+            let ncols = rng.below(4);
+            let nrows = rng.below(5);
+            Response::Rows {
+                tag: rng.next_u64(),
+                total_rows: rng.next_u64(),
+                columns: (0..ncols).map(|_| arb_string(rng)).collect(),
+                rows: (0..nrows)
+                    .map(|_| {
+                        let arity = rng.below(4);
+                        (0..arity).map(|_| arb_value(rng)).collect()
+                    })
+                    .collect(),
+            }
+        }
+        2 => Response::Answer {
+            tag: rng.next_u64(),
+            sql: arb_string(rng),
+            parse_ok: rng.below(2) == 0,
+            set_matched: rng.below(2) == 0,
+            exec_correct: rng.below(2) == 0,
+            recall_permille: rng.next_u64() as u16,
+        },
+        3 => Response::StatsReport {
+            tenants: (0..rng.below(3))
+                .map(|_| TenantStats {
+                    tenant: arb_string(rng),
+                    requests: rng.next_u64(),
+                    ok: rng.next_u64(),
+                    errors: rng.next_u64(),
+                    shed: rng.next_u64(),
+                    cache_hits: rng.next_u64(),
+                    cache_misses: rng.next_u64(),
+                })
+                .collect(),
+        },
+        4 => Response::Err { tag: rng.next_u64(), error: arb_error(rng) },
+        _ => Response::Goodbye { responses: rng.next_u64() },
+    }
+}
+
+fn arb_message(rng: &mut TestRng) -> (Message, Vec<u8>) {
+    if rng.below(2) == 0 {
+        let req = arb_request(rng);
+        let bytes = encode_request(&req);
+        (Message::Request(req), bytes)
+    } else {
+        let resp = arb_response(rng);
+        let bytes = encode_response(&resp);
+        (Message::Response(resp), bytes)
+    }
+}
+
+fn reencode(msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::Request(r) => encode_request(r),
+        Message::Response(r) => encode_response(r),
+    }
+}
+
+fn has_nan(msg: &Message) -> bool {
+    let Message::Response(Response::Rows { rows, .. }) = msg else { return false };
+    rows.iter().flatten().any(|v| matches!(v, WireValue::Float(x) if x.is_nan()))
+}
+
+/// Decode exactly one message from a byte string, requiring the reader to
+/// consume everything.
+fn decode_one(bytes: &[u8]) -> Message {
+    let mut reader = FrameReader::new();
+    reader.extend(bytes);
+    let msg = reader.next_message().expect("valid frame").expect("complete frame");
+    assert_eq!(reader.pending(), 0, "round trip must consume the whole frame");
+    msg
+}
+
+// ---------------------------------------------------------------------------
+// Property round-trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_round_trip(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        let (msg, bytes) = arb_message(&mut rng);
+        let decoded = decode_one(&bytes);
+        // Byte identity is the real property (it also holds for NaN
+        // payloads, where `PartialEq` on the decoded message cannot).
+        prop_assert_eq!(reencode(&decoded), bytes);
+        if !has_nan(&msg) {
+            prop_assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn round_trip_survives_arbitrary_chunking(seed in any::<u64>()) {
+        let mut rng = TestRng::new(seed);
+        // Several messages back to back, delivered in random-size chunks:
+        // the decoder must reassemble split headers and split payloads.
+        let n = 1 + rng.below(4);
+        let mut msgs = Vec::new();
+        let mut stream = Vec::new();
+        for _ in 0..n {
+            let (msg, bytes) = arb_message(&mut rng);
+            msgs.push(msg);
+            stream.extend_from_slice(&bytes);
+        }
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let take = (1 + rng.below(7)).min(stream.len() - pos);
+            reader.extend(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(msg) = reader.next_message().expect("valid stream") {
+                decoded.push(msg);
+            }
+        }
+        let replayed: Vec<u8> = decoded.iter().flat_map(reencode).collect();
+        prop_assert_eq!(decoded.len(), msgs.len());
+        prop_assert_eq!(replayed, stream);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact(bits in any::<u64>()) {
+        // Raw-bits float transport: NaN payloads and signed zeros included.
+        let resp = Response::Rows {
+            tag: 7,
+            total_rows: 1,
+            columns: vec!["x".into()],
+            rows: vec![vec![WireValue::Float(f64::from_bits(bits))]],
+        };
+        let decoded = decode_one(&encode_response(&resp));
+        let Message::Response(Response::Rows { rows, .. }) = decoded else {
+            panic!("wrong shape");
+        };
+        let WireValue::Float(x) = rows[0][0] else { panic!("wrong value") };
+        prop_assert_eq!(x.to_bits(), bits);
+    }
+}
+
+#[test]
+fn byte_at_a_time_feed_decodes_everything() {
+    let mut rng = TestRng::new(0xbeef);
+    for _ in 0..32 {
+        let (msg, bytes) = arb_message(&mut rng);
+        let mut reader = FrameReader::new();
+        let mut got = None;
+        for (i, b) in bytes.iter().enumerate() {
+            reader.extend(std::slice::from_ref(b));
+            match reader.next_message().expect("valid frame") {
+                Some(m) => {
+                    assert_eq!(i, bytes.len() - 1, "message complete only at the last byte");
+                    got = Some(m);
+                }
+                None => assert!(i < bytes.len() - 1, "last byte must complete the frame"),
+            }
+        }
+        let got = got.expect("stream ended without a message");
+        assert_eq!(reencode(&got), bytes);
+        if !has_nan(&msg) {
+            assert_eq!(got, msg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutation gauntlet + hostile corpus
+// ---------------------------------------------------------------------------
+
+/// Feed arbitrary bytes to a fresh reader and pump it dry. The only legal
+/// outcomes are: decoded messages then a clean "need more bytes", or a
+/// typed error that then repeats (poisoned stream). Panics and infinite
+/// loops are the failures under test.
+fn pump(bytes: &[u8]) -> Result<Vec<Message>, ProtocolError> {
+    let mut reader = FrameReader::new();
+    reader.extend(bytes);
+    let mut out = Vec::new();
+    loop {
+        match reader.next_message() {
+            Ok(Some(msg)) => out.push(msg),
+            Ok(None) => return Ok(out),
+            Err(e) => {
+                // Poisoned: the error must be sticky.
+                assert!(reader.next_message().is_err(), "poisoned reader must stay poisoned");
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutation_fuzz_never_panics_and_errors_are_typed() {
+    let mut rng = TestRng::new(0x5eed);
+    // A pristine multi-frame stream to vandalize, covering every opcode.
+    let mut pristine = Vec::new();
+    for _ in 0..4 {
+        pristine.extend_from_slice(&arb_message(&mut rng).1);
+    }
+    pristine.extend_from_slice(&encode_request(&Request::Stats));
+    pristine.extend_from_slice(&encode_request(&Request::Shutdown));
+    let clean = pump(&pristine).expect("pristine stream decodes").len();
+    assert!(clean >= 6);
+
+    for case in 0..512u32 {
+        let mut bytes = pristine.clone();
+        match case % 3 {
+            0 => bytes.truncate(rng.below(pristine.len() + 1)),
+            1 => {
+                let p = rng.below(pristine.len());
+                bytes[p] ^= 1 << rng.below(8);
+            }
+            _ => {
+                let p = rng.below(pristine.len());
+                bytes.splice(p..p, b"junk".iter().copied());
+            }
+        }
+        // Either outcome is legal; panicking or hanging is not. When the
+        // mutation was a no-op (full-length truncate), the stream must
+        // still decode in full.
+        match pump(&bytes) {
+            Ok(msgs) => {
+                if bytes == pristine {
+                    assert_eq!(msgs.len(), clean, "case {case}: no-op mutation lost frames");
+                }
+            }
+            Err(e) => {
+                // The reason is always one of the typed variants — proven
+                // by matching on it (a new variant would fail to compile
+                // here, keeping the corpus honest).
+                match e {
+                    ProtocolError::Incomplete
+                    | ProtocolError::ZeroLength
+                    | ProtocolError::Oversized { .. }
+                    | ProtocolError::UnknownOpcode(_)
+                    | ProtocolError::Truncated
+                    | ProtocolError::TrailingBytes
+                    | ProtocolError::BadUtf8
+                    | ProtocolError::BadValueTag(_) => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_corpus_gets_precise_errors() {
+    // Zero-length frame.
+    assert_eq!(pump(&[0, 0, 0, 0]), Err(ProtocolError::ZeroLength));
+    // Oversized declaration (also: the reader must not try to buffer it).
+    let declared = (MAX_FRAME as u32) + 1;
+    let mut oversized = declared.to_le_bytes().to_vec();
+    oversized.extend_from_slice(&[1, 2, 3]);
+    assert_eq!(pump(&oversized), Err(ProtocolError::Oversized { declared }));
+    // Unknown opcode.
+    assert_eq!(pump(&[1, 0, 0, 0, 0x7f]), Err(ProtocolError::UnknownOpcode(0x7f)));
+    // Declared length larger than the body a Ping needs → trailing bytes.
+    let mut padded = encode_request(&Request::Ping { tag: 9 });
+    padded[0] += 1; // declare one extra byte
+    padded.push(0xaa);
+    assert_eq!(pump(&padded), Err(ProtocolError::TrailingBytes));
+    // Declared length shorter than the opcode's body → truncated payload.
+    let mut cut = encode_request(&Request::Ping { tag: 9 });
+    cut[0] -= 1;
+    cut.pop();
+    assert_eq!(pump(&cut), Err(ProtocolError::Truncated));
+    // Bad UTF-8 inside a string field.
+    let mut bad = encode_request(&Request::Sql {
+        tag: 1,
+        tenant: "ab".into(),
+        database: "d".into(),
+        sql: "s".into(),
+    });
+    let p = bad.len() - 8; // inside the tenant string body
+    bad[p] = 0xff;
+    assert!(matches!(pump(&bad), Err(ProtocolError::BadUtf8 | ProtocolError::Truncated)));
+    // Bad value tag inside a rows body.
+    let resp = Response::Rows {
+        tag: 1,
+        total_rows: 1,
+        columns: vec!["c".into()],
+        rows: vec![vec![WireValue::Null]],
+    };
+    let mut bytes = encode_response(&resp);
+    let last = bytes.len() - 1;
+    bytes[last] = 200; // the Null tag byte is the final byte
+    assert_eq!(pump(&bytes), Err(ProtocolError::BadValueTag(200)));
+    // A string whose declared length would run past the payload: must be
+    // a typed error, not an attempted huge allocation.
+    let mut huge = vec![0u8; 0];
+    huge.extend_from_slice(&13u32.to_le_bytes()); // frame len: opcode + u64 + u32
+    huge.push(0x02); // OP_SQL
+    huge.extend_from_slice(&0u64.to_le_bytes());
+    huge.extend_from_slice(&u32::MAX.to_le_bytes()); // tenant length: 4 GiB
+    assert_eq!(pump(&huge), Err(ProtocolError::Truncated));
+    // An empty chunk stream stays clean.
+    assert_eq!(pump(&[]), Ok(vec![]));
+    // A bare partial header is "keep reading", not an error.
+    assert_eq!(pump(&[5, 0]), Ok(vec![]));
+}
+
+#[test]
+fn decode_payload_rejects_empty_and_fnv_is_stable() {
+    assert!(decode_payload(&[]).is_err());
+    // Pinned FNV-1a vectors: the transcript hash must never drift.
+    assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+}

@@ -219,4 +219,81 @@ print(f"    vector_exec {vec['speedup_vs_interpreter']}x vs interpreter, "
       f"{join['allocs_per_batch']} allocs/batch")
 PY
 
+echo "==> snails load (serve suite: >=1000 clients, deterministic replay, overload)"
+# The in-process serving load suite exits non-zero on any violated gate
+# (dropped requests, diverging serial transcripts, unbounded queue); the
+# validator then re-checks the BENCH_serve.json artifact it wrote so a
+# malformed artifact fails fast even if the run "passed".
+"$snails" load --clients 1024 --requests 2 --out BENCH_serve.json
+python3 - <<'PY'
+import json, sys
+try:
+    doc = json.load(open("BENCH_serve.json"))
+except ValueError as exc:
+    sys.exit(f"error: BENCH_serve.json is not valid JSON ({exc}); "
+             "re-run './target/release/snails load'")
+stages = {s["serve"]: s for s in doc["stages"]}
+for name in ("load", "serial_replay", "fault_soak", "overload"):
+    assert name in stages, f"serve stage {name} missing from BENCH_serve.json"
+load = stages["load"]
+assert load["clients"] >= 1000, f"load stage ran only {load['clients']} clients"
+assert load["dropped"] == 0, f"{load['dropped']} requests never resolved"
+assert load["ok"] + load["errors"] + load["shed"] == load["requests"], \
+    "load accounting does not add up"
+for key in ("p50_us", "p99_us", "throughput_rps"):
+    assert isinstance(load[key], (int, float)), f"load stage lacks {key}"
+replay = stages["serial_replay"]
+assert replay["identical"], "serial replay transcripts or telemetry diverged"
+assert replay["transcripts"] == 1 and replay["telemetries"] == 1
+assert replay["shed"] > 0, "replay burst never exercised the shed path"
+soak = stages["fault_soak"]
+assert soak["dropped"] == 0, "fault soak dropped requests"
+assert soak["faults_injected"] > 0, "flaky profile injected nothing"
+assert soak["tenants_reconciled"], "per-tenant counters leaked under faults"
+over = stages["overload"]
+assert over["shed_exact"] and over["bounded"] and over["complete"] \
+    and over["drain_complete"], f"overload invariants violated: {over}"
+print(f"    {load['clients']} clients at {load['throughput_rps']} rps "
+      f"(p50 {load['p50_us']}us, p99 {load['p99_us']}us); replay identical "
+      f"across threads 1/2/8; overload shed {over['shed']} of 64 at depth "
+      f"{over['queue_depth']}")
+PY
+
+echo "==> snails serve smoke (unix socket, lockstep load, shutdown frame)"
+# A serial server on a real unix socket, driven by a short seeded lockstep
+# load, then shut down over its own wire. Gates: zero dropped requests and
+# a truthful Goodbye.
+serve_sock="$manifest_dir/serve.sock"
+serve_log="$manifest_dir/serve.log"
+"$snails" serve --socket "$serve_sock" --serial --dbs CWO --tenants alpha,beta \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 200); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+[ -S "$serve_sock" ] || {
+    echo "error: snails serve never bound its socket" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2> /dev/null || true
+    exit 1
+}
+load_out=$("$snails" load --socket "$serve_sock" --dbs CWO --tenants alpha,beta \
+    --clients 6 --requests 3 --shutdown)
+echo "$load_out" | grep -q '"dropped":0' || {
+    echo "error: socket load smoke dropped requests: $load_out" >&2
+    exit 1
+}
+echo "$load_out" | grep -q '"load":"shutdown","responses":18' || {
+    echo "error: shutdown Goodbye did not report all 18 responses: $load_out" >&2
+    exit 1
+}
+wait "$serve_pid" || {
+    echo "error: snails serve exited non-zero" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+grep -q '"serve":"goodbye","responses":18' "$serve_log" || {
+    echo "error: server goodbye line missing or wrong: $(cat "$serve_log")" >&2
+    exit 1
+}
+echo "    6 clients x 3 requests over the socket, 0 dropped, clean goodbye"
+
 echo "==> all checks passed"

@@ -17,6 +17,10 @@
 //!             [--kill-after N] [--no-optimize]
 //!                                        # one (shardable, resumable) grid run
 //! snails merge --out merged <manifest>.. # fold shard manifests into one run
+//! snails serve --socket PATH [--serial] [--tenants a,b] [--dbs CWO]
+//!                                        # multi-tenant NL-to-SQL server
+//! snails load [--socket PATH] [--clients N] [--requests N] [--shutdown]
+//!                                        # load suite (or drive a socket)
 //! ```
 
 use snails::core::telemetry;
@@ -51,6 +55,8 @@ fn main() {
         "bench" => bench(&args[1..]),
         "grid" => grid(&args[1..]),
         "merge" => merge(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "load" => load(&args[1..]),
         _ => {
             eprintln!("unknown command: {command}\n");
             print_usage();
@@ -69,7 +75,12 @@ fn print_usage() {
          snails bench [threads] [--fault-profile none|flaky|hostile] [--telemetry <path>] [--explain]\n  \
          snails grid [--seed N] [--threads N] [--fault-profile P] [--telemetry]\n              \
          [--shard i/n] [--ckpt DIR] [--kill-after N] [--out <manifest>] [--no-optimize]\n  \
-         snails merge [--out <manifest>] <shard-manifest>..."
+         snails merge [--out <manifest>] <shard-manifest>...\n  \
+         snails serve --socket <path> [--tenants a,b] [--dbs CWO] [--queue-depth N]\n              \
+         [--batch N] [--threads N] [--serial] [--seed N]\n              \
+         [--fault-profile none|flaky|hostile] [--telemetry <path>]\n  \
+         snails load [--socket <path>] [--clients N] [--requests N] [--seed N]\n              \
+         [--tenants a,b] [--dbs CWO] [--out <path>] [--shutdown]"
     );
 }
 
@@ -1098,5 +1109,485 @@ fn list() {
             db.questions.len(),
             db.combined_naturalness()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+/// Shared flag state for `snails serve` / `snails load`.
+struct ServeArgs {
+    socket: Option<String>,
+    tenants: Vec<String>,
+    dbs: Vec<String>,
+    queue_depth: usize,
+    batch: usize,
+    threads: usize,
+    serial: bool,
+    seed: u64,
+    fault_profile: FaultProfile,
+    telemetry: Option<String>,
+    clients: usize,
+    requests: usize,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+impl ServeArgs {
+    fn parse(cmd: &str, args: &[String]) -> ServeArgs {
+        let mut a = ServeArgs {
+            socket: None,
+            tenants: vec!["alpha".into(), "beta".into()],
+            dbs: vec!["CWO".into()],
+            queue_depth: 4096,
+            batch: 64,
+            threads: 0,
+            serial: false,
+            seed: 2024,
+            fault_profile: FaultProfile::NONE,
+            telemetry: None,
+            clients: 1024,
+            requests: 8,
+            out: None,
+            shutdown: false,
+        };
+        let missing = |flag: &str| -> ! {
+            eprintln!("{cmd}: {flag} needs a value");
+            std::process::exit(2);
+        };
+        let list = |v: Option<&String>, flag: &str| -> Vec<String> {
+            let Some(v) = v else { missing(flag) };
+            v.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect()
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--socket" => match it.next() {
+                    Some(p) => a.socket = Some(p.clone()),
+                    None => missing("--socket"),
+                },
+                "--tenants" => a.tenants = list(it.next(), "--tenants"),
+                "--dbs" => a.dbs = list(it.next(), "--dbs"),
+                "--queue-depth" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => a.queue_depth = n,
+                    None => missing("--queue-depth"),
+                },
+                "--batch" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => a.batch = n,
+                    None => missing("--batch"),
+                },
+                "--threads" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => a.threads = n,
+                    None => missing("--threads"),
+                },
+                "--serial" => a.serial = true,
+                "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) => a.seed = n,
+                    None => missing("--seed"),
+                },
+                "--fault-profile" => match it.next().and_then(|n| FaultProfile::by_name(n)) {
+                    Some(p) => a.fault_profile = p,
+                    None => {
+                        eprintln!("{cmd}: --fault-profile takes none|flaky|hostile");
+                        std::process::exit(2);
+                    }
+                },
+                "--telemetry" => match it.next() {
+                    Some(p) => a.telemetry = Some(p.clone()),
+                    None => missing("--telemetry"),
+                },
+                "--clients" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => a.clients = n,
+                    _ => missing("--clients"),
+                },
+                "--requests" => match it.next().and_then(|n| n.parse().ok()) {
+                    Some(n) if n > 0 => a.requests = n,
+                    _ => missing("--requests"),
+                },
+                "--out" => match it.next() {
+                    Some(p) => a.out = Some(p.clone()),
+                    None => missing("--out"),
+                },
+                "--shutdown" => a.shutdown = true,
+                other => {
+                    eprintln!("{cmd}: unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if a.tenants.is_empty() || a.dbs.is_empty() {
+            eprintln!("{cmd}: at least one tenant and one database required");
+            std::process::exit(2);
+        }
+        a
+    }
+
+    fn config(&self) -> snails::serve::ServeConfig {
+        snails::serve::ServeConfig {
+            seed: self.seed,
+            queue_depth: self.queue_depth,
+            batch_max: self.batch,
+            threads: self.threads,
+            serial: self.serial,
+            fault_profile: self.fault_profile,
+            telemetry: true,
+            ..Default::default()
+        }
+    }
+
+    fn build_dbs(&self) -> Vec<Arc<SnailsDatabase>> {
+        self.dbs.iter().map(|n| Arc::new(build_database(n))).collect()
+    }
+
+    fn specs(&self, dbs: &[Arc<SnailsDatabase>]) -> Vec<snails::serve::TenantSpec> {
+        self.tenants
+            .iter()
+            .map(|t| snails::serve::TenantSpec::full(t, dbs.to_vec()))
+            .collect()
+    }
+
+    fn plan(&self, dbs: &[Arc<SnailsDatabase>]) -> snails::serve::LoadPlan {
+        snails::serve::LoadPlan {
+            clients: self.clients,
+            requests_per_client: self.requests,
+            seed: self.seed,
+            tenants: self
+                .tenants
+                .iter()
+                .map(|t| snails::serve::TenantWorkload::from_full(t, dbs))
+                .collect(),
+        }
+    }
+}
+
+/// `snails serve`: bind a unix socket and serve until a shutdown frame.
+///
+/// In `--serial` mode the main thread is the reactor: it drives
+/// [`snails::serve::Server::poll_batch`] in a loop, so the whole server is
+/// a deterministic state machine and the socket is just its inbox.
+fn serve(args: &[String]) {
+    use snails::serve::{Server, UnixServer};
+
+    let a = ServeArgs::parse("serve", args);
+    let Some(socket) = a.socket.clone() else {
+        eprintln!("serve: --socket <path> is required");
+        std::process::exit(2);
+    };
+    let dbs = a.build_dbs();
+    let server = Server::start(a.config(), a.specs(&dbs));
+    let mut unix = match UnixServer::bind(std::path::Path::new(&socket), Arc::clone(&server)) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("serve: could not bind {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{{\"serve\":\"ready\",\"socket\":{socket:?},\"tenants\":{},\"databases\":{},\
+         \"queue_depth\":{},\"serial\":{}}}",
+        a.tenants.len(),
+        a.dbs.len(),
+        a.queue_depth,
+        a.serial
+    );
+    if a.serial {
+        while !unix.stopped() {
+            if server.poll_batch() == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(500));
+            }
+        }
+        unix.wait();
+    } else {
+        unix.wait();
+    }
+    let responses = server.shutdown();
+    if let Some(path) = &a.telemetry {
+        if let Some(report) = server.telemetry_report() {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("serve: could not write telemetry report {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{{\"serve\":\"goodbye\",\"responses\":{responses}}}");
+}
+
+/// `snails load`: with `--socket`, drive a running server over its unix
+/// socket in lockstep (plus an optional `--shutdown` frame); otherwise run
+/// the full in-process load suite and write `BENCH_serve.json`.
+fn load(args: &[String]) {
+    let a = ServeArgs::parse("load", args);
+    match &a.socket {
+        Some(socket) => load_socket(&a, socket),
+        None => load_suite(&a),
+    }
+}
+
+/// Lockstep drive of an external server over its unix socket.
+fn load_socket(a: &ServeArgs, socket: &str) {
+    use snails::serve::{Request, Response, UnixClient};
+
+    let path = std::path::Path::new(socket);
+    let dbs = a.build_dbs();
+    let plan = snails::serve::LoadPlan {
+        clients: if a.clients == 1024 { 8 } else { a.clients },
+        ..a.plan(&dbs)
+    };
+    let out = match snails::serve::run_unix_lockstep(path, &plan) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("load: socket drive failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{{\"load\":\"unix\",\"clients\":{},\"total\":{},\"ok\":{},\"errors\":{},\
+         \"shed\":{},\"dropped\":{},\"transcript_hash\":\"{:016x}\"}}",
+        plan.clients,
+        out.total,
+        out.ok,
+        out.errors,
+        out.shed,
+        out.dropped(),
+        out.transcript_hash
+    );
+    if out.dropped() > 0 {
+        eprintln!("load: {} requests never received a response", out.dropped());
+        std::process::exit(1);
+    }
+    if a.shutdown {
+        let goodbye = UnixClient::connect(path).and_then(|mut c| c.call(&Request::Shutdown));
+        match goodbye {
+            Ok(Response::Goodbye { responses }) => {
+                println!("{{\"load\":\"shutdown\",\"responses\":{responses}}}");
+            }
+            Ok(other) => {
+                eprintln!("load: unexpected shutdown reply: {other:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("load: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// The in-process load suite: four staged drives against fresh servers,
+/// with the same stage-line-JSON artifact convention as `snails bench`.
+fn load_suite(a: &ServeArgs) {
+    use snails::serve::{run_concurrent, run_serial, Request, Server};
+
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let mut stages: Vec<String> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut emit = |line: String| {
+        println!("{line}");
+        stages.push(line);
+    };
+    let dbs = a.build_dbs();
+
+    // Stage 1 — sustained concurrent load: `clients` closed-loop clients
+    // (default 1024) each keeping one request in flight. The gate is
+    // completeness: every request resolves (answered or typed-shed).
+    {
+        let server = Server::start(a.config(), a.specs(&dbs));
+        let plan = a.plan(&dbs);
+        let report = run_concurrent(&server, &plan, 8);
+        server.shutdown();
+        emit(format!(
+            "{{\"serve\":\"load\",\"clients\":{},\"requests\":{},\"ok\":{},\"errors\":{},\
+             \"shed\":{},\"dropped\":{},\"wall_ms\":{:.1},\"throughput_rps\":{:.0},\
+             \"p50_us\":{:.1},\"p90_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1}}}",
+            plan.clients,
+            report.total,
+            report.ok,
+            report.errors,
+            report.shed,
+            report.dropped,
+            ms(report.wall),
+            report.throughput_rps,
+            report.latency_ns.p50 as f64 / 1e3,
+            report.latency_ns.p90 as f64 / 1e3,
+            report.latency_ns.p99 as f64 / 1e3,
+            report.latency_ns.max as f64 / 1e3,
+        ));
+        if report.dropped > 0 {
+            failures.push(format!("load: {} requests never resolved", report.dropped));
+        }
+    }
+
+    // Stage 2 — deterministic replay: the same serial plan twice at each
+    // of 1/2/8 fan-out threads. Queue depth below the burst size forces
+    // shed placement into the transcript, so determinism covers the
+    // admission path too. Gate: one transcript hash, one deterministic
+    // telemetry rendering, across all six runs.
+    {
+        let replay = snails::serve::LoadPlan {
+            clients: 256,
+            requests_per_client: 4,
+            ..a.plan(&dbs)
+        };
+        let mut hashes = std::collections::BTreeSet::new();
+        let mut det = std::collections::BTreeSet::new();
+        let mut shed = 0u64;
+        let mut ticks = 0u64;
+        let mut lat = snails_bench::Percentiles::default();
+        for threads in [1usize, 2, 8] {
+            for _run in 0..2 {
+                let cfg = snails::serve::ServeConfig {
+                    serial: true,
+                    threads,
+                    queue_depth: 192,
+                    batch_max: 32,
+                    ..a.config()
+                };
+                let server = Server::start(cfg, a.specs(&dbs));
+                let mut out = run_serial(&server, &replay, false);
+                if out.dropped() > 0 {
+                    failures.push(format!(
+                        "serial_replay: {} requests never resolved",
+                        out.dropped()
+                    ));
+                }
+                det.insert(
+                    server.telemetry_report().expect("telemetry enabled").deterministic_json(),
+                );
+                server.shutdown();
+                hashes.insert(out.transcript_hash);
+                shed = out.shed;
+                ticks = out.ticks;
+                lat = snails_bench::Percentiles::of(&mut out.latencies_ticks);
+            }
+        }
+        let identical = hashes.len() == 1 && det.len() == 1;
+        emit(format!(
+            "{{\"serve\":\"serial_replay\",\"clients\":256,\"threads\":[1,2,8],\"runs\":6,\
+             \"shed\":{shed},\"ticks\":{ticks},\"latency_ticks_p50\":{},\
+             \"latency_ticks_p99\":{},\"transcripts\":{},\"telemetries\":{},\
+             \"identical\":{identical}}}",
+            lat.p50,
+            lat.p99,
+            hashes.len(),
+            det.len(),
+        ));
+        if !identical {
+            failures.push("serial_replay: transcripts or telemetry diverged".into());
+        }
+        if shed == 0 {
+            failures.push("serial_replay: burst never exercised the shed path".into());
+        }
+    }
+
+    // Stage 3 — fault soak: the flaky profile injects transient and
+    // corrupting faults into execution. The gate is the serving contract
+    // under faults: zero dropped requests and exact per-tenant
+    // reconciliation (requests == ok + errors).
+    {
+        let cfg = snails::serve::ServeConfig {
+            fault_profile: FaultProfile::FLAKY,
+            ..a.config()
+        };
+        let server = Server::start(cfg, a.specs(&dbs));
+        let plan = snails::serve::LoadPlan {
+            clients: 512,
+            requests_per_client: 8,
+            ..a.plan(&dbs)
+        };
+        let report = run_concurrent(&server, &plan, 8);
+        let stats = server.tenant_stats();
+        let reconciled = stats.iter().all(|s| s.requests == s.ok + s.errors);
+        let faults = server
+            .telemetry_report()
+            .expect("telemetry enabled")
+            .counter("serve.faults.injected");
+        server.shutdown();
+        emit(format!(
+            "{{\"serve\":\"fault_soak\",\"profile\":\"flaky\",\"requests\":{},\"ok\":{},\
+             \"errors\":{},\"shed\":{},\"dropped\":{},\"faults_injected\":{faults},\
+             \"tenants_reconciled\":{reconciled}}}",
+            report.total, report.ok, report.errors, report.shed, report.dropped,
+        ));
+        if report.dropped > 0 {
+            failures.push(format!("fault_soak: {} requests never resolved", report.dropped));
+        }
+        if !reconciled {
+            failures.push("fault_soak: tenant counters do not reconcile".into());
+        }
+    }
+
+    // Stage 4 — overload and drain. Serial burst: 64 single-shot clients
+    // against a depth-32 queue shed exactly 64 - 32 requests and the
+    // queue never exceeds its depth. Then a concurrent drain: submissions
+    // in flight when `drain` lands all resolve (Draining for refused),
+    // none hang.
+    {
+        let depth = 32usize;
+        let cfg = snails::serve::ServeConfig {
+            serial: true,
+            threads: 1,
+            queue_depth: depth,
+            batch_max: 16,
+            ..a.config()
+        };
+        let server = Server::start(cfg, a.specs(&dbs));
+        let burst = snails::serve::LoadPlan {
+            clients: 64,
+            requests_per_client: 1,
+            ..a.plan(&dbs)
+        };
+        let out = run_serial(&server, &burst, false);
+        let report = server.telemetry_report().expect("telemetry enabled");
+        let shed_counter = report.counter("serve.shed");
+        let high_water = server.high_water();
+        let responses = server.shutdown();
+        let shed_exact = out.shed == (64 - depth) as u64 && shed_counter == out.shed;
+        let bounded = high_water <= depth;
+        let complete = out.dropped() == 0 && responses == out.total - out.shed;
+
+        let drain_server = Server::start(a.config(), a.specs(&dbs));
+        let client = snails::serve::InProcClient::new(Arc::clone(&drain_server));
+        let tickets: Vec<_> = (0..100u32)
+            .map(|i| client.call_async(Request::Ping { tag: u64::from(i) }))
+            .collect();
+        drain_server.drain();
+        let refused = client.call_async(Request::Ping { tag: 999 });
+        let drained = tickets.iter().all(|t| t.try_take().is_some())
+            && matches!(
+                refused.try_take(),
+                Some(snails::serve::Response::Err {
+                    error: snails::serve::ServeError::Draining,
+                    ..
+                })
+            );
+        drain_server.shutdown();
+
+        emit(format!(
+            "{{\"serve\":\"overload\",\"burst\":64,\"queue_depth\":{depth},\"shed\":{},\
+             \"shed_exact\":{shed_exact},\"high_water\":{high_water},\
+             \"bounded\":{bounded},\"complete\":{complete},\"drain_complete\":{drained}}}",
+            out.shed,
+        ));
+        if !(shed_exact && bounded && complete && drained) {
+            failures.push("overload: admission or drain invariant violated".into());
+        }
+    }
+
+    let artifact = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"seed\": {},\n  \"stages\": [\n    {}\n  ]\n}}\n",
+        a.seed,
+        stages.join(",\n    ")
+    );
+    let out_path = a.out.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+    if let Err(e) = std::fs::write(&out_path, &artifact) {
+        eprintln!("load: could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
     }
 }

@@ -42,6 +42,7 @@ pub use snails_lexicon as lexicon;
 pub use snails_llm as llm;
 pub use snails_modify as modify;
 pub use snails_naturalness as naturalness;
+pub use snails_serve as serve;
 pub use snails_sql as sql;
 pub use snails_tokenize as tokenize;
 

@@ -73,7 +73,7 @@ fn prompt_token_budget_depends_on_variant() {
     // Regular prompts spell identifiers out fully; Least prompts are
     // shorter in characters but fragment into comparably many BPE tokens
     // (the appendix B.9 effect).
-    use snails::tokenize::{tokenizer_for, Tokenizer, TokenizerProfile};
+    use snails::tokenize::{tokenizer_for, TokenizerProfile};
     let db = build_database("PILB");
     let t = tokenizer_for(TokenizerProfile::GptLike);
     let regular = naturalize_prompt(&db, SchemaVariant::Regular, "q?");

@@ -1,0 +1,128 @@
+//! End-to-end smoke of the `snails serve` / `snails load` pair through the
+//! real binary and a real unix socket (ISSUE 10 acceptance): a serial
+//! server comes up, a lockstep load completes with zero dropped requests
+//! and a stable transcript hash, and a shutdown frame drains the server to
+//! a truthful `Goodbye`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("snails-serve-e2e-{}-{tag}.sock", std::process::id()))
+}
+
+fn spawn_serve(socket: &Path, extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_snails"))
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .args(["--dbs", "CWO", "--tenants", "alpha,beta"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn snails serve")
+}
+
+fn wait_for_socket(socket: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "server never bound {}", socket.display());
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn run_load(socket: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snails"))
+        .arg("load")
+        .arg("--socket")
+        .arg(socket)
+        .args(["--dbs", "CWO", "--tenants", "alpha,beta"])
+        .args(extra)
+        .output()
+        .expect("spawn snails load")
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Pull `"key":value` (or `"key":"value"`) out of a stage line without a
+/// JSON parser.
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let pat = format!("\"{key}\":");
+    let rest = &line[line.find(&pat).unwrap_or_else(|| panic!("{key} in {line}")) + pat.len()..];
+    rest.split([',', '}']).next().expect("field value").trim_matches('"')
+}
+
+#[test]
+fn serve_and_load_over_a_unix_socket_end_to_end() {
+    let socket = socket_path("serial");
+    let _ = std::fs::remove_file(&socket);
+    let mut server = spawn_serve(&socket, &["--serial"]);
+    wait_for_socket(&socket);
+
+    // Two identical lockstep drives: zero dropped requests, and — because
+    // the server is serial and every response is a pure function of
+    // (tenant state, request, seed) — the same transcript hash.
+    let first = run_load(&socket, &["--clients", "5", "--requests", "3"]);
+    assert!(first.status.success(), "load failed: {}", String::from_utf8_lossy(&first.stderr));
+    let line1 = stdout_of(&first);
+    assert_eq!(field(&line1, "dropped"), "0");
+    assert_eq!(field(&line1, "total"), "15");
+
+    let second = run_load(&socket, &["--clients", "5", "--requests", "3"]);
+    assert!(second.status.success());
+    let line2 = stdout_of(&second);
+    assert_eq!(
+        field(&line1, "transcript_hash"),
+        field(&line2, "transcript_hash"),
+        "replay against the live server diverged"
+    );
+
+    // Third drive shuts the server down over its own wire; the Goodbye
+    // count equals every admitted request across all three drives.
+    let last = run_load(&socket, &["--clients", "5", "--requests", "3", "--shutdown"]);
+    assert!(last.status.success(), "load failed: {}", String::from_utf8_lossy(&last.stderr));
+    let out = stdout_of(&last);
+    assert_eq!(field(&out, "dropped"), "0");
+    let shutdown_line = out.lines().find(|l| l.contains("\"shutdown\"")).expect("shutdown line");
+    assert_eq!(field(shutdown_line, "responses"), "45", "Goodbye must report all responses");
+
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "server exited nonzero");
+    let mut server_out = String::new();
+    use std::io::Read;
+    server.stdout.take().expect("stdout piped").read_to_string(&mut server_out).expect("read");
+    assert!(server_out.contains("\"serve\":\"ready\""));
+    assert!(server_out.contains("\"serve\":\"goodbye\",\"responses\":45"));
+    assert!(!socket.exists(), "server must remove its socket file on exit");
+}
+
+#[test]
+fn concurrent_server_matches_the_serial_transcript() {
+    // The same workload against a worker-driven (non-serial) server must
+    // produce the same lockstep transcript bytes — the cross-mode face of
+    // the determinism contract, through the real binary.
+    let serial_sock = socket_path("xser");
+    let worker_sock = socket_path("xcon");
+    let _ = std::fs::remove_file(&serial_sock);
+    let _ = std::fs::remove_file(&worker_sock);
+    let mut serial = spawn_serve(&serial_sock, &["--serial"]);
+    let mut workers = spawn_serve(&worker_sock, &["--threads", "2"]);
+    wait_for_socket(&serial_sock);
+    wait_for_socket(&worker_sock);
+
+    let load_args = ["--clients", "4", "--requests", "2", "--shutdown"];
+    let a = run_load(&serial_sock, &load_args);
+    let b = run_load(&worker_sock, &load_args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        field(&stdout_of(&a), "transcript_hash"),
+        field(&stdout_of(&b), "transcript_hash"),
+        "serial and worker-driven servers must serve identical bytes"
+    );
+    assert!(serial.wait().expect("serial exit").success());
+    assert!(workers.wait().expect("worker exit").success());
+}
